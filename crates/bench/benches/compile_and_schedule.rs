@@ -1,0 +1,55 @@
+//! Criterion benches for PAS compilation and command scheduling — the
+//! inner loop behind every figure run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ianus_core::compiler::Compiler;
+use ianus_core::SystemConfig;
+use ianus_model::{ModelConfig, Stage};
+use ianus_npu::scheduler::Engine;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let cfg = SystemConfig::ianus();
+    let model = ModelConfig::gpt2_xl();
+    c.bench_function("compile_xl_generation_step", |b| {
+        b.iter(|| {
+            let mut compiler = Compiler::new(&cfg, &model);
+            black_box(compiler.compile(&Stage::Generation { past_tokens: 256 }))
+        })
+    });
+    c.bench_function("compile_xl_summarization", |b| {
+        b.iter(|| {
+            let mut compiler = Compiler::new(&cfg, &model);
+            black_box(compiler.compile(&Stage::Summarization { tokens: 512 }))
+        })
+    });
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let cfg = SystemConfig::ianus();
+    let model = ModelConfig::gpt2_xl();
+    let mut compiler = Compiler::new(&cfg, &model);
+    let compiled = compiler.compile(&Stage::Generation { past_tokens: 256 });
+    let units = compiler.unit_map();
+    c.bench_function("schedule_xl_generation_step", |b| {
+        b.iter(|| {
+            let mut engine = Engine::new(units.unit_count(), cfg.npu.dispatch_overhead);
+            black_box(engine.run(&compiled.program).makespan())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_compile, bench_schedule
+}
+criterion_main!(benches);

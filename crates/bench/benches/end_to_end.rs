@@ -1,0 +1,74 @@
+//! Criterion benches for end-to-end request simulation — one sample per
+//! figure family (Fig. 8 GPT-2 requests, Fig. 14 BERT, Fig. 17/18
+//! multi-device, plus both baselines).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ianus_baselines::{DfxModel, GpuModel};
+use ianus_core::multi_device::DeviceGroup;
+use ianus_core::{IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn quick() -> Criterion {
+    // End-to-end iterations cost tens of milliseconds; bound the run.
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+fn bench_gpt2_request(c: &mut Criterion) {
+    c.bench_function("e2e_gpt2m_128_8_ianus", |b| {
+        b.iter(|| {
+            let mut sys = IanusSystem::new(SystemConfig::ianus());
+            black_box(sys.run_request(&ModelConfig::gpt2_m(), RequestShape::new(128, 8)))
+        })
+    });
+    c.bench_function("e2e_gpt2m_128_8_npu_mem", |b| {
+        b.iter(|| {
+            let mut sys = IanusSystem::new(SystemConfig::npu_mem());
+            black_box(sys.run_request(&ModelConfig::gpt2_m(), RequestShape::new(128, 8)))
+        })
+    });
+}
+
+fn bench_bert(c: &mut Criterion) {
+    c.bench_function("e2e_bert_l_512_ianus", |b| {
+        b.iter(|| {
+            let mut sys = IanusSystem::new(SystemConfig::ianus());
+            black_box(sys.run_request(&ModelConfig::bert_l(), RequestShape::new(512, 1)))
+        })
+    });
+}
+
+fn bench_multi_device(c: &mut Criterion) {
+    c.bench_function("e2e_gpt6_7b_2dev_256_8", |b| {
+        b.iter(|| {
+            let mut group = DeviceGroup::new(SystemConfig::ianus(), 2);
+            black_box(group.run_request(&ModelConfig::gpt_6_7b(), RequestShape::new(256, 8)))
+        })
+    });
+}
+
+fn bench_baselines(c: &mut Criterion) {
+    let gpu = GpuModel::a100();
+    let dfx = DfxModel::four_fpga();
+    c.bench_function("baseline_gpu_xl_128_512", |b| {
+        b.iter(|| {
+            black_box(gpu.request_latency(&ModelConfig::gpt2_xl(), RequestShape::new(128, 512)))
+        })
+    });
+    c.bench_function("baseline_dfx_xl_128_256", |b| {
+        b.iter(|| {
+            black_box(dfx.request_latency(&ModelConfig::gpt2_xl(), RequestShape::new(128, 256)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_gpt2_request, bench_bert, bench_multi_device, bench_baselines
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benches for the NPU unit models and DRAM cost functions
+//! (backs Figures 8/9/14: matrix-unit GEMM pricing and transfer costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ianus_dram::{GddrOrganization, GddrTimings, TransferModel};
+use ianus_npu::{MatrixUnit, NpuConfig, VectorUnit, VuOp};
+use std::hint::black_box;
+
+fn bench_matrix_unit(c: &mut Criterion) {
+    let mu = MatrixUnit::new(&NpuConfig::ianus_default());
+    let mut g = c.benchmark_group("mu_gemm_pricing");
+    for (name, (m, k, n)) in [
+        ("gemv_1x1536x6144", (1u64, 1536u64, 6144u64)),
+        ("prefill_512x1536x6144", (512, 1536, 6144)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &(m, k, n), |b, &(m, k, n)| {
+            b.iter(|| black_box(mu.gemm(black_box(m), k, n)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vector_unit(c: &mut Criterion) {
+    let vu = VectorUnit::new(&NpuConfig::ianus_default());
+    c.bench_function("vu_softmax_pricing", |b| {
+        b.iter(|| black_box(vu.op(VuOp::MaskedSoftmax, black_box(512 * 512))))
+    });
+}
+
+fn bench_transfer_model(c: &mut Criterion) {
+    let m = TransferModel::new(GddrOrganization::ianus_default(), GddrTimings::ianus_default());
+    c.bench_function("dram_bulk_read_pricing", |b| {
+        b.iter(|| black_box(m.bulk_read(black_box(56 << 20), 8)))
+    });
+}
+
+criterion_group!(benches, bench_matrix_unit, bench_vector_unit, bench_transfer_model);
+criterion_main!(benches);

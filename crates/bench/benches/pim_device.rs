@@ -1,0 +1,52 @@
+//! Criterion benches for the PIM device models (backs Figures 8–13:
+//! every PIM op in the system simulator is priced by these paths).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ianus_pim::{GemvShape, MacroCommand, MicroExecutor, PimConfig, PimModel};
+use std::hint::black_box;
+
+fn bench_closed_form(c: &mut Criterion) {
+    let model = PimModel::new(PimConfig::ianus_default());
+    let mut g = c.benchmark_group("pim_closed_form_gemv");
+    for (name, shape) in [
+        ("qkv_head_64x1536", GemvShape::new(64, 1536)),
+        ("ffn1_xl_6144x1536", GemvShape::new(6144, 1536).with_gelu(true)),
+        ("lm_head_50257x1536", GemvShape::new(50257, 1536)),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &shape, |b, &s| {
+            b.iter(|| black_box(model.gemv(black_box(s))))
+        });
+    }
+    g.finish();
+}
+
+fn bench_micro_executor(c: &mut Criterion) {
+    let exec = MicroExecutor::new(PimConfig::ianus_default());
+    c.bench_function("pim_micro_executor_1024x1024", |b| {
+        b.iter(|| black_box(exec.run_macro(&MacroCommand::Gemv(GemvShape::new(1024, 1024)))))
+    });
+}
+
+fn bench_functional_gemv(c: &mut Criterion) {
+    use ianus_pim::functional::{gemv_bf16, Bf16};
+    let cfg = PimConfig::ianus_default();
+    let rows = 256usize;
+    let cols = 1024usize;
+    let w: Vec<Bf16> = (0..rows * cols)
+        .map(|i| Bf16::from_f32((i % 251) as f32 / 251.0 - 0.5))
+        .collect();
+    let x: Vec<Bf16> = (0..cols)
+        .map(|i| Bf16::from_f32((i % 17) as f32 / 17.0))
+        .collect();
+    c.bench_function("pim_functional_gemv_256x1024", |b| {
+        b.iter(|| black_box(gemv_bf16(&cfg, black_box(&w), rows, cols, black_box(&x), true)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_closed_form,
+    bench_micro_executor,
+    bench_functional_gemv
+);
+criterion_main!(benches);

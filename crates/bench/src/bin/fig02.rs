@@ -1,0 +1,46 @@
+//! Figure 2: latency/FLOPs breakdown of GPT-2 XL decoders on the A100
+//! (generation stage), including the self-attention non-computing share.
+
+use ianus_baselines::GpuModel;
+use ianus_bench::banner;
+use ianus_model::{ModelConfig, Stage};
+
+fn main() {
+    banner("Figure 2: GPU decoder breakdown, GPT-2 XL generation stage");
+    let gpu = GpuModel::a100();
+    let model = ModelConfig::gpt2_xl();
+    let stage = Stage::Generation { past_tokens: 512 };
+    let b = gpu.decoder_breakdown(&model, &stage);
+
+    println!("\n(a) Decoder latency breakdown        measured   paper");
+    println!(
+        "    LayerNorm + residual add         {:>6.1}%   13.2%",
+        b.layernorm_residual * 100.0
+    );
+    println!(
+        "    Self-attention                   {:>6.1}%   41.4%",
+        b.self_attention * 100.0
+    );
+    println!(
+        "    FC + FFN                         {:>6.1}%   45.4%",
+        b.fc_ffn * 100.0
+    );
+
+    println!("\n(b) Within self-attention:");
+    println!(
+        "    non-computing operations         {:>6.1}%   66.1%",
+        b.attention_noncompute * 100.0
+    );
+
+    // FLOPs side of Figure 2a: vector ops are a vanishing FLOP fraction.
+    let ops = model.block_ops();
+    let fc_flops = ops.block_flops(&stage) - ops.attention_flops(&stage);
+    let attn_flops = ops.attention_flops(&stage);
+    let ln_flops = 4 * ops.layernorm_elems(&stage); // ~1 FLOP/elem/kernel
+    let total = (fc_flops + attn_flops + ln_flops) as f64;
+    println!("\n    FLOPs shares: FC+FFN {:.1}%, self-attention {:.1}%, LN+add {:.3}% (paper: <0.06%)",
+        fc_flops as f64 / total * 100.0,
+        attn_flops as f64 / total * 100.0,
+        ln_flops as f64 / total * 100.0,
+    );
+}

@@ -1,0 +1,63 @@
+//! Figure 8: end-to-end GPT-2 inference latency, A100 GPU vs IANUS,
+//! over the (input, output) grid {128,256,512} × {1,8,64,512}.
+
+use ianus_baselines::GpuModel;
+use ianus_bench::{banner, mean, paper, req_label};
+use ianus_core::{IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+
+fn main() {
+    banner("Figure 8: GPT-2 end-to-end latency, GPU vs IANUS (ms)");
+    let gpu = GpuModel::a100();
+    let models = ModelConfig::gpt2_family();
+    println!(
+        "\n{:<10} {:>10} | {:>9} {:>9} | {:>9} {:>9} | {:>8} {:>8}",
+        "model", "(in,out)", "GPU", "GPU*", "IANUS", "IANUS*", "speedup", "paper*"
+    );
+    println!("{}", "-".repeat(92));
+    for (mi, model) in models.iter().enumerate() {
+        let mut sys = IanusSystem::new(SystemConfig::ianus());
+        let mut gpu_ms = Vec::new();
+        let mut ianus_ms = Vec::new();
+        for (ri, &(input, output)) in paper::FIG8_REQUESTS.iter().enumerate() {
+            let req = RequestShape::new(input, output);
+            let g = gpu.request_latency(model, req).as_ms_f64();
+            let i = sys.run_request(model, req).total.as_ms_f64();
+            gpu_ms.push(g);
+            ianus_ms.push(i);
+            println!(
+                "{:<10} {:>10} | {:>9.1} {:>9.1} | {:>9.2} {:>9.1} | {:>7.1}x {:>7.1}x",
+                model.name,
+                req_label(req),
+                g,
+                paper::FIG8_GPU_MS[mi][ri],
+                i,
+                paper::FIG8_IANUS_MS[mi][ri],
+                g / i,
+                paper::FIG8_GPU_MS[mi][ri] / paper::FIG8_IANUS_MS[mi][ri],
+            );
+        }
+        let speedup = mean(&gpu_ms) / mean(&ianus_ms);
+        println!(
+            "{:<10} {:>10} | avg speedup {:>6.1}x   (paper: {:.1}x)",
+            model.name,
+            "Avg",
+            speedup,
+            paper::FIG8_SPEEDUPS[mi]
+        );
+        println!("{}", "-".repeat(92));
+    }
+    println!("columns marked * are the paper's published values");
+
+    // Section 6.2 headline: per-token generation latency, 2.5B (128,64).
+    let mut sys = IanusSystem::new(SystemConfig::ianus());
+    let r = sys.run_request(&ModelConfig::gpt2_2_5b(), RequestShape::new(128, 64));
+    if let Some(per_token) = r.per_token_latency() {
+        println!(
+            "\nGPT-2 2.5B (128,64) per generated token: {:.2} ms (paper: {:.1} ms IANUS, {:.1} ms GPU)",
+            per_token.as_ms_f64(),
+            paper::PER_TOKEN_2_5B_MS,
+            paper::PER_TOKEN_2_5B_GPU_MS
+        );
+    }
+}

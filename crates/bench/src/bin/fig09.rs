@@ -1,0 +1,60 @@
+//! Figure 9: GPT-2 XL latency on DFX, NPU-MEM and IANUS over the
+//! (input, output) grid {32,64,128} × {1,16,256}.
+
+use ianus_baselines::DfxModel;
+use ianus_bench::{banner, mean, paper, req_label};
+use ianus_core::{IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+
+fn main() {
+    banner("Figure 9: GPT-2 XL latency, DFX vs NPU-MEM vs IANUS (ms)");
+    let model = ModelConfig::gpt2_xl();
+    let dfx = DfxModel::four_fpga();
+    let mut npu_mem = IanusSystem::new(SystemConfig::npu_mem());
+    let mut ianus = IanusSystem::new(SystemConfig::ianus());
+
+    println!(
+        "\n{:>10} | {:>8} {:>8} | {:>8} {:>8} | {:>8} {:>8}",
+        "(in,out)", "DFX", "DFX*", "NPU-MEM", "NPUMEM*", "IANUS", "IANUS*"
+    );
+    println!("{}", "-".repeat(74));
+    let mut dfx_ms = Vec::new();
+    let mut ianus_ms = Vec::new();
+    for (ri, &(input, output)) in paper::FIG9_REQUESTS.iter().enumerate() {
+        let req = RequestShape::new(input, output);
+        let d = dfx.request_latency(&model, req).as_ms_f64();
+        let n = npu_mem.run_request(&model, req).total.as_ms_f64();
+        let i = ianus.run_request(&model, req).total.as_ms_f64();
+        dfx_ms.push(d);
+        ianus_ms.push(i);
+        println!(
+            "{:>10} | {:>8.0} {:>8.0} | {:>8.1} {:>8.0} | {:>8.1} {:>8.0}",
+            req_label(req),
+            d,
+            paper::FIG9_DFX_MS[ri],
+            n,
+            paper::FIG9_NPU_MEM_MS[ri],
+            i,
+            paper::FIG9_IANUS_MS[ri],
+        );
+    }
+    println!("{}", "-".repeat(74));
+    println!(
+        "average speedup vs DFX: {:.1}x (paper: 3.2x); (128,1) speedup: {:.1}x (paper: 49.3x)",
+        mean(&dfx_ms) / mean(&ianus_ms),
+        dfx_ms[6] / ianus_ms[6],
+    );
+
+    // Section 6.2: per-token latencies at (64,256).
+    let req = RequestShape::new(64, 256);
+    let i = ianus.run_request(&model, req);
+    let n = npu_mem.run_request(&model, req);
+    let (p_i, p_d, p_n) = paper::PER_TOKEN_XL_MS;
+    println!(
+        "\nper generated token at (64,256): IANUS {:.2} ms (paper {p_i}), DFX {:.2} ms (paper {p_d}), NPU-MEM {:.2} ms (paper {p_n})",
+        i.per_token_latency().unwrap().as_ms_f64(),
+        dfx.per_token_latency(&model).as_ms_f64(),
+        n.per_token_latency().unwrap().as_ms_f64(),
+    );
+    println!("columns marked * are the paper's published values");
+}

@@ -1,0 +1,61 @@
+//! Figure 11: dynamic energy of NPU-MEM and IANUS for GPT-2 models at
+//! (256,512), normalized to IANUS on GPT-2 M.
+
+use ianus_bench::{banner, paper};
+use ianus_core::{EnergyBreakdown, IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+
+fn main() {
+    banner("Figure 11: normalized dynamic energy, NPU-MEM vs IANUS (256,512)");
+    let req = RequestShape::new(256, 512);
+    let models = ModelConfig::gpt2_family();
+
+    let energies: Vec<(EnergyBreakdown, EnergyBreakdown)> = models
+        .iter()
+        .map(|m| {
+            let n = IanusSystem::new(SystemConfig::npu_mem())
+                .run_request(m, req)
+                .energy;
+            let i = IanusSystem::new(SystemConfig::ianus())
+                .run_request(m, req)
+                .energy;
+            (n, i)
+        })
+        .collect();
+    let base = energies[0].1.total_pj();
+
+    println!(
+        "\n{:<10} {:<8} | {:>9} {:>9} {:>9} | {:>7} {:>7}",
+        "model", "system", "normal", "PIM op", "cores", "total", "paper"
+    );
+    println!("{}", "-".repeat(74));
+    for (mi, model) in models.iter().enumerate() {
+        let (n, i) = &energies[mi];
+        let (pn, pi) = paper::FIG11_NORMALIZED[mi];
+        for (label, e, p) in [("NPU-MEM", n, pn), ("IANUS", i, pi)] {
+            println!(
+                "{:<10} {:<8} | {:>9.2} {:>9.2} {:>9.2} | {:>7.2} {:>7.1}",
+                model.name,
+                label,
+                e.dram_normal_pj / base,
+                e.pim_pj / base,
+                e.core_pj / base,
+                e.total_pj() / base,
+                p
+            );
+        }
+        let improvement = n.total_pj() / i.total_pj();
+        let normal_cut = n.dram_normal_pj / i.dram_normal_pj.max(1e-9);
+        let core_cut = n.core_pj / i.core_pj.max(1e-9);
+        println!(
+            "{:<10} improvement {:.1}x (paper {:.1}x); normal-op cut {:.1}x (paper 10.5-13.4x); core cut {:.1}x (paper 6.3-10.2x)",
+            model.name,
+            improvement,
+            paper::FIG11_IMPROVEMENT[mi],
+            normal_cut,
+            core_cut
+        );
+        println!("{}", "-".repeat(74));
+    }
+    println!("all values normalized to IANUS GPT-2 M total");
+}

@@ -1,0 +1,54 @@
+//! Figure 12: adaptive FC mapping (Algorithm 1) versus always-MU and
+//! always-PIM, for 4/8/16 input tokens across the GPT-2 family.
+
+use ianus_bench::{banner, mean, paper};
+use ianus_core::pas::FcMapping;
+use ianus_core::{IanusSystem, SystemConfig};
+use ianus_model::ModelConfig;
+
+fn main() {
+    banner("Figure 12: adaptive FC mapping vs forced MU / PIM (block FCs, ms)");
+    println!(
+        "\n{:<10} {:>7} | {:>10} {:>10} {:>10} | chosen",
+        "model", "tokens", "MatrixUnit", "PIM", "Algorithm1"
+    );
+    println!("{}", "-".repeat(72));
+    let mut vs_mu = Vec::new();
+    let mut vs_pim = Vec::new();
+    for model in ModelConfig::gpt2_family() {
+        for tokens in [4u64, 8, 16] {
+            let mut sys = IanusSystem::new(SystemConfig::ianus());
+            let mu = sys
+                .run_fc_microbench(&model, tokens, FcMapping::MatrixUnit)
+                .latency
+                .as_ms_f64();
+            let pim = sys
+                .run_fc_microbench(&model, tokens, FcMapping::Pim)
+                .latency
+                .as_ms_f64();
+            let adaptive = sys
+                .run_fc_microbench(&model, tokens, FcMapping::Adaptive)
+                .latency
+                .as_ms_f64();
+            vs_mu.push(mu / adaptive);
+            vs_pim.push(pim / adaptive);
+            let chosen = if (adaptive - pim).abs() < (adaptive - mu).abs() {
+                "≈PIM"
+            } else {
+                "≈MU"
+            };
+            println!(
+                "{:<10} {:>7} | {:>10.2} {:>10.2} {:>10.2} | {}",
+                model.name, tokens, mu, pim, adaptive, chosen
+            );
+        }
+        println!("{}", "-".repeat(72));
+    }
+    println!(
+        "Algorithm 1 speedup: {:.2}x vs always-PIM (paper {:.1}x), {:.2}x vs always-MU (paper {:.1}x)",
+        mean(&vs_pim),
+        paper::FIG12_VS_PIM,
+        mean(&vs_mu),
+        paper::FIG12_VS_MU
+    );
+}

@@ -1,0 +1,55 @@
+//! Figure 14: BERT throughput (TFLOPS) and compute utilization on the
+//! A100 GPU and IANUS, inputs {128, 256, 512}.
+
+use ianus_baselines::GpuModel;
+use ianus_bench::{banner, mean, paper};
+use ianus_core::{IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+
+fn main() {
+    banner("Figure 14: BERT throughput and utilization, GPU vs IANUS");
+    let gpu = GpuModel::a100();
+    let ianus_peak = SystemConfig::ianus().npu.peak_tflops();
+    println!(
+        "\n{:<10} {:>6} | {:>9} {:>9} {:>7} | {:>8} {:>8} {:>7}",
+        "model", "tokens", "GPU TF", "IANUS TF", "ratio", "GPU util", "IANUS u", "ratio"
+    );
+    println!("{}", "-".repeat(84));
+    for (mi, model) in ModelConfig::bert_family().iter().enumerate() {
+        let mut ratios = Vec::new();
+        let mut util_ratios = Vec::new();
+        for tokens in [128u64, 256, 512] {
+            let req = RequestShape::new(tokens, 1);
+            let g_tf = gpu.throughput_tflops(model, req);
+            let mut sys = IanusSystem::new(SystemConfig::ianus());
+            let r = sys.run_request(model, req);
+            let i_tf = r.throughput_tflops();
+            let g_util = g_tf / gpu.peak_tflops;
+            let i_util = r.utilization(ianus_peak);
+            ratios.push(i_tf / g_tf);
+            util_ratios.push(i_util / g_util);
+            println!(
+                "{:<10} {:>6} | {:>9.1} {:>9.1} {:>6.2}x | {:>7.1}% {:>7.1}% {:>6.2}x",
+                model.name,
+                tokens,
+                g_tf,
+                i_tf,
+                i_tf / g_tf,
+                g_util * 100.0,
+                i_util * 100.0,
+                i_util / g_util
+            );
+        }
+        println!(
+            "{:<10} {:>6} | avg throughput ratio {:>5.2}x (paper {:.1}x); avg util ratio {:>5.2}x (paper {:.1}x)",
+            model.name,
+            "Avg",
+            mean(&ratios),
+            paper::FIG14_THROUGHPUT_RATIO[mi],
+            mean(&util_ratios),
+            paper::FIG14_UTILIZATION_RATIO[mi]
+        );
+        println!("{}", "-".repeat(84));
+    }
+    println!("IANUS peak = {ianus_peak:.0} TFLOPS (matrix units only; PIM unused for BERT)");
+}

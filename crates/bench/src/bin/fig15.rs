@@ -1,0 +1,49 @@
+//! Figure 15: sensitivity of GPT-2 L to the number of NPU cores and PIM
+//! chips, for summarization-only (256,1) and generation-dominant
+//! (256,512) requests. Slowdowns are normalized to 4 cores / 4 PIM chips.
+
+use ianus_bench::banner;
+use ianus_core::{IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+
+fn run(cfg: SystemConfig, req: RequestShape) -> f64 {
+    IanusSystem::new(cfg)
+        .run_request(&ModelConfig::gpt2_l(), req)
+        .total
+        .as_ms_f64()
+}
+
+fn main() {
+    banner("Figure 15: sensitivity to #cores and #PIM chips, GPT-2 L");
+    let reqs = [RequestShape::new(256, 1), RequestShape::new(256, 512)];
+    let base: Vec<f64> = reqs.iter().map(|&r| run(SystemConfig::ianus(), r)).collect();
+
+    println!("\nslowdown vs 4 cores / 4 PIM chips:");
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "configuration", "(256,1)", "(256,512)"
+    );
+    println!("{}", "-".repeat(44));
+    for cores in [1u32, 2, 4] {
+        let cfg = SystemConfig::ianus().with_cores(cores);
+        let s: Vec<f64> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| run(cfg, r) / base[i])
+            .collect();
+        println!("{:<18} {:>11.2}x {:>11.2}x", format!("{cores} cores"), s[0], s[1]);
+    }
+    for chips in [1u32, 2, 4] {
+        let cfg = SystemConfig::ianus().with_pim_chips(chips);
+        let s: Vec<f64> = reqs
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| run(cfg, r) / base[i])
+            .collect();
+        println!("{:<18} {:>11.2}x {:>11.2}x", format!("{chips} PIM chips"), s[0], s[1]);
+    }
+    println!(
+        "\npaper: fewer cores slow both cases (summarization more); fewer PIM chips\n\
+         mainly slow the generation-dominant case"
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 16 / Section 6.3 substitute: functional validation of the
+//! PIM-offloaded decoder datapath.
+//!
+//! The paper demonstrates feasibility with an FPGA prototype driving real
+//! AiM chips and reports GPT-2 WikiText-2 perplexities matching the
+//! full-precision models. Without pretrained weights or hardware, this
+//! binary validates the same property at the numerics level: a decoder
+//! block executed through the BF16 PIM tile datapath (including the GELU
+//! LUT) matches an f32 reference within BF16 tolerance.
+
+use ianus_bench::banner;
+use ianus_core::functional::{
+    run_decoder_validation, run_tiny_gpt_decode, FunctionalConfig, TinyGptConfig,
+};
+
+fn main() {
+    banner("Figure 16 substitute: functional validation of the PIM datapath");
+    println!(
+        "\n{:<28} {:>12} {:>12} {:>8}",
+        "configuration", "max rel err", "rms rel err", "status"
+    );
+    println!("{}", "-".repeat(64));
+    for (embed, ffn, seed) in [
+        (256usize, 1024usize, 0xA1A2_A3A4u64),
+        (512, 2048, 7),
+        (768, 3072, 42),
+        (1024, 4096, 0xDEAD_BEEF),
+    ] {
+        let report = run_decoder_validation(FunctionalConfig {
+            embed_dim: embed,
+            ffn_dim: ffn,
+            seed,
+        });
+        println!(
+            "{:<28} {:>12.5} {:>12.5} {:>8}",
+            format!("E={embed}, FFN={ffn}"),
+            report.max_rel_error,
+            report.rms_rel_error,
+            if report.passes() { "PASS" } else { "FAIL" }
+        );
+    }
+    println!("\nend-to-end greedy decode (tiny GPT, FCs + GELU through the PIM datapath):");
+    for (steps, seed) in [(12usize, 0xC0FFEEu64), (16, 3), (16, 1234)] {
+        let r = run_tiny_gpt_decode(TinyGptConfig {
+            steps,
+            seed,
+            ..TinyGptConfig::default()
+        });
+        println!(
+            "  seed {seed:>6}: {:>4.0}% token agreement over {} steps ({})",
+            r.agreement() * 100.0,
+            steps,
+            if r.agreement() >= 0.75 { "PASS" } else { "FAIL" }
+        );
+    }
+    println!(
+        "\npaper prototype: GPT-2 Base/M/L/XL perplexity 30.92/22.60/19.39/17.48 on\n\
+         WikiText-2, matching full-precision models; here the equivalent checks are\n\
+         BF16-through-PIM activations matching f32 within tolerance and greedy\n\
+         decodes agreeing token-for-token."
+    );
+}

@@ -1,0 +1,121 @@
+//! Tables 1–4: simulation parameters, platform specifications, and model
+//! configurations, regenerated from the code's own constants (so any
+//! drift between documentation and implementation is visible here).
+
+use ianus_baselines::{DfxModel, GpuModel};
+use ianus_bench::banner;
+use ianus_core::SystemConfig;
+use ianus_model::ModelConfig;
+
+fn main() {
+    let cfg = SystemConfig::ianus();
+
+    banner("Table 1: simulation parameters for IANUS");
+    println!("NPU");
+    println!("  composition        {} cores, {} PIM memory controllers", cfg.npu.cores, cfg.org.channels);
+    println!("  frequency          700 MHz");
+    println!(
+        "  matrix unit        {}x{} PEs, {} MACs/PE, {:.0} TFLOPS/core",
+        cfg.npu.mu_rows,
+        cfg.npu.mu_cols,
+        cfg.npu.mu_macs_per_pe,
+        cfg.npu.mu_peak_tflops()
+    );
+    println!(
+        "  vector unit        {} x {}-wide VLIW processors",
+        cfg.npu.vu_processors, cfg.npu.vu_width
+    );
+    println!(
+        "  scheduler          {} command slots/issue queue, {} pending slots",
+        cfg.npu.issue_slots, cfg.npu.pending_slots
+    );
+    println!(
+        "  scratchpads        activation {} MB, weight {} MB",
+        cfg.npu.am_bytes >> 20,
+        cfg.npu.wm_bytes >> 20
+    );
+    println!("PIM");
+    println!(
+        "  memory             GDDR6 {} Gb/s x{}, {} channels, {:.0} GB/s external,",
+        cfg.org.pin_gbps,
+        cfg.org.pins,
+        cfg.org.channels,
+        cfg.org.external_bandwidth_gbps()
+    );
+    println!(
+        "                     {} channels/chip, {} banks/channel, row size {} KB",
+        cfg.org.channels_per_chip,
+        cfg.org.banks_per_channel,
+        cfg.org.row_bytes / 1024
+    );
+    let t = cfg.timings;
+    println!(
+        "  timing             tCK={} tCCDS={} tCCDL={} tRAS={} tWR={} tRP={} tRCDRD={} tRCDWR={}",
+        t.t_ck, t.t_ccd_s, t.t_ccd_l, t.t_ras, t.t_wr, t.t_rp, t.t_rcd_rd, t.t_rcd_wr
+    );
+    let pim = cfg.pim_group_config();
+    println!(
+        "  processing unit    1 GHz, 1 PU/bank, {:.0} GFLOPS/PU, {} B global buffer/channel",
+        pim.peak_tflops() / pim.total_pus() as f64 * 1e3,
+        pim.gb_bytes
+    );
+
+    banner("Table 2: specifications of A100, DFX, and IANUS");
+    let gpu = GpuModel::a100();
+    let dfx = DfxModel::four_fpga();
+    println!("{:<22} {:>12} {:>12} {:>12}", "", "A100", "DFX", "IANUS");
+    println!("{:<22} {:>12} {:>12} {:>12}", "frequency (MHz)", 1155, 200, 700);
+    println!(
+        "{:<22} {:>12.0} {:>12.2} {:>12.1}",
+        "throughput (TFLOPS)",
+        gpu.peak_tflops,
+        1.64,
+        cfg.npu.peak_tflops()
+    );
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "off-chip memory", "HBM2e", "HBM2", "GDDR6"
+    );
+    println!("{:<22} {:>12} {:>12} {:>12}", "capacity (GB)", 80, 32, cfg.org.capacity >> 30);
+    println!(
+        "{:<22} {:>12.0} {:>12.0} {:>12.0}",
+        "bandwidth (GB/s)",
+        gpu.mem_gbps,
+        dfx.mem_gbps,
+        cfg.org.external_bandwidth_gbps()
+    );
+    let full_pim = ianus_pim::PimConfig::ianus_default();
+    println!(
+        "{:<22} {:>12} {:>12} {:>12.0}",
+        "internal BW (GB/s)",
+        "N/A",
+        "N/A",
+        full_pim.internal_bandwidth_gbps()
+    );
+
+    banner("Table 3: network configurations");
+    print_models(&ModelConfig::gpt2_family());
+    print_models(&ModelConfig::bert_family());
+
+    banner("Table 4: larger LLM configurations");
+    print_models(&ModelConfig::large_gpt_family());
+}
+
+fn print_models(models: &[ModelConfig]) {
+    println!(
+        "{:<11} {:>7} {:>6} {:>7} {:>8} {:>10}",
+        "name", "embed", "head", "#heads", "#blocks", "#params"
+    );
+    for m in models {
+        println!(
+            "{:<11} {:>7} {:>6} {:>7} {:>8} {:>9.2}M",
+            m.name,
+            m.embed_dim,
+            m.head_dim,
+            m.heads,
+            m.blocks,
+            m.param_count() as f64 / 1e6
+        );
+    }
+    println!();
+}

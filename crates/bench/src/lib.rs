@@ -1,0 +1,87 @@
+//! Shared harness code for the figure-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section, printing measured values side by side with
+//! the paper's published numbers (embedded in [`paper`]) so fidelity is
+//! visible at a glance. Run them all with:
+//!
+//! ```text
+//! for f in fig02 fig08 fig09 fig10 fig11 fig12 fig13 fig14 fig15 \
+//!          fig16_functional fig17 fig18 tables cost_analysis; do
+//!     cargo run --release -p ianus-bench --bin $f
+//! done
+//! ```
+
+pub mod paper;
+
+use ianus_model::RequestShape;
+
+/// Formats a `(input, output)` request as the paper does.
+pub fn req_label(r: RequestShape) -> String {
+    format!("({},{})", r.input, r.output)
+}
+
+/// Geometric mean of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "mean of empty slice");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Prints a horizontal rule sized to a header string.
+pub fn rule(header: &str) {
+    println!("{}", "-".repeat(header.len()));
+}
+
+/// Prints a figure banner.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.len() + 8);
+    println!("{line}\n=== {title} ===\n{line}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_basics() {
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    fn label_format() {
+        assert_eq!(req_label(RequestShape::new(128, 8)), "(128,8)");
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's published numbers, transcribed from the evaluation section.
+//!
+//! The harness prints these next to measured values so the reproduction's
+//! fidelity — who wins, by roughly what factor, where crossovers fall —
+//! is auditable without the PDF open.
+
+/// Request grid of Figure 8: inputs {128,256,512} × outputs {1,8,64,512}.
+pub const FIG8_REQUESTS: [(u64, u64); 12] = [
+    (128, 1),
+    (128, 8),
+    (128, 64),
+    (128, 512),
+    (256, 1),
+    (256, 8),
+    (256, 64),
+    (256, 512),
+    (512, 1),
+    (512, 8),
+    (512, 64),
+    (512, 512),
+];
+
+/// Figure 8, A100 GPU latency in ms (rows follow [`FIG8_REQUESTS`]).
+pub const FIG8_GPU_MS: [[f64; 12]; 4] = [
+    // GPT-2 M
+    [15.0, 111.0, 870.0, 6938.0, 15.0, 111.0, 872.0, 7130.0, 15.0, 112.0, 879.0, 7221.0],
+    // GPT-2 L
+    [22.0, 164.0, 1271.0, 10274.0, 23.0, 164.0, 1299.0, 10291.0, 23.0, 168.0, 1299.0, 10401.0],
+    // GPT-2 XL
+    [29.0, 212.0, 1698.0, 13622.0, 29.0, 220.0, 1740.0, 13701.0, 31.0, 221.0, 1801.0, 14239.0],
+    // GPT-2 2.5B
+    [32.0, 242.0, 1916.0, 15411.0, 33.0, 245.0, 1928.0, 15436.0, 39.0, 248.0, 2009.0, 15480.0],
+];
+
+/// Figure 8, IANUS latency in ms (rows follow [`FIG8_REQUESTS`]).
+pub const FIG8_IANUS_MS: [[f64; 12]; 4] = [
+    [5.0, 12.0, 68.0, 576.0, 6.0, 13.0, 74.0, 609.0, 9.0, 17.0, 84.0, 673.0],
+    [10.0, 25.0, 151.0, 1261.0, 13.0, 29.0, 161.0, 1323.0, 18.0, 36.0, 182.0, 1447.0],
+    [18.0, 43.0, 251.0, 2073.0, 22.0, 49.0, 267.0, 2171.0, 31.0, 60.0, 299.0, 2367.0],
+    [32.0, 71.0, 388.0, 3261.0, 38.0, 79.0, 418.0, 3462.0, 50.0, 97.0, 478.0, 3864.0],
+];
+
+/// Figure 8's per-model average speedups (GPU avg / IANUS avg).
+pub const FIG8_SPEEDUPS: [f64; 4] = [11.3, 7.6, 6.2, 4.3];
+
+/// Request grid of Figure 9: inputs {32,64,128} × outputs {1,16,256}.
+pub const FIG9_REQUESTS: [(u64, u64); 9] = [
+    (32, 1),
+    (32, 16),
+    (32, 256),
+    (64, 1),
+    (64, 16),
+    (64, 256),
+    (128, 1),
+    (128, 16),
+    (128, 256),
+];
+
+/// Figure 9, GPT-2 XL latency in ms: DFX, NPU-MEM, IANUS.
+pub const FIG9_DFX_MS: [f64; 9] =
+    [227.0, 330.0, 1981.0, 447.0, 550.0, 2201.0, 887.0, 991.0, 2642.0];
+/// NPU-MEM row of Figure 9.
+pub const FIG9_NPU_MEM_MS: [f64; 9] =
+    [18.0, 247.0, 3970.0, 18.0, 246.0, 3972.0, 18.0, 249.0, 3983.0];
+/// IANUS row of Figure 9.
+pub const FIG9_IANUS_MS: [f64; 9] = [18.0, 73.0, 989.0, 18.0, 72.0, 990.0, 18.0, 73.0, 997.0];
+
+/// Figure 10 headline ratios (IANUS vs NPU-MEM, GPT-2 XL generation):
+/// MHA FCs 4.1×, FFN 5.1×, self-attention 4.3×, overall 4.0× (XL) and
+/// 3.6× (L).
+pub const FIG10_XL_OVERALL: f64 = 4.0;
+/// Figure 10 overall ratio for GPT-2 L.
+pub const FIG10_L_OVERALL: f64 = 3.6;
+
+/// Figure 11: total normalized dynamic energy (NPU-MEM, IANUS) per model
+/// at (256,512), normalized to IANUS GPT-2 M.
+pub const FIG11_NORMALIZED: [(f64, f64); 4] = [(3.7, 1.0), (7.7, 2.1), (13.9, 3.6), (25.1, 5.8)];
+
+/// Figure 11 energy-efficiency improvements (NPU-MEM / IANUS).
+pub const FIG11_IMPROVEMENT: [f64; 4] = [3.7, 3.6, 3.9, 4.4];
+
+/// Figure 12: Algorithm 1's average speedup vs always-PIM and always-MU.
+pub const FIG12_VS_PIM: f64 = 1.4;
+/// Figure 12 speedup vs always-MU.
+pub const FIG12_VS_MU: f64 = 1.2;
+
+/// Figure 13: speedups normalized to the naive partitioned system, per
+/// model (M, L, XL, 2.5B), in bar order: partitioned naive, partitioned
+/// scheduled, unified PIM-attention naive, unified PIM-attention
+/// scheduled, unified MU-attention naive, unified MU-attention scheduled
+/// (= IANUS).
+pub const FIG13_BARS: [[f64; 6]; 4] = [
+    [1.0, 1.4, 1.3, 1.5, 1.6, 1.9],
+    [1.0, 1.3, 1.5, 1.6, 1.7, 2.0],
+    [1.0, 1.3, 1.5, 1.6, 1.7, 2.0],
+    [1.0, 1.2, 3.5, 3.7, 3.5, 4.3],
+];
+
+/// Figure 14: IANUS/GPU throughput ratios for BERT B/L/1.3B/3.9B.
+pub const FIG14_THROUGHPUT_RATIO: [f64; 4] = [3.1, 2.0, 0.8, 0.6];
+/// Figure 14: IANUS/GPU utilization ratios.
+pub const FIG14_UTILIZATION_RATIO: [f64; 4] = [5.2, 3.3, 1.3, 1.0];
+
+/// Figure 17: average speedup of 2/4/8 IANUS devices over one A100 for
+/// GPT 6.7B/13B/30B.
+pub const FIG17_SPEEDUPS: [f64; 3] = [2.4, 3.4, 5.3];
+
+/// Figure 18: tokens/second for GPT 6.7B (256,64) on 2/4/8 devices.
+pub const FIG18_TOKENS_PER_S: [f64; 3] = [127.1, 211.6, 317.6];
+
+/// Section 7.2: perf/TDP improvement over A100 for 2/4/8 devices.
+pub const COST_EFFICIENCY: [f64; 3] = [3.9, 2.7, 2.1];
+
+/// Section 6.2 headline: IANUS per-token generation latency, GPT-2 2.5B
+/// (128,64).
+pub const PER_TOKEN_2_5B_MS: f64 = 5.7;
+/// GPU per-token latency for the same configuration.
+pub const PER_TOKEN_2_5B_GPU_MS: f64 = 29.9;
+/// GPT-2 XL per-token latencies (IANUS / DFX / NPU-MEM) at (64,256).
+pub const PER_TOKEN_XL_MS: (f64, f64, f64) = (3.8, 6.9, 15.5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_tables_are_consistent() {
+        // IANUS wins every generation-heavy cell; summarization-only
+        // cells (output = 1) can go either way for the larger models.
+        for m in 0..4 {
+            for (i, &(_, output)) in FIG8_REQUESTS.iter().enumerate() {
+                if output > 1 {
+                    assert!(FIG8_GPU_MS[m][i] >= FIG8_IANUS_MS[m][i], "({m},{i})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fig8_speedups_match_embedded_data() {
+        for m in 0..4 {
+            let gpu: f64 = FIG8_GPU_MS[m].iter().sum::<f64>() / 12.0;
+            let ianus: f64 = FIG8_IANUS_MS[m].iter().sum::<f64>() / 12.0;
+            let ratio = gpu / ianus;
+            assert!(
+                (ratio / FIG8_SPEEDUPS[m] - 1.0).abs() < 0.05,
+                "model {m}: {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn fig9_ianus_fastest_generation() {
+        for i in 0..9 {
+            assert!(FIG9_IANUS_MS[i] <= FIG9_NPU_MEM_MS[i]);
+        }
+    }
+}

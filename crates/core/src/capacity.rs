@@ -1,0 +1,219 @@
+//! Device-memory capacity accounting for requests.
+//!
+//! IANUS has 8 GB per device (versus 80 GB on an A100), so whether a
+//! model + request fits is a first-class question (Sections 3.2 and 7).
+//! This module answers it: weights (duplicated in the partitioned
+//! organization), the KV cache the request will grow to, activation
+//! buffers, and the device count needed when one device is not enough.
+
+use crate::SystemConfig;
+use ianus_model::{ModelConfig, RequestShape};
+use std::fmt;
+
+/// Why a request cannot run on a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CapacityError {
+    /// The total sequence exceeds the model's positional table.
+    SequenceTooLong {
+        /// Requested total tokens.
+        requested: u64,
+        /// Model maximum.
+        max_seq: u64,
+    },
+    /// The memory footprint exceeds device capacity.
+    OutOfMemory {
+        /// Required bytes per device.
+        required: u64,
+        /// Available bytes per device.
+        available: u64,
+    },
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapacityError::SequenceTooLong { requested, max_seq } => write!(
+                f,
+                "sequence of {requested} tokens exceeds the model maximum of {max_seq}"
+            ),
+            CapacityError::OutOfMemory { required, available } => write!(
+                f,
+                "request needs {} MiB per device but only {} MiB are available",
+                required >> 20,
+                available >> 20
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CapacityError {}
+
+/// Memory footprint of a model + request on one device of a
+/// configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityReport {
+    /// Weight bytes per device (after sharding across devices).
+    pub weight_bytes: u64,
+    /// KV-cache bytes per device at the request's final length.
+    pub kv_bytes: u64,
+    /// Activation/working buffer estimate.
+    pub activation_bytes: u64,
+    /// Device capacity available to the model.
+    pub available_bytes: u64,
+}
+
+impl CapacityReport {
+    /// Total required bytes per device.
+    pub fn required_bytes(&self) -> u64 {
+        self.weight_bytes + self.kv_bytes + self.activation_bytes
+    }
+
+    /// Fraction of device memory the request occupies.
+    pub fn occupancy(&self) -> f64 {
+        self.required_bytes() as f64 / self.available_bytes as f64
+    }
+}
+
+/// Checks whether `request` on `model` fits `cfg`, returning the
+/// footprint.
+///
+/// # Errors
+///
+/// [`CapacityError::SequenceTooLong`] if the request exceeds the model's
+/// maximum sequence; [`CapacityError::OutOfMemory`] if the footprint
+/// exceeds per-device memory.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_core::capacity::check_request;
+/// use ianus_core::SystemConfig;
+/// use ianus_model::{ModelConfig, RequestShape};
+///
+/// let report = check_request(
+///     &SystemConfig::ianus(),
+///     &ModelConfig::gpt2_xl(),
+///     RequestShape::new(128, 64),
+/// )?;
+/// assert!(report.occupancy() < 0.5);
+/// // GPT 13B cannot fit one device:
+/// assert!(check_request(
+///     &SystemConfig::ianus(),
+///     &ModelConfig::gpt_13b(),
+///     RequestShape::new(128, 64),
+/// ).is_err());
+/// # Ok::<(), ianus_core::capacity::CapacityError>(())
+/// ```
+pub fn check_request(
+    cfg: &SystemConfig,
+    model: &ModelConfig,
+    request: RequestShape,
+) -> Result<CapacityReport, CapacityError> {
+    let total_seq = request.input + request.output - 1;
+    if total_seq > model.max_seq {
+        return Err(CapacityError::SequenceTooLong {
+            requested: total_seq,
+            max_seq: model.max_seq,
+        });
+    }
+    let devices = u64::from(cfg.devices);
+    // Weights shard across devices (head-wise and column-wise splits).
+    let weight_bytes = model.param_bytes().div_ceil(devices);
+    // KV cache shards head-wise with the attention partitioning.
+    let kv_bytes = (model.kv_bytes_per_token() * total_seq).div_ceil(devices);
+    // Activations: a few live token-row buffers per block-width dimension.
+    let activation_bytes = 8 * request.input * model.ffn_dim() * 2 / devices.max(1);
+    let available_bytes = cfg.weight_capacity_bytes();
+    let report = CapacityReport {
+        weight_bytes,
+        kv_bytes,
+        activation_bytes,
+        available_bytes,
+    };
+    if report.required_bytes() > available_bytes {
+        return Err(CapacityError::OutOfMemory {
+            required: report.required_bytes(),
+            available: available_bytes,
+        });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpt2_family_fits_one_device() {
+        for model in ModelConfig::gpt2_family() {
+            let r = check_request(
+                &SystemConfig::ianus(),
+                &model,
+                RequestShape::new(512, 512),
+            );
+            assert!(r.is_ok(), "{}: {r:?}", model.name);
+        }
+    }
+
+    #[test]
+    fn sequence_limit_enforced() {
+        let err = check_request(
+            &SystemConfig::ianus(),
+            &ModelConfig::gpt2_m(),
+            RequestShape::new(1024, 512),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CapacityError::SequenceTooLong { .. }));
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn large_models_need_paper_device_counts() {
+        for (model, devices) in [
+            (ModelConfig::gpt_6_7b(), 2u32),
+            (ModelConfig::gpt_13b(), 4),
+            (ModelConfig::gpt_30b(), 8),
+        ] {
+            let one = check_request(
+                &SystemConfig::ianus(),
+                &model,
+                RequestShape::new(256, 64),
+            );
+            assert!(one.is_err(), "{} should not fit one device", model.name);
+            let enough = check_request(
+                &SystemConfig::ianus().with_devices(devices),
+                &model,
+                RequestShape::new(256, 64),
+            );
+            assert!(enough.is_ok(), "{} on {devices} devices: {enough:?}", model.name);
+        }
+    }
+
+    #[test]
+    fn partitioned_halves_headroom() {
+        let u = check_request(
+            &SystemConfig::ianus(),
+            &ModelConfig::gpt2_2_5b(),
+            RequestShape::new(256, 64),
+        )
+        .unwrap();
+        let p = check_request(
+            &SystemConfig::partitioned(),
+            &ModelConfig::gpt2_2_5b(),
+            RequestShape::new(256, 64),
+        );
+        // 2.5B weights (4.9 GB) exceed the 4 GB duplicated partition.
+        assert!(u.occupancy() < 1.0);
+        assert!(p.is_err());
+    }
+
+    #[test]
+    fn occupancy_grows_with_output() {
+        let cfg = SystemConfig::ianus();
+        let m = ModelConfig::gpt2_xl();
+        let a = check_request(&cfg, &m, RequestShape::new(128, 8)).unwrap();
+        let b = check_request(&cfg, &m, RequestShape::new(128, 512)).unwrap();
+        assert!(b.kv_bytes > a.kv_bytes);
+        assert!(b.occupancy() > a.occupancy());
+    }
+}

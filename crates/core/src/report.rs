@@ -1,0 +1,225 @@
+//! Run reports: latency, breakdowns, utilization, energy.
+
+use crate::EnergyBreakdown;
+use ianus_sim::Duration;
+use std::fmt;
+
+/// Operation classes used for latency attribution — the categories of the
+/// paper's Figure 10 breakdown, plus bookkeeping classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Layer normalization (vector unit).
+    LayerNorm,
+    /// Everything inside self-attention: QKᵀ, softmax, SV, transposes,
+    /// concatenation, KV-cache traffic.
+    SelfAttention,
+    /// Q/K/V projection FCs (compute and weight traffic).
+    FcQkv,
+    /// Attention output projection FC + its residual addition.
+    FcAttnProjAdd,
+    /// FFN layers (+GELU) + residual addition.
+    FfnAdd,
+    /// Language-model head.
+    LmHead,
+    /// Inter-core/device synchronization and communication.
+    Sync,
+    /// Anything else (embeddings, final norm).
+    Other,
+}
+
+impl OpClass {
+    /// All classes, in report order.
+    pub const ALL: [OpClass; 8] = [
+        OpClass::LayerNorm,
+        OpClass::SelfAttention,
+        OpClass::FcQkv,
+        OpClass::FcAttnProjAdd,
+        OpClass::FfnAdd,
+        OpClass::LmHead,
+        OpClass::Sync,
+        OpClass::Other,
+    ];
+
+    /// Stable tag index for the scheduler.
+    pub fn tag(self) -> usize {
+        match self {
+            OpClass::LayerNorm => 0,
+            OpClass::SelfAttention => 1,
+            OpClass::FcQkv => 2,
+            OpClass::FcAttnProjAdd => 3,
+            OpClass::FfnAdd => 4,
+            OpClass::LmHead => 5,
+            OpClass::Sync => 6,
+            OpClass::Other => 7,
+        }
+    }
+
+    /// Human-readable label (matches Figure 10's legend).
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::LayerNorm => "LayerNorm",
+            OpClass::SelfAttention => "Self-attention",
+            OpClass::FcQkv => "FC for Q,K,V",
+            OpClass::FcAttnProjAdd => "FC for Attention + Add",
+            OpClass::FfnAdd => "FFN + Add",
+            OpClass::LmHead => "LM head",
+            OpClass::Sync => "Sync/Comm",
+            OpClass::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-class busy time of one stage or request.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Breakdown {
+    classes: [Duration; 8],
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Breakdown::default()
+    }
+
+    /// Adds busy time to a class.
+    pub fn add(&mut self, class: OpClass, d: Duration) {
+        self.classes[class.tag()] += d;
+    }
+
+    /// Busy time of a class.
+    pub fn get(&self, class: OpClass) -> Duration {
+        self.classes[class.tag()]
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &Breakdown) {
+        for c in OpClass::ALL {
+            self.classes[c.tag()] += other.classes[c.tag()];
+        }
+    }
+
+    /// Scales all classes by `factor` (used when extrapolating sampled
+    /// generation steps).
+    pub fn scaled(&self, factor: f64) -> Breakdown {
+        let mut out = Breakdown::new();
+        for c in OpClass::ALL {
+            out.classes[c.tag()] =
+                Duration::from_ns_f64(self.classes[c.tag()].as_ns_f64() * factor);
+        }
+        out
+    }
+
+    /// Sum over all classes.
+    pub fn total(&self) -> Duration {
+        self.classes.iter().copied().sum()
+    }
+}
+
+/// Report of a single stage execution.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Stage makespan.
+    pub latency: Duration,
+    /// Per-class busy time.
+    pub breakdown: Breakdown,
+    /// FLOPs executed (for throughput/utilization reports).
+    pub flops: u64,
+    /// Dynamic energy of the stage.
+    pub energy: EnergyBreakdown,
+}
+
+/// Report of an end-to-end request.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// End-to-end latency.
+    pub total: Duration,
+    /// Summarization-stage latency.
+    pub summarization: Duration,
+    /// Total generation latency (all steps).
+    pub generation: Duration,
+    /// Number of generation steps executed.
+    pub generation_steps: u64,
+    /// Per-class busy time over the whole request.
+    pub breakdown: Breakdown,
+    /// Total FLOPs of the request.
+    pub flops: u64,
+    /// Dynamic energy of the request.
+    pub energy: EnergyBreakdown,
+}
+
+impl RunReport {
+    /// Average latency per generated token (excluding summarization).
+    pub fn per_token_latency(&self) -> Option<Duration> {
+        if self.generation_steps == 0 {
+            None
+        } else {
+            Some(self.generation / self.generation_steps)
+        }
+    }
+
+    /// Achieved throughput in TFLOPS.
+    pub fn throughput_tflops(&self) -> f64 {
+        if self.total == Duration::ZERO {
+            0.0
+        } else {
+            self.flops as f64 / self.total.as_secs_f64() / 1e12
+        }
+    }
+
+    /// Compute utilization against a peak TFLOPS figure.
+    pub fn utilization(&self, peak_tflops: f64) -> f64 {
+        self.throughput_tflops() / peak_tflops
+    }
+
+    /// Generated tokens per second (counting the summarization stage's
+    /// first token, as in Figure 18).
+    pub fn tokens_per_second(&self, output_tokens: u64) -> f64 {
+        output_tokens as f64 / self.total.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_dense_and_unique() {
+        let mut seen = [false; 8];
+        for c in OpClass::ALL {
+            assert!(!seen[c.tag()]);
+            seen[c.tag()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = Breakdown::new();
+        b.add(OpClass::LayerNorm, Duration::from_ns(5));
+        b.add(OpClass::LayerNorm, Duration::from_ns(5));
+        b.add(OpClass::FfnAdd, Duration::from_ns(20));
+        assert_eq!(b.get(OpClass::LayerNorm), Duration::from_ns(10));
+        assert_eq!(b.total(), Duration::from_ns(30));
+    }
+
+    #[test]
+    fn breakdown_scaling() {
+        let mut b = Breakdown::new();
+        b.add(OpClass::Sync, Duration::from_ns(100));
+        let s = b.scaled(2.5);
+        assert_eq!(s.get(OpClass::Sync), Duration::from_ns(250));
+    }
+
+    #[test]
+    fn labels_match_figure10() {
+        assert_eq!(OpClass::FcQkv.label(), "FC for Q,K,V");
+        assert_eq!(OpClass::FfnAdd.label(), "FFN + Add");
+        assert_eq!(format!("{}", OpClass::LayerNorm), "LayerNorm");
+    }
+}

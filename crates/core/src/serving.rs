@@ -1,0 +1,250 @@
+//! Datacenter serving-level simulation.
+//!
+//! The paper motivates IANUS with interactive NLP serving at batch size 1
+//! (Section 6.1: datacenters avoid waiting to form batches). This module
+//! closes the loop above the device simulator: Poisson request arrivals
+//! with a mixed request-shape distribution are served FCFS by one device,
+//! and queueing statistics (p50/p95/p99 sojourn time, utilization,
+//! sustainable throughput) are reported. Device service times come from
+//! the same [`IanusSystem`] simulation the figures use, memoized per
+//! request shape.
+
+use crate::{IanusSystem, SystemConfig};
+use ianus_model::{ModelConfig, RequestShape};
+use ianus_sim::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// One entry of the request-shape mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestClass {
+    /// The request shape.
+    pub shape: RequestShape,
+    /// Relative weight of this class in the mix.
+    pub weight: f64,
+}
+
+/// Configuration of a serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingConfig {
+    /// Mean arrival rate in requests per second (Poisson process).
+    pub arrival_rate_hz: f64,
+    /// Number of requests to simulate.
+    pub requests: u64,
+    /// RNG seed (simulations are deterministic given the seed).
+    pub seed: u64,
+    /// Request-shape mix (weights need not sum to one).
+    pub mix: Vec<RequestClass>,
+}
+
+impl ServingConfig {
+    /// A typical interactive mix: mostly short chat turns, some longer
+    /// completions.
+    pub fn interactive(arrival_rate_hz: f64, requests: u64) -> Self {
+        ServingConfig {
+            arrival_rate_hz,
+            requests,
+            seed: 0x5EED,
+            mix: vec![
+                RequestClass { shape: RequestShape::new(128, 32), weight: 0.6 },
+                RequestClass { shape: RequestShape::new(256, 64), weight: 0.3 },
+                RequestClass { shape: RequestShape::new(512, 256), weight: 0.1 },
+            ],
+        }
+    }
+}
+
+/// Result of a serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean device service time.
+    pub mean_service: Duration,
+    /// Median sojourn (queueing + service) time.
+    pub p50_sojourn: Duration,
+    /// 95th-percentile sojourn time.
+    pub p95_sojourn: Duration,
+    /// 99th-percentile sojourn time.
+    pub p99_sojourn: Duration,
+    /// Fraction of simulated time the device was busy.
+    pub utilization: f64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+}
+
+impl ServingReport {
+    /// Whether the system was stable (utilization below one and tail
+    /// latency bounded relative to service time).
+    pub fn stable(&self) -> bool {
+        self.utilization < 0.95
+            && self.p99_sojourn.as_ns_f64() < 50.0 * self.mean_service.as_ns_f64()
+    }
+}
+
+/// Runs a serving simulation of `model` on `system` under `cfg`.
+///
+/// # Panics
+///
+/// Panics if the mix is empty, a weight is non-positive, or the arrival
+/// rate is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_core::serving::{simulate, ServingConfig};
+/// use ianus_core::SystemConfig;
+/// use ianus_model::ModelConfig;
+///
+/// let report = simulate(
+///     SystemConfig::ianus(),
+///     &ModelConfig::gpt2_m(),
+///     &ServingConfig::interactive(4.0, 200),
+/// );
+/// assert_eq!(report.completed, 200);
+/// assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+/// ```
+pub fn simulate(system: SystemConfig, model: &ModelConfig, cfg: &ServingConfig) -> ServingReport {
+    assert!(!cfg.mix.is_empty(), "request mix must be non-empty");
+    assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
+    let total_weight: f64 = cfg.mix.iter().map(|c| c.weight).sum();
+    assert!(
+        cfg.mix.iter().all(|c| c.weight > 0.0),
+        "weights must be positive"
+    );
+
+    // Memoized device service times per shape.
+    let mut sys = IanusSystem::new(system);
+    let mut service: HashMap<RequestShape, Duration> = HashMap::new();
+    for class in &cfg.mix {
+        service
+            .entry(class.shape)
+            .or_insert_with(|| sys.run_request(model, class.shape).total);
+    }
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut now = 0.0f64; // seconds, arrival clock
+    let mut server_free = 0.0f64;
+    let mut busy = 0.0f64;
+    let mut sojourns: Vec<f64> = Vec::with_capacity(cfg.requests as usize);
+    let mut service_sum = 0.0f64;
+    let mut last_finish = 0.0f64;
+    for _ in 0..cfg.requests {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        now += -u.ln() / cfg.arrival_rate_hz;
+        // Weighted class pick.
+        let mut pick = rng.gen_range(0.0..total_weight);
+        let mut shape = cfg.mix[0].shape;
+        for class in &cfg.mix {
+            if pick < class.weight {
+                shape = class.shape;
+                break;
+            }
+            pick -= class.weight;
+        }
+        let s = service[&shape].as_secs_f64();
+        let start = now.max(server_free);
+        let finish = start + s;
+        server_free = finish;
+        busy += s;
+        service_sum += s;
+        sojourns.push(finish - now);
+        last_finish = finish;
+    }
+    sojourns.sort_by(|a, b| a.partial_cmp(b).expect("sojourns are finite"));
+    let pct = |p: f64| -> Duration {
+        let idx = ((sojourns.len() as f64 - 1.0) * p).round() as usize;
+        Duration::from_secs_f64(sojourns[idx])
+    };
+    ServingReport {
+        completed: cfg.requests,
+        mean_service: Duration::from_secs_f64(service_sum / cfg.requests as f64),
+        p50_sojourn: pct(0.50),
+        p95_sojourn: pct(0.95),
+        p99_sojourn: pct(0.99),
+        utilization: (busy / last_finish).min(1.0),
+        throughput_rps: cfg.requests as f64 / last_finish,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix_one(shape: RequestShape) -> Vec<RequestClass> {
+        vec![RequestClass { shape, weight: 1.0 }]
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = ServingConfig::interactive(5.0, 100);
+        let a = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+        let b = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn light_load_has_no_queueing() {
+        let cfg = ServingConfig {
+            arrival_rate_hz: 0.5,
+            requests: 64,
+            seed: 1,
+            mix: mix_one(RequestShape::new(128, 8)),
+        };
+        let r = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+        // Sojourn ≈ service at low utilization.
+        assert!(r.utilization < 0.05, "{:?}", r.utilization);
+        let ratio = r.p50_sojourn.as_ns_f64() / r.mean_service.as_ns_f64();
+        assert!(ratio < 1.2, "ratio {ratio}");
+        assert!(r.stable());
+    }
+
+    #[test]
+    fn overload_grows_tail_latency() {
+        let shape = RequestShape::new(128, 32);
+        let service = IanusSystem::new(SystemConfig::ianus())
+            .run_request(&ModelConfig::gpt2_m(), shape)
+            .total
+            .as_secs_f64();
+        // Offer 2x the sustainable rate.
+        let cfg = ServingConfig {
+            arrival_rate_hz: 2.0 / service,
+            requests: 200,
+            seed: 2,
+            mix: mix_one(shape),
+        };
+        let r = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+        assert!(r.utilization > 0.95, "{}", r.utilization);
+        assert!(r.p99_sojourn > r.p50_sojourn);
+        assert!(!r.stable());
+    }
+
+    #[test]
+    fn faster_device_serves_higher_rate() {
+        let shape = RequestShape::new(128, 64);
+        let cfg = ServingConfig {
+            arrival_rate_hz: 3.0,
+            requests: 150,
+            seed: 3,
+            mix: mix_one(shape),
+        };
+        let ianus = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+        let npu_mem = simulate(SystemConfig::npu_mem(), &ModelConfig::gpt2_m(), &cfg);
+        assert!(ianus.p99_sojourn < npu_mem.p99_sojourn);
+        assert!(ianus.utilization < npu_mem.utilization);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_mix_rejected() {
+        let cfg = ServingConfig {
+            arrival_rate_hz: 1.0,
+            requests: 1,
+            seed: 0,
+            mix: Vec::new(),
+        };
+        let _ = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+    }
+}

@@ -1,0 +1,62 @@
+//! Property tests for the FR-FCFS memory controller.
+
+use ianus_dram::{GddrOrganization, GddrTimings, MemoryController, Request};
+use proptest::prelude::*;
+
+fn org() -> GddrOrganization {
+    GddrOrganization::ianus_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every request either hits the row buffer, conflicts, or is the
+    /// bank's first activation — the three counts must account for the
+    /// whole stream.
+    #[test]
+    fn hits_plus_conflicts_bounded(addrs in prop::collection::vec(0u64..(1 << 26), 1..300)) {
+        let reqs: Vec<Request> = addrs
+            .iter()
+            .map(|&a| Request { addr: a & !31, write: a % 3 == 0 })
+            .collect();
+        let mut mc = MemoryController::new(org(), GddrTimings::ianus_default());
+        let done = mc.run(&reqs);
+        prop_assert_eq!(done.len(), reqs.len());
+        prop_assert!(mc.row_hits() + mc.row_conflicts() <= reqs.len() as u64);
+        // First-touch activations: at most one per bank.
+        let first_touches = reqs.len() as u64 - mc.row_hits() - mc.row_conflicts();
+        prop_assert!(first_touches <= u64::from(org().channels * org().banks_per_channel));
+    }
+
+    /// Completion times on one channel are strictly increasing (the data
+    /// bus serializes bursts) and the makespan is at least the pure
+    /// serialization bound for the busiest channel.
+    #[test]
+    fn channel_serialization_bound(count in 1usize..400) {
+        // All requests to channel 0 (addresses below one channel stride
+        // pattern): sequential columns in one bank row region.
+        let reqs: Vec<Request> = (0..count as u64)
+            .map(|i| Request { addr: (i % 64) * 32, write: false })
+            .collect();
+        let mut mc = MemoryController::new(org(), GddrTimings::ianus_default());
+        let done = mc.run(&reqs);
+        for w in done.windows(2) {
+            prop_assert!(w[1].done > w[0].done);
+        }
+        let makespan = done.last().unwrap().done;
+        // 32 B per burst at 32 B/ns: at least `count` ns.
+        prop_assert!(makespan.as_ns_f64() >= count as f64 - 1.0);
+    }
+
+    /// Determinism: identical streams produce identical completions.
+    #[test]
+    fn controller_deterministic(addrs in prop::collection::vec(0u64..(1 << 24), 1..100)) {
+        let reqs: Vec<Request> = addrs
+            .iter()
+            .map(|&a| Request { addr: a & !31, write: false })
+            .collect();
+        let a = MemoryController::new(org(), GddrTimings::ianus_default()).run(&reqs);
+        let b = MemoryController::new(org(), GddrTimings::ianus_default()).run(&reqs);
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,349 @@
+//! Model zoo (paper Tables 3 and 4).
+
+use crate::{BlockOps, Stage};
+
+/// Transformer family — decides whether a generation stage exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Decoder-only (GPT): summarization then token-by-token generation.
+    Gpt,
+    /// Encoder-only (BERT): summarization only.
+    Bert,
+}
+
+/// Evaluation workload attached to a model in Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Language modelling (GPT text generation).
+    LanguageModeling,
+    /// Question answering (BERT).
+    QuestionAnswering,
+}
+
+/// A transformer configuration (one row of Table 3 or Table 4).
+///
+/// # Examples
+///
+/// ```
+/// use ianus_model::ModelConfig;
+/// let m = ModelConfig::gpt2_m();
+/// assert_eq!((m.embed_dim, m.head_dim, m.heads, m.blocks), (1024, 64, 16, 24));
+/// assert_eq!(m.ffn_dim(), 4096);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Display name, e.g. `"GPT-2 XL"`.
+    pub name: &'static str,
+    /// Family (GPT or BERT).
+    pub family: ModelFamily,
+    /// Evaluation workload.
+    pub workload: Workload,
+    /// Embedding dimension.
+    pub embed_dim: u64,
+    /// Per-head dimension.
+    pub head_dim: u64,
+    /// Attention heads per block.
+    pub heads: u64,
+    /// Decoder/encoder blocks.
+    pub blocks: u64,
+    /// Vocabulary size (LM head width).
+    pub vocab: u64,
+    /// Maximum sequence length (positional table size).
+    pub max_seq: u64,
+}
+
+impl ModelConfig {
+    const fn gpt(
+        name: &'static str,
+        embed_dim: u64,
+        head_dim: u64,
+        heads: u64,
+        blocks: u64,
+    ) -> Self {
+        ModelConfig {
+            name,
+            family: ModelFamily::Gpt,
+            workload: Workload::LanguageModeling,
+            embed_dim,
+            head_dim,
+            heads,
+            blocks,
+            vocab: 50257,
+            max_seq: 1024,
+        }
+    }
+
+    const fn bert(
+        name: &'static str,
+        embed_dim: u64,
+        head_dim: u64,
+        heads: u64,
+        blocks: u64,
+    ) -> Self {
+        ModelConfig {
+            name,
+            family: ModelFamily::Bert,
+            workload: Workload::QuestionAnswering,
+            embed_dim,
+            head_dim,
+            heads,
+            blocks,
+            vocab: 30522,
+            max_seq: 512,
+        }
+    }
+
+    /// GPT-2 M (345M), Table 3.
+    pub const fn gpt2_m() -> Self {
+        Self::gpt("GPT-2 M", 1024, 64, 16, 24)
+    }
+    /// GPT-2 L (762M), Table 3.
+    pub const fn gpt2_l() -> Self {
+        Self::gpt("GPT-2 L", 1280, 64, 20, 36)
+    }
+    /// GPT-2 XL (1.5B) with heads reduced 25 → 24 as in the paper/DFX.
+    pub const fn gpt2_xl() -> Self {
+        Self::gpt("GPT-2 XL", 1536, 64, 24, 48)
+    }
+    /// GPT-2 2.5B, Table 3 (head dimension 96).
+    pub const fn gpt2_2_5b() -> Self {
+        Self::gpt("GPT-2 2.5B", 1920, 96, 20, 54)
+    }
+    /// BERT Base (110M), Table 3.
+    pub const fn bert_b() -> Self {
+        Self::bert("BERT-B", 768, 64, 12, 12)
+    }
+    /// BERT Large (340M), Table 3.
+    pub const fn bert_l() -> Self {
+        Self::bert("BERT-L", 1024, 64, 16, 24)
+    }
+    /// BERT 1.3B, Table 3.
+    pub const fn bert_1_3b() -> Self {
+        Self::bert("BERT-1.3B", 2048, 64, 32, 24)
+    }
+    /// BERT 3.9B, Table 3.
+    pub const fn bert_3_9b() -> Self {
+        Self::bert("BERT-3.9B", 2560, 64, 40, 48)
+    }
+    /// GPT 6.7B, Table 4 (scalability study).
+    pub const fn gpt_6_7b() -> Self {
+        Self::gpt("GPT 6.7B", 4096, 128, 32, 32)
+    }
+    /// GPT 13B, Table 4.
+    pub const fn gpt_13b() -> Self {
+        Self::gpt("GPT 13B", 5120, 128, 40, 40)
+    }
+    /// GPT 30B, Table 4.
+    pub const fn gpt_30b() -> Self {
+        Self::gpt("GPT 30B", 7168, 128, 56, 48)
+    }
+
+    /// The four GPT-2 models of Figures 8/11/12/13.
+    pub fn gpt2_family() -> [ModelConfig; 4] {
+        [
+            Self::gpt2_m(),
+            Self::gpt2_l(),
+            Self::gpt2_xl(),
+            Self::gpt2_2_5b(),
+        ]
+    }
+
+    /// The four BERT models of Figure 14.
+    pub fn bert_family() -> [ModelConfig; 4] {
+        [
+            Self::bert_b(),
+            Self::bert_l(),
+            Self::bert_1_3b(),
+            Self::bert_3_9b(),
+        ]
+    }
+
+    /// The three larger GPT models of Table 4 / Figure 17.
+    pub fn large_gpt_family() -> [ModelConfig; 3] {
+        [Self::gpt_6_7b(), Self::gpt_13b(), Self::gpt_30b()]
+    }
+
+    /// Every model configuration in the zoo.
+    pub fn all() -> Vec<ModelConfig> {
+        let mut v = Vec::new();
+        v.extend(Self::gpt2_family());
+        v.extend(Self::bert_family());
+        v.extend(Self::large_gpt_family());
+        v
+    }
+
+    /// Looks a model up by (case-insensitive) name, accepting both
+    /// `"GPT-2 XL"` and shorthand like `"gpt2-xl"`.
+    pub fn by_name(name: &str) -> Option<ModelConfig> {
+        let norm = |s: &str| -> String {
+            s.chars()
+                .filter(|c| c.is_ascii_alphanumeric() || *c == '.')
+                .collect::<String>()
+                .to_ascii_lowercase()
+        };
+        let wanted = norm(name);
+        Self::all().into_iter().find(|m| norm(m.name) == wanted)
+    }
+
+    /// FFN hidden dimension (4× embedding, as in GPT-2/BERT).
+    pub fn ffn_dim(&self) -> u64 {
+        4 * self.embed_dim
+    }
+
+    /// Attention width (heads × head dim; equals `embed_dim` for Table 3
+    /// models except GPT-2 2.5B where 20×96 = 1920 as well).
+    pub fn attn_dim(&self) -> u64 {
+        self.heads * self.head_dim
+    }
+
+    /// Shape helpers for one block and the task head.
+    pub fn block_ops(&self) -> BlockOps {
+        BlockOps::new(self)
+    }
+
+    /// Total parameters (FC weights + biases + embeddings + LN).
+    pub fn param_count(&self) -> u64 {
+        let e = self.embed_dim;
+        let a = self.attn_dim();
+        let f = self.ffn_dim();
+        // Per block: QKV (E×3A) + out (A×E) + FFN (E×F + F×E) + biases +
+        // 2 layer norms.
+        let per_block = e * 3 * a + a * e + e * f + f * e + (3 * a + e + f + e) + 4 * e;
+        let embeddings = self.vocab * e + self.max_seq * e;
+        per_block * self.blocks + embeddings + 2 * e
+    }
+
+    /// BF16 bytes of all parameters.
+    pub fn param_bytes(&self) -> u64 {
+        self.param_count() * 2
+    }
+
+    /// Parameters belonging to block FC layers (shared between NPU and
+    /// PIM). The LM head is weight-tied to the token embedding and is not
+    /// double-counted here.
+    pub fn fc_param_count(&self) -> u64 {
+        let e = self.embed_dim;
+        let a = self.attn_dim();
+        let f = self.ffn_dim();
+        (e * 3 * a + a * e + e * f + f * e) * self.blocks
+    }
+
+    /// Fraction of parameters in FC layers — the paper's ≈ 91% for GPT-2,
+    /// motivating the unified memory system.
+    pub fn fc_param_fraction(&self) -> f64 {
+        self.fc_param_count() as f64 / self.param_count() as f64
+    }
+
+    /// KV-cache bytes per token across all blocks (BF16 K and V).
+    pub fn kv_bytes_per_token(&self) -> u64 {
+        2 * self.attn_dim() * 2 * self.blocks
+    }
+
+    /// FLOPs of one full stage (all blocks + LM head where applicable).
+    pub fn stage_flops(&self, stage: &Stage) -> u64 {
+        let ops = self.block_ops();
+        let per_block = ops.block_flops(stage);
+        let head = match self.family {
+            ModelFamily::Gpt => ops.lm_head_flops(stage),
+            ModelFamily::Bert => 0,
+        };
+        per_block * self.blocks + head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_counts_match_table3() {
+        // (model, paper count, tolerance)
+        let cases = [
+            (ModelConfig::gpt2_m(), 345e6, 0.06),
+            (ModelConfig::gpt2_l(), 762e6, 0.06),
+            (ModelConfig::gpt2_xl(), 1.5e9, 0.06),
+            (ModelConfig::gpt2_2_5b(), 2.5e9, 0.08),
+            (ModelConfig::bert_b(), 110e6, 0.06),
+            (ModelConfig::bert_l(), 340e6, 0.06),
+            (ModelConfig::bert_1_3b(), 1.3e9, 0.06),
+            (ModelConfig::bert_3_9b(), 3.9e9, 0.06),
+            (ModelConfig::gpt_6_7b(), 6.7e9, 0.06),
+            (ModelConfig::gpt_13b(), 13e9, 0.06),
+            (ModelConfig::gpt_30b(), 30e9, 0.06),
+        ];
+        for (m, want, tol) in cases {
+            let got = m.param_count() as f64;
+            let rel = (got / want - 1.0).abs();
+            assert!(rel < tol, "{}: got {got:.3e}, paper {want:.3e}", m.name);
+        }
+    }
+
+    #[test]
+    fn fc_fraction_matches_paper_91_percent() {
+        // "about 90% of model parameters shared between the NPU and PIM";
+        // GPT-2 L lands on the quoted 91%, and the family spans 85–95%.
+        let frac = ModelConfig::gpt2_l().fc_param_fraction();
+        assert!((frac - 0.91).abs() < 0.02, "fraction {frac}");
+        for m in ModelConfig::gpt2_family() {
+            let f = m.fc_param_fraction();
+            assert!(f > 0.82 && f < 0.97, "{}: {f}", m.name);
+        }
+    }
+
+    #[test]
+    fn gpt2_fits_unified_but_2_5b_not_partitioned() {
+        // Section 6.2: in a 4+4 GB partitioned system the 2.5B model's FC
+        // parameters cannot be fully duplicated.
+        let m = ModelConfig::gpt2_2_5b();
+        let fc_bytes = m.fc_param_count() * 2;
+        assert!(m.param_bytes() < 8 << 30);
+        assert!(fc_bytes > 4 << 30);
+        let xl = ModelConfig::gpt2_xl();
+        assert!(xl.fc_param_count() * 2 < 4 << 30);
+    }
+
+    #[test]
+    fn attn_dim_equals_embed_for_table3() {
+        for m in ModelConfig::gpt2_family() {
+            assert_eq!(m.attn_dim(), m.embed_dim, "{}", m.name);
+        }
+        for m in ModelConfig::bert_family() {
+            assert_eq!(m.attn_dim(), m.embed_dim, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn kv_cache_scale() {
+        // GPT-2 XL: 2 × 1536 × 2 B × 48 = 294912 B/token.
+        assert_eq!(ModelConfig::gpt2_xl().kv_bytes_per_token(), 294_912);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(
+            ModelConfig::by_name("gpt2-xl").map(|m| m.name),
+            Some("GPT-2 XL")
+        );
+        assert_eq!(
+            ModelConfig::by_name("BERT-1.3B").map(|m| m.name),
+            Some("BERT-1.3B")
+        );
+        assert_eq!(
+            ModelConfig::by_name("GPT 30B").map(|m| m.name),
+            Some("GPT 30B")
+        );
+        assert!(ModelConfig::by_name("llama-7b").is_none());
+        assert_eq!(ModelConfig::all().len(), 11);
+    }
+
+    #[test]
+    fn generation_flops_much_smaller() {
+        // Paper Section 3.1: generating with 512 past tokens needs ~512×
+        // fewer FLOPs than summarizing 512 tokens.
+        let m = ModelConfig::gpt2_xl();
+        let s = m.stage_flops(&Stage::Summarization { tokens: 512 });
+        let g = m.stage_flops(&Stage::Generation { past_tokens: 512 });
+        let ratio = s as f64 / g as f64;
+        assert!(ratio > 300.0 && ratio < 600.0, "ratio {ratio}");
+    }
+}

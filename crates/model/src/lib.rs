@@ -1,0 +1,38 @@
+//! Transformer model configurations and operator shape math.
+//!
+//! This crate is the workload layer of the IANUS reproduction: the model
+//! zoo of the paper's Tables 3 and 4 ([`ModelConfig`] presets for GPT-2
+//! M/L/XL/2.5B, BERT B/L/1.3B/3.9B and GPT 6.7B/13B/30B), the
+//! summarization/generation [`Stage`] split of NLP inference, and the
+//! per-decoder-block operator inventory ([`BlockOps`]) with exact shapes,
+//! FLOP counts and BF16 byte sizes.
+//!
+//! It is deliberately *policy-free*: both the IANUS compiler (`ianus-core`)
+//! and the GPU/DFX baselines (`ianus-baselines`) consume the same shapes,
+//! so performance differences come from the platform models, never from
+//! diverging workload definitions.
+//!
+//! # Examples
+//!
+//! ```
+//! use ianus_model::{ModelConfig, Stage};
+//!
+//! let xl = ModelConfig::gpt2_xl();
+//! assert_eq!(xl.blocks, 48);
+//! // Table 3 claims 1.5B parameters.
+//! assert!((xl.param_count() as f64 / 1.5e9 - 1.0).abs() < 0.05);
+//! // ~91% of GPT-2 parameters are FC weights shared between NPU and PIM.
+//! assert!(xl.fc_param_fraction() > 0.88);
+//!
+//! let gen = Stage::Generation { past_tokens: 128 };
+//! assert!(xl.stage_flops(&gen) < xl.stage_flops(&Stage::Summarization { tokens: 128 }));
+//! ```
+
+pub mod roofline;
+mod configs;
+mod ops;
+mod stage;
+
+pub use configs::{ModelConfig, ModelFamily, Workload};
+pub use ops::{BlockOps, FcShape};
+pub use stage::{RequestShape, Stage};

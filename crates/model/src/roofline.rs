@@ -1,0 +1,217 @@
+//! Arithmetic-intensity / roofline analysis of transformer operators.
+//!
+//! Section 3 of the paper motivates IANUS from the "broad range of
+//! computational intensities" in end-to-end LLM inference: summarization
+//! FCs are compute-bound matrix-matrix products, generation FCs are
+//! memory-bound matrix-vector products, and vector ops are negligible in
+//! FLOPs yet costly in time. This module quantifies that argument: every
+//! operator gets an arithmetic intensity (FLOPs per byte of off-chip
+//! traffic), and a [`Platform`] (peak FLOPS + memory bandwidth) decides
+//! which side of its ridge point the operator falls on.
+
+use crate::{BlockOps, ModelConfig, Stage};
+
+/// FLOPs-per-byte classification of one operator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpIntensity {
+    /// Operator label.
+    pub name: &'static str,
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Off-chip bytes the operator must move (weights, KV, activations
+    /// beyond on-chip capacity).
+    pub bytes: u64,
+}
+
+impl OpIntensity {
+    /// FLOPs per byte.
+    pub fn intensity(&self) -> f64 {
+        if self.bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops as f64 / self.bytes as f64
+        }
+    }
+}
+
+/// A roofline platform: peak compute and sustained memory bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Platform {
+    /// Display name.
+    pub name: &'static str,
+    /// Peak throughput in FLOP/s.
+    pub peak_flops: f64,
+    /// Sustained memory bandwidth in bytes/s.
+    pub mem_bytes_per_s: f64,
+}
+
+impl Platform {
+    /// The IANUS NPU against its external GDDR6 bandwidth.
+    pub fn ianus_npu() -> Self {
+        Platform {
+            name: "IANUS NPU (external DRAM)",
+            peak_flops: 183.5e12,
+            mem_bytes_per_s: 256e9,
+        }
+    }
+
+    /// The PIM array against its internal bandwidth.
+    pub fn ianus_pim() -> Self {
+        Platform {
+            name: "IANUS PIM (internal)",
+            peak_flops: 4.096e12,
+            mem_bytes_per_s: 4096e9,
+        }
+    }
+
+    /// An A100 (BF16 tensor cores, HBM2e).
+    pub fn a100() -> Self {
+        Platform {
+            name: "A100",
+            peak_flops: 255e12,
+            mem_bytes_per_s: 2039e9,
+        }
+    }
+
+    /// Intensity at which compute and memory time are equal.
+    pub fn ridge_point(&self) -> f64 {
+        self.peak_flops / self.mem_bytes_per_s
+    }
+
+    /// Whether an operator is memory-bound on this platform.
+    pub fn memory_bound(&self, op: &OpIntensity) -> bool {
+        op.intensity() < self.ridge_point()
+    }
+
+    /// Attainable FLOP/s for an operator (the roofline).
+    pub fn attainable_flops(&self, op: &OpIntensity) -> f64 {
+        self.peak_flops.min(op.intensity() * self.mem_bytes_per_s)
+    }
+}
+
+/// Intensities of one decoder block's operators for a stage.
+pub fn block_intensities(ops: &BlockOps, stage: &Stage) -> Vec<OpIntensity> {
+    let t = stage.batch_tokens();
+    let act = |elems: u64| elems * 2; // BF16 activations
+    vec![
+        OpIntensity {
+            name: "FC (QKV)",
+            flops: ops.qkv_fc().gemm_flops(t),
+            bytes: ops.qkv_fc().weight_bytes() + act(t * ops.embed_dim() * 4),
+        },
+        OpIntensity {
+            name: "attention (QK^T + SV)",
+            flops: ops.attention_flops(stage),
+            bytes: ops.kv_read_bytes(stage) + act(2 * t * ops.embed_dim()),
+        },
+        OpIntensity {
+            name: "FC (attn out)",
+            flops: ops.attn_out_fc().gemm_flops(t),
+            bytes: ops.attn_out_fc().weight_bytes() + act(2 * t * ops.embed_dim()),
+        },
+        OpIntensity {
+            name: "FFN",
+            flops: ops.ffn1_fc().gemm_flops(t) + ops.ffn2_fc().gemm_flops(t),
+            bytes: ops.ffn1_fc().weight_bytes()
+                + ops.ffn2_fc().weight_bytes()
+                + act(2 * t * ops.embed_dim()),
+        },
+        OpIntensity {
+            name: "layer norm + residual",
+            flops: 8 * ops.layernorm_elems(stage),
+            bytes: act(4 * t * ops.embed_dim()),
+        },
+    ]
+}
+
+/// The whole-stage intensity of a model (Section 3.1's aggregate view).
+pub fn stage_intensity(model: &ModelConfig, stage: &Stage) -> OpIntensity {
+    let ops = model.block_ops();
+    let per_block = block_intensities(&ops, stage);
+    let flops: u64 = per_block.iter().map(|o| o.flops).sum::<u64>() * model.blocks;
+    let bytes: u64 = per_block.iter().map(|o| o.bytes).sum::<u64>() * model.blocks;
+    OpIntensity {
+        name: "whole stage",
+        flops,
+        bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_fcs_memory_bound_everywhere() {
+        // The core motivation: a matrix-vector FC has intensity ≈ 2
+        // FLOPs/byte — memory-bound on every platform in the paper.
+        let ops = ModelConfig::gpt2_xl().block_ops();
+        let gen = Stage::Generation { past_tokens: 256 };
+        for op in block_intensities(&ops, &gen) {
+            if op.name.starts_with("FC") || op.name == "FFN" {
+                assert!(op.intensity() < 3.0, "{}: {}", op.name, op.intensity());
+                assert!(Platform::a100().memory_bound(&op));
+                assert!(Platform::ianus_npu().memory_bound(&op));
+            }
+        }
+    }
+
+    #[test]
+    fn summarization_fcs_cross_the_a100_ridge() {
+        let ops = ModelConfig::gpt2_xl().block_ops();
+        let summ = Stage::Summarization { tokens: 512 };
+        let ffn = block_intensities(&ops, &summ)
+            .into_iter()
+            .find(|o| o.name == "FFN")
+            .unwrap();
+        // ~512 tokens of reuse per weight byte: intensity ≈ 400+.
+        assert!(ffn.intensity() > 300.0, "{}", ffn.intensity());
+        // Compute-bound on the A100 (ridge ≈ 125)…
+        assert!(!Platform::a100().memory_bound(&ffn));
+        // …but still under the NPU's high ridge (184 TFLOPS on 256 GB/s
+        // puts it at ≈ 717 FLOPs/byte): even 512-token prefill streams
+        // weights at full external bandwidth on IANUS.
+        assert!(Platform::ianus_npu().memory_bound(&ffn));
+    }
+
+    #[test]
+    fn pim_ridge_point_matches_gemv() {
+        // PIM's ridge point (1 FLOP/byte) sits right at GEMV intensity:
+        // the definition of a domain-specific memory for this workload.
+        let pim = Platform::ianus_pim();
+        assert!((pim.ridge_point() - 1.0).abs() < 0.01);
+        let ops = ModelConfig::gpt2_m().block_ops();
+        let gen = Stage::Generation { past_tokens: 128 };
+        let ffn = block_intensities(&ops, &gen)
+            .into_iter()
+            .find(|o| o.name == "FFN")
+            .unwrap();
+        // PIM attains ~its peak on generation FCs; the NPU attains ~1%.
+        let pim_frac = pim.attainable_flops(&ffn) / pim.peak_flops;
+        let npu = Platform::ianus_npu();
+        let npu_frac = npu.attainable_flops(&ffn) / npu.peak_flops;
+        assert!(pim_frac > 0.9, "{pim_frac}");
+        assert!(npu_frac < 0.01, "{npu_frac}");
+    }
+
+    #[test]
+    fn vector_ops_negligible_flops() {
+        // Figure 2: LN + residual < 0.06% of FLOPs.
+        let m = ModelConfig::gpt2_xl();
+        let gen = Stage::Generation { past_tokens: 512 };
+        let per_block = block_intensities(&m.block_ops(), &gen);
+        let ln = per_block.iter().find(|o| o.name.starts_with("layer")).unwrap();
+        let total: u64 = per_block.iter().map(|o| o.flops).sum();
+        assert!((ln.flops as f64 / total as f64) < 6e-4);
+    }
+
+    #[test]
+    fn stage_intensity_ratio_matches_section31() {
+        // Summarizing 512 tokens has ~512x the intensity of generating.
+        let m = ModelConfig::gpt2_xl();
+        let s = stage_intensity(&m, &Stage::Summarization { tokens: 512 });
+        let g = stage_intensity(&m, &Stage::Generation { past_tokens: 512 });
+        let ratio = s.intensity() / g.intensity();
+        assert!(ratio > 100.0 && ratio < 700.0, "{ratio}");
+    }
+}

@@ -1,0 +1,132 @@
+//! NPU configuration (paper Table 1, NPU rows).
+
+use ianus_sim::{Duration, Frequency};
+
+/// Configuration of one IANUS NPU and its cores.
+///
+/// Paper values: 4 cores at 700 MHz; per core a 128×64-PE matrix unit with
+/// 4 MACs per PE (46 TFLOPS), sixteen 4-wide VLIW vector processors,
+/// 12 MB activation + 4 MB weight scratchpads; command scheduler with
+/// 4-slot issue queues and a 256-slot pending queue; 8 PIM memory
+/// controllers; PCIe 5.0 ×16 host interface.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_npu::NpuConfig;
+/// let cfg = NpuConfig::ianus_default();
+/// assert_eq!(cfg.cores, 4);
+/// // 128×64 PEs × 4 MACs × 2 FLOP × 0.7 GHz ≈ 45.9 TFLOPS per core.
+/// assert!((cfg.mu_peak_tflops() - 45.875).abs() < 0.01);
+/// // 4 cores ≈ 184 TFLOPS (Table 2).
+/// assert!((cfg.peak_tflops() - 183.5).abs() < 0.1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpuConfig {
+    /// Number of cores (paper: 4).
+    pub cores: u32,
+    /// Core clock (paper: 700 MHz).
+    pub clock: Frequency,
+    /// Matrix unit systolic rows (token/M dimension; paper: 128).
+    pub mu_rows: u32,
+    /// Matrix unit systolic columns (output/N dimension; paper: 64).
+    pub mu_cols: u32,
+    /// MACs per processing element (paper: 4; unrolls the K dimension).
+    pub mu_macs_per_pe: u32,
+    /// Vector processors per core (paper: 16).
+    pub vu_processors: u32,
+    /// VLIW issue width of each vector processor (paper: 4).
+    pub vu_width: u32,
+    /// Activation scratchpad bytes per core (paper: 12 MB).
+    pub am_bytes: u64,
+    /// Weight scratchpad bytes per core (paper: 4 MB).
+    pub wm_bytes: u64,
+    /// On-chip streaming (transpose) path bytes per cycle.
+    pub onchip_stream_bytes_per_cycle: u32,
+    /// Issue-queue slots per unit (paper: 4).
+    pub issue_slots: u32,
+    /// Pending-queue slots (paper: 256).
+    pub pending_slots: u32,
+    /// Fixed scheduler dispatch cost charged per command.
+    pub dispatch_overhead: Duration,
+}
+
+impl NpuConfig {
+    /// The paper's Table 1 NPU configuration.
+    pub fn ianus_default() -> Self {
+        let clock = Frequency::from_mhz(700);
+        NpuConfig {
+            cores: 4,
+            clock,
+            mu_rows: 128,
+            mu_cols: 64,
+            mu_macs_per_pe: 4,
+            vu_processors: 16,
+            vu_width: 4,
+            am_bytes: 12 << 20,
+            wm_bytes: 4 << 20,
+            onchip_stream_bytes_per_cycle: 128,
+            issue_slots: 4,
+            pending_slots: 256,
+            dispatch_overhead: clock.cycles(4),
+        }
+    }
+
+    /// Sets the core count (used by the Figure 15 sensitivity study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_cores(mut self, cores: u32) -> Self {
+        assert!(cores > 0, "core count must be positive");
+        self.cores = cores;
+        self
+    }
+
+    /// Peak matrix-unit throughput of one core in TFLOPS.
+    pub fn mu_peak_tflops(&self) -> f64 {
+        self.mu_rows as f64
+            * self.mu_cols as f64
+            * self.mu_macs_per_pe as f64
+            * 2.0
+            * self.clock.as_hz()
+            / 1e12
+    }
+
+    /// Peak throughput of all cores in TFLOPS.
+    pub fn peak_tflops(&self) -> f64 {
+        self.mu_peak_tflops() * self.cores as f64
+    }
+
+    /// Vector lanes per core (processors × VLIW width).
+    pub fn vu_lanes(&self) -> u32 {
+        self.vu_processors * self.vu_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table1() {
+        let c = NpuConfig::ianus_default();
+        assert_eq!(c.vu_lanes(), 64);
+        assert_eq!(c.am_bytes, 12 << 20);
+        assert_eq!(c.wm_bytes, 4 << 20);
+        assert_eq!(c.issue_slots, 4);
+        assert_eq!(c.pending_slots, 256);
+    }
+
+    #[test]
+    fn with_cores_scales_peak() {
+        let c = NpuConfig::ianus_default().with_cores(2);
+        assert!((c.peak_tflops() - 2.0 * c.mu_peak_tflops()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cores_rejected() {
+        let _ = NpuConfig::ianus_default().with_cores(0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Activation / weight scratchpad capacity accounting.
+
+use std::fmt;
+
+/// Error returned when an allocation exceeds scratchpad capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchpadError {
+    requested: u64,
+    free: u64,
+}
+
+impl fmt::Display for ScratchpadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scratchpad allocation of {} bytes exceeds {} free bytes",
+            self.requested, self.free
+        )
+    }
+}
+
+impl std::error::Error for ScratchpadError {}
+
+/// A simple bump allocator over one scratchpad (AM or WM).
+///
+/// The compiler uses this to verify that tiling choices fit on-chip (e.g.
+/// double-buffered FC weight tiles in the 4 MB WM, or a summarization
+/// stage's activations in the 12 MB AM).
+///
+/// # Examples
+///
+/// ```
+/// use ianus_npu::Scratchpad;
+/// let mut wm = Scratchpad::new("wm", 4 << 20, 256);
+/// let a = wm.alloc(1 << 20)?;
+/// assert_eq!(a, 0);
+/// assert_eq!(wm.free_bytes(), 3 << 20);
+/// wm.reset();
+/// assert_eq!(wm.free_bytes(), 4 << 20);
+/// # Ok::<(), ianus_npu::ScratchpadError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    name: String,
+    capacity: u64,
+    entry_bytes: u32,
+    used: u64,
+    high_water: u64,
+}
+
+impl Scratchpad {
+    /// Creates an empty scratchpad of `capacity` bytes with entries of
+    /// `entry_bytes` (allocations round up to whole entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry_bytes` is zero.
+    pub fn new(name: impl Into<String>, capacity: u64, entry_bytes: u32) -> Self {
+        assert!(entry_bytes > 0, "entry size must be positive");
+        Scratchpad {
+            name: name.into(),
+            capacity,
+            entry_bytes,
+            used: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently free.
+    pub fn free_bytes(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Largest occupancy ever reached.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Allocates `bytes` (rounded up to whole entries), returning the
+    /// offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScratchpadError`] if the rounded request does not fit.
+    pub fn alloc(&mut self, bytes: u64) -> Result<u64, ScratchpadError> {
+        let rounded = bytes.div_ceil(u64::from(self.entry_bytes)) * u64::from(self.entry_bytes);
+        if rounded > self.free_bytes() {
+            return Err(ScratchpadError {
+                requested: rounded,
+                free: self.free_bytes(),
+            });
+        }
+        let off = self.used;
+        self.used += rounded;
+        self.high_water = self.high_water.max(self.used);
+        Ok(off)
+    }
+
+    /// Frees everything (scratchpads are managed per phase by the
+    /// compiler, not individually).
+    pub fn reset(&mut self) {
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_rounds_to_entries() {
+        let mut sp = Scratchpad::new("am", 1024, 256);
+        sp.alloc(1).unwrap();
+        assert_eq!(sp.free_bytes(), 768);
+    }
+
+    #[test]
+    fn overflow_reports_error() {
+        let mut sp = Scratchpad::new("wm", 512, 128);
+        sp.alloc(512).unwrap();
+        let err = sp.alloc(1).unwrap_err();
+        assert_eq!(err.free, 0);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut sp = Scratchpad::new("am", 1 << 20, 64);
+        sp.alloc(1000).unwrap();
+        sp.reset();
+        sp.alloc(64).unwrap();
+        assert_eq!(sp.high_water(), 1024);
+    }
+}

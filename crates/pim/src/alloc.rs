@@ -1,0 +1,250 @@
+//! PIM-resident weight allocation.
+//!
+//! The Figure 5 address mapping gives every tile its own DRAM row address;
+//! this module is the allocator that hands those row addresses out. Each
+//! GEMV weight matrix consumes `tiles()` row addresses — one DRAM row in
+//! *every* bank of *every* channel of the group per tile — so capacity
+//! accounting is simply row-address accounting, and two operands never
+//! share a row (no row conflicts between operations either).
+//!
+//! The unified-memory capacity argument of Section 3.2 falls out of this
+//! allocator: GPT-2 2.5B's FC weights fit the 8 GB unified device but not
+//! a 4 GB PIM partition (see tests).
+
+use crate::{GemvShape, PimConfig, Tiling};
+use std::fmt;
+
+/// Error returned when an allocation exceeds the device's row capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocError {
+    /// Rows requested by the failed allocation.
+    pub requested_rows: u64,
+    /// Rows still free.
+    pub free_rows: u64,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PIM allocation of {} tile rows exceeds {} free rows",
+            self.requested_rows, self.free_rows
+        )
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A placed weight matrix: its tile geometry plus the base DRAM row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightHandle {
+    /// First DRAM row address of the allocation.
+    pub base_row: u64,
+    /// Tile geometry of the matrix.
+    pub tiling: Tiling,
+}
+
+impl WeightHandle {
+    /// DRAM row address of tile `(row_block, col_chunk)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tile coordinates are out of range.
+    pub fn row_of_tile(&self, row_block: u64, col_chunk: u64) -> u64 {
+        assert!(row_block < self.tiling.row_blocks(), "row block out of range");
+        assert!(col_chunk < self.tiling.col_chunks(), "col chunk out of range");
+        self.base_row + row_block * self.tiling.col_chunks() + col_chunk
+    }
+
+    /// One-past-the-last row address of the allocation.
+    pub fn end_row(&self) -> u64 {
+        self.base_row + self.tiling.tiles()
+    }
+}
+
+/// Bump allocator over the PIM group's DRAM rows.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::{GemvShape, PimConfig, WeightAllocator};
+///
+/// let mut alloc = WeightAllocator::new(PimConfig::ianus_default());
+/// let qkv = alloc.alloc(GemvShape::new(3 * 1536, 1536))?;
+/// let ffn = alloc.alloc(GemvShape::new(6144, 1536))?;
+/// assert!(ffn.base_row >= qkv.end_row());
+/// # Ok::<(), ianus_pim::AllocError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WeightAllocator {
+    cfg: PimConfig,
+    next_row: u64,
+    capacity_rows: u64,
+    /// Rows reserved for non-weight uses (GELU LUT, scratch).
+    reserved_rows: u64,
+}
+
+impl WeightAllocator {
+    /// Creates an allocator over all rows of the configuration's banks,
+    /// with a small reservation for the activation-function LUT rows the
+    /// paper stores in DRAM (Section 4.2.2).
+    pub fn new(cfg: PimConfig) -> Self {
+        let capacity_rows = cfg.org.rows_per_bank();
+        WeightAllocator {
+            cfg,
+            next_row: 0,
+            capacity_rows,
+            reserved_rows: 4,
+        }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &PimConfig {
+        &self.cfg
+    }
+
+    /// Rows still free.
+    pub fn free_rows(&self) -> u64 {
+        self.capacity_rows - self.reserved_rows - self.next_row
+    }
+
+    /// Bytes still free across the whole group (free rows × row bytes ×
+    /// banks × channels).
+    pub fn free_bytes(&self) -> u64 {
+        self.free_rows()
+            * u64::from(self.cfg.org.row_bytes)
+            * u64::from(self.cfg.org.banks_per_channel)
+            * u64::from(self.cfg.channels)
+    }
+
+    /// Fraction of allocated row capacity actually covered by weight
+    /// elements (padding in ragged tiles wastes the rest).
+    pub fn utilization_of(&self, shape: GemvShape) -> f64 {
+        let tiling = Tiling::new(&self.cfg, shape);
+        let allocated = tiling.tiles()
+            * u64::from(tiling.rows_per_tile())
+            * u64::from(self.cfg.org.row_bytes);
+        shape.weight_bytes() as f64 / allocated as f64
+    }
+
+    /// Allocates rows for a weight matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AllocError`] when the matrix's tiles do not fit the
+    /// remaining rows.
+    pub fn alloc(&mut self, shape: GemvShape) -> Result<WeightHandle, AllocError> {
+        let tiling = Tiling::new(&self.cfg, shape);
+        let rows = tiling.tiles();
+        if rows > self.free_rows() {
+            return Err(AllocError {
+                requested_rows: rows,
+                free_rows: self.free_rows(),
+            });
+        }
+        let base_row = self.next_row;
+        self.next_row += rows;
+        Ok(WeightHandle { base_row, tiling })
+    }
+
+    /// Frees everything (models a full re-load of the device).
+    pub fn reset(&mut self) {
+        self.next_row = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_non_overlapping() {
+        let mut a = WeightAllocator::new(PimConfig::ianus_default());
+        let h1 = a.alloc(GemvShape::new(1024, 1024)).unwrap();
+        let h2 = a.alloc(GemvShape::new(2048, 2048)).unwrap();
+        assert_eq!(h1.base_row, 0);
+        assert_eq!(h1.end_row(), 8);
+        assert_eq!(h2.base_row, 8);
+        assert_eq!(h2.end_row(), 8 + 32);
+    }
+
+    #[test]
+    fn tile_row_addresses_are_dense_and_unique() {
+        let mut a = WeightAllocator::new(PimConfig::ianus_default());
+        let h = a.alloc(GemvShape::new(512, 2048)).unwrap();
+        let mut rows = Vec::new();
+        for rb in 0..h.tiling.row_blocks() {
+            for cc in 0..h.tiling.col_chunks() {
+                rows.push(h.row_of_tile(rb, cc));
+            }
+        }
+        let mut sorted = rows.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), rows.len());
+        assert_eq!(*sorted.first().unwrap(), h.base_row);
+        assert_eq!(*sorted.last().unwrap() + 1, h.end_row());
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_error() {
+        let mut a = WeightAllocator::new(PimConfig::ianus_default());
+        // One bank holds 32768 rows; grab nearly all of them.
+        let huge = GemvShape::new(128 * 32_000, 1024);
+        a.alloc(huge).unwrap();
+        let err = a.alloc(GemvShape::new(128 * 1000, 1024)).unwrap_err();
+        assert!(err.requested_rows > err.free_rows);
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    /// The Section 3.2 capacity argument, at allocator granularity.
+    #[test]
+    fn gpt2_2_5b_fits_unified_not_partitioned_half() {
+        // All FC weights of GPT-2 2.5B, column-sliced per core over 4
+        // cores: allocate each core's slice into its 2-channel group.
+        let per_core = |channels: u32, capacity: u64| -> Result<(), AllocError> {
+            let mut org = ianus_dram::GddrOrganization::ianus_default();
+            org.capacity = capacity;
+            let cfg = PimConfig {
+                org,
+                ..PimConfig::ianus_default()
+            }
+            .with_channels(channels);
+            let mut a = WeightAllocator::new(cfg);
+            let e: u64 = 1920;
+            for _ in 0..54 {
+                // Per-core column slices of QKV, proj, FFN1, FFN2.
+                a.alloc(GemvShape::new(3 * e / 4, e))?;
+                a.alloc(GemvShape::new(e / 4, e))?;
+                a.alloc(GemvShape::new(e, e))?; // 4E/4
+                a.alloc(GemvShape::new(e / 4, 4 * e))?;
+            }
+            a.alloc(GemvShape::new(50257 / 4, e))?;
+            Ok(())
+        };
+        // Unified: 2 channels of the 8 GB device per core.
+        assert!(per_core(2, 8 << 30).is_ok());
+        // Partitioned: 1 channel of a 4 GB PIM half per core — the same
+        // slice does not fit.
+        assert!(per_core(1, 4 << 30).is_err());
+    }
+
+    #[test]
+    fn utilization_reflects_ragged_shapes() {
+        let a = WeightAllocator::new(PimConfig::ianus_default());
+        // Exact multiple: full utilization.
+        assert!((a.utilization_of(GemvShape::new(1024, 1024)) - 1.0).abs() < 1e-12);
+        // 64-wide input uses 6.25% of each row.
+        let u = a.utilization_of(GemvShape::new(128, 64));
+        assert!((u - 0.0625).abs() < 1e-12, "{u}");
+    }
+
+    #[test]
+    fn reset_restores_capacity() {
+        let mut a = WeightAllocator::new(PimConfig::ianus_default());
+        let before = a.free_rows();
+        a.alloc(GemvShape::new(4096, 4096)).unwrap();
+        a.reset();
+        assert_eq!(a.free_rows(), before);
+    }
+}

@@ -1,0 +1,71 @@
+//! PIM macro and micro commands (paper Section 4.3).
+//!
+//! The NPU command scheduler deals only in **macro** PIM commands — one per
+//! operation — so that normal memory commands are never interleaved into
+//! the middle of a PIM computation. The PIM control unit (PCU) decodes each
+//! macro command into the **micro** command stream that the PIM memory
+//! controllers replay against the DRAM banks.
+
+use crate::GemvShape;
+
+/// One micro PIM command, broadcast to all banks of the participating
+/// channels (the NoC broadcasts PIM commands; see Section 4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MicroCommand {
+    /// Write one 32 B beat of the input vector into each channel's global
+    /// buffer.
+    WrGb,
+    /// Activate the tile's row in a group of `banks` banks (power-staged
+    /// all-bank activation).
+    ActAll {
+        /// Banks activated by this stage.
+        banks: u32,
+        /// DRAM row (tile) index being opened.
+        row: u64,
+    },
+    /// One all-bank MAC step: every PU multiplies a 32 B burst from its
+    /// bank against the matching global-buffer slice and accumulates.
+    Mac,
+    /// Apply the activation function (GELU LUT interpolation) to the
+    /// accumulators.
+    Af,
+    /// Read one accumulator value per bank out to the peripheral.
+    RdMac,
+    /// Precharge all banks.
+    PreAll,
+}
+
+/// One macro PIM command — a whole operation, scheduled as a unit.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::{GemvShape, MacroCommand};
+/// let cmd = MacroCommand::Gemv(GemvShape::new(4096, 1024));
+/// assert!(matches!(cmd, MacroCommand::Gemv(_)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MacroCommand {
+    /// Matrix-vector multiply (optionally batched over tokens, optionally
+    /// fused with GELU — the paper fuses FFN GELU into the PIM FC).
+    Gemv(GemvShape),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_commands_are_value_types() {
+        let a = MicroCommand::ActAll { banks: 4, row: 9 };
+        let b = a;
+        assert_eq!(a, b);
+        assert_ne!(a, MicroCommand::Mac);
+    }
+
+    #[test]
+    fn macro_command_carries_shape() {
+        let MacroCommand::Gemv(shape) = MacroCommand::Gemv(GemvShape::new(128, 1024));
+        assert_eq!(shape.out_rows, 128);
+    }
+}

@@ -1,0 +1,132 @@
+//! PIM device configuration (Table 1, PIM rows).
+
+use ianus_dram::{GddrOrganization, GddrTimings};
+use ianus_sim::Frequency;
+
+/// Configuration of the PIM compute resources layered on a GDDR6 device.
+///
+/// The paper's values: 1 PU per bank running at 1 GHz with 16 BF16
+/// multipliers (32 GFLOPS/PU), one 2 KB global buffer per channel, 8
+/// channels in total (4 chips × 2 channels), 1 TFLOPS per chip.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::PimConfig;
+/// let cfg = PimConfig::ianus_default();
+/// assert_eq!(cfg.total_pus(), 128);
+/// // 128 PUs × 32 GFLOPS = 4.1 TFLOPS ≈ 4 chips × 1 TFLOPS.
+/// assert!((cfg.peak_tflops() - 4.096).abs() < 1e-9);
+/// assert_eq!(cfg.internal_bandwidth_gbps(), 4096.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimConfig {
+    /// Underlying DRAM organization.
+    pub org: GddrOrganization,
+    /// DRAM timing parameters (PIM commands obey the same constraints).
+    pub timings: GddrTimings,
+    /// Number of channels this PIM group computes across. Defaults to all
+    /// channels of the organization; per-core head-parallel operations use
+    /// a subset.
+    pub channels: u32,
+    /// PU clock (paper: 1 GHz).
+    pub pu_clock: Frequency,
+    /// BF16 multiply-accumulate lanes per PU (paper: 16, from 32 B bursts).
+    pub pu_lanes: u32,
+    /// Global buffer bytes per channel (paper: 2 KB = one DRAM row).
+    pub gb_bytes: u32,
+}
+
+impl PimConfig {
+    /// The paper's Table 1 PIM configuration (all 8 channels).
+    pub fn ianus_default() -> Self {
+        PimConfig {
+            org: GddrOrganization::ianus_default(),
+            timings: GddrTimings::ianus_default(),
+            channels: 8,
+            pu_clock: Frequency::from_ghz(1.0),
+            pu_lanes: 16,
+            gb_bytes: 2048,
+        }
+    }
+
+    /// Restricts the configuration to a channel subset (e.g. the 2 channels
+    /// of one chip serving one attention head group).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or exceeds the organization's channels.
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        assert!(
+            channels > 0 && channels <= self.org.channels,
+            "channel subset {channels} out of range"
+        );
+        self.channels = channels;
+        self
+    }
+
+    /// Total processing units in this group (banks × channels).
+    pub fn total_pus(&self) -> u32 {
+        self.org.banks_per_channel * self.channels
+    }
+
+    /// BF16 elements one DRAM row holds (1024 for 2 KB rows).
+    pub fn elems_per_row(&self) -> u32 {
+        self.org.row_bytes / 2
+    }
+
+    /// Elements consumed by one `MAC` micro command per bank (one burst).
+    pub fn elems_per_mac(&self) -> u32 {
+        self.org.burst_bytes / 2
+    }
+
+    /// Peak MAC throughput in TFLOPS (2 FLOPs per MAC lane per cycle).
+    pub fn peak_tflops(&self) -> f64 {
+        self.total_pus() as f64 * self.pu_lanes as f64 * 2.0 * self.pu_clock.as_hz() / 1e12
+    }
+
+    /// Peak internal bandwidth in GB/s: every bank streams one burst per
+    /// MAC command at the column-to-column cadence.
+    pub fn internal_bandwidth_gbps(&self) -> f64 {
+        self.org.burst_bytes as f64 * self.total_pus() as f64
+            / self.timings.t_ccd_l.as_ns_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chip_level_figures_match_paper() {
+        let cfg = PimConfig::ianus_default();
+        // Per chip: 2 channels × 16 banks = 32 PUs × 32 GFLOPS ≈ 1 TFLOPS.
+        let per_chip = cfg.peak_tflops() / cfg.org.chips() as f64;
+        assert!((per_chip - 1.024).abs() < 1e-9);
+        // Per chip internal bandwidth: 1024 GB/s (paper Section 6.1).
+        assert_eq!(
+            cfg.internal_bandwidth_gbps() / cfg.org.chips() as f64,
+            1024.0
+        );
+    }
+
+    #[test]
+    fn channel_subset() {
+        let cfg = PimConfig::ianus_default().with_channels(2);
+        assert_eq!(cfg.total_pus(), 32);
+        assert_eq!(cfg.internal_bandwidth_gbps(), 1024.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_channels_rejected() {
+        let _ = PimConfig::ianus_default().with_channels(0);
+    }
+
+    #[test]
+    fn element_geometry() {
+        let cfg = PimConfig::ianus_default();
+        assert_eq!(cfg.elems_per_row(), 1024);
+        assert_eq!(cfg.elems_per_mac(), 16);
+    }
+}

@@ -1,0 +1,243 @@
+//! Reference micro-command replay engine.
+//!
+//! [`MicroExecutor`] replays a PCU-decoded micro command stream against one
+//! channel's 16 [`BankState`] machines (all channels run in lockstep under
+//! command broadcast, so one channel's timing is the group's timing). It is
+//! the ground truth the fast closed-form [`crate::PimModel`] is tested
+//! against; the system simulator never calls it on hot paths.
+
+use crate::{MicroCommand, PimConfig};
+use ianus_dram::{BankCommand, BankState};
+use ianus_sim::{Duration, Time};
+
+/// Additional latency of an `AF` (GELU LUT interpolation) micro command.
+/// The LUT rows are DRAM-resident but cached at the PU after first touch;
+/// the paper gives no figure, so we charge a small fixed pipeline cost.
+pub(crate) const AF_COST: Duration = Duration::from_ns(8);
+
+/// Replay engine for micro PIM command streams.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::{GemvShape, MacroCommand, MicroExecutor, PimConfig};
+///
+/// let cfg = PimConfig::ianus_default();
+/// let exec = MicroExecutor::new(cfg);
+/// let d = exec.run_macro(&MacroCommand::Gemv(GemvShape::new(128, 1024)));
+/// // One tile: GB load + activate + 64 MACs + drain — order 150–250 ns.
+/// assert!(d.as_ns_f64() > 100.0 && d.as_ns_f64() < 300.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MicroExecutor {
+    cfg: PimConfig,
+}
+
+#[derive(Debug)]
+struct ReplayState {
+    banks: Vec<BankState>,
+    /// Shared peripheral/external data path (GB fills, accumulator drains).
+    bus_free: Time,
+    /// Completion of the most recent MAC command.
+    last_mac: Time,
+    /// When the global buffer holds the chunk MACs may consume.
+    gb_ready: Time,
+    /// When the current accumulators were last drained (MACs of the next
+    /// row block must not start before this).
+    acc_free: Time,
+    /// Completion time of the most recent activation stage.
+    last_act_stage: Option<Time>,
+    /// Pending activation-function completion gating the next drain.
+    af_done: Time,
+    /// Latest completion of any command (the macro op's end time).
+    horizon: Time,
+}
+
+impl MicroExecutor {
+    /// Creates an executor for a device configuration.
+    pub fn new(cfg: PimConfig) -> Self {
+        MicroExecutor { cfg }
+    }
+
+    /// Replays a micro stream once and returns its makespan.
+    pub fn run(&self, stream: &[MicroCommand]) -> Duration {
+        self.run_batched(stream, 1)
+    }
+
+    /// Replays a micro stream `batch` times back-to-back (PIM processes
+    /// batched GEMV token-sequentially) and returns the total makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stream is malformed (e.g. a `MAC` with no prior
+    /// activation), which indicates a PCU decode bug.
+    pub fn run_batched(&self, stream: &[MicroCommand], batch: u32) -> Duration {
+        let t = self.cfg.timings;
+        let burst = self.cfg.org.burst_duration();
+        let mut st = ReplayState {
+            banks: (0..self.cfg.org.banks_per_channel)
+                .map(|_| BankState::new(t))
+                .collect(),
+            bus_free: Time::ZERO,
+            last_mac: Time::ZERO,
+            gb_ready: Time::ZERO,
+            acc_free: Time::ZERO,
+            last_act_stage: None,
+            af_done: Time::ZERO,
+            horizon: Time::ZERO,
+        };
+        for _ in 0..batch {
+            let mut next_bank = 0usize; // rotates activation stages over banks
+            for cmd in stream {
+                match *cmd {
+                    MicroCommand::WrGb => {
+                        // The buffer may not be overwritten while previous
+                        // MACs still read it; beats stream on the bus.
+                        let start = st.bus_free.max(st.last_mac);
+                        let done = start + burst;
+                        st.bus_free = done;
+                        st.gb_ready = done;
+                        st.horizon = st.horizon.max(done);
+                    }
+                    MicroCommand::ActAll { banks, row } => {
+                        let want = match st.last_act_stage {
+                            Some(prev) => prev + t.t_rrd,
+                            None => Time::ZERO,
+                        };
+                        let mut stage_at = want;
+                        for _ in 0..banks {
+                            let b = &mut st.banks[next_bank];
+                            let at = b
+                                .issue(want, BankCommand::Activate { row })
+                                .expect("PCU decode must alternate ACT/PRE legally");
+                            stage_at = stage_at.max(at);
+                            next_bank = (next_bank + 1) % st.banks.len();
+                        }
+                        // A tile's stages chain at tRRD; after the final
+                        // stage (bank rotation wrapped) the chain resets.
+                        st.last_act_stage = if next_bank == 0 {
+                            None
+                        } else {
+                            Some(stage_at)
+                        };
+                        st.horizon = st.horizon.max(stage_at);
+                    }
+                    MicroCommand::Mac => {
+                        // Broadcast read on every bank; issue time is the
+                        // max of all banks' constraints plus GB/accumulator
+                        // availability and the MAC cadence.
+                        let want = (st.last_mac + t.t_ccd_l)
+                            .max(st.gb_ready)
+                            .max(st.acc_free);
+                        let mut at = want;
+                        for b in &mut st.banks {
+                            at = at.max(
+                                b.issue(want, BankCommand::Read)
+                                    .expect("MAC requires an open row"),
+                            );
+                        }
+                        st.last_mac = at;
+                        st.horizon = st.horizon.max(at + burst);
+                    }
+                    MicroCommand::Af => {
+                        st.af_done = st.last_mac + AF_COST;
+                        st.horizon = st.horizon.max(st.af_done);
+                    }
+                    MicroCommand::RdMac => {
+                        let start = st.bus_free.max(st.last_mac).max(st.af_done);
+                        let done = start + t.t_ccd_l;
+                        st.bus_free = done;
+                        st.acc_free = done;
+                        st.horizon = st.horizon.max(done);
+                    }
+                    MicroCommand::PreAll => {
+                        let want = st.last_mac;
+                        let mut at = want;
+                        for b in &mut st.banks {
+                            at = at.max(
+                                b.issue(want, BankCommand::Precharge)
+                                    .expect("PRE requires an open row"),
+                            );
+                        }
+                        st.last_act_stage = None;
+                        st.horizon = st.horizon.max(at + t.t_rp);
+                    }
+                }
+            }
+        }
+        st.horizon.since(Time::ZERO)
+    }
+
+    /// Decodes and replays a macro command (including its batch dimension).
+    pub fn run_macro(&self, cmd: &crate::MacroCommand) -> Duration {
+        let stream = crate::pcu::decode(&self.cfg, cmd);
+        let batch = match cmd {
+            crate::MacroCommand::Gemv(s) => s.batch,
+        };
+        self.run_batched(&stream, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GemvShape, MacroCommand};
+
+    fn exec() -> MicroExecutor {
+        MicroExecutor::new(PimConfig::ianus_default())
+    }
+
+    #[test]
+    fn single_tile_timing_breakdown() {
+        // 128×1024 on 8 channels = 1 tile: 64 GB beats (64 ns, overlapping
+        // the staged activation), first MAC at max(gb, act+tRCDRD),
+        // 64 MACs at 1 ns, drain 16 beats.
+        let d = exec().run_macro(&MacroCommand::Gemv(GemvShape::new(128, 1024)));
+        // act stages: 3×tRRD = 6 ns, data ready at 6+36 = 42 ns; GB ready
+        // at 64 ns; MACs span 64..128 ns; drain ends ≈ 144 ns; PRE+tRP ≈ 158.
+        assert!(d.as_ns_f64() >= 140.0 && d.as_ns_f64() <= 170.0, "{d}");
+    }
+
+    #[test]
+    fn batch_scales_linearly() {
+        let e = exec();
+        let one = e.run_macro(&MacroCommand::Gemv(GemvShape::new(1024, 1024)));
+        let four = e.run_macro(&MacroCommand::Gemv(GemvShape::new(1024, 1024).with_batch(4)));
+        let ratio = four.as_ns_f64() / one.as_ns_f64();
+        assert!(ratio > 3.7 && ratio < 4.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn gelu_fusion_costs_little() {
+        let e = exec();
+        let plain = e.run_macro(&MacroCommand::Gemv(GemvShape::new(4096, 1024)));
+        let fused = e.run_macro(&MacroCommand::Gemv(GemvShape::new(4096, 1024).with_gelu(true)));
+        assert!(fused >= plain);
+        let overhead = fused.as_ns_f64() / plain.as_ns_f64();
+        assert!(overhead < 1.10, "GELU fusion overhead {overhead}");
+    }
+
+    #[test]
+    fn fewer_channels_slower() {
+        let full = MicroExecutor::new(PimConfig::ianus_default())
+            .run_macro(&MacroCommand::Gemv(GemvShape::new(2048, 1024)));
+        let quarter = MicroExecutor::new(PimConfig::ianus_default().with_channels(2))
+            .run_macro(&MacroCommand::Gemv(GemvShape::new(2048, 1024)));
+        let ratio = quarter.as_ns_f64() / full.as_ns_f64();
+        assert!(ratio > 3.0 && ratio < 4.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn internal_bandwidth_efficiency_plausible() {
+        // Large GEMV should sustain a large fraction of the steady-state
+        // tile pipeline: useful MAC time is 64 ns of a ~136 ns tile period.
+        let e = exec();
+        let shape = GemvShape::new(65536, 1024);
+        let d = e.run_macro(&MacroCommand::Gemv(shape));
+        let bytes = shape.weight_bytes() as f64;
+        let gbps = bytes / d.as_ns_f64();
+        let peak = PimConfig::ianus_default().internal_bandwidth_gbps();
+        let eff = gbps / peak;
+        assert!(eff > 0.40 && eff < 0.60, "efficiency {eff}");
+    }
+}

@@ -1,0 +1,296 @@
+//! Functional (value-level) model of the AiM datapath.
+//!
+//! The paper validates IANUS functionally on an FPGA prototype with real
+//! AiM chips (matching full-precision GPT-2 perplexity within noise). This
+//! module is the repo's stand-in: it executes BF16 GEMV **through the same
+//! Figure 4 tile layout** the timing model prices — per-bank partial dot
+//! products over 32 B bursts, accumulated in f32 as the AiM adder tree
+//! does, with the GELU activation evaluated by LUT interpolation as in the
+//! device — so numerics can be compared against an f32 reference.
+//!
+//! # Examples
+//!
+//! ```
+//! use ianus_pim::functional::{gemv_bf16, Bf16};
+//! use ianus_pim::PimConfig;
+//!
+//! let cfg = PimConfig::ianus_default();
+//! let w: Vec<Bf16> = (0..4 * 8).map(|i| Bf16::from_f32(i as f32 * 0.125)).collect();
+//! let x: Vec<Bf16> = (0..8).map(|i| Bf16::from_f32(1.0 / (i + 1) as f32)).collect();
+//! let y = gemv_bf16(&cfg, &w, 4, 8, &x, false);
+//! assert_eq!(y.len(), 4);
+//! ```
+
+use crate::PimConfig;
+
+/// A bfloat16 value (1 sign, 8 exponent, 7 mantissa bits).
+///
+/// Conversion from `f32` uses round-to-nearest-even, matching hardware
+/// BF16 converters.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::functional::Bf16;
+/// let x = Bf16::from_f32(1.2345678);
+/// // BF16 keeps ~2-3 significant decimal digits.
+/// assert!((x.to_f32() - 1.2345678).abs() < 0.01);
+/// assert_eq!(Bf16::from_f32(1.0).to_f32(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Quiet NaN, preserve sign.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the truncated 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb);
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(u32::from(self.0) << 16)
+    }
+
+    /// Raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> Self {
+        Bf16(bits)
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(v: Bf16) -> f32 {
+        v.to_f32()
+    }
+}
+
+/// The device GELU lookup table: 256 knots over `[-8, 8]` with linear
+/// interpolation, saturating outside the range (GELU(x) ≈ 0 for x ≤ -8 and
+/// ≈ x for x ≥ 8).
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::functional::GeluLut;
+/// let lut = GeluLut::new();
+/// assert!((lut.eval(0.0)).abs() < 1e-3);
+/// assert!((lut.eval(3.0) - 2.9959).abs() < 2e-2);
+/// assert_eq!(lut.eval(-20.0), 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeluLut {
+    knots: Vec<f32>,
+    lo: f32,
+    hi: f32,
+}
+
+/// Reference GELU (tanh approximation used by GPT-2).
+pub fn gelu_reference(x: f32) -> f32 {
+    let x3 = x * x * x;
+    0.5 * x * (1.0 + ((0.797_884_6_f32) * (x + 0.044_715 * x3)).tanh())
+}
+
+impl GeluLut {
+    /// Builds the 256-entry table.
+    pub fn new() -> Self {
+        let (lo, hi) = (-8.0f32, 8.0f32);
+        let n = 256;
+        let knots = (0..=n)
+            .map(|i| gelu_reference(lo + (hi - lo) * i as f32 / n as f32))
+            .collect();
+        GeluLut { knots, lo, hi }
+    }
+
+    /// Evaluates GELU by linear interpolation, saturating outside
+    /// `[-8, 8]`.
+    pub fn eval(&self, x: f32) -> f32 {
+        if x <= self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return x;
+        }
+        let n = (self.knots.len() - 1) as f32;
+        let pos = (x - self.lo) / (self.hi - self.lo) * n;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f32;
+        self.knots[i] * (1.0 - frac) + self.knots[i + 1] * frac
+    }
+}
+
+impl Default for GeluLut {
+    fn default() -> Self {
+        GeluLut::new()
+    }
+}
+
+/// Executes a BF16 GEMV `y = W·x` through the PIM tile layout.
+///
+/// `w` is `rows × cols` in row-major order. Each matrix row is processed
+/// the way a bank PU would: 16-element bursts multiplied in BF16 and
+/// accumulated into an f32 accumulator via an adder tree, tile by tile in
+/// the row-major Figure 4 walk. With `gelu`, the device LUT is applied to
+/// each accumulator before BF16 output conversion.
+///
+/// # Panics
+///
+/// Panics if `w.len() != rows * cols` or `x.len() != cols`.
+pub fn gemv_bf16(
+    cfg: &PimConfig,
+    w: &[Bf16],
+    rows: usize,
+    cols: usize,
+    x: &[Bf16],
+    gelu: bool,
+) -> Vec<Bf16> {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(x.len(), cols, "input length mismatch");
+    let lut = GeluLut::new();
+    let chunk = cfg.elems_per_row() as usize;
+    let lane = cfg.elems_per_mac() as usize;
+    let mut y = Vec::with_capacity(rows);
+    for r in 0..rows {
+        let row = &w[r * cols..(r + 1) * cols];
+        // Column chunks mirror the tile walk; each bank-local accumulator
+        // persists across chunks of its row block.
+        let mut acc = 0.0f32;
+        for (cstart, xchunk) in x.chunks(chunk).enumerate().map(|(i, c)| (i * chunk, c)) {
+            let wchunk = &row[cstart..cstart + xchunk.len()];
+            // One MAC command = one 16-lane burst through the adder tree.
+            for (wl, xl) in wchunk.chunks(lane).zip(xchunk.chunks(lane)) {
+                let partial: f32 = wl
+                    .iter()
+                    .zip(xl)
+                    .map(|(a, b)| a.to_f32() * b.to_f32())
+                    .sum();
+                acc += partial;
+            }
+        }
+        let out = if gelu { lut.eval(acc) } else { acc };
+        y.push(Bf16::from_f32(out));
+    }
+    y
+}
+
+/// f32 reference GEMV for validation.
+pub fn gemv_reference(w: &[f32], rows: usize, cols: usize, x: &[f32], gelu: bool) -> Vec<f32> {
+    assert_eq!(w.len(), rows * cols, "weight shape mismatch");
+    assert_eq!(x.len(), cols, "input length mismatch");
+    (0..rows)
+        .map(|r| {
+            let dot: f32 = w[r * cols..(r + 1) * cols]
+                .iter()
+                .zip(x)
+                .map(|(a, b)| a * b)
+                .sum();
+            if gelu {
+                gelu_reference(dot)
+            } else {
+                dot
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bf16_roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -2.0, 0.5, 256.0, -0.09375] {
+            assert_eq!(Bf16::from_f32(v).to_f32(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn bf16_round_to_nearest_even() {
+        // 1.0 + 2^-8 rounds down (tie goes to even), 1.0 + 3×2^-9 rounds up.
+        let just_above = f32::from_bits(0x3F80_8000);
+        assert_eq!(Bf16::from_f32(just_above).to_bits(), 0x3F80);
+        let more = f32::from_bits(0x3F80_8001);
+        assert_eq!(Bf16::from_f32(more).to_bits(), 0x3F81);
+    }
+
+    #[test]
+    fn bf16_nan_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn gelu_lut_close_to_reference() {
+        let lut = GeluLut::new();
+        let mut max_err = 0.0f32;
+        let mut x = -8.0f32;
+        while x <= 8.0 {
+            let err = (lut.eval(x) - gelu_reference(x)).abs();
+            max_err = max_err.max(err);
+            x += 0.013;
+        }
+        assert!(max_err < 5e-3, "max LUT error {max_err}");
+    }
+
+    #[test]
+    fn gemv_matches_reference_within_bf16_tolerance() {
+        let cfg = PimConfig::ianus_default();
+        let rows = 64;
+        let cols = 1536;
+        // Deterministic pseudo-random weights.
+        let mut seed = 0x12345u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let wf: Vec<f32> = (0..rows * cols).map(|_| next() * 0.05).collect();
+        let xf: Vec<f32> = (0..cols).map(|_| next()).collect();
+        let w: Vec<Bf16> = wf.iter().map(|&v| Bf16::from_f32(v)).collect();
+        let x: Vec<Bf16> = xf.iter().map(|&v| Bf16::from_f32(v)).collect();
+        // Reference uses the BF16-quantized operands so only accumulation
+        // order/precision differs.
+        let wq: Vec<f32> = w.iter().map(|v| v.to_f32()).collect();
+        let xq: Vec<f32> = x.iter().map(|v| v.to_f32()).collect();
+        let want = gemv_reference(&wq, rows, cols, &xq, false);
+        let got = gemv_bf16(&cfg, &w, rows, cols, &x, false);
+        for (g, w_) in got.iter().zip(&want) {
+            let err = (g.to_f32() - w_).abs();
+            let tol = 0.02 * w_.abs().max(1.0);
+            assert!(err <= tol, "got {} want {}", g.to_f32(), w_);
+        }
+    }
+
+    #[test]
+    fn gemv_gelu_path() {
+        let cfg = PimConfig::ianus_default();
+        let w = vec![Bf16::ONE; 8];
+        let x = vec![Bf16::from_f32(0.25); 8];
+        // dot = 2.0 → GELU(2.0) ≈ 1.9546
+        let y = gemv_bf16(&cfg, &w, 1, 8, &x, true);
+        assert!((y[0].to_f32() - 1.9546).abs() < 0.02, "{}", y[0].to_f32());
+    }
+
+    #[test]
+    #[should_panic(expected = "input length mismatch")]
+    fn shape_mismatch_panics() {
+        let cfg = PimConfig::ianus_default();
+        let _ = gemv_bf16(&cfg, &[Bf16::ZERO; 4], 2, 2, &[Bf16::ZERO; 3], false);
+    }
+}

@@ -1,0 +1,119 @@
+//! PIM control unit: macro → micro command decode (paper Section 4.3).
+//!
+//! One macro PIM command describes a whole operation; the PCU expands it
+//! into the exact micro command stream the PIM memory controllers replay.
+//! Keeping the expansion separate from execution lets the tests assert the
+//! stream's structure and lets the executor stay a dumb replay engine.
+
+use crate::{MacroCommand, MicroCommand, PimConfig, Tiling};
+
+/// Decodes a macro command into its broadcast micro-command stream for one
+/// batch item, repeated `shape.batch` times by the caller or executor.
+///
+/// The stream for a GEMV follows the paper's row-major tile walk:
+/// per tile — optional `WR_GB` beats, staged `ACT_ALL`, the `MAC` burst
+/// sequence, `PRE_ALL`; per row block — optional `AF`, then `RD_MAC`
+/// drain beats (one per bank).
+pub fn decode(cfg: &PimConfig, cmd: &MacroCommand) -> Vec<MicroCommand> {
+    match cmd {
+        MacroCommand::Gemv(shape) => {
+            let tiling = Tiling::new(cfg, *shape);
+            let mut out = Vec::new();
+            let stages = cfg
+                .org
+                .banks_per_channel
+                .div_ceil(cfg.timings.act_group.max(1));
+            for tile in tiling.walk() {
+                if tile.reload_gb {
+                    for _ in 0..tiling.gb_beats(tile.col_chunk) {
+                        out.push(MicroCommand::WrGb);
+                    }
+                }
+                for s in 0..stages {
+                    let banks = cfg
+                        .timings
+                        .act_group
+                        .min(cfg.org.banks_per_channel - s * cfg.timings.act_group);
+                    out.push(MicroCommand::ActAll {
+                        banks,
+                        row: tile.row_block * tiling.col_chunks() + tile.col_chunk,
+                    });
+                }
+                for _ in 0..tile.macs {
+                    out.push(MicroCommand::Mac);
+                }
+                out.push(MicroCommand::PreAll);
+                if tile.last_chunk {
+                    if shape.gelu {
+                        out.push(MicroCommand::Af);
+                    }
+                    for _ in 0..cfg.org.banks_per_channel {
+                        out.push(MicroCommand::RdMac);
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GemvShape;
+
+    #[test]
+    fn stream_structure_single_tile() {
+        let cfg = PimConfig::ianus_default();
+        let stream = decode(&cfg, &MacroCommand::Gemv(GemvShape::new(128, 1024)));
+        let n = |pred: fn(&MicroCommand) -> bool| stream.iter().filter(|c| pred(c)).count();
+        assert_eq!(n(|c| matches!(c, MicroCommand::WrGb)), 64);
+        assert_eq!(n(|c| matches!(c, MicroCommand::ActAll { .. })), 4); // 16 banks / group 4
+        assert_eq!(n(|c| matches!(c, MicroCommand::Mac)), 64);
+        assert_eq!(n(|c| matches!(c, MicroCommand::PreAll)), 1);
+        assert_eq!(n(|c| matches!(c, MicroCommand::RdMac)), 16);
+        assert_eq!(n(|c| matches!(c, MicroCommand::Af)), 0);
+    }
+
+    #[test]
+    fn gelu_adds_af_per_row_block() {
+        let cfg = PimConfig::ianus_default();
+        let stream = decode(
+            &cfg,
+            &MacroCommand::Gemv(GemvShape::new(256, 1024).with_gelu(true)),
+        );
+        let afs = stream
+            .iter()
+            .filter(|c| matches!(c, MicroCommand::Af))
+            .count();
+        assert_eq!(afs, 2);
+    }
+
+    #[test]
+    fn multi_chunk_reloads_gb() {
+        let cfg = PimConfig::ianus_default();
+        let stream = decode(&cfg, &MacroCommand::Gemv(GemvShape::new(256, 2048)));
+        let wr = stream
+            .iter()
+            .filter(|c| matches!(c, MicroCommand::WrGb))
+            .count();
+        // 2 row blocks × 2 chunks × 64 beats.
+        assert_eq!(wr, 256);
+    }
+
+    #[test]
+    fn act_rows_distinct_per_tile() {
+        let cfg = PimConfig::ianus_default();
+        let stream = decode(&cfg, &MacroCommand::Gemv(GemvShape::new(512, 2048)));
+        let mut rows: Vec<u64> = stream
+            .iter()
+            .filter_map(|c| match c {
+                MicroCommand::ActAll { row, .. } => Some(*row),
+                _ => None,
+            })
+            .collect();
+        rows.dedup();
+        // 4 row blocks × 2 chunks = 8 distinct tile rows.
+        assert_eq!(rows.len(), 8);
+    }
+}

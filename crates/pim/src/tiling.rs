@@ -1,0 +1,402 @@
+//! Weight-matrix tiling for PIM GEMV (paper Figure 4).
+//!
+//! A weight matrix is cut into tiles of `banks × channels` matrix rows by
+//! up to 1024 columns (one DRAM row of BF16 per matrix-row chunk). Every
+//! matrix row chunk in a tile lands at the *same DRAM row address* in a
+//! different (channel, bank), so a tile computes with full all-bank,
+//! all-channel parallelism and zero row conflicts — the property the
+//! Figure 5 address mapping exists to guarantee.
+
+use crate::PimConfig;
+
+/// Shape of a (batched) matrix-vector product offloaded to PIM.
+///
+/// `out_rows × in_cols` weights multiply an `in_cols` input vector per
+/// batch item. PIM executes batch items sequentially (the paper notes PIM
+/// time is proportional to token count, unlike the matrix unit).
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::GemvShape;
+/// let s = GemvShape::new(6400, 1600).with_batch(4).with_gelu(true);
+/// assert_eq!(s.flops(), 2 * 6400 * 1600 * 4);
+/// assert_eq!(s.weight_bytes(), 6400 * 1600 * 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GemvShape {
+    /// Output dimension (weight rows computed by PUs).
+    pub out_rows: u64,
+    /// Input dimension (elements dotted per weight row).
+    pub in_cols: u64,
+    /// Sequentially repeated input vectors (tokens).
+    pub batch: u32,
+    /// Fuse the GELU activation-function pass after accumulation.
+    pub gelu: bool,
+}
+
+impl GemvShape {
+    /// Creates a single-token GEMV without activation fusion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(out_rows: u64, in_cols: u64) -> Self {
+        assert!(out_rows > 0 && in_cols > 0, "degenerate GEMV shape");
+        GemvShape {
+            out_rows,
+            in_cols,
+            batch: 1,
+            gelu: false,
+        }
+    }
+
+    /// Sets the batch (token) count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    pub fn with_batch(mut self, batch: u32) -> Self {
+        assert!(batch > 0, "batch must be positive");
+        self.batch = batch;
+        self
+    }
+
+    /// Enables or disables the fused GELU pass.
+    pub fn with_gelu(mut self, gelu: bool) -> Self {
+        self.gelu = gelu;
+        self
+    }
+
+    /// Total floating-point operations (2 per multiply-accumulate).
+    pub fn flops(&self) -> u64 {
+        2 * self.out_rows * self.in_cols * u64::from(self.batch)
+    }
+
+    /// Bytes of BF16 weights the operation reads (once, regardless of
+    /// batch — but PIM re-reads per batch item; see [`Tiling`]).
+    pub fn weight_bytes(&self) -> u64 {
+        self.out_rows * self.in_cols * 2
+    }
+}
+
+/// Derived tile geometry of a [`GemvShape`] on a [`PimConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use ianus_pim::{GemvShape, PimConfig, Tiling};
+/// let t = Tiling::new(&PimConfig::ianus_default(), GemvShape::new(6144, 1536));
+/// assert_eq!(t.rows_per_tile(), 128);
+/// assert_eq!(t.row_blocks(), 48);
+/// assert_eq!(t.col_chunks(), 2); // 1536 = 1024 + 512
+/// assert_eq!(t.tiles(), 96);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiling {
+    shape: GemvShape,
+    rows_per_tile: u32,
+    elems_per_row: u32,
+    elems_per_mac: u32,
+}
+
+impl Tiling {
+    /// Computes the tile geometry.
+    pub fn new(cfg: &PimConfig, shape: GemvShape) -> Self {
+        Tiling {
+            shape,
+            rows_per_tile: cfg.org.banks_per_channel * cfg.channels,
+            elems_per_row: cfg.elems_per_row(),
+            elems_per_mac: cfg.elems_per_mac(),
+        }
+    }
+
+    /// The shape being tiled.
+    pub fn shape(&self) -> GemvShape {
+        self.shape
+    }
+
+    /// Matrix rows per tile (banks × channels).
+    pub fn rows_per_tile(&self) -> u32 {
+        self.rows_per_tile
+    }
+
+    /// Number of tile rows (blocks of `rows_per_tile` output rows).
+    pub fn row_blocks(&self) -> u64 {
+        self.shape.out_rows.div_ceil(u64::from(self.rows_per_tile))
+    }
+
+    /// Number of 1024-element column chunks of the input vector.
+    pub fn col_chunks(&self) -> u64 {
+        self.shape.in_cols.div_ceil(u64::from(self.elems_per_row))
+    }
+
+    /// Total tiles (row blocks × column chunks).
+    pub fn tiles(&self) -> u64 {
+        self.row_blocks() * self.col_chunks()
+    }
+
+    /// Input-vector elements in column chunk `cb` (the last may be short).
+    pub fn chunk_elems(&self, cb: u64) -> u32 {
+        let per = u64::from(self.elems_per_row);
+        let start = cb * per;
+        let end = (start + per).min(self.shape.in_cols);
+        debug_assert!(end > start, "chunk index out of range");
+        (end - start) as u32
+    }
+
+    /// `MAC` micro commands per bank for column chunk `cb`.
+    pub fn macs_in_chunk(&self, cb: u64) -> u32 {
+        self.chunk_elems(cb).div_ceil(self.elems_per_mac)
+    }
+
+    /// `WR_GB` beats (32 B writes) needed to fill the global buffer for
+    /// column chunk `cb`.
+    pub fn gb_beats(&self, cb: u64) -> u32 {
+        // Same granularity as a MAC: one burst per beat.
+        self.macs_in_chunk(cb)
+    }
+
+    /// Total `MAC` commands for one batch item across all tiles.
+    pub fn total_macs(&self) -> u64 {
+        (0..self.col_chunks())
+            .map(|cb| u64::from(self.macs_in_chunk(cb)))
+            .sum::<u64>()
+            * self.row_blocks()
+    }
+
+    /// Total DRAM row activations for one batch item (every bank of every
+    /// channel opens one row per tile).
+    pub fn activations(&self) -> u64 {
+        self.tiles() * u64::from(self.rows_per_tile)
+    }
+
+    /// DRAM rows of capacity consumed per bank by the weight allocation.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.tiles()
+    }
+
+    /// Iterates tiles in the paper's row-major order.
+    pub fn walk(&self) -> TileWalk {
+        self.walk_with(TileOrder::RowMajor)
+    }
+
+    /// Iterates tiles in a chosen order (the tiling ablation).
+    pub fn walk_with(&self, order: TileOrder) -> TileWalk {
+        TileWalk {
+            tiling: *self,
+            order,
+            rb: 0,
+            cb: 0,
+        }
+    }
+}
+
+/// Tile visit order for a multi-chunk GEMV.
+///
+/// Row-major (the paper's choice) finishes each row block before moving
+/// on: per-bank accumulators hold partial sums across the row block's
+/// chunks and drain once, but the 2 KB global buffer must be reloaded at
+/// every tile. Column-major reuses each input chunk across all row
+/// blocks (one global-buffer load per chunk) but must drain partial sums
+/// after *every* tile — the accumulator cannot survive a revisit — and
+/// the NPU re-accumulates the partials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TileOrder {
+    /// Row block outer, column chunk inner (the paper's assumption).
+    #[default]
+    RowMajor,
+    /// Column chunk outer, row block inner.
+    ColMajor,
+}
+
+/// A tile visited during a row-major walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tile {
+    /// Row-block index.
+    pub row_block: u64,
+    /// Column-chunk index.
+    pub col_chunk: u64,
+    /// Whether this is the last column chunk of its row block (accumulator
+    /// drains after it).
+    pub last_chunk: bool,
+    /// `MAC` commands per bank in this tile.
+    pub macs: u32,
+    /// Whether the global buffer must be (re)loaded before this tile.
+    pub reload_gb: bool,
+}
+
+/// Tile iterator produced by [`Tiling::walk`] / [`Tiling::walk_with`].
+#[derive(Debug, Clone)]
+pub struct TileWalk {
+    tiling: Tiling,
+    order: TileOrder,
+    rb: u64,
+    cb: u64,
+}
+
+impl Iterator for TileWalk {
+    type Item = Tile;
+
+    fn next(&mut self) -> Option<Tile> {
+        let blocks = self.tiling.row_blocks();
+        let chunks = self.tiling.col_chunks();
+        match self.order {
+            TileOrder::RowMajor => {
+                if self.rb >= blocks {
+                    return None;
+                }
+                let t = Tile {
+                    row_block: self.rb,
+                    col_chunk: self.cb,
+                    // The accumulator drains once per row block.
+                    last_chunk: self.cb + 1 == chunks,
+                    macs: self.tiling.macs_in_chunk(self.cb),
+                    // With a single chunk the global buffer persists
+                    // across row blocks; with several, row-major order
+                    // forces a reload per tile (the 2 KB buffer only
+                    // holds one chunk).
+                    reload_gb: chunks > 1 || (self.rb == 0 && self.cb == 0),
+                };
+                self.cb += 1;
+                if self.cb == chunks {
+                    self.cb = 0;
+                    self.rb += 1;
+                }
+                Some(t)
+            }
+            TileOrder::ColMajor => {
+                if self.cb >= chunks {
+                    return None;
+                }
+                let t = Tile {
+                    row_block: self.rb,
+                    col_chunk: self.cb,
+                    // Partial sums drain after every tile: the next visit
+                    // to this row block happens chunks later.
+                    last_chunk: true,
+                    macs: self.tiling.macs_in_chunk(self.cb),
+                    // One global-buffer load per chunk, reused across all
+                    // row blocks.
+                    reload_gb: self.rb == 0,
+                };
+                self.rb += 1;
+                if self.rb == blocks {
+                    self.rb = 0;
+                    self.cb += 1;
+                }
+                Some(t)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PimConfig {
+        PimConfig::ianus_default()
+    }
+
+    #[test]
+    fn exact_multiple_shape() {
+        let t = Tiling::new(&cfg(), GemvShape::new(1024, 1024));
+        assert_eq!(t.row_blocks(), 8);
+        assert_eq!(t.col_chunks(), 1);
+        assert_eq!(t.tiles(), 8);
+        assert_eq!(t.macs_in_chunk(0), 64);
+        assert_eq!(t.total_macs(), 8 * 64);
+    }
+
+    #[test]
+    fn ragged_shape_rounds_up() {
+        // GPT-2 2.5B: embedding 1920 — paper notes 2×1024 chunks with the
+        // second only 896 wide (poorer PIM utilization).
+        let t = Tiling::new(&cfg(), GemvShape::new(1920, 1920));
+        assert_eq!(t.row_blocks(), 15);
+        assert_eq!(t.col_chunks(), 2);
+        assert_eq!(t.chunk_elems(0), 1024);
+        assert_eq!(t.chunk_elems(1), 896);
+        assert_eq!(t.macs_in_chunk(1), 56);
+    }
+
+    #[test]
+    fn head_dim_utilization_matches_paper() {
+        // Paper: QK^T with head dim 64 uses only 64/1024 = 6.25% of a row.
+        let t = Tiling::new(&cfg(), GemvShape::new(128, 64));
+        let useful = t.shape().in_cols as f64 / 1024.0;
+        assert!((useful - 0.0625).abs() < 1e-12);
+        assert_eq!(t.macs_in_chunk(0), 4);
+    }
+
+    #[test]
+    fn channel_subset_shrinks_tiles() {
+        let t = Tiling::new(&cfg().with_channels(2), GemvShape::new(1024, 1024));
+        assert_eq!(t.rows_per_tile(), 32);
+        assert_eq!(t.row_blocks(), 32);
+    }
+
+    #[test]
+    fn walk_row_major_with_reloads() {
+        let t = Tiling::new(&cfg(), GemvShape::new(256, 2048));
+        let tiles: Vec<Tile> = t.walk().collect();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(
+            tiles
+                .iter()
+                .map(|t| (t.row_block, t.col_chunk))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+        assert!(tiles.iter().all(|t| t.reload_gb));
+        assert_eq!(
+            tiles.iter().filter(|t| t.last_chunk).count(),
+            2 // one drain per row block
+        );
+    }
+
+    #[test]
+    fn walk_single_chunk_loads_gb_once() {
+        let t = Tiling::new(&cfg(), GemvShape::new(512, 512));
+        let tiles: Vec<Tile> = t.walk().collect();
+        assert_eq!(tiles.iter().filter(|t| t.reload_gb).count(), 1);
+        assert!(tiles.iter().all(|t| t.last_chunk));
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_rows_rejected() {
+        let _ = GemvShape::new(0, 4);
+    }
+
+    #[test]
+    fn col_major_walk_reuses_gb_and_drains_every_tile() {
+        let t = Tiling::new(&cfg(), GemvShape::new(256, 2048));
+        let tiles: Vec<Tile> = t.walk_with(TileOrder::ColMajor).collect();
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(
+            tiles
+                .iter()
+                .map(|t| (t.col_chunk, t.row_block))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0), (1, 1)]
+        );
+        // One global-buffer load per chunk, drain after every tile.
+        assert_eq!(tiles.iter().filter(|t| t.reload_gb).count(), 2);
+        assert!(tiles.iter().all(|t| t.last_chunk));
+    }
+
+    #[test]
+    fn both_orders_cover_the_same_tiles() {
+        let t = Tiling::new(&cfg(), GemvShape::new(1000, 3000));
+        let mut a: Vec<(u64, u64)> = t.walk().map(|t| (t.row_block, t.col_chunk)).collect();
+        let mut b: Vec<(u64, u64)> = t
+            .walk_with(TileOrder::ColMajor)
+            .map(|t| (t.row_block, t.col_chunk))
+            .collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests: the closed-form PIM cost model is exactly equivalent to
+//! the micro-command replay executor, and functional GEMV respects basic
+//! algebraic invariants.
+
+use ianus_pim::functional::{gemv_bf16, Bf16};
+use ianus_pim::{GemvShape, MacroCommand, MicroExecutor, PimConfig, PimModel, Tiling};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn analytic_equals_executor(
+        rows in 1u64..4096,
+        cols in 1u64..4096,
+        batch in 1u32..4,
+        gelu in any::<bool>(),
+        channels in prop::sample::select(vec![1u32, 2, 4, 8]),
+    ) {
+        let cfg = PimConfig::ianus_default().with_channels(channels);
+        let shape = GemvShape::new(rows, cols).with_batch(batch).with_gelu(gelu);
+        let analytic = PimModel::new(cfg).gemv(shape).total;
+        let reference = MicroExecutor::new(cfg).run_macro(&MacroCommand::Gemv(shape));
+        prop_assert_eq!(analytic, reference);
+    }
+
+    #[test]
+    fn cost_monotonic_in_rows(rows in 64u64..2048, cols in 64u64..2048) {
+        let m = PimModel::new(PimConfig::ianus_default());
+        let a = m.gemv(GemvShape::new(rows, cols)).total;
+        let b = m.gemv(GemvShape::new(rows + 512, cols)).total;
+        prop_assert!(b >= a);
+    }
+
+    #[test]
+    fn internal_bytes_cover_weights(rows in 1u64..4096, cols in 1u64..4096) {
+        let m = PimModel::new(PimConfig::ianus_default());
+        let shape = GemvShape::new(rows, cols);
+        let c = m.gemv(shape);
+        // Padding rounds reads up to burst granularity, never below the
+        // true weight footprint.
+        prop_assert!(c.internal_bytes >= shape.weight_bytes());
+    }
+
+    #[test]
+    fn tiling_covers_all_rows(rows in 1u64..100_000, cols in 1u64..8192) {
+        let t = Tiling::new(&PimConfig::ianus_default(), GemvShape::new(rows, cols));
+        prop_assert!(t.row_blocks() * u64::from(t.rows_per_tile()) >= rows);
+        let chunk_sum: u64 = (0..t.col_chunks()).map(|cb| u64::from(t.chunk_elems(cb))).sum();
+        prop_assert_eq!(chunk_sum, cols);
+    }
+
+    #[test]
+    fn gemv_linear_in_scaling(scale in 1u32..8) {
+        // GEMV(2^k · x) == 2^k · GEMV(x) exactly in BF16 (power-of-two
+        // scaling only touches exponents).
+        let cfg = PimConfig::ianus_default();
+        let w: Vec<Bf16> = (0..64).map(|i| Bf16::from_f32(((i % 13) as f32 - 6.0) / 8.0)).collect();
+        let x1: Vec<Bf16> = (0..16).map(|i| Bf16::from_f32(((i % 7) as f32 - 3.0) / 4.0)).collect();
+        let k = (1u32 << scale) as f32;
+        let xk: Vec<Bf16> = x1.iter().map(|v| Bf16::from_f32(v.to_f32() * k)).collect();
+        let y1 = gemv_bf16(&cfg, &w, 4, 16, &x1, false);
+        let yk = gemv_bf16(&cfg, &w, 4, 16, &xk, false);
+        for (a, b) in y1.iter().zip(&yk) {
+            prop_assert_eq!(Bf16::from_f32(a.to_f32() * k).to_bits(), b.to_bits());
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Discrete-event simulation primitives shared by every IANUS component model.
+//!
+//! The IANUS reproduction is a *command-level* simulator with
+//! cycle-resolution timestamps: every hardware unit (matrix unit, vector
+//! unit, DMA engine, PIM channel, …) is a [`Resource`] whose occupancy is
+//! tracked in integer picoseconds, and the system schedulers advance a
+//! shared clock by executing commands against those resources.
+//!
+//! This crate deliberately contains no IANUS-specific policy — only the
+//! time base ([`Time`], [`Duration`]), an ordered [`EventQueue`], busy-until
+//! [`Resource`] accounting, and [`Stats`] counters used for reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use ianus_sim::{Duration, EventQueue, Resource, Time};
+//!
+//! let mut q = EventQueue::new();
+//! q.push(Time::from_ns(10), "b");
+//! q.push(Time::from_ns(5), "a");
+//! assert_eq!(q.pop(), Some((Time::from_ns(5), "a")));
+//!
+//! let mut mu = Resource::new("matrix-unit");
+//! let done = mu.acquire(Time::ZERO, Duration::from_ns(100));
+//! assert_eq!(done, Time::from_ns(100));
+//! ```
+
+mod event;
+mod resource;
+mod stats;
+mod time;
+
+pub use event::EventQueue;
+pub use resource::Resource;
+pub use stats::Stats;
+pub use time::{Duration, Frequency, Time};

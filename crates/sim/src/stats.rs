@@ -1,0 +1,136 @@
+//! Named statistic counters for simulation reports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A set of named accumulating counters (`f64`-valued).
+///
+/// Counters are created on first use and iterate in name order, which keeps
+/// report output stable across runs.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_sim::Stats;
+/// let mut s = Stats::new();
+/// s.add("dram.read_bytes", 64.0);
+/// s.add("dram.read_bytes", 64.0);
+/// s.incr("pim.macro_ops");
+/// assert_eq!(s.get("dram.read_bytes"), 128.0);
+/// assert_eq!(s.get("pim.macro_ops"), 1.0);
+/// assert_eq!(s.get("missing"), 0.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    counters: BTreeMap<String, f64>,
+}
+
+impl Stats {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Stats::default()
+    }
+
+    /// Adds `amount` to counter `name`, creating it at zero if absent.
+    pub fn add(&mut self, name: &str, amount: f64) {
+        *self.counters.entry(name.to_owned()).or_insert(0.0) += amount;
+    }
+
+    /// Adds one to counter `name`.
+    pub fn incr(&mut self, name: &str) {
+        self.add(name, 1.0);
+    }
+
+    /// Sets counter `name` to `value`, overwriting any previous value.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    pub fn get(&self, name: &str) -> f64 {
+        self.counters.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Merges another counter set into this one by summation.
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            self.add(k, *v);
+        }
+    }
+
+    /// Iterates `(name, value)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct counters.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter exists.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v:.3}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reads() {
+        let mut s = Stats::new();
+        s.add("a", 1.5);
+        s.add("a", 2.5);
+        s.incr("b");
+        assert_eq!(s.get("a"), 4.0);
+        assert_eq!(s.get("b"), 1.0);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = Stats::new();
+        a.add("x", 1.0);
+        let mut b = Stats::new();
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 3.0);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let mut s = Stats::new();
+        s.add("x", 5.0);
+        s.set("x", 1.0);
+        assert_eq!(s.get("x"), 1.0);
+    }
+
+    #[test]
+    fn iterates_in_name_order() {
+        let mut s = Stats::new();
+        s.add("z", 1.0);
+        s.add("a", 1.0);
+        let names: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let mut s = Stats::new();
+        s.add("k", 1.0);
+        assert!(format!("{s}").contains('k'));
+    }
+}

@@ -1,0 +1,62 @@
+//! BERT question-answering study (the paper's Table 3 QA workload):
+//! throughput and utilization on IANUS versus the A100, plus the effect
+//! of the transformer-aware NPU microarchitecture.
+//!
+//! ```text
+//! cargo run --release --example bert_qa
+//! ```
+//!
+//! BERT is encoder-only — no generation stage, no matrix-vector FCs — so
+//! PIM is idle and everything rides the NPU's matrix/vector units. The
+//! paper's point (Figure 14) is that on-chip data manipulation for
+//! self-attention and the dedicated vector unit keep utilization far
+//! above the GPU's even when raw FLOPS are lower.
+
+use ianus::prelude::*;
+
+fn main() {
+    let gpu = GpuModel::a100();
+    let ianus_peak = SystemConfig::ianus().npu.peak_tflops();
+    println!(
+        "IANUS peak {ianus_peak:.0} TFLOPS vs A100 peak {:.0} TFLOPS ({:.1}x more)\n",
+        gpu.peak_tflops,
+        gpu.peak_tflops / ianus_peak
+    );
+    for model in ModelConfig::bert_family() {
+        println!(
+            "=== {} ({:.0}M params, {} blocks) ===",
+            model.name,
+            model.param_count() as f64 / 1e6,
+            model.blocks
+        );
+        println!(
+            "{:>7} | {:>12} {:>12} | {:>10} {:>10}",
+            "tokens", "IANUS ms", "A100 ms", "IANUS util", "A100 util"
+        );
+        for tokens in [128u64, 256, 512] {
+            let req = RequestShape::new(tokens, 1);
+            let mut sys = IanusSystem::new(SystemConfig::ianus());
+            let r = sys.run_request(&model, req);
+            let g_ms = gpu.request_latency(&model, req).as_ms_f64();
+            let g_util = gpu.throughput_tflops(&model, req) / gpu.peak_tflops;
+            println!(
+                "{:>7} | {:>12.2} {:>12.2} | {:>9.1}% {:>9.1}%",
+                tokens,
+                r.total.as_ms_f64(),
+                g_ms,
+                r.utilization(ianus_peak) * 100.0,
+                g_util * 100.0
+            );
+        }
+        // QA service view: questions answered per second at 384 tokens
+        // (the SQuAD-style context length).
+        let req = RequestShape::new(384, 1);
+        let mut sys = IanusSystem::new(SystemConfig::ianus());
+        let r = sys.run_request(&model, req);
+        println!(
+            "QA service rate at 384-token contexts: {:.0} questions/s (IANUS) vs {:.0}/s (A100)\n",
+            1000.0 / r.total.as_ms_f64(),
+            1000.0 / gpu.request_latency(&model, req).as_ms_f64()
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! Datacenter text-generation serving study (the paper's motivating
+//! workload): sweep typical request shapes for every GPT-2 size, compare
+//! platforms, and report tail behaviour of the serving mix.
+//!
+//! ```text
+//! cargo run --release --example datacenter_serving
+//! ```
+//!
+//! The paper evaluates non-batched requests because datacenters serving
+//! interactive NLP traffic cannot wait to form batches; this example
+//! models a serving mix of short chat turns, medium completions and long
+//! document drafts, and reports per-platform service latency.
+
+use ianus::prelude::*;
+
+struct MixEntry {
+    name: &'static str,
+    request: RequestShape,
+    share: f64,
+}
+
+fn main() {
+    // A plausible interactive serving mix (shares sum to 1).
+    let mix = [
+        MixEntry { name: "chat turn", request: RequestShape::new(128, 32), share: 0.5 },
+        MixEntry { name: "completion", request: RequestShape::new(256, 128), share: 0.35 },
+        MixEntry { name: "draft", request: RequestShape::new(512, 512), share: 0.15 },
+    ];
+
+    for model in ModelConfig::gpt2_family() {
+        println!("=== {} ===", model.name);
+        println!(
+            "{:<12} {:>10} | {:>10} {:>10} {:>10} {:>10}",
+            "request", "(in,out)", "IANUS ms", "NPU-MEM", "A100", "DFX"
+        );
+        let gpu = GpuModel::a100();
+        let dfx = DfxModel::four_fpga();
+        let mut weighted = [0.0f64; 4];
+        for e in &mix {
+            let mut ianus = IanusSystem::new(SystemConfig::ianus());
+            let mut npu_mem = IanusSystem::new(SystemConfig::npu_mem());
+            let lat = [
+                ianus.run_request(&model, e.request).total.as_ms_f64(),
+                npu_mem.run_request(&model, e.request).total.as_ms_f64(),
+                gpu.request_latency(&model, e.request).as_ms_f64(),
+                dfx.request_latency(&model, e.request).as_ms_f64(),
+            ];
+            for (w, l) in weighted.iter_mut().zip(lat) {
+                *w += e.share * l;
+            }
+            println!(
+                "{:<12} {:>10} | {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+                e.name,
+                format!("({},{})", e.request.input, e.request.output),
+                lat[0],
+                lat[1],
+                lat[2],
+                lat[3]
+            );
+        }
+        println!(
+            "{:<12} {:>10} | {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
+            "mix avg", "", weighted[0], weighted[1], weighted[2], weighted[3]
+        );
+        println!(
+            "serving capacity gain vs A100: {:.1}x; vs DFX: {:.1}x\n",
+            weighted[2] / weighted[0],
+            weighted[3] / weighted[0]
+        );
+    }
+}

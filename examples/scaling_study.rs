@@ -1,0 +1,61 @@
+//! Multi-device scaling study (the paper's Section 7): serve GPT 6.7B,
+//! 13B and 30B on groups of IANUS devices, report scaling efficiency,
+//! tokens/second and perf/TDP against a single A100.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use ianus::prelude::*;
+use ianus::system::multi_device::{DeviceGroup, A100_TDP_WATTS, IANUS_TDP_WATTS};
+
+fn main() {
+    let gpu = GpuModel::a100_megatron();
+    let req = RequestShape::new(256, 64);
+    for model in ModelConfig::large_gpt_family() {
+        let min_devices = DeviceGroup::devices_for(&model);
+        println!(
+            "=== {} ({:.1}B params, {:.1} GB BF16) — needs ≥{} devices ===",
+            model.name,
+            model.param_count() as f64 / 1e9,
+            model.param_bytes() as f64 / 1e9,
+            min_devices
+        );
+        let gpu_ms = gpu.request_latency(&model, req).as_ms_f64();
+        println!("single A100 (Megatron model): {gpu_ms:.0} ms for (256,64)\n");
+        println!(
+            "{:>8} | {:>10} {:>10} {:>10} | {:>9} {:>9}",
+            "devices", "ms", "tokens/s", "scaling", "vs A100", "perf/TDP"
+        );
+        let mut base_tps = None;
+        let mut d = min_devices;
+        while d <= min_devices * 4 && d <= 16 {
+            let mut group = DeviceGroup::new(SystemConfig::ianus(), d);
+            if group.fits(&model).is_err() {
+                d *= 2;
+                continue;
+            }
+            let r = group.run_request(&model, req);
+            let ms = r.total.as_ms_f64();
+            let tps = r.tokens_per_second(req.output);
+            let base = *base_tps.get_or_insert(tps);
+            let perf_tdp =
+                (gpu_ms / ms) / (d as f64 * IANUS_TDP_WATTS / A100_TDP_WATTS);
+            println!(
+                "{:>8} | {:>10.1} {:>10.1} {:>9.2}x | {:>8.1}x {:>8.1}x",
+                d,
+                ms,
+                tps,
+                tps / base,
+                gpu_ms / ms,
+                perf_tdp
+            );
+            d *= 2;
+        }
+        println!();
+    }
+    println!(
+        "TDP assumptions: {IANUS_TDP_WATTS} W per IANUS device, {A100_TDP_WATTS} W per A100.\n\
+         Scaling is sublinear because every decoder-block synchronization crosses PCIe."
+    );
+}

@@ -1,0 +1,41 @@
+//! Serving-queue study: how many interactive requests per second can one
+//! device sustain, and what happens to tail latency near saturation?
+//!
+//! ```text
+//! cargo run --release --example serving_queue
+//! ```
+//!
+//! Uses the queueing layer over the device simulator: Poisson arrivals of
+//! a mixed request distribution, FCFS service, p50/p95/p99 sojourn times.
+
+use ianus::prelude::*;
+use ianus::system::serving::{simulate, ServingConfig};
+
+fn main() {
+    let model = ModelConfig::gpt2_l();
+    println!("serving {} on one device, interactive mix (60% chat, 30% completion, 10% long)\n", model.name);
+    for (name, system) in [
+        ("IANUS", SystemConfig::ianus()),
+        ("NPU-MEM", SystemConfig::npu_mem()),
+    ] {
+        println!("=== {name} ===");
+        println!(
+            "{:>9} | {:>8} {:>10} {:>10} {:>10} {:>8}",
+            "req/s", "util", "p50 ms", "p95 ms", "p99 ms", "stable"
+        );
+        for rate in [1.0f64, 2.0, 4.0, 8.0, 16.0] {
+            let report = simulate(system, &model, &ServingConfig::interactive(rate, 400));
+            println!(
+                "{:>9.1} | {:>7.1}% {:>10.0} {:>10.0} {:>10.0} {:>8}",
+                rate,
+                report.utilization * 100.0,
+                report.p50_sojourn.as_ms_f64(),
+                report.p95_sojourn.as_ms_f64(),
+                report.p99_sojourn.as_ms_f64(),
+                if report.stable() { "yes" } else { "NO" }
+            );
+        }
+        println!();
+    }
+    println!("the PIM offload multiplies the sustainable interactive request rate");
+}

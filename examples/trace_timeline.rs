@@ -1,0 +1,60 @@
+//! Export a PAS execution timeline as Chrome-trace JSON.
+//!
+//! ```text
+//! cargo run --release --example trace_timeline [past_tokens] [out.json]
+//! ```
+//!
+//! Open the produced file in `chrome://tracing` or https://ui.perfetto.dev
+//! to *see* PIM Access Scheduling: per-core matrix/vector/DMA lanes, the
+//! memory channel-group tokens serializing DMA against PIM, and the
+//! Figure 7c overlaps (Kpre prefetch under SV, QKᵀ under value
+//! generation).
+
+use ianus::prelude::*;
+use ianus::system::trace::trace_stage;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let past: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(128);
+    let out = args.next().unwrap_or_else(|| "ianus_trace.json".to_owned());
+
+    let cfg = SystemConfig::ianus();
+    let model = ModelConfig::gpt2_xl();
+    let stage = Stage::Generation { past_tokens: past };
+    let result = trace_stage(&cfg, &model, &stage);
+    let json = result.to_chrome_trace();
+    std::fs::write(&out, &json).expect("write trace file");
+    println!(
+        "traced one {} generation step (past = {past}): {} commands, makespan {}",
+        model.name,
+        result.spans.len(),
+        result.makespan
+    );
+
+    // Quick textual view of the first microseconds on core 0 + PIM 0.
+    let units = result.units;
+    println!("\nfirst events on core0 and pim_group0:");
+    let mut shown = 0;
+    for s in &result.spans {
+        let name = match s.unit {
+            u if u == units.mu(0) => "core0.mu",
+            u if u == units.vu(0) => "core0.vu",
+            u if u == units.dma_in(0) => "core0.dma_in",
+            u if u == units.dma_out(0) => "core0.dma_out",
+            u if u == units.pim(0) => "pim_group0",
+            _ => continue,
+        };
+        println!(
+            "  {:>10.2} us .. {:>10.2} us  {:<13} cmd {}",
+            s.start.as_us_f64(),
+            s.end.as_us_f64(),
+            name,
+            s.cmd
+        );
+        shown += 1;
+        if shown >= 18 {
+            break;
+        }
+    }
+    println!("\nwrote {out} — open it in chrome://tracing or ui.perfetto.dev");
+}

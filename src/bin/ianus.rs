@@ -1,0 +1,164 @@
+//! `ianus` — command-line front end to the simulator.
+//!
+//! ```text
+//! ianus [--model NAME] [--input N] [--output N] [--system ianus|npu-mem|partitioned]
+//!       [--devices D] [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]
+//!       [--compare]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! cargo run --release --bin ianus -- --model gpt2-xl --input 128 --output 64
+//! cargo run --release --bin ianus -- --model gpt-6.7b --devices 2 --compare
+//! ```
+
+use ianus::prelude::*;
+
+struct Args {
+    model: ModelConfig,
+    request: RequestShape,
+    system: SystemConfig,
+    compare: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ianus [--model NAME] [--input N] [--output N]\n\
+         \x20            [--system ianus|npu-mem|partitioned] [--devices D]\n\
+         \x20            [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]\n\
+         \x20            [--compare]\n\
+         models: {}",
+        ModelConfig::all()
+            .iter()
+            .map(|m| m.name)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2)
+}
+
+fn parse() -> Args {
+    let mut model = ModelConfig::gpt2_xl();
+    let mut input = 128u64;
+    let mut output = 64u64;
+    let mut system = SystemConfig::ianus();
+    let mut pas = PasPolicy::ianus();
+    let mut devices = 1u32;
+    let mut compare = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--model" => {
+                let name = value();
+                model = ModelConfig::by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown model {name:?}");
+                    usage()
+                });
+            }
+            "--input" => input = value().parse().unwrap_or_else(|_| usage()),
+            "--output" => output = value().parse().unwrap_or_else(|_| usage()),
+            "--devices" => devices = value().parse().unwrap_or_else(|_| usage()),
+            "--system" => {
+                system = match value().as_str() {
+                    "ianus" => SystemConfig::ianus(),
+                    "npu-mem" => SystemConfig::npu_mem(),
+                    "partitioned" => SystemConfig::partitioned(),
+                    _ => usage(),
+                }
+            }
+            "--fc" => {
+                pas.fc = match value().as_str() {
+                    "adaptive" => FcMapping::Adaptive,
+                    "mu" => FcMapping::MatrixUnit,
+                    "pim" => FcMapping::Pim,
+                    _ => usage(),
+                }
+            }
+            "--attn" => {
+                pas.attention = match value().as_str() {
+                    "mu" => AttnMapping::MatrixUnit,
+                    "pim" => AttnMapping::Pim,
+                    _ => usage(),
+                }
+            }
+            "--schedule" => {
+                pas.schedule = match value().as_str() {
+                    "overlap" => Schedule::Overlapped,
+                    "naive" => Schedule::Naive,
+                    _ => usage(),
+                }
+            }
+            "--compare" => compare = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    Args {
+        model,
+        request: RequestShape::new(input, output),
+        system: system.with_pas(pas).with_devices(devices),
+        compare,
+    }
+}
+
+fn print_report(label: &str, r: &RunReport) {
+    println!(
+        "{label:<12} total {:>10.2} ms | summ {:>8.2} ms | gen {:>9.2} ms | {} tok | {:>6.1} TFLOPS",
+        r.total.as_ms_f64(),
+        r.summarization.as_ms_f64(),
+        r.generation.as_ms_f64(),
+        r.generation_steps + 1,
+        r.throughput_tflops(),
+    );
+}
+
+fn main() {
+    let args = parse();
+    println!(
+        "{} | ({},{}) | {:?} memory | {} device(s)\n",
+        args.model.name,
+        args.request.input,
+        args.request.output,
+        args.system.memory,
+        args.system.devices
+    );
+    match ianus::system::capacity::check_request(&args.system, &args.model, args.request) {
+        Ok(cap) => println!(
+            "memory: {:.1}% of {} GiB per device (weights {} MiB, KV {} MiB)\n",
+            cap.occupancy() * 100.0,
+            cap.available_bytes >> 30,
+            cap.weight_bytes >> 20,
+            cap.kv_bytes >> 20,
+        ),
+        Err(e) => {
+            eprintln!("request does not fit: {e}");
+            eprintln!("hint: add devices with --devices");
+            std::process::exit(1);
+        }
+    }
+    let mut sys = IanusSystem::new(args.system);
+    let report = sys.run_request(&args.model, args.request);
+    print_report("simulated", &report);
+    if let Some(t) = report.per_token_latency() {
+        println!("{:<12} {:.3} ms per generated token", "", t.as_ms_f64());
+    }
+    println!("{:<12} dynamic energy {:.2} mJ", "", report.energy.total_pj() / 1e9);
+    println!("\nbusy time by class:");
+    for class in OpClass::ALL {
+        let t = report.breakdown.get(class);
+        if t.as_ns_f64() > 0.0 {
+            println!("  {:<24} {:>10.2} ms", class.label(), t.as_ms_f64());
+        }
+    }
+    if args.compare {
+        println!("\nbaselines:");
+        let mut npu = IanusSystem::new(SystemConfig::npu_mem());
+        print_report("npu-mem", &npu.run_request(&args.model, args.request));
+        let gpu = GpuModel::a100().request_latency(&args.model, args.request);
+        println!("{:<12} total {:>10.2} ms", "a100 (hf)", gpu.as_ms_f64());
+        let dfx = DfxModel::four_fpga().request_latency(&args.model, args.request);
+        println!("{:<12} total {:>10.2} ms", "dfx x4", dfx.as_ms_f64());
+    }
+}

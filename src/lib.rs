@@ -1,0 +1,60 @@
+//! # IANUS — NPU-PIM Unified Memory System (reproduction)
+//!
+//! A from-scratch Rust reproduction of *"IANUS: Integrated Accelerator
+//! based on NPU-PIM Unified Memory System"* (Seo et al., ASPLOS 2024):
+//! a command-level simulator of a 4-core NPU whose GDDR6-AiM main memory
+//! doubles as an in-memory GEMV engine, together with the paper's
+//! **PIM Access Scheduling** compiler, analytical A100/DFX baselines, an
+//! energy model, and a benchmark harness regenerating every figure of the
+//! paper's evaluation.
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a stable module name.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`sim`] | `ianus-sim` | time base, event queue, resources |
+//! | [`dram`] | `ianus-dram` | GDDR6 timing, Figure 5 address mapping |
+//! | [`pim`] | `ianus-pim` | AiM device: commands, tiling, functional BF16 |
+//! | [`noc`] | `ianus-noc` | all-to-all crossbar, PIM command broadcast |
+//! | [`npu`] | `ianus-npu` | matrix/vector units, DMA, command scheduler |
+//! | [`model`] | `ianus-model` | Table 3/4 model zoo, stages, shapes |
+//! | [`system`] | `ianus-core` | IANUS system, PAS, energy, multi-device |
+//! | [`baselines`] | `ianus-baselines` | A100 + DFX analytical models |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ianus::prelude::*;
+//!
+//! // Simulate GPT-2 M answering a 128-token prompt with 8 output tokens
+//! // on IANUS and on the NPU-MEM baseline (same NPU, plain GDDR6).
+//! let req = RequestShape::new(128, 8);
+//! let model = ModelConfig::gpt2_m();
+//! let mut ianus = IanusSystem::new(SystemConfig::ianus());
+//! let mut npu_mem = IanusSystem::new(SystemConfig::npu_mem());
+//! let fast = ianus.run_request(&model, req);
+//! let slow = npu_mem.run_request(&model, req);
+//! assert!(slow.total > fast.total);
+//! ```
+
+pub use ianus_baselines as baselines;
+pub use ianus_core as system;
+pub use ianus_dram as dram;
+pub use ianus_model as model;
+pub use ianus_noc as noc;
+pub use ianus_npu as npu;
+pub use ianus_pim as pim;
+pub use ianus_sim as sim;
+
+/// The types most programs need.
+pub mod prelude {
+    pub use ianus_baselines::{DfxModel, GpuModel};
+    pub use ianus_core::multi_device::DeviceGroup;
+    pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
+    pub use ianus_core::{
+        EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,
+    };
+    pub use ianus_model::{ModelConfig, RequestShape, Stage};
+    pub use ianus_sim::{Duration, Time};
+}
