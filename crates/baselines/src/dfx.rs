@@ -1,7 +1,13 @@
 //! Calibrated analytical model of DFX (4-FPGA transformer appliance).
 
+use ianus_core::backend::Backend;
+use ianus_core::capacity::CapacityError;
 use ianus_model::{ModelConfig, RequestShape};
 use ianus_sim::Duration;
+
+/// Aggregate HBM2 capacity of the 4-FPGA appliance (4 x 8 GiB Alveo
+/// U280 stacks).
+pub const DFX_HBM_BYTES: u64 = 4 * 8 * (1 << 30);
 
 /// The DFX baseline (Hong et al., MICRO 2022) with 4 FPGAs.
 ///
@@ -51,14 +57,27 @@ impl DfxModel {
     /// Time to process one token (either stage).
     pub fn per_token_latency(&self, model: &ModelConfig) -> Duration {
         let bytes = model.fc_param_count() * 2 + model.block_ops().lm_head_fc().weight_bytes();
-        let stream =
-            Duration::from_ns_f64(bytes as f64 / (self.mem_gbps * self.bw_efficiency));
+        let stream = Duration::from_ns_f64(bytes as f64 / (self.mem_gbps * self.bw_efficiency));
         stream + self.per_token_overhead
     }
 
     /// End-to-end request latency: `input + output − 1` token passes.
     pub fn request_latency(&self, model: &ModelConfig, request: RequestShape) -> Duration {
         self.per_token_latency(model) * (request.input + request.output - 1)
+    }
+}
+
+impl Backend for DfxModel {
+    fn name(&self) -> &str {
+        "DFX (4-FPGA)"
+    }
+
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
+        self.request_latency(model, shape)
+    }
+
+    fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
+        crate::fits_in_memory(model, DFX_HBM_BYTES)
     }
 }
 

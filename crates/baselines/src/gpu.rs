@@ -1,7 +1,12 @@
 //! Calibrated analytical model of A100 + PyTorch eager inference.
 
+use ianus_core::backend::Backend;
+use ianus_core::capacity::CapacityError;
 use ianus_model::{ModelConfig, ModelFamily, RequestShape, Stage};
 use ianus_sim::Duration;
+
+/// HBM2e capacity of the A100-SXM comparison GPU (80 GB).
+pub const A100_HBM_BYTES: u64 = 80 * (1 << 30);
 
 /// Kernel classes of one decoder block under eager PyTorch execution.
 ///
@@ -53,6 +58,8 @@ pub struct GpuBreakdown {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuModel {
+    /// Platform name (distinguishes the eager and Megatron calibrations).
+    pub name: &'static str,
     /// Peak BF16 throughput (Table 2: 255 TFLOPS).
     pub peak_tflops: f64,
     /// Fraction of peak sustained by large GEMMs.
@@ -84,6 +91,7 @@ impl GpuModel {
     /// the GPT-2 and BERT comparisons of Figures 2/8/14).
     pub fn a100() -> Self {
         GpuModel {
+            name: "A100 (eager)",
             peak_tflops: 255.0,
             flops_efficiency: 0.55,
             mem_gbps: 2039.0,
@@ -104,6 +112,7 @@ impl GpuModel {
     /// ≈18/29/55 ms per generated token).
     pub fn a100_megatron() -> Self {
         GpuModel {
+            name: "A100 (Megatron)",
             gemv_bw_efficiency: 0.55,
             elementwise_cost: Duration::from_ns(6_500),
             attn_compute_cost: Duration::from_ns(9_000),
@@ -145,11 +154,7 @@ impl GpuModel {
             ops.block_fc_bytes(),
             gemv,
         );
-        let attn_time = self.roofline(
-            ops.attention_flops(stage),
-            ops.kv_read_bytes(stage),
-            gemv,
-        );
+        let attn_time = self.roofline(ops.attention_flops(stage), ops.kv_read_bytes(stage), gemv);
         dispatch + fc_time + attn_time
     }
 
@@ -212,6 +217,20 @@ impl GpuModel {
             fc_ffn: fc / total,
             attention_noncompute: attn_reorder / attn,
         }
+    }
+}
+
+impl Backend for GpuModel {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
+        self.request_latency(model, shape)
+    }
+
+    fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
+        crate::fits_in_memory(model, A100_HBM_BYTES)
     }
 }
 

@@ -17,10 +17,65 @@
 //!   (Figure 9's DFX rows: ≈ 6.9 ms per token for GPT-2 XL).
 //!
 //! Both models consume the same [`ianus_model`] shapes as the IANUS
-//! simulator, so comparisons never diverge on workload definition.
+//! simulator, so comparisons never diverge on workload definition — and
+//! both implement [`ianus_core::backend::Backend`], so they plug into
+//! [`ianus_core::serving::ServingSim`] clusters and any other consumer of
+//! the unified serving interface alongside the simulated devices.
 
 mod dfx;
 mod gpu;
 
-pub use dfx::DfxModel;
-pub use gpu::{GpuBreakdown, GpuModel, KernelClass};
+pub use dfx::{DfxModel, DFX_HBM_BYTES};
+pub use gpu::{GpuBreakdown, GpuModel, KernelClass, A100_HBM_BYTES};
+
+/// Shared residency check for the analytical baselines: the core crate's
+/// nominal footprint (weights + capped 1024-token KV cache + buffer
+/// margin, defined once in `ianus_core::capacity::nominal_footprint_bytes`)
+/// against `available` memory.
+pub(crate) fn fits_in_memory(
+    model: &ianus_model::ModelConfig,
+    available: u64,
+) -> Result<(), ianus_core::capacity::CapacityError> {
+    let required = ianus_core::capacity::nominal_footprint_bytes(model);
+    if required > available {
+        Err(ianus_core::capacity::CapacityError::OutOfMemory {
+            required,
+            available,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod backend_tests {
+    use super::*;
+    use ianus_core::backend::Backend;
+    use ianus_model::{ModelConfig, RequestShape};
+
+    #[test]
+    fn baseline_backends_match_direct_latency() {
+        let model = ModelConfig::gpt2_xl();
+        let shape = RequestShape::new(128, 16);
+        let mut gpu = GpuModel::a100();
+        assert_eq!(
+            gpu.service_time(&model, shape),
+            GpuModel::a100().request_latency(&model, shape)
+        );
+        let mut dfx = DfxModel::four_fpga();
+        assert_eq!(
+            dfx.service_time(&model, shape),
+            DfxModel::four_fpga().request_latency(&model, shape)
+        );
+    }
+
+    #[test]
+    fn baseline_capacity_reflects_hbm() {
+        // 80 GB HBM holds 30B BF16 weights (60 GB), not 175B.
+        assert!(GpuModel::a100().fits(&ModelConfig::gpt_30b()).is_ok());
+        assert!(DfxModel::four_fpga().fits(&ModelConfig::gpt_30b()).is_err());
+        assert!(DfxModel::four_fpga().fits(&ModelConfig::gpt2_xl()).is_ok());
+        assert_eq!(Backend::name(&GpuModel::a100()), "A100 (eager)");
+        assert_eq!(Backend::name(&DfxModel::four_fpga()), "DFX (4-FPGA)");
+    }
+}

@@ -66,9 +66,24 @@ fn bench_baselines(c: &mut Criterion) {
     });
 }
 
+fn bench_serving_cluster(c: &mut Criterion) {
+    use ianus_core::serving::{DispatchPolicy, ServingConfig, ServingSim};
+    // Queueing pass over a warm 4-replica cluster (service memos mean
+    // each iteration is pure dispatch + statistics).
+    let mut sim = ServingSim::new(ServingConfig::interactive(12.0, 400))
+        .cluster(4, |_| IanusSystem::new(SystemConfig::ianus()))
+        .dispatch(DispatchPolicy::ShortestExpectedJob);
+    let model = ModelConfig::gpt2_m();
+    sim.run(&model); // warm the per-shape service memos
+    c.bench_function("serving_cluster_4x_gpt2m_400req", |b| {
+        b.iter(|| black_box(sim.run(&model)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_gpt2_request, bench_bert, bench_multi_device, bench_baselines
+    targets = bench_gpt2_request, bench_bert, bench_multi_device, bench_baselines,
+        bench_serving_cluster
 }
 criterion_main!(benches);

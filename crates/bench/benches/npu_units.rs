@@ -13,9 +13,11 @@ fn bench_matrix_unit(c: &mut Criterion) {
         ("gemv_1x1536x6144", (1u64, 1536u64, 6144u64)),
         ("prefill_512x1536x6144", (512, 1536, 6144)),
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(name), &(m, k, n), |b, &(m, k, n)| {
-            b.iter(|| black_box(mu.gemm(black_box(m), k, n)))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &(m, k, n),
+            |b, &(m, k, n)| b.iter(|| black_box(mu.gemm(black_box(m), k, n))),
+        );
     }
     g.finish();
 }
@@ -28,11 +30,19 @@ fn bench_vector_unit(c: &mut Criterion) {
 }
 
 fn bench_transfer_model(c: &mut Criterion) {
-    let m = TransferModel::new(GddrOrganization::ianus_default(), GddrTimings::ianus_default());
+    let m = TransferModel::new(
+        GddrOrganization::ianus_default(),
+        GddrTimings::ianus_default(),
+    );
     c.bench_function("dram_bulk_read_pricing", |b| {
         b.iter(|| black_box(m.bulk_read(black_box(56 << 20), 8)))
     });
 }
 
-criterion_group!(benches, bench_matrix_unit, bench_vector_unit, bench_transfer_model);
+criterion_group!(
+    benches,
+    bench_matrix_unit,
+    bench_vector_unit,
+    bench_transfer_model
+);
 criterion_main!(benches);

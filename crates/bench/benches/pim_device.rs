@@ -10,7 +10,10 @@ fn bench_closed_form(c: &mut Criterion) {
     let mut g = c.benchmark_group("pim_closed_form_gemv");
     for (name, shape) in [
         ("qkv_head_64x1536", GemvShape::new(64, 1536)),
-        ("ffn1_xl_6144x1536", GemvShape::new(6144, 1536).with_gelu(true)),
+        (
+            "ffn1_xl_6144x1536",
+            GemvShape::new(6144, 1536).with_gelu(true),
+        ),
         ("lm_head_50257x1536", GemvShape::new(50257, 1536)),
     ] {
         g.bench_with_input(BenchmarkId::from_parameter(name), &shape, |b, &s| {
@@ -39,7 +42,16 @@ fn bench_functional_gemv(c: &mut Criterion) {
         .map(|i| Bf16::from_f32((i % 17) as f32 / 17.0))
         .collect();
     c.bench_function("pim_functional_gemv_256x1024", |b| {
-        b.iter(|| black_box(gemv_bf16(&cfg, black_box(&w), rows, cols, black_box(&x), true)))
+        b.iter(|| {
+            black_box(gemv_bf16(
+                &cfg,
+                black_box(&w),
+                rows,
+                cols,
+                black_box(&x),
+                true,
+            ))
+        })
     });
 }
 

@@ -20,7 +20,10 @@ fn main() {
     banner("Ablation 1: PIM tile order (GPT-2 XL FFN1, 6144x1536)");
     let model = PimModel::new(PimConfig::ianus_default());
     let shape = GemvShape::new(6144, 1536);
-    for (name, order) in [("row-major (paper)", TileOrder::RowMajor), ("column-major", TileOrder::ColMajor)] {
+    for (name, order) in [
+        ("row-major (paper)", TileOrder::RowMajor),
+        ("column-major", TileOrder::ColMajor),
+    ] {
         let c = model.gemv_with_order(shape, order);
         println!(
             "  {:<20} {:>9.2} us | GB fill {:>7} B, drain {:>7} B, {:>6.0} GB/s internal",
@@ -55,7 +58,10 @@ fn main() {
         let mut cfg = SystemConfig::ianus();
         cfg.pim_macro_overhead = Duration::from_ns(overhead_ns);
         let mut sys = IanusSystem::new(cfg);
-        let s = sys.run_stage(&ModelConfig::gpt2_xl(), &Stage::Generation { past_tokens: 256 });
+        let s = sys.run_stage(
+            &ModelConfig::gpt2_xl(),
+            &Stage::Generation { past_tokens: 256 },
+        );
         println!(
             "  overhead = {:>4} ns: {:>6.2} ms/token",
             overhead_ns,

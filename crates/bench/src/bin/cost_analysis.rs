@@ -11,9 +11,7 @@ fn main() {
     banner("Section 7.2: perf/TDP cost efficiency vs A100 (256:64)");
     let gpu = GpuModel::a100_megatron();
     let req = RequestShape::new(256, 64);
-    println!(
-        "\nTDP assumptions: IANUS {IANUS_TDP_WATTS} W/device, A100 {A100_TDP_WATTS} W\n"
-    );
+    println!("\nTDP assumptions: IANUS {IANUS_TDP_WATTS} W/device, A100 {A100_TDP_WATTS} W\n");
     println!(
         "{:<10} {:>8} | {:>10} {:>10} | {:>10} {:>8}",
         "model", "devices", "GPU ms", "group ms", "perf/TDP", "paper"
@@ -35,7 +33,5 @@ fn main() {
             paper::COST_EFFICIENCY[mi]
         );
     }
-    println!(
-        "\npaper: cost-efficiency benefits diminish as the number of IANUS devices grows"
-    );
+    println!("\npaper: cost-efficiency benefits diminish as the number of IANUS devices grows");
 }

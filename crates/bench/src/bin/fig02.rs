@@ -38,7 +38,8 @@ fn main() {
     let attn_flops = ops.attention_flops(&stage);
     let ln_flops = 4 * ops.layernorm_elems(&stage); // ~1 FLOP/elem/kernel
     let total = (fc_flops + attn_flops + ln_flops) as f64;
-    println!("\n    FLOPs shares: FC+FFN {:.1}%, self-attention {:.1}%, LN+add {:.3}% (paper: <0.06%)",
+    println!(
+        "\n    FLOPs shares: FC+FFN {:.1}%, self-attention {:.1}%, LN+add {:.3}% (paper: <0.06%)",
         fc_flops as f64 / total * 100.0,
         attn_flops as f64 / total * 100.0,
         ln_flops as f64 / total * 100.0,

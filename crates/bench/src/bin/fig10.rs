@@ -26,7 +26,11 @@ fn makespan(cfg: &SystemConfig, units: usize, program: &Program, zeroed: Option<
             for cmd in program.commands() {
                 let mut c = Command::new(
                     cmd.unit,
-                    if cmd.tag == tag { Duration::ZERO } else { cmd.duration },
+                    if cmd.tag == tag {
+                        Duration::ZERO
+                    } else {
+                        cmd.duration
+                    },
                     cmd.tag,
                 )
                 .after_all(cmd.deps.iter().copied());
@@ -43,7 +47,9 @@ fn makespan(cfg: &SystemConfig, units: usize, program: &Program, zeroed: Option<
 fn main() {
     banner("Figure 10: generation latency breakdown, NPU-MEM vs IANUS (128,256)");
     // Representative step of the (128,256) request: past = 128 + 255/2.
-    let stage = Stage::Generation { past_tokens: 128 + 127 };
+    let stage = Stage::Generation {
+        past_tokens: 128 + 127,
+    };
     let steps = 255.0;
     let classes = [
         OpClass::LayerNorm,
@@ -62,8 +68,7 @@ fn main() {
             let mut row: Vec<f64> = classes
                 .iter()
                 .map(|c| {
-                    let without =
-                        makespan(&cfg, units, &compiled.program, Some(c.tag()));
+                    let without = makespan(&cfg, units, &compiled.program, Some(c.tag()));
                     (full - without) * steps / 1e6
                 })
                 .collect();

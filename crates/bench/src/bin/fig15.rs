@@ -16,7 +16,10 @@ fn run(cfg: SystemConfig, req: RequestShape) -> f64 {
 fn main() {
     banner("Figure 15: sensitivity to #cores and #PIM chips, GPT-2 L");
     let reqs = [RequestShape::new(256, 1), RequestShape::new(256, 512)];
-    let base: Vec<f64> = reqs.iter().map(|&r| run(SystemConfig::ianus(), r)).collect();
+    let base: Vec<f64> = reqs
+        .iter()
+        .map(|&r| run(SystemConfig::ianus(), r))
+        .collect();
 
     println!("\nslowdown vs 4 cores / 4 PIM chips:");
     println!(
@@ -31,7 +34,12 @@ fn main() {
             .enumerate()
             .map(|(i, &r)| run(cfg, r) / base[i])
             .collect();
-        println!("{:<18} {:>11.2}x {:>11.2}x", format!("{cores} cores"), s[0], s[1]);
+        println!(
+            "{:<18} {:>11.2}x {:>11.2}x",
+            format!("{cores} cores"),
+            s[0],
+            s[1]
+        );
     }
     for chips in [1u32, 2, 4] {
         let cfg = SystemConfig::ianus().with_pim_chips(chips);
@@ -40,7 +48,12 @@ fn main() {
             .enumerate()
             .map(|(i, &r)| run(cfg, r) / base[i])
             .collect();
-        println!("{:<18} {:>11.2}x {:>11.2}x", format!("{chips} PIM chips"), s[0], s[1]);
+        println!(
+            "{:<18} {:>11.2}x {:>11.2}x",
+            format!("{chips} PIM chips"),
+            s[0],
+            s[1]
+        );
     }
     println!(
         "\npaper: fewer cores slow both cases (summarization more); fewer PIM chips\n\

@@ -50,7 +50,11 @@ fn main() {
             "  seed {seed:>6}: {:>4.0}% token agreement over {} steps ({})",
             r.agreement() * 100.0,
             steps,
-            if r.agreement() >= 0.75 { "PASS" } else { "FAIL" }
+            if r.agreement() >= 0.75 {
+                "PASS"
+            } else {
+                "FAIL"
+            }
         );
     }
     println!(

@@ -8,7 +8,11 @@ use ianus_model::{ModelConfig, Stage};
 
 fn main() {
     let model = ModelConfig::gpt2_xl();
-    let platforms = [Platform::a100(), Platform::ianus_npu(), Platform::ianus_pim()];
+    let platforms = [
+        Platform::a100(),
+        Platform::ianus_npu(),
+        Platform::ianus_pim(),
+    ];
 
     banner("Section 3.1: operator arithmetic intensities, GPT-2 XL");
     println!(
@@ -20,8 +24,14 @@ fn main() {
             .join(", ")
     );
     for (label, stage) in [
-        ("summarization (512 tokens)", Stage::Summarization { tokens: 512 }),
-        ("generation (past = 512)", Stage::Generation { past_tokens: 512 }),
+        (
+            "summarization (512 tokens)",
+            Stage::Summarization { tokens: 512 },
+        ),
+        (
+            "generation (past = 512)",
+            Stage::Generation { past_tokens: 512 },
+        ),
     ] {
         println!("\n{label}:");
         println!(
@@ -31,7 +41,13 @@ fn main() {
         for op in block_intensities(&model.block_ops(), &stage) {
             let bounds: Vec<&str> = platforms
                 .iter()
-                .map(|p| if p.memory_bound(&op) { "mem" } else { "compute" })
+                .map(|p| {
+                    if p.memory_bound(&op) {
+                        "mem"
+                    } else {
+                        "compute"
+                    }
+                })
                 .collect();
             println!(
                 "{:<26} {:>12.3} {:>12.2} {:>10.1}  {}",
@@ -47,7 +63,12 @@ fn main() {
     banner("Section 3.1: stage-level intensity gap");
     for tokens in [128u64, 256, 512] {
         let s = stage_intensity(&model, &Stage::Summarization { tokens });
-        let g = stage_intensity(&model, &Stage::Generation { past_tokens: tokens });
+        let g = stage_intensity(
+            &model,
+            &Stage::Generation {
+                past_tokens: tokens,
+            },
+        );
         println!(
             "  {tokens:>4} tokens: summarization {:>7.1} FLOP/B vs generation {:>5.2} FLOP/B ({:>5.0}x gap)",
             s.intensity(),

@@ -12,7 +12,10 @@ fn main() {
 
     banner("Table 1: simulation parameters for IANUS");
     println!("NPU");
-    println!("  composition        {} cores, {} PIM memory controllers", cfg.npu.cores, cfg.org.channels);
+    println!(
+        "  composition        {} cores, {} PIM memory controllers",
+        cfg.npu.cores, cfg.org.channels
+    );
     println!("  frequency          700 MHz");
     println!(
         "  matrix unit        {}x{} PEs, {} MACs/PE, {:.0} TFLOPS/core",
@@ -64,7 +67,10 @@ fn main() {
     let gpu = GpuModel::a100();
     let dfx = DfxModel::four_fpga();
     println!("{:<22} {:>12} {:>12} {:>12}", "", "A100", "DFX", "IANUS");
-    println!("{:<22} {:>12} {:>12} {:>12}", "frequency (MHz)", 1155, 200, 700);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "frequency (MHz)", 1155, 200, 700
+    );
     println!(
         "{:<22} {:>12.0} {:>12.2} {:>12.1}",
         "throughput (TFLOPS)",
@@ -76,7 +82,13 @@ fn main() {
         "{:<22} {:>12} {:>12} {:>12}",
         "off-chip memory", "HBM2e", "HBM2", "GDDR6"
     );
-    println!("{:<22} {:>12} {:>12} {:>12}", "capacity (GB)", 80, 32, cfg.org.capacity >> 30);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "capacity (GB)",
+        80,
+        32,
+        cfg.org.capacity >> 30
+    );
     println!(
         "{:<22} {:>12.0} {:>12.0} {:>12.0}",
         "bandwidth (GB/s)",

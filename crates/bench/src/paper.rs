@@ -23,21 +23,37 @@ pub const FIG8_REQUESTS: [(u64, u64); 12] = [
 /// Figure 8, A100 GPU latency in ms (rows follow [`FIG8_REQUESTS`]).
 pub const FIG8_GPU_MS: [[f64; 12]; 4] = [
     // GPT-2 M
-    [15.0, 111.0, 870.0, 6938.0, 15.0, 111.0, 872.0, 7130.0, 15.0, 112.0, 879.0, 7221.0],
+    [
+        15.0, 111.0, 870.0, 6938.0, 15.0, 111.0, 872.0, 7130.0, 15.0, 112.0, 879.0, 7221.0,
+    ],
     // GPT-2 L
-    [22.0, 164.0, 1271.0, 10274.0, 23.0, 164.0, 1299.0, 10291.0, 23.0, 168.0, 1299.0, 10401.0],
+    [
+        22.0, 164.0, 1271.0, 10274.0, 23.0, 164.0, 1299.0, 10291.0, 23.0, 168.0, 1299.0, 10401.0,
+    ],
     // GPT-2 XL
-    [29.0, 212.0, 1698.0, 13622.0, 29.0, 220.0, 1740.0, 13701.0, 31.0, 221.0, 1801.0, 14239.0],
+    [
+        29.0, 212.0, 1698.0, 13622.0, 29.0, 220.0, 1740.0, 13701.0, 31.0, 221.0, 1801.0, 14239.0,
+    ],
     // GPT-2 2.5B
-    [32.0, 242.0, 1916.0, 15411.0, 33.0, 245.0, 1928.0, 15436.0, 39.0, 248.0, 2009.0, 15480.0],
+    [
+        32.0, 242.0, 1916.0, 15411.0, 33.0, 245.0, 1928.0, 15436.0, 39.0, 248.0, 2009.0, 15480.0,
+    ],
 ];
 
 /// Figure 8, IANUS latency in ms (rows follow [`FIG8_REQUESTS`]).
 pub const FIG8_IANUS_MS: [[f64; 12]; 4] = [
-    [5.0, 12.0, 68.0, 576.0, 6.0, 13.0, 74.0, 609.0, 9.0, 17.0, 84.0, 673.0],
-    [10.0, 25.0, 151.0, 1261.0, 13.0, 29.0, 161.0, 1323.0, 18.0, 36.0, 182.0, 1447.0],
-    [18.0, 43.0, 251.0, 2073.0, 22.0, 49.0, 267.0, 2171.0, 31.0, 60.0, 299.0, 2367.0],
-    [32.0, 71.0, 388.0, 3261.0, 38.0, 79.0, 418.0, 3462.0, 50.0, 97.0, 478.0, 3864.0],
+    [
+        5.0, 12.0, 68.0, 576.0, 6.0, 13.0, 74.0, 609.0, 9.0, 17.0, 84.0, 673.0,
+    ],
+    [
+        10.0, 25.0, 151.0, 1261.0, 13.0, 29.0, 161.0, 1323.0, 18.0, 36.0, 182.0, 1447.0,
+    ],
+    [
+        18.0, 43.0, 251.0, 2073.0, 22.0, 49.0, 267.0, 2171.0, 31.0, 60.0, 299.0, 2367.0,
+    ],
+    [
+        32.0, 71.0, 388.0, 3261.0, 38.0, 79.0, 418.0, 3462.0, 50.0, 97.0, 478.0, 3864.0,
+    ],
 ];
 
 /// Figure 8's per-model average speedups (GPU avg / IANUS avg).
@@ -57,11 +73,13 @@ pub const FIG9_REQUESTS: [(u64, u64); 9] = [
 ];
 
 /// Figure 9, GPT-2 XL latency in ms: DFX, NPU-MEM, IANUS.
-pub const FIG9_DFX_MS: [f64; 9] =
-    [227.0, 330.0, 1981.0, 447.0, 550.0, 2201.0, 887.0, 991.0, 2642.0];
+pub const FIG9_DFX_MS: [f64; 9] = [
+    227.0, 330.0, 1981.0, 447.0, 550.0, 2201.0, 887.0, 991.0, 2642.0,
+];
 /// NPU-MEM row of Figure 9.
-pub const FIG9_NPU_MEM_MS: [f64; 9] =
-    [18.0, 247.0, 3970.0, 18.0, 246.0, 3972.0, 18.0, 249.0, 3983.0];
+pub const FIG9_NPU_MEM_MS: [f64; 9] = [
+    18.0, 247.0, 3970.0, 18.0, 246.0, 3972.0, 18.0, 249.0, 3983.0,
+];
 /// IANUS row of Figure 9.
 pub const FIG9_IANUS_MS: [f64; 9] = [18.0, 73.0, 989.0, 18.0, 72.0, 990.0, 18.0, 73.0, 997.0];
 

@@ -1,0 +1,231 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of criterion's API its benches use: `Criterion` with
+//! `bench_function` / `benchmark_group` / `bench_with_input`, `Bencher`
+//! with `iter`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros (both the list and the
+//! `name/config/targets` forms).
+//!
+//! Statistics are intentionally simple — a timed warm-up pass followed by
+//! `sample_size` timed samples, reporting min/mean/max per iteration —
+//! which is plenty for the workspace's regression-spotting use. Swapping
+//! in real criterion later changes no call site.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark runner and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Criterion {
+    /// The default configuration (20 samples, 3 s budget, 1 s warm-up).
+    #[allow(clippy::should_implement_trait)]
+    pub fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(3),
+            warm_up_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self, name, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a parameter value.
+    pub fn from_parameter<D: std::fmt::Display>(parameter: D) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Timer handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(cfg: &Criterion, name: &str, mut f: F) {
+    // Warm-up: grow the iteration count until one sample costs ≥ ~1 ms or
+    // the warm-up budget is spent, so cheap routines aren't timer-noise.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || warm_start.elapsed() >= cfg.warm_up_time {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let deadline = Instant::now() + cfg.measurement_time;
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{name:<40} {:>12} {:>12} {:>12}   ({} samples x {iters} iters)",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max),
+        per_iter_ns.len(),
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            println!(
+                "{:<40} {:>12} {:>12} {:>12}",
+                "benchmark", "min", "mean", "max"
+            );
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(10));
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

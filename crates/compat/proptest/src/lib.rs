@@ -1,0 +1,456 @@
+//! Minimal offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of proptest's API its property tests use:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges, tuples, and the combinators below;
+//! * `prop::sample::select`, `prop::collection::vec`, `prop::option::of`,
+//!   and [`strategy::any`] (for `bool`);
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]` support) and
+//!   [`prop_assert!`] / [`prop_assert_eq!`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Unlike real proptest there is **no shrinking** and no persisted failure
+//! corpus: each test derives a deterministic RNG from its own name and
+//! runs `cases` independently sampled inputs, so failures reproduce
+//! exactly on re-run. That covers what the workspace needs — randomized
+//! coverage of invariants — while remaining a few hundred lines and fully
+//! offline.
+
+pub mod test_runner {
+    //! Test configuration, RNG, and failure plumbing.
+
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` sampled inputs.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Real proptest defaults to 256; property bodies in this
+            // workspace simulate whole devices, so default lower and let
+            // tests opt into more.
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Failure raised by `prop_assert!` family macros.
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Deterministic SplitMix64 RNG; each test seeds one from its name so
+    /// runs are reproducible without a persistence file.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds from a test name (FNV-1a over the bytes).
+        pub fn from_name(name: &str) -> Self {
+            let mut h = 0xCBF2_9CE4_8422_2325u64;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next uniform 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (`bound > 0`).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and base implementations.
+
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Samples one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Widen through i128 so signed ranges with a
+                    // negative start compute the correct span.
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let offset = (u128::from(rng.next_u64()) % span) as i128;
+                    (self.start as i128 + offset) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Types with a canonical whole-domain strategy (`any::<T>()`).
+    pub trait Arbitrary {
+        /// Samples one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    /// Strategy over a type's whole domain.
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod prop {
+    //! The `prop::` combinator namespace.
+
+    pub mod sample {
+        //! Uniform selection from explicit value sets.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy drawing uniformly from a fixed vector.
+        #[derive(Debug, Clone)]
+        pub struct Select<T> {
+            values: Vec<T>,
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+
+            fn generate(&self, rng: &mut TestRng) -> T {
+                assert!(!self.values.is_empty(), "select over empty vector");
+                self.values[rng.below(self.values.len() as u64) as usize].clone()
+            }
+        }
+
+        /// Uniform choice among `values`.
+        pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+            Select { values }
+        }
+    }
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy generating vectors of strategy-driven elements.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                assert!(self.len.start < self.len.end, "empty length range");
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vector of `element` values with a length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+    }
+
+    pub mod option {
+        //! `Option` strategies.
+
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy generating `None` a quarter of the time (matching real
+        /// proptest's default weighting) and `Some(inner)` otherwise.
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+
+        /// `Option` of `inner`'s values.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything property tests import.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests. Each function's arguments are drawn from the
+/// strategies after `in`, `cases` times per test run.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = (<$crate::test_runner::ProptestConfig as ::std::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]: one wrapped `#[test]` per item.
+/// The `#[test]` attribute itself rides along in `$meta`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::from_name(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cfg.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                    $(&$arg,)+
+                );
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let Err(e) = __result {
+                    panic!(
+                        "property {} failed at case {}/{} with {}: {}",
+                        stringify!($name),
+                        __case + 1,
+                        __cfg.cases,
+                        __inputs,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            l,
+            r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in 0usize..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y < 5);
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec(0u32..10, 1..8),
+            pick in prop::sample::select(vec![1u8, 2, 4]),
+            opt in prop::option::of(0u64..3),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            prop_assert!(v.iter().all(|&e| e < 10));
+            prop_assert!([1u8, 2, 4].contains(&pick));
+            if let Some(o) = opt {
+                prop_assert!(o < 3);
+            }
+            prop_assert_eq!(flag, flag);
+        }
+
+        #[test]
+        fn prop_map_applies(double in (1u64..10).prop_map(|v| v * 2)) {
+            prop_assert!(double % 2 == 0 && double < 20);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_start_stay_in_bounds() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let mut rng = TestRng::from_name("signed");
+        let mut seen_negative = false;
+        for _ in 0..1000 {
+            let v = (-5i32..5).generate(&mut rng);
+            assert!((-5..5).contains(&v), "{v}");
+            seen_negative |= v < 0;
+            let w = (i64::MIN..0).generate(&mut rng);
+            assert!(w < 0);
+        }
+        assert!(seen_negative);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use crate::test_runner::TestRng;
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}

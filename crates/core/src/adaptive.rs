@@ -7,9 +7,9 @@
 //! finishes sooner — the paper's Algorithm 1. Figure 12 evaluates exactly
 //! this decision for 4/8/16 input tokens across the GPT-2 family.
 
+use ianus_model::FcShape;
 use ianus_npu::{DmaEngine, MatrixUnit};
 use ianus_pim::{GemvShape, PimModel};
-use ianus_model::FcShape;
 use ianus_sim::Duration;
 
 /// Execution unit chosen for an FC layer.
@@ -72,9 +72,7 @@ impl AdaptivePlanner {
     /// preceding vector-unit op (Algorithm 1 lines 5–11).
     pub fn mu_time(&self, tokens: u64, fc: FcShape, prefetch: Duration) -> Duration {
         let chunks = self.chunk_count(fc);
-        let load_total = self
-            .dma
-            .offchip(fc.weight_bytes(), self.per_core_load_gbps)
+        let load_total = self.dma.offchip(fc.weight_bytes(), self.per_core_load_gbps)
             + self.dma.setup() * (chunks - 1);
         let compute_total = self.mu.gemm(tokens, fc.in_dim, fc.out_dim);
         // Double-buffered pipeline: bound by the slower stream, plus the

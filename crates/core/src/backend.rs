@@ -1,0 +1,153 @@
+//! The unified [`Backend`] trait: one serving interface over every device
+//! model in the workspace.
+//!
+//! The paper motivates IANUS with interactive batch-1 serving, and the
+//! repo grew four ways to ask "how long does this request take" —
+//! [`IanusSystem::run_request`], [`DeviceGroup::run_request`], and the
+//! baselines' ad-hoc `request_latency` methods. [`Backend`] collapses
+//! them into one trait so the serving engine ([`crate::serving`]), the
+//! examples, and any future scheduler can treat a single IANUS device, a
+//! PCIe-ganged device group, an A100, or a DFX appliance interchangeably
+//! — through `dyn Backend` or generics.
+//!
+//! Implementations in this crate: [`IanusSystem`] and [`DeviceGroup`].
+//! The `ianus-baselines` crate implements it for `GpuModel` and
+//! `DfxModel`.
+//!
+//! # Examples
+//!
+//! ```
+//! use ianus_core::backend::Backend;
+//! use ianus_core::multi_device::DeviceGroup;
+//! use ianus_core::{IanusSystem, SystemConfig};
+//! use ianus_model::{ModelConfig, RequestShape};
+//!
+//! let mut backends: Vec<Box<dyn Backend>> = vec![
+//!     Box::new(IanusSystem::new(SystemConfig::ianus())),
+//!     Box::new(DeviceGroup::new(SystemConfig::ianus(), 2)),
+//! ];
+//! let model = ModelConfig::gpt2_m();
+//! for b in &mut backends {
+//!     assert!(b.fits(&model).is_ok());
+//!     assert!(b.service_time(&model, RequestShape::new(128, 8)).as_ms_f64() > 0.0);
+//! }
+//! ```
+
+use crate::capacity::{check_model, CapacityError};
+use crate::multi_device::DeviceGroup;
+use crate::{IanusSystem, MemoryPolicy};
+use ianus_model::{ModelConfig, RequestShape};
+use ianus_sim::Duration;
+
+/// A device model that can serve whole requests.
+///
+/// The contract every implementation upholds:
+///
+/// * `service_time` is **deterministic**: the same model and shape always
+///   produce the same duration (backends may memoize internally on that
+///   basis).
+/// * `service_time` is the same quantity the backend's native API reports
+///   — `RunReport::total` for simulated devices, `request_latency` for
+///   the analytical baselines — so going through the trait never changes
+///   a result.
+/// * `fits` is a *residency* check (weights + a nominal context's KV
+///   cache + working buffers against device memory); callers dispatch a
+///   request only after it returns `Ok`.
+pub trait Backend {
+    /// Human-readable platform name (stable across calls; used as the
+    /// replica label in serving reports).
+    fn name(&self) -> &str;
+
+    /// End-to-end time to serve one request of `shape` on `model`,
+    /// with the backend otherwise idle.
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration;
+
+    /// Whether `model` is resident on this backend.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] describing the shortfall when it is not.
+    fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError>;
+}
+
+impl Backend for IanusSystem {
+    fn name(&self) -> &str {
+        let devices = self.config().devices;
+        match (self.config().memory, devices) {
+            (MemoryPolicy::Unified, 1) => "IANUS",
+            (MemoryPolicy::Unified, _) => "IANUS group",
+            (MemoryPolicy::Partitioned, _) => "IANUS (partitioned)",
+            (MemoryPolicy::NpuMemOnly, _) => "NPU-MEM",
+        }
+    }
+
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
+        self.run_request(model, shape).total
+    }
+
+    fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
+        check_model(self.config(), model)
+    }
+}
+
+impl Backend for DeviceGroup {
+    fn name(&self) -> &str {
+        self.label()
+    }
+
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
+        self.run_request(model, shape).total
+    }
+
+    fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
+        check_model(self.system().config(), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemConfig;
+
+    #[test]
+    fn ianus_system_backend_matches_direct_api() {
+        let model = ModelConfig::gpt2_m();
+        let shape = RequestShape::new(64, 4);
+        let direct = IanusSystem::new(SystemConfig::ianus())
+            .run_request(&model, shape)
+            .total;
+        let mut backend: Box<dyn Backend> = Box::new(IanusSystem::new(SystemConfig::ianus()));
+        assert_eq!(backend.service_time(&model, shape), direct);
+        assert_eq!(backend.name(), "IANUS");
+    }
+
+    #[test]
+    fn device_group_backend_matches_direct_api() {
+        let model = ModelConfig::gpt_6_7b();
+        let shape = RequestShape::new(64, 2);
+        let direct = DeviceGroup::new(SystemConfig::ianus(), 2)
+            .run_request(&model, shape)
+            .total;
+        let mut backend = DeviceGroup::new(SystemConfig::ianus(), 2);
+        assert_eq!(Backend::service_time(&mut backend, &model, shape), direct);
+        assert_eq!(Backend::name(&backend), "IANUS x2");
+    }
+
+    #[test]
+    fn fits_tracks_memory_policy() {
+        let sys = IanusSystem::new(SystemConfig::ianus());
+        assert!(sys.fits(&ModelConfig::gpt2_xl()).is_ok());
+        assert!(sys.fits(&ModelConfig::gpt_13b()).is_err());
+        let group = DeviceGroup::new(SystemConfig::ianus(), 4);
+        assert!(Backend::fits(&group, &ModelConfig::gpt_13b()).is_ok());
+    }
+
+    #[test]
+    fn backend_names_distinguish_policies() {
+        assert_eq!(IanusSystem::new(SystemConfig::npu_mem()).name(), "NPU-MEM");
+        assert_eq!(
+            IanusSystem::new(SystemConfig::partitioned()).name(),
+            "IANUS (partitioned)"
+        );
+    }
+}

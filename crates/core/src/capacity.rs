@@ -36,9 +36,12 @@ impl fmt::Display for CapacityError {
                 f,
                 "sequence of {requested} tokens exceeds the model maximum of {max_seq}"
             ),
-            CapacityError::OutOfMemory { required, available } => write!(
+            CapacityError::OutOfMemory {
+                required,
+                available,
+            } => write!(
                 f,
-                "request needs {} MiB per device but only {} MiB are available",
+                "request needs {} MiB but only {} MiB of memory are available",
                 required >> 20,
                 available >> 20
             ),
@@ -72,6 +75,43 @@ impl CapacityReport {
     pub fn occupancy(&self) -> f64 {
         self.required_bytes() as f64 / self.available_bytes as f64
     }
+}
+
+/// Nominal single-pool residency footprint of `model`: weights plus a
+/// 1024-token KV cache (capped at the model's maximum sequence) plus
+/// ~1 GiB of activation/buffer margin. This is the one place the
+/// nominal-context convention is defined; the baselines' `Backend::fits`
+/// and [`DeviceGroup::devices_for`](crate::multi_device::DeviceGroup::devices_for)
+/// both build on it, while [`check_model`]/[`check_request`] apply the
+/// device-sharded variant.
+pub fn nominal_footprint_bytes(model: &ModelConfig) -> u64 {
+    let context = model.max_seq.min(1024);
+    model.param_bytes() + model.kv_bytes_per_token() * context + (1 << 30)
+}
+
+/// Checks whether `model` is resident on `cfg` without a concrete
+/// request: weights plus the KV cache and activations of a nominal
+/// 1024-token context (capped at the model's maximum sequence). This is
+/// the check behind [`crate::backend::Backend::fits`].
+///
+/// # Errors
+///
+/// [`CapacityError::OutOfMemory`] when the footprint exceeds per-device
+/// memory.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_core::capacity::check_model;
+/// use ianus_core::SystemConfig;
+/// use ianus_model::ModelConfig;
+///
+/// assert!(check_model(&SystemConfig::ianus(), &ModelConfig::gpt2_xl()).is_ok());
+/// assert!(check_model(&SystemConfig::ianus(), &ModelConfig::gpt_13b()).is_err());
+/// ```
+pub fn check_model(cfg: &SystemConfig, model: &ModelConfig) -> Result<(), CapacityError> {
+    let context = model.max_seq.min(1024);
+    check_request(cfg, model, RequestShape::new(context, 1)).map(|_| ())
 }
 
 /// Checks whether `request` on `model` fits `cfg`, returning the
@@ -146,11 +186,7 @@ mod tests {
     #[test]
     fn gpt2_family_fits_one_device() {
         for model in ModelConfig::gpt2_family() {
-            let r = check_request(
-                &SystemConfig::ianus(),
-                &model,
-                RequestShape::new(512, 512),
-            );
+            let r = check_request(&SystemConfig::ianus(), &model, RequestShape::new(512, 512));
             assert!(r.is_ok(), "{}: {r:?}", model.name);
         }
     }
@@ -174,18 +210,18 @@ mod tests {
             (ModelConfig::gpt_13b(), 4),
             (ModelConfig::gpt_30b(), 8),
         ] {
-            let one = check_request(
-                &SystemConfig::ianus(),
-                &model,
-                RequestShape::new(256, 64),
-            );
+            let one = check_request(&SystemConfig::ianus(), &model, RequestShape::new(256, 64));
             assert!(one.is_err(), "{} should not fit one device", model.name);
             let enough = check_request(
                 &SystemConfig::ianus().with_devices(devices),
                 &model,
                 RequestShape::new(256, 64),
             );
-            assert!(enough.is_ok(), "{} on {devices} devices: {enough:?}", model.name);
+            assert!(
+                enough.is_ok(),
+                "{} on {devices} devices: {enough:?}",
+                model.name
+            );
         }
     }
 

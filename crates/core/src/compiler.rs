@@ -165,16 +165,53 @@ impl<'a> Compiler<'a> {
         for _ in 0..self.model.blocks {
             for c in 0..cores {
                 let deps: Vec<CmdId> = frontier[c as usize].into_iter().collect();
-                let ln = self.vu_cmd(c, VuOp::LayerNorm, tokens * ops.embed_dim(),
-                    OpClass::LayerNorm, deps);
-                let qkv = self.fc(c, tokens, ops.qkv_fc().column_slice(part), false,
-                    mapping, OpClass::FcQkv, vec![ln], self.vu.op(VuOp::LayerNorm, tokens * ops.embed_dim()));
-                let proj = self.fc(c, tokens, ops.attn_out_fc().column_slice(part), false,
-                    mapping, OpClass::FcAttnProjAdd, vec![qkv], Duration::ZERO);
-                let ffn1 = self.fc(c, tokens, ops.ffn1_fc().column_slice(part), true,
-                    mapping, OpClass::FfnAdd, vec![proj], Duration::ZERO);
-                let ffn2 = self.fc(c, tokens, ops.ffn2_fc().column_slice(part), false,
-                    mapping, OpClass::FfnAdd, vec![ffn1], Duration::ZERO);
+                let ln = self.vu_cmd(
+                    c,
+                    VuOp::LayerNorm,
+                    tokens * ops.embed_dim(),
+                    OpClass::LayerNorm,
+                    deps,
+                );
+                let qkv = self.fc(
+                    c,
+                    tokens,
+                    ops.qkv_fc().column_slice(part),
+                    false,
+                    mapping,
+                    OpClass::FcQkv,
+                    vec![ln],
+                    self.vu.op(VuOp::LayerNorm, tokens * ops.embed_dim()),
+                );
+                let proj = self.fc(
+                    c,
+                    tokens,
+                    ops.attn_out_fc().column_slice(part),
+                    false,
+                    mapping,
+                    OpClass::FcAttnProjAdd,
+                    vec![qkv],
+                    Duration::ZERO,
+                );
+                let ffn1 = self.fc(
+                    c,
+                    tokens,
+                    ops.ffn1_fc().column_slice(part),
+                    true,
+                    mapping,
+                    OpClass::FfnAdd,
+                    vec![proj],
+                    Duration::ZERO,
+                );
+                let ffn2 = self.fc(
+                    c,
+                    tokens,
+                    ops.ffn2_fc().column_slice(part),
+                    false,
+                    mapping,
+                    OpClass::FfnAdd,
+                    vec![ffn1],
+                    Duration::ZERO,
+                );
                 frontier[c as usize] = Some(ffn2);
             }
             frontier = self.barrier(stage.batch_tokens(), frontier);
@@ -194,11 +231,7 @@ impl<'a> Compiler<'a> {
     // Block structure
     // ------------------------------------------------------------------
 
-    fn compile_block(
-        &mut self,
-        stage: &Stage,
-        frontier: Vec<Option<CmdId>>,
-    ) -> Vec<Option<CmdId>> {
+    fn compile_block(&mut self, stage: &Stage, frontier: Vec<Option<CmdId>>) -> Vec<Option<CmdId>> {
         let cores = self.cfg.npu.cores;
         let ops = self.model.block_ops();
         let tokens = stage.batch_tokens();
@@ -208,8 +241,13 @@ impl<'a> Compiler<'a> {
         let mut after_attn: Vec<Option<CmdId>> = vec![None; cores as usize];
         for c in 0..cores {
             let deps: Vec<CmdId> = frontier[c as usize].into_iter().collect();
-            let ln1 = self.vu_cmd(c, VuOp::LayerNorm, tokens * ops.embed_dim(),
-                OpClass::LayerNorm, deps);
+            let ln1 = self.vu_cmd(
+                c,
+                VuOp::LayerNorm,
+                tokens * ops.embed_dim(),
+                OpClass::LayerNorm,
+                deps,
+            );
             let attn_last = match stage {
                 Stage::Summarization { .. } => self.summarization_attention(c, stage, ln1),
                 Stage::Generation { .. } => match self.cfg.pas.attention {
@@ -226,10 +264,23 @@ impl<'a> Compiler<'a> {
         let mut after_res1: Vec<Option<CmdId>> = vec![None; cores as usize];
         for c in 0..cores {
             let deps: Vec<CmdId> = merged[c as usize].into_iter().collect();
-            let fc = self.fc(c, tokens, ops.attn_out_fc().column_slice(part), false,
-                self.cfg.pas.fc, OpClass::FcAttnProjAdd, deps, Duration::ZERO);
-            let res = self.vu_cmd(c, VuOp::ResidualAdd,
-                tokens * ops.embed_dim().div_ceil(part), OpClass::FcAttnProjAdd, vec![fc]);
+            let fc = self.fc(
+                c,
+                tokens,
+                ops.attn_out_fc().column_slice(part),
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcAttnProjAdd,
+                deps,
+                Duration::ZERO,
+            );
+            let res = self.vu_cmd(
+                c,
+                VuOp::ResidualAdd,
+                tokens * ops.embed_dim().div_ceil(part),
+                OpClass::FcAttnProjAdd,
+                vec![fc],
+            );
             after_res1[c as usize] = Some(res);
         }
         // Sync 2: after the residual addition.
@@ -239,11 +290,24 @@ impl<'a> Compiler<'a> {
         let mut after_gelu: Vec<Option<CmdId>> = vec![None; cores as usize];
         for c in 0..cores {
             let deps: Vec<CmdId> = merged[c as usize].into_iter().collect();
-            let ln2 = self.vu_cmd(c, VuOp::LayerNorm, tokens * ops.embed_dim(),
-                OpClass::LayerNorm, deps);
+            let ln2 = self.vu_cmd(
+                c,
+                VuOp::LayerNorm,
+                tokens * ops.embed_dim(),
+                OpClass::LayerNorm,
+                deps,
+            );
             let ln2_time = self.vu.op(VuOp::LayerNorm, tokens * ops.embed_dim());
-            let ffn1 = self.fc(c, tokens, ops.ffn1_fc().column_slice(part), true,
-                self.cfg.pas.fc, OpClass::FfnAdd, vec![ln2], ln2_time);
+            let ffn1 = self.fc(
+                c,
+                tokens,
+                ops.ffn1_fc().column_slice(part),
+                true,
+                self.cfg.pas.fc,
+                OpClass::FfnAdd,
+                vec![ln2],
+                ln2_time,
+            );
             after_gelu[c as usize] = Some(ffn1);
         }
         // Sync 3: after GELU.
@@ -253,10 +317,23 @@ impl<'a> Compiler<'a> {
         let mut after_res2: Vec<Option<CmdId>> = vec![None; cores as usize];
         for c in 0..cores {
             let deps: Vec<CmdId> = merged[c as usize].into_iter().collect();
-            let fc = self.fc(c, tokens, ops.ffn2_fc().column_slice(part), false,
-                self.cfg.pas.fc, OpClass::FfnAdd, deps, Duration::ZERO);
-            let res = self.vu_cmd(c, VuOp::ResidualAdd,
-                tokens * ops.embed_dim().div_ceil(part), OpClass::FfnAdd, vec![fc]);
+            let fc = self.fc(
+                c,
+                tokens,
+                ops.ffn2_fc().column_slice(part),
+                false,
+                self.cfg.pas.fc,
+                OpClass::FfnAdd,
+                deps,
+                Duration::ZERO,
+            );
+            let res = self.vu_cmd(
+                c,
+                VuOp::ResidualAdd,
+                tokens * ops.embed_dim().div_ceil(part),
+                OpClass::FfnAdd,
+                vec![fc],
+            );
             after_res2[c as usize] = Some(res);
         }
         // Sync 4: after the residual addition.
@@ -277,8 +354,16 @@ impl<'a> Compiler<'a> {
             // Final layer norm over the last token, then logits.
             let ln = self.vu_cmd(c, VuOp::LayerNorm, ops.embed_dim(), OpClass::Other, deps);
             // Only the newest token needs logits in both stages.
-            let fc = self.fc(c, 1, ops.lm_head_fc().column_slice(part), false,
-                self.cfg.pas.fc, OpClass::LmHead, vec![ln], Duration::ZERO);
+            let fc = self.fc(
+                c,
+                1,
+                ops.lm_head_fc().column_slice(part),
+                false,
+                self.cfg.pas.fc,
+                OpClass::LmHead,
+                vec![ln],
+                Duration::ZERO,
+            );
             last[c as usize] = Some(fc);
         }
         let _ = stage;
@@ -312,10 +397,14 @@ impl<'a> Compiler<'a> {
             // Scaling is fused into the matrix unit's output stage.
             let qkt = self.mu_gemm(core, m, dh, m, OpClass::SelfAttention, vec![qg, tr]);
             // Keys and values stored to the KV cache during computation.
-            let _kv = self.local_store(core, 2 * m * dh * 2, OpClass::SelfAttention,
-                vec![kg, vg]);
-            let sm = self.vu_cmd(core, VuOp::MaskedSoftmax, m * m,
-                OpClass::SelfAttention, vec![qkt]);
+            let _kv = self.local_store(core, 2 * m * dh * 2, OpClass::SelfAttention, vec![kg, vg]);
+            let sm = self.vu_cmd(
+                core,
+                VuOp::MaskedSoftmax,
+                m * m,
+                OpClass::SelfAttention,
+                vec![qkt],
+            );
             // Values move to the weight scratchpad during softmax.
             let vmv = self.onchip(core, m * dh * 2, OpClass::SelfAttention, vec![vg]);
             last_sv = self.mu_gemm(core, m, m, dh, OpClass::SelfAttention, vec![sm, vmv]);
@@ -341,28 +430,58 @@ impl<'a> Compiler<'a> {
             let kpre = self.local_load(core, p * dh * 2, OpClass::SelfAttention, vec![]);
             // Key generation first (PIM), then concat on the VU overlaps
             // query generation in PIM (step 1).
-            let kgen = self.fc(core, 1, qkv_slice, false, self.cfg.pas.fc,
-                OpClass::FcQkv, vec![ln], Duration::ZERO);
-            let cat = self.vu_cmd(core, VuOp::Concat, (p + 1) * dh,
-                OpClass::SelfAttention, vec![kpre, kgen]);
+            let kgen = self.fc(
+                core,
+                1,
+                qkv_slice,
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcQkv,
+                vec![ln],
+                Duration::ZERO,
+            );
+            let cat = self.vu_cmd(
+                core,
+                VuOp::Concat,
+                (p + 1) * dh,
+                OpClass::SelfAttention,
+                vec![kpre, kgen],
+            );
             let tr = self.onchip(core, (p + 1) * dh * 2, OpClass::SelfAttention, vec![cat]);
-            let qgen = self.fc(core, 1, qkv_slice, false, self.cfg.pas.fc,
-                OpClass::FcQkv, vec![ln], Duration::ZERO);
+            let qgen = self.fc(
+                core,
+                1,
+                qkv_slice,
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcQkv,
+                vec![ln],
+                Duration::ZERO,
+            );
             // QK^T on the matrix unit in parallel with value generation
             // (step 2).
-            let qkt = self.mu_gemm(core, 1, dh, p + 1, OpClass::SelfAttention,
-                vec![qgen, tr]);
-            let vgen = self.fc(core, 1, qkv_slice, false, self.cfg.pas.fc,
-                OpClass::FcQkv, vec![ln], Duration::ZERO);
-            let sm = self.vu_cmd(core, VuOp::MaskedSoftmax, p + 1,
-                OpClass::SelfAttention, vec![qkt]);
+            let qkt = self.mu_gemm(core, 1, dh, p + 1, OpClass::SelfAttention, vec![qgen, tr]);
+            let vgen = self.fc(
+                core,
+                1,
+                qkv_slice,
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcQkv,
+                vec![ln],
+                Duration::ZERO,
+            );
+            let sm = self.vu_cmd(
+                core,
+                VuOp::MaskedSoftmax,
+                p + 1,
+                OpClass::SelfAttention,
+                vec![qkt],
+            );
             // KV store + Vcat load during softmax (step 3).
-            let _kv = self.local_store(core, 2 * dh * 2, OpClass::SelfAttention,
-                vec![kgen, vgen]);
-            let vcat = self.local_load(core, (p + 1) * dh * 2, OpClass::SelfAttention,
-                vec![vgen]);
-            last_sv = self.mu_gemm(core, 1, p + 1, dh, OpClass::SelfAttention,
-                vec![sm, vcat]);
+            let _kv = self.local_store(core, 2 * dh * 2, OpClass::SelfAttention, vec![kgen, vgen]);
+            let vcat = self.local_load(core, (p + 1) * dh * 2, OpClass::SelfAttention, vec![vgen]);
+            last_sv = self.mu_gemm(core, 1, p + 1, dh, OpClass::SelfAttention, vec![sm, vcat]);
         }
         last_sv
     }
@@ -382,22 +501,59 @@ impl<'a> Compiler<'a> {
         let qkv_slice = FcShape::new(e, dh);
         let mut last_sv = ln;
         for _h in 0..heads {
-            let kgen = self.fc(core, 1, qkv_slice, false, self.cfg.pas.fc,
-                OpClass::FcQkv, vec![ln], Duration::ZERO);
-            let qgen = self.fc(core, 1, qkv_slice, false, self.cfg.pas.fc,
-                OpClass::FcQkv, vec![ln], Duration::ZERO);
-            let vgen = self.fc(core, 1, qkv_slice, false, self.cfg.pas.fc,
-                OpClass::FcQkv, vec![ln], Duration::ZERO);
+            let kgen = self.fc(
+                core,
+                1,
+                qkv_slice,
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcQkv,
+                vec![ln],
+                Duration::ZERO,
+            );
+            let qgen = self.fc(
+                core,
+                1,
+                qkv_slice,
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcQkv,
+                vec![ln],
+                Duration::ZERO,
+            );
+            let vgen = self.fc(
+                core,
+                1,
+                qkv_slice,
+                false,
+                self.cfg.pas.fc,
+                OpClass::FcQkv,
+                vec![ln],
+                Duration::ZERO,
+            );
             // The new key/value must land in the PIM-resident cache before
             // the products run.
             let kst = self.local_store(core, dh * 2, OpClass::SelfAttention, vec![kgen]);
             let vst = self.local_store(core, dh * 2, OpClass::SelfAttention, vec![vgen]);
-            let qkt = self.pim_gemv(core, GemvShape::new(p + 1, dh),
-                OpClass::SelfAttention, vec![qgen, kst]);
-            let sm = self.vu_cmd(core, VuOp::MaskedSoftmax, p + 1,
-                OpClass::SelfAttention, vec![qkt]);
-            last_sv = self.pim_gemv(core, GemvShape::new(dh, p + 1),
-                OpClass::SelfAttention, vec![sm, vst]);
+            let qkt = self.pim_gemv(
+                core,
+                GemvShape::new(p + 1, dh),
+                OpClass::SelfAttention,
+                vec![qgen, kst],
+            );
+            let sm = self.vu_cmd(
+                core,
+                VuOp::MaskedSoftmax,
+                p + 1,
+                OpClass::SelfAttention,
+                vec![qkt],
+            );
+            last_sv = self.pim_gemv(
+                core,
+                GemvShape::new(dh, p + 1),
+                OpClass::SelfAttention,
+                vec![sm, vst],
+            );
         }
         last_sv
     }
@@ -446,13 +602,9 @@ impl<'a> Compiler<'a> {
                     let rest = FcShape::new(fc.in_dim, fc.out_dim - pim_rows);
                     let mu_cmd = self.fc_mu_with_gelu(core, tokens, rest, gelu, class, deps);
                     // The FC completes when both halves do.
-                    let join = Command::new(
-                        self.units.vu(core),
-                        Duration::ZERO,
-                        class.tag(),
-                    )
-                    .after(pim_cmd)
-                    .after(mu_cmd);
+                    let join = Command::new(self.units.vu(core), Duration::ZERO, class.tag())
+                        .after(pim_cmd)
+                        .after(mu_cmd);
                     self.emit(core, join)
                 } else {
                     pim_cmd
@@ -468,8 +620,8 @@ impl<'a> Compiler<'a> {
         if self.cfg.memory != crate::MemoryPolicy::Partitioned {
             return 1.0;
         }
-        let fc_bytes = self.model.fc_param_count() * 2
-            + self.model.block_ops().lm_head_fc().weight_bytes();
+        let fc_bytes =
+            self.model.fc_param_count() * 2 + self.model.block_ops().lm_head_fc().weight_bytes();
         let cap = self.cfg.weight_capacity_bytes();
         (cap as f64 / fc_bytes as f64).min(1.0)
     }
@@ -678,13 +830,7 @@ impl<'a> Compiler<'a> {
         self.emit(core, cmd)
     }
 
-    fn pim_gemv(
-        &mut self,
-        core: u32,
-        shape: GemvShape,
-        class: OpClass,
-        deps: Vec<CmdId>,
-    ) -> CmdId {
+    fn pim_gemv(&mut self, core: u32, shape: GemvShape, class: OpClass, deps: Vec<CmdId>) -> CmdId {
         let pim = self.pim.as_ref().expect("pim_gemv without PIM compute");
         let cost = *self
             .pim_cache
@@ -695,15 +841,18 @@ impl<'a> Compiler<'a> {
         self.activity.pim_gb_bytes += cost.gb_bytes;
         self.activity.pim_drain_bytes += cost.drain_bytes;
         let duration = cost.total + self.cfg.pim_macro_overhead;
-        let cmd = Command::new(self.units.pim(self.units.group_of_core(core)), duration,
-            class.tag())
-            .after_all(deps)
-            .holding_all(
-                self.units
-                    .pim_holds(core)
-                    .into_iter()
-                    .filter(|&u| u != self.units.pim(self.units.group_of_core(core))),
-            );
+        let cmd = Command::new(
+            self.units.pim(self.units.group_of_core(core)),
+            duration,
+            class.tag(),
+        )
+        .after_all(deps)
+        .holding_all(
+            self.units
+                .pim_holds(core)
+                .into_iter()
+                .filter(|&u| u != self.units.pim(self.units.group_of_core(core))),
+        );
         self.emit_inner(core, cmd, true)
     }
 
@@ -720,16 +869,19 @@ impl<'a> Compiler<'a> {
             let hops = u64::from(32 - (self.cfg.devices - 1).leading_zeros()); // ceil(log2 d)
             let dur = self.cfg.pcie_latency * hops.max(1)
                 + Duration::from_ns_f64(bytes as f64 / self.cfg.pcie_gbps);
-            let comm = Command::new(self.units.pcie(), dur, OpClass::Sync.tag())
-                .after_all(all.clone());
+            let comm =
+                Command::new(self.units.pcie(), dur, OpClass::Sync.tag()).after_all(all.clone());
             let comm_id = self.prog.push(comm);
             gate = vec![comm_id];
         }
         let mut out: Vec<Option<CmdId>> = Vec::with_capacity(cores as usize);
         for c in 0..cores {
-            let cmd = Command::new(self.units.vu(c), self.cfg.npu.dispatch_overhead,
-                OpClass::Sync.tag())
-                .after_all(gate.iter().copied());
+            let cmd = Command::new(
+                self.units.vu(c),
+                self.cfg.npu.dispatch_overhead,
+                OpClass::Sync.tag(),
+            )
+            .after_all(gate.iter().copied());
             out.push(Some(self.emit(c, cmd)));
         }
         out
@@ -812,7 +964,9 @@ mod tests {
         let single = {
             let cfg = SystemConfig::ianus();
             let mut c = Compiler::new(&cfg, &model);
-            c.compile(&Stage::Generation { past_tokens: 32 }).program.len()
+            c.compile(&Stage::Generation { past_tokens: 32 })
+                .program
+                .len()
         };
         let cfg = SystemConfig::ianus().with_devices(4);
         let mut c = Compiler::new(&cfg, &model);
@@ -850,12 +1004,13 @@ mod tests {
             .program
             .commands()
             .iter()
-            .filter(|cmd| {
-                cmd.unit == units.mu(0) && cmd.tag == OpClass::FfnAdd.tag()
-            })
+            .filter(|cmd| cmd.unit == units.mu(0) && cmd.tag == OpClass::FfnAdd.tag())
             .count();
         assert!(pim_cmds > 0, "no PIM commands in partitioned mode");
-        assert!(mu_fc_cmds > 0, "oversized FCs must spill onto the matrix unit");
+        assert!(
+            mu_fc_cmds > 0,
+            "oversized FCs must spill onto the matrix unit"
+        );
         // The unified system keeps those FCs fully on PIM.
         let ucfg = SystemConfig::ianus();
         let mut uc = Compiler::new(&ucfg, &model);
@@ -865,9 +1020,7 @@ mod tests {
             .program
             .commands()
             .iter()
-            .filter(|cmd| {
-                cmd.unit == uunits.mu(0) && cmd.tag == OpClass::FfnAdd.tag()
-            })
+            .filter(|cmd| cmd.unit == uunits.mu(0) && cmd.tag == OpClass::FfnAdd.tag())
             .count();
         assert_eq!(u_mu_fc, 0);
     }
@@ -909,7 +1062,11 @@ mod tests {
         let model = ModelConfig::gpt2_l();
         let cfg = SystemConfig::ianus().with_cores(3);
         let t = run(&cfg, &model, &Stage::Generation { past_tokens: 64 });
-        let t4 = run(&SystemConfig::ianus(), &model, &Stage::Generation { past_tokens: 64 });
+        let t4 = run(
+            &SystemConfig::ianus(),
+            &model,
+            &Stage::Generation { past_tokens: 64 },
+        );
         assert!(t > t4, "3 cores must be slower than 4");
     }
 

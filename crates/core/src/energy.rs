@@ -135,11 +135,11 @@ pub struct EnergyModel {
 impl Default for EnergyModel {
     fn default() -> Self {
         let dram_per_byte = 56.0; // ≈7 pJ/bit GDDR6 I/O + array
-        // The paper assumes PIM computing *power* is 3× DRAM-read power.
-        // PIM streams data at the internal bandwidth — 16× the external
-        // rate (512 vs 32 GB/s per channel) — so per byte it spends
-        // 3/16 of an external read's energy. This is why offloading wins
-        // in Figure 11 despite the higher instantaneous power.
+                                  // The paper assumes PIM computing *power* is 3× DRAM-read power.
+                                  // PIM streams data at the internal bandwidth — 16× the external
+                                  // rate (512 vs 32 GB/s per channel) — so per byte it spends
+                                  // 3/16 of an external read's energy. This is why offloading wins
+                                  // in Figure 11 despite the higher instantaneous power.
         let internal_speedup = 16.0;
         EnergyModel {
             dram_per_byte,
@@ -215,9 +215,6 @@ mod tests {
         a.vu_ops = 10;
         let e = m.energy(&a);
         assert!(e.total_pj() > 0.0);
-        assert_eq!(
-            e.total_pj(),
-            e.dram_normal_pj + e.pim_pj + e.core_pj
-        );
+        assert_eq!(e.total_pj(), e.dram_normal_pj + e.pim_pj + e.core_pj);
     }
 }

@@ -90,7 +90,9 @@ pub fn run_decoder_validation(cfg: FunctionalConfig) -> FunctionalReport {
     let w_attn: Vec<f32> = (0..e * e).map(|_| lcg(&mut seed) * scale).collect();
     let w_proj: Vec<f32> = (0..e * e).map(|_| lcg(&mut seed) * scale).collect();
     let w_ffn1: Vec<f32> = (0..f * e).map(|_| lcg(&mut seed) * scale).collect();
-    let w_ffn2: Vec<f32> = (0..e * f).map(|_| lcg(&mut seed) * (1.0 / (f as f32).sqrt())).collect();
+    let w_ffn2: Vec<f32> = (0..e * f)
+        .map(|_| lcg(&mut seed) * (1.0 / (f as f32).sqrt()))
+        .collect();
     let x0: Vec<f32> = (0..e).map(|_| lcg(&mut seed)).collect();
 
     // f32 reference chain.
@@ -214,7 +216,10 @@ struct TinyWeights {
 /// assert!(report.agreement() >= 0.9, "{report:?}");
 /// ```
 pub fn run_tiny_gpt_decode(cfg: TinyGptConfig) -> DecodeReport {
-    assert!(cfg.embed_dim % cfg.heads == 0, "heads must divide embed_dim");
+    assert!(
+        cfg.embed_dim.is_multiple_of(cfg.heads),
+        "heads must divide embed_dim"
+    );
     let e = cfg.embed_dim;
     let dh = e / cfg.heads;
     let f = 4 * e;
@@ -232,21 +237,24 @@ pub fn run_tiny_gpt_decode(cfg: TinyGptConfig) -> DecodeReport {
         })
         .collect();
     let embed: Vec<f32> = mk(cfg.vocab * e, 1.0);
-    let prompt: Vec<usize> = (0..4).map(|_| (lcg(&mut seed).abs() * 1e4) as usize % cfg.vocab).collect();
+    let prompt: Vec<usize> = (0..4)
+        .map(|_| (lcg(&mut seed).abs() * 1e4) as usize % cfg.vocab)
+        .collect();
 
     let pim_cfg = PimConfig::ianus_default();
     let q = |v: &[f32]| -> Vec<Bf16> { v.iter().map(|&x| Bf16::from_f32(x)).collect() };
     // FC evaluator: reference or PIM BF16 path.
-    let fc = |use_pim: bool, w: &[f32], rows: usize, cols: usize, x: &[f32], gelu: bool| -> Vec<f32> {
-        if use_pim {
-            gemv_bf16(&pim_cfg, &q(w), rows, cols, &q(x), gelu)
-                .iter()
-                .map(|v| v.to_f32())
-                .collect()
-        } else {
-            gemv_reference(w, rows, cols, x, gelu)
-        }
-    };
+    let fc =
+        |use_pim: bool, w: &[f32], rows: usize, cols: usize, x: &[f32], gelu: bool| -> Vec<f32> {
+            if use_pim {
+                gemv_bf16(&pim_cfg, &q(w), rows, cols, &q(x), gelu)
+                    .iter()
+                    .map(|v| v.to_f32())
+                    .collect()
+            } else {
+                gemv_reference(w, rows, cols, x, gelu)
+            }
+        };
 
     let decode = |use_pim: bool| -> Vec<usize> {
         let mut tokens = prompt.clone();

@@ -20,6 +20,12 @@
 //!   energy (the quantities behind Figures 8–15).
 //! * [`multi_device`] — multi-IANUS scaling over PCIe 5.0 (Figures 17/18,
 //!   Section 7).
+//! * [`backend`] — the unified [`Backend`] serving trait every device
+//!   model implements (including the `ianus-baselines` crate's A100 and
+//!   DFX models).
+//! * [`serving`] — the cluster-scale serving engine
+//!   ([`serving::ServingSim`]): replica backends, dispatch policies,
+//!   seeded Poisson arrivals, tail-latency reports.
 //! * [`functional`] — value-level validation of the PIM-offloaded decoder
 //!   against an f32 reference (the repo's stand-in for the paper's FPGA
 //!   prototype perplexity check).
@@ -38,18 +44,20 @@
 //! ```
 
 pub mod adaptive;
+pub mod backend;
 pub mod capacity;
 pub mod compiler;
-pub mod functional;
-pub mod multi_device;
-pub mod serving;
-pub mod trace;
 mod config;
 mod energy;
+pub mod functional;
+pub mod multi_device;
 mod report;
+pub mod serving;
 mod system;
+pub mod trace;
 mod units;
 
+pub use backend::Backend;
 pub use config::{MemoryPolicy, SystemConfig};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use report::{OpClass, RunReport, StageReport};

@@ -60,6 +60,7 @@ impl std::error::Error for CapacityError {}
 pub struct DeviceGroup {
     system: IanusSystem,
     devices: u32,
+    label: String,
 }
 
 impl DeviceGroup {
@@ -72,6 +73,7 @@ impl DeviceGroup {
         DeviceGroup {
             system: IanusSystem::new(base.with_devices(devices)),
             devices,
+            label: format!("IANUS x{devices}"),
         }
     }
 
@@ -80,12 +82,22 @@ impl DeviceGroup {
         self.devices
     }
 
+    /// Display label (e.g. `"IANUS x4"`), used as the group's
+    /// [`Backend`](crate::backend::Backend) name.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The underlying (device-count-adjusted) system.
+    pub fn system(&self) -> &IanusSystem {
+        &self.system
+    }
+
     /// Minimum device count whose aggregate memory holds `model` (weights
     /// plus working set margin) — the paper's 2/4/8 for 6.7B/13B/30B.
     pub fn devices_for(model: &ModelConfig) -> u32 {
         let per_device = SystemConfig::ianus().weight_capacity_bytes();
-        // Weights + a 1024-token KV cache + ~1 GiB of activations/buffers.
-        let needed = model.param_bytes() + model.kv_bytes_per_token() * 1024 + (1 << 30);
+        let needed = crate::capacity::nominal_footprint_bytes(model);
         let mut d = 1u32;
         while u64::from(d) * per_device < needed {
             d *= 2;
@@ -93,23 +105,32 @@ impl DeviceGroup {
         d
     }
 
-    /// Checks that `model`'s shard fits each device.
+    /// Checks that `model` is resident on each device of the group —
+    /// the same sharded weights + nominal-context KV + activations check
+    /// as [`capacity::check_model`](crate::capacity::check_model) and
+    /// the group's [`Backend::fits`](crate::backend::Backend::fits),
+    /// reported with this module's model-tagged error type.
     ///
     /// # Errors
     ///
-    /// Returns [`CapacityError`] when the per-device shard exceeds device
-    /// memory.
+    /// Returns [`CapacityError`] when the per-device footprint exceeds
+    /// device memory.
     pub fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
-        let available = self.system.config().weight_capacity_bytes();
-        let required = model.param_bytes().div_ceil(u64::from(self.devices));
-        if required > available {
-            Err(CapacityError {
+        match crate::capacity::check_model(self.system.config(), model) {
+            Ok(()) => Ok(()),
+            Err(crate::capacity::CapacityError::OutOfMemory {
+                required,
+                available,
+            }) => Err(CapacityError {
                 model: model.name,
                 required,
                 available,
-            })
-        } else {
-            Ok(())
+            }),
+            // check_model's nominal context is capped at the model's
+            // maximum sequence, so it can never be too long.
+            Err(crate::capacity::CapacityError::SequenceTooLong { .. }) => {
+                unreachable!("nominal context cannot exceed the model maximum")
+            }
         }
     }
 

@@ -1,14 +1,43 @@
-//! Datacenter serving-level simulation.
+//! Cluster-scale serving simulation over the unified [`Backend`] trait.
 //!
 //! The paper motivates IANUS with interactive NLP serving at batch size 1
 //! (Section 6.1: datacenters avoid waiting to form batches). This module
-//! closes the loop above the device simulator: Poisson request arrivals
-//! with a mixed request-shape distribution are served FCFS by one device,
-//! and queueing statistics (p50/p95/p99 sojourn time, utilization,
-//! sustainable throughput) are reported. Device service times come from
-//! the same [`IanusSystem`] simulation the figures use, memoized per
-//! request shape.
+//! closes the loop above the device models: [`ServingSim`] simulates a
+//! **cluster of replica backends** — any mix of [`IanusSystem`]s, device
+//! groups, or the analytical baselines — fed by deterministic, seeded
+//! Poisson arrivals of a weighted request-shape mix, under a pluggable
+//! [`DispatchPolicy`]. The result is a [`ServingReport`] with overall and
+//! per-class sojourn percentiles, per-replica utilization, and a
+//! [`ServingSim::sustainable_rate`] search helper.
+//!
+//! Device service times come from the same simulations the figures use,
+//! memoized per `(replica, shape)`, so repeated runs (e.g. a rate sweep)
+//! cost one device simulation per distinct shape.
+//!
+//! # Examples
+//!
+//! A two-replica IANUS cluster under least-loaded dispatch:
+//!
+//! ```
+//! use ianus_core::serving::{DispatchPolicy, ServingConfig, ServingSim};
+//! use ianus_core::{IanusSystem, SystemConfig};
+//! use ianus_model::ModelConfig;
+//!
+//! let report = ServingSim::new(ServingConfig::interactive(6.0, 200))
+//!     .replica(IanusSystem::new(SystemConfig::ianus()))
+//!     .replica(IanusSystem::new(SystemConfig::ianus()))
+//!     .dispatch(DispatchPolicy::LeastLoaded)
+//!     .run(&ModelConfig::gpt2_m());
+//! assert_eq!(report.completed, 200);
+//! assert_eq!(report.per_replica.len(), 2);
+//! assert!(report.utilization > 0.0 && report.utilization <= 1.0);
+//! ```
+//!
+//! The deprecated free function [`simulate`] is a thin shim over a
+//! single-replica [`ServingSim`] and will be removed; new code should
+//! build the engine directly.
 
+use crate::backend::Backend;
 use crate::{IanusSystem, SystemConfig};
 use ianus_model::{ModelConfig, RequestShape};
 use ianus_sim::Duration;
@@ -28,7 +57,8 @@ pub struct RequestClass {
 /// Configuration of a serving simulation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServingConfig {
-    /// Mean arrival rate in requests per second (Poisson process).
+    /// Mean arrival rate in requests per second (Poisson process),
+    /// aggregated over the whole cluster.
     pub arrival_rate_hz: f64,
     /// Number of requests to simulate.
     pub requests: u64,
@@ -47,12 +77,77 @@ impl ServingConfig {
             requests,
             seed: 0x5EED,
             mix: vec![
-                RequestClass { shape: RequestShape::new(128, 32), weight: 0.6 },
-                RequestClass { shape: RequestShape::new(256, 64), weight: 0.3 },
-                RequestClass { shape: RequestShape::new(512, 256), weight: 0.1 },
+                RequestClass {
+                    shape: RequestShape::new(128, 32),
+                    weight: 0.6,
+                },
+                RequestClass {
+                    shape: RequestShape::new(256, 64),
+                    weight: 0.3,
+                },
+                RequestClass {
+                    shape: RequestShape::new(512, 256),
+                    weight: 0.1,
+                },
             ],
         }
     }
+
+    /// Replaces the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the arrival rate (builder style).
+    pub fn with_rate(mut self, arrival_rate_hz: f64) -> Self {
+        self.arrival_rate_hz = arrival_rate_hz;
+        self
+    }
+}
+
+/// How arriving requests are assigned to replicas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchPolicy {
+    /// One global FCFS queue: each request in arrival order goes to the
+    /// replica that frees up earliest (classic M/G/k). Implicitly
+    /// speed-aware — a fast replica frees up sooner.
+    FcfsSingleQueue,
+    /// Route at arrival to the replica with the *fewest outstanding
+    /// requests* (queued + in service), ignoring how fast that replica
+    /// is — the load-balancer view when per-request cost is unknown.
+    LeastLoaded,
+    /// Route at arrival to the replica with the smallest *expected
+    /// completion time* for this request — backlog plus this shape's
+    /// memoized service time on that replica. On heterogeneous clusters
+    /// this steers work toward faster replicas.
+    ShortestExpectedJob,
+}
+
+/// Sojourn statistics of one request class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The class's request shape.
+    pub shape: RequestShape,
+    /// Requests of this class completed.
+    pub completed: u64,
+    /// Median sojourn (queueing + service) time.
+    pub p50_sojourn: Duration,
+    /// 95th-percentile sojourn time.
+    pub p95_sojourn: Duration,
+    /// 99th-percentile sojourn time.
+    pub p99_sojourn: Duration,
+}
+
+/// Utilization statistics of one replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// The replica's backend name.
+    pub name: String,
+    /// Requests this replica served.
+    pub completed: u64,
+    /// Fraction of the cluster makespan this replica was busy.
+    pub utilization: f64,
 }
 
 /// Result of a serving simulation.
@@ -60,7 +155,7 @@ impl ServingConfig {
 pub struct ServingReport {
     /// Requests completed.
     pub completed: u64,
-    /// Mean device service time.
+    /// Mean device service time across completed requests.
     pub mean_service: Duration,
     /// Median sojourn (queueing + service) time.
     pub p50_sojourn: Duration,
@@ -68,121 +163,695 @@ pub struct ServingReport {
     pub p95_sojourn: Duration,
     /// 99th-percentile sojourn time.
     pub p99_sojourn: Duration,
-    /// Fraction of simulated time the device was busy.
+    /// Mean busy fraction across replicas.
     pub utilization: f64,
     /// Completed requests per second of simulated time.
     pub throughput_rps: f64,
+    /// Per-class sojourn percentiles (same order as the config's mix).
+    pub per_class: Vec<ClassReport>,
+    /// Per-replica load (same order as the replicas were added).
+    pub per_replica: Vec<ReplicaReport>,
 }
 
 impl ServingReport {
     /// Whether the system was stable (utilization below one and tail
     /// latency bounded relative to service time).
+    ///
+    /// The tail bound matters most on wide clusters over a finite
+    /// horizon, where measured utilization saturates slowly: an
+    /// overloaded 8-replica run can sit just under the utilization gate
+    /// while p99 sojourn has already blown out to dozens of service
+    /// times.
     pub fn stable(&self) -> bool {
         self.utilization < 0.95
-            && self.p99_sojourn.as_ns_f64() < 50.0 * self.mean_service.as_ns_f64()
+            && self.p99_sojourn.as_ns_f64() < 20.0 * self.mean_service.as_ns_f64()
+    }
+
+    /// The all-zero report of an empty (zero-request) simulation.
+    fn empty(replica_names: Vec<String>, mix: &[RequestClass]) -> Self {
+        ServingReport {
+            completed: 0,
+            mean_service: Duration::ZERO,
+            p50_sojourn: Duration::ZERO,
+            p95_sojourn: Duration::ZERO,
+            p99_sojourn: Duration::ZERO,
+            utilization: 0.0,
+            throughput_rps: 0.0,
+            per_class: mix
+                .iter()
+                .map(|c| ClassReport {
+                    shape: c.shape,
+                    completed: 0,
+                    p50_sojourn: Duration::ZERO,
+                    p95_sojourn: Duration::ZERO,
+                    p99_sojourn: Duration::ZERO,
+                })
+                .collect(),
+            per_replica: replica_names
+                .into_iter()
+                .map(|name| ReplicaReport {
+                    name,
+                    completed: 0,
+                    utilization: 0.0,
+                })
+                .collect(),
+        }
     }
 }
 
-/// Runs a serving simulation of `model` on `system` under `cfg`.
+/// Picks the mix class for a uniform draw in `[0, total_weight)`.
 ///
-/// # Panics
-///
-/// Panics if the mix is empty, a weight is non-positive, or the arrival
-/// rate is non-positive.
-///
-/// # Examples
-///
-/// ```
-/// use ianus_core::serving::{simulate, ServingConfig};
-/// use ianus_core::SystemConfig;
-/// use ianus_model::ModelConfig;
-///
-/// let report = simulate(
-///     SystemConfig::ianus(),
-///     &ModelConfig::gpt2_m(),
-///     &ServingConfig::interactive(4.0, 200),
-/// );
-/// assert_eq!(report.completed, 200);
-/// assert!(report.utilization > 0.0 && report.utilization <= 1.0);
-/// ```
-pub fn simulate(system: SystemConfig, model: &ModelConfig, cfg: &ServingConfig) -> ServingReport {
-    assert!(!cfg.mix.is_empty(), "request mix must be non-empty");
-    assert!(cfg.arrival_rate_hz > 0.0, "arrival rate must be positive");
-    let total_weight: f64 = cfg.mix.iter().map(|c| c.weight).sum();
-    assert!(
-        cfg.mix.iter().all(|c| c.weight > 0.0),
-        "weights must be positive"
-    );
-
-    // Memoized device service times per shape.
-    let mut sys = IanusSystem::new(system);
-    let mut service: HashMap<RequestShape, Duration> = HashMap::new();
-    for class in &cfg.mix {
-        service
-            .entry(class.shape)
-            .or_insert_with(|| sys.run_request(model, class.shape).total);
-    }
-
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut now = 0.0f64; // seconds, arrival clock
-    let mut server_free = 0.0f64;
-    let mut busy = 0.0f64;
-    let mut sojourns: Vec<f64> = Vec::with_capacity(cfg.requests as usize);
-    let mut service_sum = 0.0f64;
-    let mut last_finish = 0.0f64;
-    for _ in 0..cfg.requests {
-        // Exponential inter-arrival.
-        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
-        now += -u.ln() / cfg.arrival_rate_hz;
-        // Weighted class pick.
-        let mut pick = rng.gen_range(0.0..total_weight);
-        let mut shape = cfg.mix[0].shape;
-        for class in &cfg.mix {
-            if pick < class.weight {
-                shape = class.shape;
-                break;
-            }
-            pick -= class.weight;
+/// Floating-point subtraction can leave the residual at or slightly above
+/// the final weight even for in-range draws; the final class is the
+/// fallback so such draws never silently snap back to `mix[0]`.
+fn pick_class(mix: &[RequestClass], draw: f64) -> usize {
+    let mut rem = draw;
+    for (i, class) in mix.iter().enumerate() {
+        if rem < class.weight {
+            return i;
         }
-        let s = service[&shape].as_secs_f64();
-        let start = now.max(server_free);
-        let finish = start + s;
-        server_free = finish;
-        busy += s;
-        service_sum += s;
-        sojourns.push(finish - now);
-        last_finish = finish;
+        rem -= class.weight;
     }
-    sojourns.sort_by(|a, b| a.partial_cmp(b).expect("sojourns are finite"));
-    let pct = |p: f64| -> Duration {
-        let idx = ((sojourns.len() as f64 - 1.0) * p).round() as usize;
-        Duration::from_secs_f64(sojourns[idx])
-    };
-    ServingReport {
-        completed: cfg.requests,
-        mean_service: Duration::from_secs_f64(service_sum / cfg.requests as f64),
-        p50_sojourn: pct(0.50),
-        p95_sojourn: pct(0.95),
-        p99_sojourn: pct(0.99),
-        utilization: (busy / last_finish).min(1.0),
-        throughput_rps: cfg.requests as f64 / last_finish,
+    mix.len() - 1
+}
+
+struct Replica {
+    backend: Box<dyn Backend>,
+    /// Memoized service times, keyed by model and shape so one engine
+    /// can serve different models across runs. `ModelConfig::name` is
+    /// the model's identity here: two configs sharing a name are
+    /// assumed to be the same model (true for the built-in zoo; callers
+    /// mutating a config's fields must also rename it).
+    service: HashMap<(&'static str, RequestShape), Duration>,
+}
+
+impl Replica {
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
+        let key = (model.name, shape);
+        if let Some(&d) = self.service.get(&key) {
+            return d;
+        }
+        let d = self.backend.service_time(model, shape);
+        self.service.insert(key, d);
+        d
     }
+}
+
+/// Builder-style cluster serving engine over [`Backend`] replicas.
+///
+/// Construct with a [`ServingConfig`], add one or more replicas, pick a
+/// [`DispatchPolicy`], then [`run`](Self::run). The engine owns its
+/// replicas; service-time memos survive across runs, so rate sweeps and
+/// [`sustainable_rate`](Self::sustainable_rate) searches re-simulate no
+/// device.
+pub struct ServingSim {
+    cfg: ServingConfig,
+    policy: DispatchPolicy,
+    replicas: Vec<Replica>,
+}
+
+impl ServingSim {
+    /// Starts a simulation builder with no replicas and FCFS dispatch.
+    pub fn new(cfg: ServingConfig) -> Self {
+        ServingSim {
+            cfg,
+            policy: DispatchPolicy::FcfsSingleQueue,
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Adds one replica backend.
+    pub fn replica(mut self, backend: impl Backend + 'static) -> Self {
+        self.replicas.push(Replica {
+            backend: Box::new(backend),
+            service: HashMap::new(),
+        });
+        self
+    }
+
+    /// Adds an already-boxed replica (for heterogeneous `dyn` lists).
+    pub fn boxed_replica(mut self, backend: Box<dyn Backend>) -> Self {
+        self.replicas.push(Replica {
+            backend,
+            service: HashMap::new(),
+        });
+        self
+    }
+
+    /// Adds `n` replicas built by `make(index)`.
+    pub fn cluster<B: Backend + 'static>(
+        mut self,
+        n: usize,
+        mut make: impl FnMut(usize) -> B,
+    ) -> Self {
+        for i in 0..n {
+            self = self.replica(make(i));
+        }
+        self
+    }
+
+    /// Sets the dispatch policy.
+    pub fn dispatch(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of replicas added so far.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Changes the arrival rate in place, keeping replicas and their
+    /// service memos — the cheap way to run a rate sweep on one engine.
+    pub fn set_rate(&mut self, arrival_rate_hz: f64) {
+        self.cfg.arrival_rate_hz = arrival_rate_hz;
+    }
+
+    /// Checks that `model` is resident on every replica.
+    ///
+    /// # Errors
+    ///
+    /// The first replica's [`CapacityError`](crate::capacity::CapacityError),
+    /// tagged with its index, if any replica cannot hold the model.
+    pub fn fits(&self, model: &ModelConfig) -> Result<(), (usize, crate::capacity::CapacityError)> {
+        for (i, r) in self.replicas.iter().enumerate() {
+            r.backend.fits(model).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation for `model` and reports cluster statistics.
+    ///
+    /// Zero configured requests yield an all-zero report rather than a
+    /// division by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replicas were added, the mix is empty, a weight is
+    /// non-positive, or the arrival rate is non-positive.
+    pub fn run(&mut self, model: &ModelConfig) -> ServingReport {
+        assert!(!self.replicas.is_empty(), "serving cluster has no replicas");
+        assert!(!self.cfg.mix.is_empty(), "request mix must be non-empty");
+        assert!(
+            self.cfg.arrival_rate_hz > 0.0,
+            "arrival rate must be positive"
+        );
+        assert!(
+            self.cfg.mix.iter().all(|c| c.weight > 0.0),
+            "weights must be positive"
+        );
+        if self.cfg.requests == 0 {
+            return ServingReport::empty(
+                self.replicas
+                    .iter()
+                    .map(|r| r.backend.name().to_string())
+                    .collect(),
+                &self.cfg.mix,
+            );
+        }
+        let total_weight: f64 = self.cfg.mix.iter().map(|c| c.weight).sum();
+
+        // Memoize every (replica, shape) service time up front:
+        // ShortestExpectedJob consults all replicas per arrival.
+        let shapes: Vec<RequestShape> = self.cfg.mix.iter().map(|c| c.shape).collect();
+        for r in &mut self.replicas {
+            for &shape in &shapes {
+                r.service_time(model, shape);
+            }
+        }
+
+        let n = self.replicas.len();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut now = 0.0f64; // seconds, arrival clock
+        let mut free = vec![0.0f64; n]; // per-replica next-free time
+                                        // Outstanding finish times per replica (FIFO per replica, so the
+                                        // front is always the earliest) — LeastLoaded's queue lengths.
+        let mut outstanding: Vec<std::collections::VecDeque<f64>> =
+            vec![std::collections::VecDeque::new(); n];
+        let mut busy = vec![0.0f64; n];
+        let mut served = vec![0u64; n];
+        let mut sojourns: Vec<f64> = Vec::with_capacity(self.cfg.requests as usize);
+        let mut class_sojourns: Vec<Vec<f64>> = vec![Vec::new(); self.cfg.mix.len()];
+        let mut service_sum = 0.0f64;
+        let mut last_finish = 0.0f64;
+
+        for _ in 0..self.cfg.requests {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            now += -u.ln() / self.cfg.arrival_rate_hz;
+            let class = pick_class(&self.cfg.mix, rng.gen_range(0.0..total_weight));
+            let shape = self.cfg.mix[class].shape;
+            // Retire requests finished by this arrival instant.
+            for q in &mut outstanding {
+                while q.front().is_some_and(|&f| f <= now) {
+                    q.pop_front();
+                }
+            }
+
+            let replica = match self.policy {
+                DispatchPolicy::FcfsSingleQueue => argmin(&free, |&f| f),
+                DispatchPolicy::LeastLoaded => argmin(&outstanding, |q| q.len()),
+                DispatchPolicy::ShortestExpectedJob => {
+                    let mut best = 0usize;
+                    let mut best_done = f64::INFINITY;
+                    for (i, (&f, r)) in free.iter().zip(&self.replicas).enumerate() {
+                        let done = f.max(now) + r.service[&(model.name, shape)].as_secs_f64();
+                        if done < best_done {
+                            best_done = done;
+                            best = i;
+                        }
+                    }
+                    best
+                }
+            };
+
+            let s = self.replicas[replica].service[&(model.name, shape)].as_secs_f64();
+            let start = now.max(free[replica]);
+            let finish = start + s;
+            free[replica] = finish;
+            outstanding[replica].push_back(finish);
+            busy[replica] += s;
+            served[replica] += 1;
+            service_sum += s;
+            sojourns.push(finish - now);
+            class_sojourns[class].push(finish - now);
+            last_finish = last_finish.max(finish);
+        }
+
+        sojourns.sort_by(|a, b| a.partial_cmp(b).expect("sojourns are finite"));
+        for cs in &mut class_sojourns {
+            cs.sort_by(|a, b| a.partial_cmp(b).expect("sojourns are finite"));
+        }
+        let per_class = self
+            .cfg
+            .mix
+            .iter()
+            .zip(&class_sojourns)
+            .map(|(c, cs)| ClassReport {
+                shape: c.shape,
+                completed: cs.len() as u64,
+                p50_sojourn: percentile(cs, 0.50),
+                p95_sojourn: percentile(cs, 0.95),
+                p99_sojourn: percentile(cs, 0.99),
+            })
+            .collect();
+        let per_replica = self
+            .replicas
+            .iter()
+            .zip(busy.iter().zip(&served))
+            .map(|(r, (&b, &c))| ReplicaReport {
+                name: r.backend.name().to_string(),
+                completed: c,
+                utilization: (b / last_finish).min(1.0),
+            })
+            .collect();
+        ServingReport {
+            completed: self.cfg.requests,
+            mean_service: Duration::from_secs_f64(service_sum / self.cfg.requests as f64),
+            p50_sojourn: percentile(&sojourns, 0.50),
+            p95_sojourn: percentile(&sojourns, 0.95),
+            p99_sojourn: percentile(&sojourns, 0.99),
+            utilization: (busy.iter().sum::<f64>() / (n as f64 * last_finish)).min(1.0),
+            throughput_rps: self.cfg.requests as f64 / last_finish,
+            per_class,
+            per_replica,
+        }
+    }
+
+    /// Binary-searches the highest arrival rate in `[lo_hz, hi_hz]` whose
+    /// report is [`stable`](ServingReport::stable), to a 1% relative
+    /// resolution. Returns `0.0` when even `lo_hz` is unstable. Service
+    /// memos make each probe a queueing-only pass (no device simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_hz` or the bracket is non-positive, or on the
+    /// conditions of [`run`](Self::run).
+    pub fn sustainable_rate(&mut self, model: &ModelConfig, lo_hz: f64, hi_hz: f64) -> f64 {
+        assert!(lo_hz > 0.0 && hi_hz > lo_hz, "need 0 < lo_hz < hi_hz");
+        let original = self.cfg.arrival_rate_hz;
+        let stable_at = |sim: &mut Self, rate: f64| {
+            sim.cfg.arrival_rate_hz = rate;
+            sim.run(model).stable()
+        };
+        let mut best = 0.0f64;
+        let (mut lo, mut hi) = (lo_hz, hi_hz);
+        if stable_at(self, lo) {
+            best = lo;
+            if stable_at(self, hi) {
+                best = hi;
+                lo = hi;
+            }
+            while hi / lo > 1.01 {
+                let mid = (lo * hi).sqrt();
+                if stable_at(self, mid) {
+                    best = mid;
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+        self.cfg.arrival_rate_hz = original;
+        best
+    }
+}
+
+fn argmin<T, K: PartialOrd>(items: &[T], key: impl Fn(&T) -> K) -> usize {
+    let mut best = 0usize;
+    for i in 1..items.len() {
+        if key(&items[i]) < key(&items[best]) {
+            best = i;
+        }
+    }
+    best
+}
+
+fn percentile(sorted: &[f64], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_secs_f64(sorted[idx])
+}
+
+/// Runs a serving simulation of `model` on one `system` under `cfg`.
+///
+/// Kept so pre-`ServingSim` call sites compile; it builds a
+/// single-replica FCFS [`ServingSim`] and runs it.
+#[deprecated(
+    since = "0.2.0",
+    note = "build a `ServingSim` with `Backend` replicas instead; this shim wraps a single-replica FCFS cluster"
+)]
+pub fn simulate(system: SystemConfig, model: &ModelConfig, cfg: &ServingConfig) -> ServingReport {
+    ServingSim::new(cfg.clone())
+        .replica(IanusSystem::new(system))
+        .run(model)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::multi_device::DeviceGroup;
+    use ianus_baselines_shim::*;
+
+    /// The serving tests need a fast, exactly-predictable backend too;
+    /// real-device parity is covered by `tests/backend_parity.rs` at the
+    /// workspace root (ianus-core cannot depend on ianus-baselines).
+    mod ianus_baselines_shim {
+        use super::*;
+
+        /// Fixed-rate synthetic backend: service time is
+        /// `per_token × (input + output)`.
+        pub struct FixedRate {
+            pub name: &'static str,
+            pub per_token: Duration,
+        }
+
+        impl Backend for FixedRate {
+            fn name(&self) -> &str {
+                self.name
+            }
+
+            fn service_time(&mut self, _: &ModelConfig, shape: RequestShape) -> Duration {
+                Duration::from_ns_f64(
+                    self.per_token.as_ns_f64() * (shape.input + shape.output) as f64,
+                )
+            }
+
+            fn fits(&self, _: &ModelConfig) -> Result<(), crate::capacity::CapacityError> {
+                Ok(())
+            }
+        }
+    }
 
     fn mix_one(shape: RequestShape) -> Vec<RequestClass> {
         vec![RequestClass { shape, weight: 1.0 }]
     }
 
+    fn fixed(name: &'static str, us_per_token: u64) -> FixedRate {
+        FixedRate {
+            name,
+            per_token: Duration::from_us(us_per_token),
+        }
+    }
+
     #[test]
     fn deterministic_given_seed() {
         let cfg = ServingConfig::interactive(5.0, 100);
-        let a = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
-        let b = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
-        assert_eq!(a, b);
+        let mut a = ServingSim::new(cfg.clone())
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .dispatch(DispatchPolicy::LeastLoaded);
+        let mut b = ServingSim::new(cfg)
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .dispatch(DispatchPolicy::LeastLoaded);
+        let ra = a.run(&ModelConfig::gpt2_m());
+        let rb = b.run(&ModelConfig::gpt2_m());
+        assert_eq!(ra, rb);
+        // And rerunning the same engine (warm memos) changes nothing.
+        assert_eq!(a.run(&ModelConfig::gpt2_m()), ra);
+    }
+
+    #[test]
+    fn policies_are_deterministic_and_distinct_reports_are_seed_stable() {
+        for policy in [
+            DispatchPolicy::FcfsSingleQueue,
+            DispatchPolicy::LeastLoaded,
+            DispatchPolicy::ShortestExpectedJob,
+        ] {
+            let build = || {
+                ServingSim::new(ServingConfig::interactive(20.0, 300).with_seed(77))
+                    .cluster(3, |_| fixed("fixed", 100))
+                    .dispatch(policy)
+            };
+            let a = build().run(&ModelConfig::gpt2_m());
+            let b = build().run(&ModelConfig::gpt2_m());
+            assert_eq!(a, b, "{policy:?} not seed-stable");
+            assert_eq!(a.completed, 300);
+        }
+    }
+
+    #[test]
+    fn second_replica_improves_tail_latency_and_halves_utilization() {
+        let model = ModelConfig::gpt2_m();
+        let cfg = ServingConfig {
+            arrival_rate_hz: 40.0,
+            requests: 400,
+            seed: 5,
+            mix: mix_one(RequestShape::new(128, 16)),
+        };
+        let one = ServingSim::new(cfg.clone())
+            .replica(fixed("a", 500))
+            .run(&model);
+        let two = ServingSim::new(cfg)
+            .replica(fixed("a", 500))
+            .replica(fixed("b", 500))
+            .run(&model);
+        assert!(two.p99_sojourn < one.p99_sojourn);
+        assert!(two.utilization < one.utilization);
+        assert_eq!(two.per_replica.len(), 2);
+        // Work spreads across both replicas.
+        assert!(two.per_replica.iter().all(|r| r.completed > 50));
+    }
+
+    #[test]
+    fn sej_beats_least_loaded_on_heterogeneous_cluster() {
+        // One fast and one 8x slower replica: expected-completion routing
+        // must not do worse than blind backlog balancing.
+        let model = ModelConfig::gpt2_m();
+        let cfg = ServingConfig {
+            arrival_rate_hz: 8.0,
+            requests: 300,
+            seed: 11,
+            mix: mix_one(RequestShape::new(64, 16)),
+        };
+        let hetero = |policy| {
+            ServingSim::new(cfg.clone())
+                .replica(fixed("fast", 200))
+                .replica(fixed("slow", 1600))
+                .dispatch(policy)
+                .run(&model)
+        };
+        let ll = hetero(DispatchPolicy::LeastLoaded);
+        let sej = hetero(DispatchPolicy::ShortestExpectedJob);
+        assert!(
+            sej.p99_sojourn.as_ns_f64() <= ll.p99_sojourn.as_ns_f64() * 1.001,
+            "SEJ p99 {} vs least-loaded {}",
+            sej.p99_sojourn,
+            ll.p99_sojourn
+        );
+        // SEJ routes the bulk of the work to the fast replica.
+        assert!(sej.per_replica[0].completed > sej.per_replica[1].completed);
+    }
+
+    #[test]
+    fn least_loaded_differs_from_fcfs_on_heterogeneous_cluster() {
+        // Count-based routing is speed-blind; earliest-free routing is
+        // not. On a fast+slow pair the two must produce different
+        // schedules.
+        let model = ModelConfig::gpt2_m();
+        let cfg = ServingConfig {
+            arrival_rate_hz: 10.0,
+            requests: 400,
+            seed: 13,
+            mix: mix_one(RequestShape::new(64, 16)),
+        };
+        let run = |policy| {
+            ServingSim::new(cfg.clone())
+                .replica(fixed("fast", 200))
+                .replica(fixed("slow", 1600))
+                .dispatch(policy)
+                .run(&model)
+        };
+        let fcfs = run(DispatchPolicy::FcfsSingleQueue);
+        let ll = run(DispatchPolicy::LeastLoaded);
+        assert_ne!(fcfs, ll);
+        assert_eq!(fcfs.completed, 400);
+        assert_eq!(ll.completed, 400);
+    }
+
+    #[test]
+    fn memo_is_model_aware_across_runs() {
+        // Re-running one engine with a different model must re-price
+        // service times, not reuse the previous model's memo.
+        let cfg = ServingConfig {
+            arrival_rate_hz: 2.0,
+            requests: 50,
+            seed: 4,
+            mix: mix_one(RequestShape::new(128, 8)),
+        };
+        let mut sim = ServingSim::new(cfg.clone()).replica(IanusSystem::new(SystemConfig::ianus()));
+        let small = sim.run(&ModelConfig::gpt2_m());
+        let large = sim.run(&ModelConfig::gpt2_xl());
+        assert!(large.mean_service > small.mean_service);
+        // And each matches a cold engine for the same model.
+        let cold = ServingSim::new(cfg)
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .run(&ModelConfig::gpt2_xl());
+        assert_eq!(large, cold);
+    }
+
+    #[test]
+    fn per_class_percentiles_order_by_request_weight() {
+        let model = ModelConfig::gpt2_m();
+        let light = RequestShape::new(32, 8);
+        let heavy = RequestShape::new(512, 64);
+        let cfg = ServingConfig {
+            arrival_rate_hz: 4.0,
+            requests: 400,
+            seed: 3,
+            mix: vec![
+                RequestClass {
+                    shape: light,
+                    weight: 0.5,
+                },
+                RequestClass {
+                    shape: heavy,
+                    weight: 0.5,
+                },
+            ],
+        };
+        let r = ServingSim::new(cfg).replica(fixed("a", 100)).run(&model);
+        assert_eq!(r.per_class.len(), 2);
+        assert_eq!(
+            r.per_class[0].completed + r.per_class[1].completed,
+            r.completed
+        );
+        assert!(r.per_class[1].p50_sojourn > r.per_class[0].p50_sojourn);
+    }
+
+    #[test]
+    fn zero_requests_yield_empty_report() {
+        let cfg = ServingConfig {
+            arrival_rate_hz: 1.0,
+            requests: 0,
+            seed: 0,
+            mix: mix_one(RequestShape::new(128, 8)),
+        };
+        let r = ServingSim::new(cfg)
+            .replica(fixed("a", 100))
+            .run(&ModelConfig::gpt2_m());
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.mean_service, Duration::ZERO);
+        assert_eq!(r.throughput_rps, 0.0);
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.per_replica[0].name, "a");
+        assert_eq!(r.per_class[0].completed, 0);
+    }
+
+    #[test]
+    fn weighted_pick_residue_falls_back_to_final_class() {
+        // Regression: a draw at (or past) the total weight must pick the
+        // *last* class, not silently snap back to mix[0].
+        let mix = vec![
+            RequestClass {
+                shape: RequestShape::new(1, 1),
+                weight: 0.1,
+            },
+            RequestClass {
+                shape: RequestShape::new(2, 1),
+                weight: 0.2,
+            },
+            RequestClass {
+                shape: RequestShape::new(3, 1),
+                weight: 0.3,
+            },
+        ];
+        let total: f64 = mix.iter().map(|c| c.weight).sum();
+        // 0.1 + 0.2 + 0.3 != 0.6 exactly in binary; whatever the residue,
+        // the fallback must be the final index.
+        assert_eq!(pick_class(&mix, total), mix.len() - 1);
+        assert_eq!(pick_class(&mix, total + 1e-12), mix.len() - 1);
+        // In-range draws still resolve normally.
+        assert_eq!(pick_class(&mix, 0.05), 0);
+        assert_eq!(pick_class(&mix, 0.15), 1);
+        assert_eq!(pick_class(&mix, 0.45), 2);
+    }
+
+    #[test]
+    fn cluster_of_device_groups_serves_large_model() {
+        let model = ModelConfig::gpt_6_7b();
+        let cfg = ServingConfig {
+            arrival_rate_hz: 1.0,
+            requests: 60,
+            seed: 9,
+            mix: mix_one(RequestShape::new(128, 4)),
+        };
+        let mut sim = ServingSim::new(cfg)
+            .cluster(2, |_| DeviceGroup::new(SystemConfig::ianus(), 2))
+            .dispatch(DispatchPolicy::ShortestExpectedJob);
+        assert!(sim.fits(&model).is_ok());
+        let r = sim.run(&model);
+        assert_eq!(r.completed, 60);
+        assert_eq!(r.per_replica[0].name, "IANUS x2");
+    }
+
+    #[test]
+    fn sustainable_rate_brackets_service_rate() {
+        let model = ModelConfig::gpt2_m();
+        // 2 replicas x 10ms service => cluster capacity 200 req/s.
+        let cfg = ServingConfig {
+            arrival_rate_hz: 1.0,
+            requests: 500,
+            seed: 21,
+            mix: mix_one(RequestShape::new(99, 1)),
+        };
+        let mut sim = ServingSim::new(cfg)
+            .replica(fixed("a", 100))
+            .replica(fixed("b", 100));
+        let rate = sim.sustainable_rate(&model, 1.0, 1000.0);
+        // Finite-sample Poisson wiggle: the realized stable rate can land
+        // a few percent past the nominal 200 req/s capacity.
+        assert!(rate > 100.0 && rate < 220.0, "rate {rate}");
+        // The probe restores the configured arrival rate.
+        assert_eq!(sim.config().arrival_rate_hz, 1.0);
     }
 
     #[test]
@@ -193,8 +862,9 @@ mod tests {
             seed: 1,
             mix: mix_one(RequestShape::new(128, 8)),
         };
+        #[allow(deprecated)]
         let r = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
-        // Sojourn ≈ service at low utilization.
+        // Sojourn ~ service at low utilization.
         assert!(r.utilization < 0.05, "{:?}", r.utilization);
         let ratio = r.p50_sojourn.as_ns_f64() / r.mean_service.as_ns_f64();
         assert!(ratio < 1.2, "ratio {ratio}");
@@ -215,6 +885,7 @@ mod tests {
             seed: 2,
             mix: mix_one(shape),
         };
+        #[allow(deprecated)]
         let r = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
         assert!(r.utilization > 0.95, "{}", r.utilization);
         assert!(r.p99_sojourn > r.p50_sojourn);
@@ -230,7 +901,9 @@ mod tests {
             seed: 3,
             mix: mix_one(shape),
         };
+        #[allow(deprecated)]
         let ianus = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+        #[allow(deprecated)]
         let npu_mem = simulate(SystemConfig::npu_mem(), &ModelConfig::gpt2_m(), &cfg);
         assert!(ianus.p99_sojourn < npu_mem.p99_sojourn);
         assert!(ianus.utilization < npu_mem.utilization);
@@ -245,6 +918,13 @@ mod tests {
             seed: 0,
             mix: Vec::new(),
         };
+        #[allow(deprecated)]
         let _ = simulate(SystemConfig::ianus(), &ModelConfig::gpt2_m(), &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "no replicas")]
+    fn empty_cluster_rejected() {
+        let _ = ServingSim::new(ServingConfig::interactive(1.0, 1)).run(&ModelConfig::gpt2_m());
     }
 }

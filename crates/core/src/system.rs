@@ -76,11 +76,7 @@ impl IanusSystem {
         self.execute(compiler.unit_map(), compiled)
     }
 
-    fn execute(
-        &mut self,
-        units: UnitMap,
-        compiled: crate::compiler::CompiledStage,
-    ) -> StageReport {
+    fn execute(&mut self, units: UnitMap, compiled: crate::compiler::CompiledStage) -> StageReport {
         let mut engine = Engine::new(units.unit_count(), self.cfg.npu.dispatch_overhead);
         let exec = engine.run(&compiled.program);
         let mut breakdown = Breakdown::new();
@@ -102,7 +98,12 @@ impl IanusSystem {
     ///
     /// Panics if a BERT model is given an `output > 1` request.
     pub fn run_request(&mut self, model: &ModelConfig, request: RequestShape) -> RunReport {
-        let summ = self.run_stage(model, &Stage::Summarization { tokens: request.input });
+        let summ = self.run_stage(
+            model,
+            &Stage::Summarization {
+                tokens: request.input,
+            },
+        );
         let steps = request.generation_steps();
         let mut report = RunReport {
             total: summ.latency,
@@ -177,10 +178,11 @@ mod tests {
         // Exact: sum the 63 steps directly.
         let mut exact = Duration::ZERO;
         for past in 32..95u64 {
-            exact += sys.run_stage(&model, &Stage::Generation { past_tokens: past }).latency;
+            exact += sys
+                .run_stage(&model, &Stage::Generation { past_tokens: past })
+                .latency;
         }
-        let rel = (sampled.generation.as_ns_f64() - exact.as_ns_f64()).abs()
-            / exact.as_ns_f64();
+        let rel = (sampled.generation.as_ns_f64() - exact.as_ns_f64()).abs() / exact.as_ns_f64();
         assert!(rel < 0.02, "relative error {rel}");
     }
 

@@ -112,10 +112,9 @@ mod tests {
         let pim: Vec<_> = t.spans_on(units.pim(0)).cloned().collect();
         let mu: Vec<_> = t.spans_on(units.mu(0)).cloned().collect();
         assert!(!pim.is_empty() && !mu.is_empty());
-        let overlap = pim.iter().any(|p| {
-            mu.iter()
-                .any(|m| p.start < m.end && m.start < p.end)
-        });
+        let overlap = pim
+            .iter()
+            .any(|p| mu.iter().any(|m| p.start < m.end && m.start < p.end));
         assert!(overlap, "expected PIM/MU overlap under PAS");
     }
 
@@ -129,9 +128,6 @@ mod tests {
         let json = t.to_chrome_trace();
         assert!(json.starts_with('['));
         assert!(json.trim_end().ends_with(']'));
-        assert_eq!(
-            json.matches("\"ph\": \"X\"").count(),
-            t.spans.len()
-        );
+        assert_eq!(json.matches("\"ph\": \"X\"").count(), t.spans.len());
     }
 }

@@ -183,11 +183,13 @@ mod tests {
     #[test]
     fn activate_read_precharge_cycle() {
         let mut b = bank();
-        let act = b.issue(Time::ZERO, BankCommand::Activate { row: 1 }).unwrap();
+        let act = b
+            .issue(Time::ZERO, BankCommand::Activate { row: 1 })
+            .unwrap();
         let rd = b.issue(act, BankCommand::Read).unwrap();
         assert_eq!(rd - act, Duration::from_ns(36)); // tRCDRD
-        // Precharge requested at the read time (after tRAS already met)
-        // issues immediately; requested early it waits for tRAS.
+                                                     // Precharge requested at the read time (after tRAS already met)
+                                                     // issues immediately; requested early it waits for tRAS.
         let pre = b.issue(rd, BankCommand::Precharge).unwrap();
         assert_eq!(pre, rd);
         let act2 = b.issue(pre, BankCommand::Activate { row: 2 }).unwrap();
@@ -197,7 +199,9 @@ mod tests {
     #[test]
     fn back_to_back_reads_at_tccd() {
         let mut b = bank();
-        let act = b.issue(Time::ZERO, BankCommand::Activate { row: 0 }).unwrap();
+        let act = b
+            .issue(Time::ZERO, BankCommand::Activate { row: 0 })
+            .unwrap();
         let r0 = b.issue(act, BankCommand::Read).unwrap();
         let r1 = b.issue(r0, BankCommand::Read).unwrap();
         let r2 = b.issue(r1, BankCommand::Read).unwrap();
@@ -208,7 +212,9 @@ mod tests {
     #[test]
     fn write_recovery_delays_precharge() {
         let mut b = bank();
-        let act = b.issue(Time::ZERO, BankCommand::Activate { row: 0 }).unwrap();
+        let act = b
+            .issue(Time::ZERO, BankCommand::Activate { row: 0 })
+            .unwrap();
         let wr = b.issue(act, BankCommand::Write).unwrap();
         assert_eq!(wr - act, Duration::from_ns(24)); // tRCDWR
         let pre = b.issue(wr, BankCommand::Precharge).unwrap();
@@ -218,12 +224,16 @@ mod tests {
     #[test]
     fn illegal_commands_rejected() {
         let mut b = bank();
-        assert_eq!(b.issue(Time::ZERO, BankCommand::Read), Err(TimingError::RowNotOpen));
+        assert_eq!(
+            b.issue(Time::ZERO, BankCommand::Read),
+            Err(TimingError::RowNotOpen)
+        );
         assert_eq!(
             b.issue(Time::ZERO, BankCommand::Precharge),
             Err(TimingError::NothingToPrecharge)
         );
-        b.issue(Time::ZERO, BankCommand::Activate { row: 3 }).unwrap();
+        b.issue(Time::ZERO, BankCommand::Activate { row: 3 })
+            .unwrap();
         assert_eq!(
             b.issue(Time::ZERO, BankCommand::Activate { row: 4 }),
             Err(TimingError::RowAlreadyOpen)
@@ -235,7 +245,9 @@ mod tests {
         // Reading an entire 2 KB row: ACT + tRCDRD + 63 × tCCD after the
         // first read = 36 + 63 = 99 ns from activate to last read issue.
         let mut b = bank();
-        let act = b.issue(Time::ZERO, BankCommand::Activate { row: 0 }).unwrap();
+        let act = b
+            .issue(Time::ZERO, BankCommand::Activate { row: 0 })
+            .unwrap();
         let mut last = act;
         for _ in 0..64 {
             last = b.issue(last, BankCommand::Read).unwrap();

@@ -61,8 +61,8 @@ pub struct Completion {
 pub struct MemoryController {
     org: GddrOrganization,
     mapping: AddressMapping,
-    banks: Vec<BankState>,      // [channel][bank] flattened
-    data_bus_free: Vec<Time>,   // per channel
+    banks: Vec<BankState>,    // [channel][bank] flattened
+    data_bus_free: Vec<Time>, // per channel
     row_hits: u64,
     row_conflicts: u64,
 }
@@ -176,7 +176,10 @@ mod tests {
     fn sequential_stream_matches_closed_form() {
         let bytes: u64 = 4 << 20;
         let reqs: Vec<Request> = (0..bytes / 32)
-            .map(|i| Request { addr: i * 32, write: false })
+            .map(|i| Request {
+                addr: i * 32,
+                write: false,
+            })
             .collect();
         let measured = MemoryController::stream_makespan(org(), timings(), &reqs);
         let model = TransferModel::new(org(), timings()).bulk_read(bytes, 8);
@@ -188,7 +191,10 @@ mod tests {
     fn sequential_stream_is_mostly_row_hits() {
         let mut mc = MemoryController::new(org(), timings());
         let reqs: Vec<Request> = (0..64 * 1024u64)
-            .map(|i| Request { addr: i * 32, write: false })
+            .map(|i| Request {
+                addr: i * 32,
+                write: false,
+            })
             .collect();
         mc.run(&reqs);
         let hits = mc.row_hits() as f64 / reqs.len() as f64;
@@ -204,11 +210,17 @@ mod tests {
         let tile = map.tile_bytes();
         let n = 512u64;
         let reqs: Vec<Request> = (0..n)
-            .map(|i| Request { addr: (i % 2) * tile, write: false })
+            .map(|i| Request {
+                addr: (i % 2) * tile,
+                write: false,
+            })
             .collect();
         let conflict = MemoryController::stream_makespan(org(), timings(), &reqs);
         let seq: Vec<Request> = (0..n)
-            .map(|i| Request { addr: i * 32, write: false })
+            .map(|i| Request {
+                addr: i * 32,
+                write: false,
+            })
             .collect();
         let sequential = MemoryController::stream_makespan(org(), timings(), &seq);
         assert!(
@@ -223,10 +235,16 @@ mod tests {
         let map = AddressMapping::new(org());
         let tile = map.tile_bytes();
         let reqs: Vec<Request> = (0..16u64)
-            .map(|i| Request { addr: (i % 2) * tile, write: true })
+            .map(|i| Request {
+                addr: (i % 2) * tile,
+                write: true,
+            })
             .collect();
         let writes = MemoryController::stream_makespan(org(), timings(), &reqs);
-        let reads: Vec<Request> = reqs.iter().map(|r| Request { write: false, ..*r }).collect();
+        let reads: Vec<Request> = reqs
+            .iter()
+            .map(|r| Request { write: false, ..*r })
+            .collect();
         let read_time = MemoryController::stream_makespan(org(), timings(), &reads);
         assert!(writes > read_time);
     }
@@ -235,7 +253,10 @@ mod tests {
     fn completions_in_submission_order_per_bank() {
         let mut mc = MemoryController::new(org(), timings());
         let reqs: Vec<Request> = (0..32u64)
-            .map(|i| Request { addr: i * 32, write: false })
+            .map(|i| Request {
+                addr: i * 32,
+                write: false,
+            })
             .collect();
         let done = mc.run(&reqs);
         // Same bank (first 64 bursts share a row): completions monotone.

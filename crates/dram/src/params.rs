@@ -199,7 +199,10 @@ mod tests {
         let base = GddrOrganization::ianus_default();
         let clam = GddrOrganization::ianus_clamshell();
         assert_eq!(clam.capacity_bytes(), 2 * base.capacity_bytes());
-        assert_eq!(clam.external_bandwidth_gbps(), base.external_bandwidth_gbps());
+        assert_eq!(
+            clam.external_bandwidth_gbps(),
+            base.external_bandwidth_gbps()
+        );
         assert_eq!(clam.rows_per_bank(), 2 * base.rows_per_bank());
     }
 

@@ -34,7 +34,10 @@ pub struct TransferModel {
 
 impl Default for TransferModel {
     fn default() -> Self {
-        TransferModel::new(GddrOrganization::ianus_default(), GddrTimings::ianus_default())
+        TransferModel::new(
+            GddrOrganization::ianus_default(),
+            GddrTimings::ianus_default(),
+        )
     }
 }
 
@@ -72,8 +75,7 @@ impl TransferModel {
     /// saturates at 1.0 for the default organization. The model still
     /// de-rates streams too short to cover the first row activation.
     pub fn stream_efficiency(&self) -> f64 {
-        let row_transfer_ns =
-            self.org.row_bytes as f64 / self.org.channel_bandwidth_bytes_per_ns();
+        let row_transfer_ns = self.org.row_bytes as f64 / self.org.channel_bandwidth_bytes_per_ns();
         let turnaround_ns = self.timings.row_cycle().as_ns_f64();
         let banks = self.org.banks_per_channel as f64;
         // One bank must re-open its next row while the other banks stream.
@@ -124,9 +126,8 @@ impl TransferModel {
         if bytes == 0 {
             return Duration::ZERO;
         }
-        let bw = self.org.channel_bandwidth_bytes_per_ns()
-            * channels as f64
-            * self.stream_efficiency();
+        let bw =
+            self.org.channel_bandwidth_bytes_per_ns() * channels as f64 * self.stream_efficiency();
         // Transfers are whole bursts.
         let bursts = bytes.div_ceil(u64::from(self.org.burst_bytes));
         let eff_bytes = bursts * u64::from(self.org.burst_bytes);

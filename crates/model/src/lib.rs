@@ -28,9 +28,9 @@
 //! assert!(xl.stage_flops(&gen) < xl.stage_flops(&Stage::Summarization { tokens: 128 }));
 //! ```
 
-pub mod roofline;
 mod configs;
 mod ops;
+pub mod roofline;
 mod stage;
 
 pub use configs::{ModelConfig, ModelFamily, Workload};

@@ -200,7 +200,10 @@ mod tests {
         let m = ModelConfig::gpt2_xl();
         let gen = Stage::Generation { past_tokens: 512 };
         let per_block = block_intensities(&m.block_ops(), &gen);
-        let ln = per_block.iter().find(|o| o.name.starts_with("layer")).unwrap();
+        let ln = per_block
+            .iter()
+            .find(|o| o.name.starts_with("layer"))
+            .unwrap();
         let total: u64 = per_block.iter().map(|o| o.flops).sum();
         assert!((ln.flops as f64 / total as f64) < 6e-4);
     }

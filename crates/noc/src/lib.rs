@@ -85,7 +85,8 @@ impl Crossbar {
 
     /// Head latency of any traversal.
     pub fn head_latency(&self) -> Duration {
-        self.clock.cycles(u64::from(self.hops * self.cycles_per_hop))
+        self.clock
+            .cycles(u64::from(self.hops * self.cycles_per_hop))
     }
 
     /// Peak bandwidth of one link in GB/s.
@@ -163,7 +164,10 @@ mod tests {
         let n = noc();
         assert!((n.link_bandwidth_gbps() - 22.4).abs() < 0.01);
         assert!(n.bisection_bandwidth_gbps() > 0.69 * 256.0);
-        assert_eq!(n.permutation_bandwidth_gbps(4), 4.0 * n.link_bandwidth_gbps());
+        assert_eq!(
+            n.permutation_bandwidth_gbps(4),
+            4.0 * n.link_bandwidth_gbps()
+        );
     }
 
     #[test]

@@ -231,7 +231,8 @@ mod tests {
         let mut max_err = 0.0f32;
         let mut x = -10.0f32;
         while x < 10.0 {
-            max_err = max_err.max((t.eval(x) - gelu_exact(x.clamp(-8.0, 8.0).max(x.min(8.0)))).abs());
+            max_err =
+                max_err.max((t.eval(x) - gelu_exact(x.clamp(-8.0, 8.0).max(x.min(8.0)))).abs());
             x += 0.01;
         }
         // Saturation regions are exact by construction; interior < 5e-3.

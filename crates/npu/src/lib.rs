@@ -30,11 +30,11 @@
 //! assert!(ln.as_ns_f64() < 200.0);
 //! ```
 
-pub mod functional;
-pub mod scheduler;
 mod config;
 mod dma;
+pub mod functional;
 mod matrix;
+pub mod scheduler;
 mod scratchpad;
 mod vector;
 

@@ -66,8 +66,7 @@ impl MatrixUnit {
     /// Achieved fraction of peak MACs for a GEMM shape.
     pub fn efficiency(&self, m: u64, k: u64, n: u64) -> f64 {
         let useful = m as f64 * k as f64 * n as f64;
-        let peak_per_cycle =
-            self.rows as f64 * self.cols as f64 * self.macs_per_pe as f64;
+        let peak_per_cycle = self.rows as f64 * self.cols as f64 * self.macs_per_pe as f64;
         useful / (self.gemm_cycles(m, k, n) as f64 * peak_per_cycle)
     }
 }

@@ -232,7 +232,9 @@ impl Engine {
     /// dispatch overhead (the command scheduler's issue cost).
     pub fn new(units: usize, dispatch: Duration) -> Self {
         Engine {
-            units: (0..units).map(|i| Resource::new(format!("unit{i}"))).collect(),
+            units: (0..units)
+                .map(|i| Resource::new(format!("unit{i}")))
+                .collect(),
             dispatch,
         }
     }
@@ -260,7 +262,11 @@ impl Engine {
         (report, spans)
     }
 
-    fn run_inner(&mut self, program: &Program, mut trace: Option<&mut Vec<Span>>) -> ExecutionReport {
+    fn run_inner(
+        &mut self,
+        program: &Program,
+        mut trace: Option<&mut Vec<Span>>,
+    ) -> ExecutionReport {
         for u in &mut self.units {
             u.reset();
         }
@@ -414,8 +420,20 @@ mod tests {
     #[test]
     fn chrome_trace_is_valid_shape() {
         let spans = [
-            Span { cmd: 0, unit: 0, tag: 0, start: Time::ZERO, end: Time::from_ns(10) },
-            Span { cmd: 1, unit: 5, tag: 9, start: Time::from_ns(10), end: Time::from_ns(30) },
+            Span {
+                cmd: 0,
+                unit: 0,
+                tag: 0,
+                start: Time::ZERO,
+                end: Time::from_ns(10),
+            },
+            Span {
+                cmd: 1,
+                unit: 5,
+                tag: 9,
+                start: Time::from_ns(10),
+                end: Time::from_ns(30),
+            },
         ];
         let json = chrome_trace(&spans, &["mu"], &["gemm"]);
         assert!(json.starts_with('[') && json.ends_with(']'));

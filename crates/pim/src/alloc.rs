@@ -51,8 +51,14 @@ impl WeightHandle {
     ///
     /// Panics if the tile coordinates are out of range.
     pub fn row_of_tile(&self, row_block: u64, col_chunk: u64) -> u64 {
-        assert!(row_block < self.tiling.row_blocks(), "row block out of range");
-        assert!(col_chunk < self.tiling.col_chunks(), "col chunk out of range");
+        assert!(
+            row_block < self.tiling.row_blocks(),
+            "row block out of range"
+        );
+        assert!(
+            col_chunk < self.tiling.col_chunks(),
+            "col chunk out of range"
+        );
         self.base_row + row_block * self.tiling.col_chunks() + col_chunk
     }
 
@@ -121,9 +127,8 @@ impl WeightAllocator {
     /// elements (padding in ragged tiles wastes the rest).
     pub fn utilization_of(&self, shape: GemvShape) -> f64 {
         let tiling = Tiling::new(&self.cfg, shape);
-        let allocated = tiling.tiles()
-            * u64::from(tiling.rows_per_tile())
-            * u64::from(self.cfg.org.row_bytes);
+        let allocated =
+            tiling.tiles() * u64::from(tiling.rows_per_tile()) * u64::from(self.cfg.org.row_bytes);
         shape.weight_bytes() as f64 / allocated as f64
     }
 

@@ -88,8 +88,7 @@ impl PimConfig {
     /// Peak internal bandwidth in GB/s: every bank streams one burst per
     /// MAC command at the column-to-column cadence.
     pub fn internal_bandwidth_gbps(&self) -> f64 {
-        self.org.burst_bytes as f64 * self.total_pus() as f64
-            / self.timings.t_ccd_l.as_ns_f64()
+        self.org.burst_bytes as f64 * self.total_pus() as f64 / self.timings.t_ccd_l.as_ns_f64()
     }
 }
 

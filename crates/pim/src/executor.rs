@@ -115,20 +115,14 @@ impl MicroExecutor {
                         }
                         // A tile's stages chain at tRRD; after the final
                         // stage (bank rotation wrapped) the chain resets.
-                        st.last_act_stage = if next_bank == 0 {
-                            None
-                        } else {
-                            Some(stage_at)
-                        };
+                        st.last_act_stage = if next_bank == 0 { None } else { Some(stage_at) };
                         st.horizon = st.horizon.max(stage_at);
                     }
                     MicroCommand::Mac => {
                         // Broadcast read on every bank; issue time is the
                         // max of all banks' constraints plus GB/accumulator
                         // availability and the MAC cadence.
-                        let want = (st.last_mac + t.t_ccd_l)
-                            .max(st.gb_ready)
-                            .max(st.acc_free);
+                        let want = (st.last_mac + t.t_ccd_l).max(st.gb_ready).max(st.acc_free);
                         let mut at = want;
                         for b in &mut st.banks {
                             at = at.max(
@@ -202,7 +196,9 @@ mod tests {
     fn batch_scales_linearly() {
         let e = exec();
         let one = e.run_macro(&MacroCommand::Gemv(GemvShape::new(1024, 1024)));
-        let four = e.run_macro(&MacroCommand::Gemv(GemvShape::new(1024, 1024).with_batch(4)));
+        let four = e.run_macro(&MacroCommand::Gemv(
+            GemvShape::new(1024, 1024).with_batch(4),
+        ));
         let ratio = four.as_ns_f64() / one.as_ns_f64();
         assert!(ratio > 3.7 && ratio < 4.3, "ratio {ratio}");
     }
@@ -211,7 +207,9 @@ mod tests {
     fn gelu_fusion_costs_little() {
         let e = exec();
         let plain = e.run_macro(&MacroCommand::Gemv(GemvShape::new(4096, 1024)));
-        let fused = e.run_macro(&MacroCommand::Gemv(GemvShape::new(4096, 1024).with_gelu(true)));
+        let fused = e.run_macro(&MacroCommand::Gemv(
+            GemvShape::new(4096, 1024).with_gelu(true),
+        ));
         assert!(fused >= plain);
         let overhead = fused.as_ns_f64() / plain.as_ns_f64();
         assert!(overhead < 1.10, "GELU fusion overhead {overhead}");

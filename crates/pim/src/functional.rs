@@ -257,7 +257,9 @@ mod tests {
         // Deterministic pseudo-random weights.
         let mut seed = 0x12345u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5
         };
         let wf: Vec<f32> = (0..rows * cols).map(|_| next() * 0.05).collect();

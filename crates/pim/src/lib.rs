@@ -40,11 +40,11 @@
 //! assert_eq!(model.rows_per_tile(), 128);
 //! ```
 
-pub mod functional;
 mod alloc;
 mod command;
 mod config;
 mod executor;
+pub mod functional;
 mod pcu;
 mod tiling;
 mod timing;

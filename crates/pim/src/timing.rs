@@ -87,11 +87,7 @@ impl PimModel {
         let t = self.cfg.timings;
         let burst = self.cfg.org.burst_duration();
         let tiling = Tiling::new(&self.cfg, shape);
-        let stages = self
-            .cfg
-            .org
-            .banks_per_channel
-            .div_ceil(t.act_group.max(1)) as usize;
+        let stages = self.cfg.org.banks_per_channel.div_ceil(t.act_group.max(1)) as usize;
 
         // Per activation-stage bank-group readiness (ACT may issue when the
         // group's previous precharge + tRP has elapsed).
@@ -205,10 +201,10 @@ mod tests {
         for shape in [
             GemvShape::new(128, 1024),
             GemvShape::new(1024, 1024),
-            GemvShape::new(6144, 1536),          // GPT-2 XL FFN
-            GemvShape::new(1920, 1920),          // GPT-2 2.5B ragged
-            GemvShape::new(50257, 1600),         // LM head-ish
-            GemvShape::new(100, 64),             // QK^T head slice
+            GemvShape::new(6144, 1536),  // GPT-2 XL FFN
+            GemvShape::new(1920, 1920),  // GPT-2 2.5B ragged
+            GemvShape::new(50257, 1600), // LM head-ish
+            GemvShape::new(100, 64),     // QK^T head slice
             GemvShape::new(4096, 1024).with_gelu(true),
             GemvShape::new(1024, 4096).with_batch(3),
         ] {

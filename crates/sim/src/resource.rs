@@ -104,8 +104,14 @@ mod tests {
     #[test]
     fn serializes_work() {
         let mut r = Resource::new("mu");
-        assert_eq!(r.acquire(Time::from_ns(5), Duration::from_ns(10)), Time::from_ns(15));
-        assert_eq!(r.acquire(Time::ZERO, Duration::from_ns(1)), Time::from_ns(16));
+        assert_eq!(
+            r.acquire(Time::from_ns(5), Duration::from_ns(10)),
+            Time::from_ns(15)
+        );
+        assert_eq!(
+            r.acquire(Time::ZERO, Duration::from_ns(1)),
+            Time::from_ns(16)
+        );
         assert_eq!(r.acquisitions(), 2);
     }
 
@@ -123,7 +129,10 @@ mod tests {
         r.block_until(Time::from_ns(50));
         assert_eq!(r.free_at(), Time::from_ns(50));
         assert_eq!(r.busy_time(), Duration::ZERO);
-        assert_eq!(r.acquire(Time::ZERO, Duration::from_ns(5)), Time::from_ns(55));
+        assert_eq!(
+            r.acquire(Time::ZERO, Duration::from_ns(5)),
+            Time::from_ns(55)
+        );
     }
 
     #[test]

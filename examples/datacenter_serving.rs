@@ -1,6 +1,7 @@
 //! Datacenter text-generation serving study (the paper's motivating
 //! workload): sweep typical request shapes for every GPT-2 size, compare
-//! platforms, and report tail behaviour of the serving mix.
+//! platforms through the unified [`Backend`] trait, and report tail
+//! behaviour of the serving mix.
 //!
 //! ```text
 //! cargo run --release --example datacenter_serving
@@ -9,7 +10,9 @@
 //! The paper evaluates non-batched requests because datacenters serving
 //! interactive NLP traffic cannot wait to form batches; this example
 //! models a serving mix of short chat turns, medium completions and long
-//! document drafts, and reports per-platform service latency.
+//! document drafts. Every platform — simulated IANUS/NPU-MEM devices and
+//! the analytical A100/DFX baselines — goes through the same
+//! `dyn Backend` path.
 
 use ianus::prelude::*;
 
@@ -19,53 +22,108 @@ struct MixEntry {
     share: f64,
 }
 
+fn platforms() -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(IanusSystem::new(SystemConfig::ianus())),
+        Box::new(IanusSystem::new(SystemConfig::npu_mem())),
+        Box::new(GpuModel::a100()),
+        Box::new(DfxModel::four_fpga()),
+    ]
+}
+
 fn main() {
     // A plausible interactive serving mix (shares sum to 1).
     let mix = [
-        MixEntry { name: "chat turn", request: RequestShape::new(128, 32), share: 0.5 },
-        MixEntry { name: "completion", request: RequestShape::new(256, 128), share: 0.35 },
-        MixEntry { name: "draft", request: RequestShape::new(512, 512), share: 0.15 },
+        MixEntry {
+            name: "chat turn",
+            request: RequestShape::new(128, 32),
+            share: 0.5,
+        },
+        MixEntry {
+            name: "completion",
+            request: RequestShape::new(256, 128),
+            share: 0.35,
+        },
+        MixEntry {
+            name: "draft",
+            request: RequestShape::new(512, 512),
+            share: 0.15,
+        },
     ];
 
     for model in ModelConfig::gpt2_family() {
+        let mut backends = platforms();
         println!("=== {} ===", model.name);
-        println!(
-            "{:<12} {:>10} | {:>10} {:>10} {:>10} {:>10}",
-            "request", "(in,out)", "IANUS ms", "NPU-MEM", "A100", "DFX"
-        );
-        let gpu = GpuModel::a100();
-        let dfx = DfxModel::four_fpga();
-        let mut weighted = [0.0f64; 4];
-        for e in &mix {
-            let mut ianus = IanusSystem::new(SystemConfig::ianus());
-            let mut npu_mem = IanusSystem::new(SystemConfig::npu_mem());
-            let lat = [
-                ianus.run_request(&model, e.request).total.as_ms_f64(),
-                npu_mem.run_request(&model, e.request).total.as_ms_f64(),
-                gpu.request_latency(&model, e.request).as_ms_f64(),
-                dfx.request_latency(&model, e.request).as_ms_f64(),
-            ];
-            for (w, l) in weighted.iter_mut().zip(lat) {
-                *w += e.share * l;
-            }
-            println!(
-                "{:<12} {:>10} | {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-                e.name,
-                format!("({},{})", e.request.input, e.request.output),
-                lat[0],
-                lat[1],
-                lat[2],
-                lat[3]
-            );
+        print!("{:<12} {:>10} |", "request", "(in,out)");
+        for b in &backends {
+            print!(" {:>16}", b.name());
         }
-        println!(
-            "{:<12} {:>10} | {:>10.1} {:>10.1} {:>10.1} {:>10.1}",
-            "mix avg", "", weighted[0], weighted[1], weighted[2], weighted[3]
-        );
+        println!();
+        let mut weighted = vec![0.0f64; backends.len()];
+        for e in &mix {
+            print!(
+                "{:<12} {:>10} |",
+                e.name,
+                format!("({},{})", e.request.input, e.request.output)
+            );
+            for (b, w) in backends.iter_mut().zip(weighted.iter_mut()) {
+                let ms = b.service_time(&model, e.request).as_ms_f64();
+                *w += e.share * ms;
+                print!(" {ms:>14.1}ms");
+            }
+            println!();
+        }
+        print!("{:<12} {:>10} |", "mix avg", "");
+        for w in &weighted {
+            print!(" {w:>14.1}ms");
+        }
+        println!();
+        // Resolve platforms by name so reordering `platforms()` cannot
+        // silently misattribute the ratios.
+        let avg_of = |prefix: &str| {
+            backends
+                .iter()
+                .position(|b| b.name().starts_with(prefix))
+                .map(|i| weighted[i])
+                .unwrap_or_else(|| panic!("no platform named {prefix}*"))
+        };
         println!(
             "serving capacity gain vs A100: {:.1}x; vs DFX: {:.1}x\n",
-            weighted[2] / weighted[0],
-            weighted[3] / weighted[0]
+            avg_of("A100") / avg_of("IANUS"),
+            avg_of("DFX") / avg_of("IANUS")
         );
     }
+
+    // The same four platforms as a (deliberately heterogeneous) serving
+    // cluster: expected-completion dispatch steers traffic to the fast
+    // replicas while the slow ones soak up overflow.
+    let model = ModelConfig::gpt2_m();
+    let report = ServingSim::new(ServingConfig::interactive(6.0, 400))
+        .boxed_replica(Box::new(IanusSystem::new(SystemConfig::ianus())))
+        .boxed_replica(Box::new(IanusSystem::new(SystemConfig::npu_mem())))
+        .boxed_replica(Box::new(GpuModel::a100()))
+        .boxed_replica(Box::new(DfxModel::four_fpga()))
+        .dispatch(DispatchPolicy::ShortestExpectedJob)
+        .run(&model);
+    println!(
+        "heterogeneous cluster of all four platforms serving {} at 6 req/s:",
+        model.name
+    );
+    for r in &report.per_replica {
+        println!(
+            "  {:<16} served {:>4} requests at {:>5.1}% utilization",
+            r.name,
+            r.completed,
+            r.utilization * 100.0
+        );
+    }
+    println!(
+        "  cluster p99 sojourn {:.0} ms ({})",
+        report.p99_sojourn.as_ms_f64(),
+        if report.stable() {
+            "stable"
+        } else {
+            "UNSTABLE"
+        }
+    );
 }

@@ -54,8 +54,7 @@ fn main() {
                     "{:<26} {:<22} {:<14} {:>12.1}",
                     fc_label, attn_label, sched_label, ms
                 );
-                let label =
-                    format!("{fc_label} + {attn_label} + {sched_label}");
+                let label = format!("{fc_label} + {attn_label} + {sched_label}");
                 if best.as_ref().is_none_or(|(b, _)| ms < *b) {
                     best = Some((ms, label.clone()));
                 }

@@ -20,13 +20,20 @@ fn main() {
         model.param_count() as f64 / 1e9,
         model.param_bytes() as f64 / 1e9,
     );
-    println!("request: {} input tokens, {} output tokens\n", request.input, request.output);
+    println!(
+        "request: {} input tokens, {} output tokens\n",
+        request.input, request.output
+    );
 
     // IANUS: unified NPU-PIM memory with PIM Access Scheduling.
     let mut ianus = IanusSystem::new(SystemConfig::ianus());
     let r = ianus.run_request(&model, request);
-    println!("IANUS      total {:>9.2} ms  (summarization {:.2} ms, generation {:.2} ms,",
-        r.total.as_ms_f64(), r.summarization.as_ms_f64(), r.generation.as_ms_f64());
+    println!(
+        "IANUS      total {:>9.2} ms  (summarization {:.2} ms, generation {:.2} ms,",
+        r.total.as_ms_f64(),
+        r.summarization.as_ms_f64(),
+        r.generation.as_ms_f64()
+    );
     println!(
         "           {:.2} ms per generated token, {:.1} TFLOPS achieved)",
         r.per_token_latency().map(|d| d.as_ms_f64()).unwrap_or(0.0),
@@ -36,23 +43,36 @@ fn main() {
     for class in OpClass::ALL {
         let t = r.breakdown.get(class);
         if t.as_ns_f64() > 0.0 {
-            println!("             {:<24} {:>9.2} ms", class.label(), t.as_ms_f64());
+            println!(
+                "             {:<24} {:>9.2} ms",
+                class.label(),
+                t.as_ms_f64()
+            );
         }
     }
 
     // NPU-MEM: identical NPU, standard GDDR6, no PIM compute.
     let mut npu_mem = IanusSystem::new(SystemConfig::npu_mem());
     let n = npu_mem.run_request(&model, request);
-    println!("\nNPU-MEM    total {:>9.2} ms  ({:.1}x slower than IANUS)",
-        n.total.as_ms_f64(), n.total.as_ns_f64() / r.total.as_ns_f64());
+    println!(
+        "\nNPU-MEM    total {:>9.2} ms  ({:.1}x slower than IANUS)",
+        n.total.as_ms_f64(),
+        n.total.as_ns_f64() / r.total.as_ns_f64()
+    );
 
     // Analytical baselines.
     let gpu = GpuModel::a100().request_latency(&model, request);
     let dfx = DfxModel::four_fpga().request_latency(&model, request);
-    println!("A100 (HF)  total {:>9.2} ms  ({:.1}x slower)",
-        gpu.as_ms_f64(), gpu.as_ns_f64() / r.total.as_ns_f64());
-    println!("DFX x4     total {:>9.2} ms  ({:.1}x slower)",
-        dfx.as_ms_f64(), dfx.as_ns_f64() / r.total.as_ns_f64());
+    println!(
+        "A100 (HF)  total {:>9.2} ms  ({:.1}x slower)",
+        gpu.as_ms_f64(),
+        gpu.as_ns_f64() / r.total.as_ns_f64()
+    );
+    println!(
+        "DFX x4     total {:>9.2} ms  ({:.1}x slower)",
+        dfx.as_ms_f64(),
+        dfx.as_ns_f64() / r.total.as_ns_f64()
+    );
 
     println!(
         "\nenergy: {:.2} mJ dynamic ({:.0}% normal DRAM, {:.0}% PIM ops, {:.0}% NPU cores)",

@@ -1,6 +1,8 @@
 //! Multi-device scaling study (the paper's Section 7): serve GPT 6.7B,
 //! 13B and 30B on groups of IANUS devices, report scaling efficiency,
-//! tokens/second and perf/TDP against a single A100.
+//! tokens/second and perf/TDP against a single A100 — then put the
+//! device groups behind the [`ServingSim`] cluster engine and measure the
+//! request rate each cluster sustains.
 //!
 //! ```text
 //! cargo run --release --example scaling_study
@@ -15,7 +17,7 @@ fn main() {
     for model in ModelConfig::large_gpt_family() {
         let min_devices = DeviceGroup::devices_for(&model);
         println!(
-            "=== {} ({:.1}B params, {:.1} GB BF16) — needs ≥{} devices ===",
+            "=== {} ({:.1}B params, {:.1} GB BF16) — needs >={} devices ===",
             model.name,
             model.param_count() as f64 / 1e9,
             model.param_bytes() as f64 / 1e9,
@@ -30,17 +32,17 @@ fn main() {
         let mut base_tps = None;
         let mut d = min_devices;
         while d <= min_devices * 4 && d <= 16 {
+            // The group is driven through the same Backend trait the
+            // serving engine uses.
             let mut group = DeviceGroup::new(SystemConfig::ianus(), d);
-            if group.fits(&model).is_err() {
+            if Backend::fits(&group, &model).is_err() {
                 d *= 2;
                 continue;
             }
-            let r = group.run_request(&model, req);
-            let ms = r.total.as_ms_f64();
-            let tps = r.tokens_per_second(req.output);
+            let ms = group.service_time(&model, req).as_ms_f64();
+            let tps = req.output as f64 / (ms / 1e3);
             let base = *base_tps.get_or_insert(tps);
-            let perf_tdp =
-                (gpu_ms / ms) / (d as f64 * IANUS_TDP_WATTS / A100_TDP_WATTS);
+            let perf_tdp = (gpu_ms / ms) / (d as f64 * IANUS_TDP_WATTS / A100_TDP_WATTS);
             println!(
                 "{:>8} | {:>10.1} {:>10.1} {:>9.2}x | {:>8.1}x {:>8.1}x",
                 d,
@@ -52,7 +54,29 @@ fn main() {
             );
             d *= 2;
         }
-        println!();
+
+        // Cluster-scale serving: replicas of the smallest viable group
+        // behind least-loaded dispatch. How much traffic does each
+        // cluster size sustain?
+        print!("sustained (256,64) req/s:");
+        for replicas in [1usize, 2, 4] {
+            let mut sim = ServingSim::new(ServingConfig {
+                arrival_rate_hz: 0.1,
+                requests: 200,
+                seed: 0x5CA1E,
+                mix: vec![RequestClass {
+                    shape: req,
+                    weight: 1.0,
+                }],
+            })
+            .cluster(replicas, |_| {
+                DeviceGroup::new(SystemConfig::ianus(), min_devices)
+            })
+            .dispatch(DispatchPolicy::LeastLoaded);
+            let rate = sim.sustainable_rate(&model, 0.05, 64.0);
+            print!("  {replicas} x {min_devices}-device group: {rate:.1}");
+        }
+        println!("\n");
     }
     println!(
         "TDP assumptions: {IANUS_TDP_WATTS} W per IANUS device, {A100_TDP_WATTS} W per A100.\n\

@@ -144,7 +144,11 @@ fn main() {
     if let Some(t) = report.per_token_latency() {
         println!("{:<12} {:.3} ms per generated token", "", t.as_ms_f64());
     }
-    println!("{:<12} dynamic energy {:.2} mJ", "", report.energy.total_pj() / 1e9);
+    println!(
+        "{:<12} dynamic energy {:.2} mJ",
+        "",
+        report.energy.total_pj() / 1e9
+    );
     println!("\nbusy time by class:");
     for class in OpClass::ALL {
         let t = report.breakdown.get(class);

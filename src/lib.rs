@@ -5,8 +5,11 @@
 //! a command-level simulator of a 4-core NPU whose GDDR6-AiM main memory
 //! doubles as an in-memory GEMV engine, together with the paper's
 //! **PIM Access Scheduling** compiler, analytical A100/DFX baselines, an
-//! energy model, and a benchmark harness regenerating every figure of the
-//! paper's evaluation.
+//! energy model, a benchmark harness regenerating every figure of the
+//! paper's evaluation — and, above the device models, a unified serving
+//! layer: every platform implements the [`Backend`](prelude::Backend)
+//! trait and plugs into the cluster-scale
+//! [`ServingSim`](prelude::ServingSim) engine.
 //!
 //! This crate is a facade: each subsystem lives in its own crate and is
 //! re-exported here under a stable module name.
@@ -19,24 +22,53 @@
 //! | [`noc`] | `ianus-noc` | all-to-all crossbar, PIM command broadcast |
 //! | [`npu`] | `ianus-npu` | matrix/vector units, DMA, command scheduler |
 //! | [`model`] | `ianus-model` | Table 3/4 model zoo, stages, shapes |
-//! | [`system`] | `ianus-core` | IANUS system, PAS, energy, multi-device |
-//! | [`baselines`] | `ianus-baselines` | A100 + DFX analytical models |
+//! | [`system`] | `ianus-core` | IANUS system, PAS, energy, multi-device, `Backend`, `ServingSim` |
+//! | [`baselines`] | `ianus-baselines` | A100 + DFX analytical models (as `Backend`s) |
 //!
 //! # Quickstart
+//!
+//! Every device model — the IANUS simulator, its NPU-MEM/partitioned
+//! ablations, PCIe-ganged device groups, and both analytical baselines —
+//! serves requests through one trait:
 //!
 //! ```
 //! use ianus::prelude::*;
 //!
-//! // Simulate GPT-2 M answering a 128-token prompt with 8 output tokens
-//! // on IANUS and on the NPU-MEM baseline (same NPU, plain GDDR6).
-//! let req = RequestShape::new(128, 8);
 //! let model = ModelConfig::gpt2_m();
-//! let mut ianus = IanusSystem::new(SystemConfig::ianus());
-//! let mut npu_mem = IanusSystem::new(SystemConfig::npu_mem());
-//! let fast = ianus.run_request(&model, req);
-//! let slow = npu_mem.run_request(&model, req);
-//! assert!(slow.total > fast.total);
+//! let req = RequestShape::new(128, 8);
+//! let mut platforms: Vec<Box<dyn Backend>> = vec![
+//!     Box::new(IanusSystem::new(SystemConfig::ianus())),
+//!     Box::new(IanusSystem::new(SystemConfig::npu_mem())),
+//!     Box::new(GpuModel::a100()),
+//!     Box::new(DfxModel::four_fpga()),
+//! ];
+//! let mut lat = Vec::new();
+//! for p in &mut platforms {
+//!     assert!(p.fits(&model).is_ok());
+//!     lat.push(p.service_time(&model, req));
+//! }
+//! // IANUS beats its NPU-MEM ablation and both baselines.
+//! assert!(lat[0] < lat[1] && lat[0] < lat[2] && lat[0] < lat[3]);
 //! ```
+//!
+//! And clusters of backends serve seeded Poisson traffic through
+//! [`ServingSim`](prelude::ServingSim):
+//!
+//! ```
+//! use ianus::prelude::*;
+//!
+//! let report = ServingSim::new(ServingConfig::interactive(8.0, 200))
+//!     .cluster(2, |_| IanusSystem::new(SystemConfig::ianus()))
+//!     .dispatch(DispatchPolicy::LeastLoaded)
+//!     .run(&ModelConfig::gpt2_m());
+//! assert_eq!(report.completed, 200);
+//! assert_eq!(report.per_replica.len(), 2);
+//! assert!(report.stable());
+//! ```
+//!
+//! The pre-0.2 single-device entry point `system::serving::simulate` is
+//! **deprecated**; it survives as a thin shim over a single-replica
+//! `ServingSim` so older call sites keep compiling.
 
 pub use ianus_baselines as baselines;
 pub use ianus_core as system;
@@ -50,8 +82,13 @@ pub use ianus_sim as sim;
 /// The types most programs need.
 pub mod prelude {
     pub use ianus_baselines::{DfxModel, GpuModel};
+    pub use ianus_core::backend::Backend;
+    pub use ianus_core::capacity::CapacityError;
     pub use ianus_core::multi_device::DeviceGroup;
     pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
+    pub use ianus_core::serving::{
+        DispatchPolicy, RequestClass, ServingConfig, ServingReport, ServingSim,
+    };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,
     };

@@ -1,0 +1,124 @@
+//! Backend parity: every [`Backend`] implementation's `service_time`
+//! must equal the value from its pre-existing direct API, across a grid
+//! of models and request shapes. The unified serving path is a view over
+//! the device models, never a different model.
+
+use ianus::prelude::*;
+use proptest::prelude::*;
+
+fn gpt2_models() -> impl Strategy<Value = ModelConfig> {
+    prop::sample::select(ModelConfig::gpt2_family().to_vec())
+}
+
+fn shapes() -> impl Strategy<Value = RequestShape> {
+    prop::sample::select(vec![
+        RequestShape::new(32, 1),
+        RequestShape::new(64, 8),
+        RequestShape::new(128, 16),
+        RequestShape::new(256, 4),
+    ])
+}
+
+proptest! {
+    // Simulated-device cases run whole-device simulations; keep counts
+    // modest (the analytical baselines get a full exhaustive grid below).
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ianus_system_parity(model in gpt2_models(), shape in shapes()) {
+        let direct = IanusSystem::new(SystemConfig::ianus())
+            .run_request(&model, shape)
+            .total;
+        let mut backend: Box<dyn Backend> =
+            Box::new(IanusSystem::new(SystemConfig::ianus()));
+        prop_assert_eq!(backend.service_time(&model, shape), direct);
+    }
+
+    #[test]
+    fn npu_mem_system_parity(model in gpt2_models(), shape in shapes()) {
+        let direct = IanusSystem::new(SystemConfig::npu_mem())
+            .run_request(&model, shape)
+            .total;
+        let mut backend: Box<dyn Backend> =
+            Box::new(IanusSystem::new(SystemConfig::npu_mem()));
+        prop_assert_eq!(backend.service_time(&model, shape), direct);
+    }
+
+    #[test]
+    fn gpu_model_parity(model in gpt2_models(), shape in shapes()) {
+        let direct = GpuModel::a100().request_latency(&model, shape);
+        let mut backend: Box<dyn Backend> = Box::new(GpuModel::a100());
+        prop_assert_eq!(backend.service_time(&model, shape), direct);
+    }
+
+    #[test]
+    fn dfx_model_parity(model in gpt2_models(), shape in shapes()) {
+        let direct = DfxModel::four_fpga().request_latency(&model, shape);
+        let mut backend: Box<dyn Backend> = Box::new(DfxModel::four_fpga());
+        prop_assert_eq!(backend.service_time(&model, shape), direct);
+    }
+}
+
+#[test]
+fn device_group_parity() {
+    // Multi-device runs are the most expensive; a fixed two-point grid
+    // keeps the check cheap while still crossing device counts.
+    for (devices, shape) in [
+        (2u32, RequestShape::new(64, 2)),
+        (4, RequestShape::new(128, 4)),
+    ] {
+        let model = ModelConfig::gpt_6_7b();
+        let direct = DeviceGroup::new(SystemConfig::ianus(), devices)
+            .run_request(&model, shape)
+            .total;
+        let mut backend: Box<dyn Backend> =
+            Box::new(DeviceGroup::new(SystemConfig::ianus(), devices));
+        assert_eq!(
+            backend.service_time(&model, shape),
+            direct,
+            "{devices} devices"
+        );
+    }
+}
+
+#[test]
+fn baseline_parity_exhaustive_grid() {
+    // The analytical baselines are closed-form; check the full grid.
+    let shapes = [
+        RequestShape::new(32, 1),
+        RequestShape::new(64, 8),
+        RequestShape::new(128, 16),
+        RequestShape::new(256, 64),
+        RequestShape::new(512, 128),
+    ];
+    for model in ModelConfig::gpt2_family() {
+        for shape in shapes {
+            let mut gpu: Box<dyn Backend> = Box::new(GpuModel::a100_megatron());
+            assert_eq!(
+                gpu.service_time(&model, shape),
+                GpuModel::a100_megatron().request_latency(&model, shape),
+                "gpu {} {:?}",
+                model.name,
+                shape
+            );
+            let mut dfx: Box<dyn Backend> = Box::new(DfxModel::four_fpga());
+            assert_eq!(
+                dfx.service_time(&model, shape),
+                DfxModel::four_fpga().request_latency(&model, shape),
+                "dfx {} {:?}",
+                model.name,
+                shape
+            );
+        }
+    }
+}
+
+#[test]
+fn fits_agrees_with_capacity_check() {
+    use ianus::system::capacity::check_model;
+    for model in ModelConfig::all() {
+        let via_backend = IanusSystem::new(SystemConfig::ianus()).fits(&model).is_ok();
+        let via_capacity = check_model(&SystemConfig::ianus(), &model).is_ok();
+        assert_eq!(via_backend, via_capacity, "{}", model.name);
+    }
+}

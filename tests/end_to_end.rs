@@ -123,8 +123,7 @@ fn generation_is_memory_bound_on_npu_mem() {
     let req = RequestShape::new(64, 16);
     let n = IanusSystem::new(SystemConfig::npu_mem()).run_request(&model, req);
     let per_token = n.per_token_latency().unwrap().as_ms_f64();
-    let weight_stream_ms =
-        (model.fc_param_count() * 2) as f64 / 256e9 * 1e3;
+    let weight_stream_ms = (model.fc_param_count() * 2) as f64 / 256e9 * 1e3;
     assert!(
         per_token > weight_stream_ms && per_token < 2.0 * weight_stream_ms,
         "per-token {per_token} vs stream floor {weight_stream_ms}"
