@@ -61,9 +61,11 @@ impl DfxModel {
         stream + self.per_token_overhead
     }
 
-    /// End-to-end request latency: `input + output − 1` token passes.
+    /// End-to-end request latency: `input + output − 1` token passes
+    /// (saturating via [`RequestShape::total_tokens`], so a struct-literal
+    /// `output: 0` cannot underflow into a ~2^64-token request).
     pub fn request_latency(&self, model: &ModelConfig, request: RequestShape) -> Duration {
-        self.per_token_latency(model) * (request.input + request.output - 1)
+        self.per_token_latency(model) * request.total_tokens()
     }
 }
 
@@ -78,6 +80,25 @@ impl Backend for DfxModel {
 
     fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
         crate::fits_in_memory(model, DFX_HBM_BYTES)
+    }
+
+    fn prefill_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        self.per_token_latency(model) * tokens.max(1)
+    }
+
+    /// DFX processes tokens strictly one at a time (its compute is sized
+    /// to its bandwidth with no batch dimension), so a batched iteration
+    /// is `batch` serial token passes — batching buys DFX nothing.
+    fn decode_time(&mut self, model: &ModelConfig, _past_tokens: u64, batch: u32) -> Duration {
+        self.per_token_latency(model) * u64::from(batch.max(1))
+    }
+
+    fn batch_fits(
+        &self,
+        model: &ModelConfig,
+        batch: &[RequestShape],
+    ) -> Result<f64, CapacityError> {
+        crate::batch_fits_in_memory(model, batch, DFX_HBM_BYTES)
     }
 }
 

@@ -173,6 +173,56 @@ impl GpuModel {
         t
     }
 
+    /// Latency of one decode iteration over `batch` concurrent
+    /// sequences, each attending to `past_tokens` of context.
+    ///
+    /// Batching turns the per-block GEMVs into skinny GEMMs: FC and
+    /// LM-head FLOPs grow with the batch while their weight traffic is
+    /// read **once** per iteration, so the memory-bound side — which
+    /// dominates non-batched decode — is amortized across the batch.
+    /// Attention reads each sequence's own KV cache, so it scales
+    /// linearly, as does nothing else: kernel dispatch is per-iteration.
+    /// At `batch == 1` this is exactly
+    /// [`stage_latency`](Self::stage_latency) of the generation stage.
+    pub fn batched_decode_latency(
+        &self,
+        model: &ModelConfig,
+        past_tokens: u64,
+        batch: u64,
+    ) -> Duration {
+        let stage = Stage::Generation { past_tokens };
+        let b = batch.max(1);
+        let ops = model.block_ops();
+        let dispatch = self.elementwise_cost * ELEMENTWISE_KERNELS
+            + self.attn_compute_cost * ATTN_COMPUTE_KERNELS
+            + self.attn_reorder_cost * ATTN_REORDER_KERNELS
+            + self.fc_dispatch_cost * FC_KERNELS;
+        let fc_time = self.roofline(
+            (ops.qkv_fc().gemm_flops(1)
+                + ops.attn_out_fc().gemm_flops(1)
+                + ops.ffn1_fc().gemm_flops(1)
+                + ops.ffn2_fc().gemm_flops(1))
+                * b,
+            ops.block_fc_bytes(),
+            true,
+        );
+        let attn_time = self.roofline(
+            ops.attention_flops(&stage) * b,
+            ops.kv_read_bytes(&stage) * b,
+            true,
+        );
+        let mut t = (dispatch + fc_time + attn_time) * model.blocks + self.stage_overhead;
+        if model.family == ModelFamily::Gpt {
+            t += self.fc_dispatch_cost
+                + self.roofline(
+                    ops.lm_head_fc().gemm_flops(1) * b,
+                    ops.lm_head_fc().weight_bytes(),
+                    true,
+                );
+        }
+        t
+    }
+
     /// End-to-end request latency (summarization + generation steps).
     pub fn request_latency(&self, model: &ModelConfig, request: RequestShape) -> Duration {
         request
@@ -231,6 +281,27 @@ impl Backend for GpuModel {
 
     fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
         crate::fits_in_memory(model, A100_HBM_BYTES)
+    }
+
+    fn prefill_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        self.stage_latency(
+            model,
+            &Stage::Summarization {
+                tokens: tokens.max(1),
+            },
+        )
+    }
+
+    fn decode_time(&mut self, model: &ModelConfig, past_tokens: u64, batch: u32) -> Duration {
+        self.batched_decode_latency(model, past_tokens, u64::from(batch))
+    }
+
+    fn batch_fits(
+        &self,
+        model: &ModelConfig,
+        batch: &[RequestShape],
+    ) -> Result<f64, CapacityError> {
+        crate::batch_fits_in_memory(model, batch, A100_HBM_BYTES)
     }
 }
 

@@ -47,6 +47,39 @@ pub(crate) fn fits_in_memory(
     }
 }
 
+/// Shared batch-residency check for the analytical baselines (the
+/// `Backend::batch_fits` admission gate): weights, the core crate's
+/// working-buffer margin, and every sequence's KV cache at its final
+/// length against `available` memory. The single-pool analogue of
+/// `ianus_core::capacity::check_batch`'s sharded accounting. Returns the
+/// projected occupancy on success.
+pub(crate) fn batch_fits_in_memory(
+    model: &ianus_model::ModelConfig,
+    batch: &[ianus_model::RequestShape],
+    available: u64,
+) -> Result<f64, ianus_core::capacity::CapacityError> {
+    use ianus_core::capacity::CapacityError;
+    let mut required = model.param_bytes() + ianus_core::capacity::WORKING_BUFFER_BYTES;
+    for shape in batch {
+        let total_seq = shape.total_tokens();
+        if total_seq > model.max_seq {
+            return Err(CapacityError::SequenceTooLong {
+                requested: total_seq,
+                max_seq: model.max_seq,
+            });
+        }
+        required += model.kv_bytes_per_token() * total_seq;
+    }
+    if required > available {
+        Err(CapacityError::OutOfMemory {
+            required,
+            available,
+        })
+    } else {
+        Ok(required as f64 / available as f64)
+    }
+}
+
 #[cfg(test)]
 mod backend_tests {
     use super::*;

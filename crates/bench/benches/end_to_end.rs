@@ -80,10 +80,26 @@ fn bench_serving_cluster(c: &mut Criterion) {
     });
 }
 
+fn bench_serving_iteration_level(c: &mut Criterion) {
+    use ianus_core::serving::{Scheduling, ServingConfig, ServingSim};
+    // Iteration-level pass over the same warm cluster: after the first
+    // run memoizes the decode grid, each iteration prices per-token
+    // scheduling from interpolated memos — the regression guard for
+    // "rate sweeps stay queueing-only fast" under continuous batching.
+    let mut sim = ServingSim::new(ServingConfig::interactive(12.0, 400))
+        .cluster(4, |_| IanusSystem::new(SystemConfig::ianus()))
+        .scheduling(Scheduling::IterationLevel { max_batch: 8 });
+    let model = ModelConfig::gpt2_m();
+    sim.run(&model); // warm prefill + decode-grid memos
+    c.bench_function("serving_iteration_4x_gpt2m_400req_b8", |b| {
+        b.iter(|| black_box(sim.run(&model)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = quick();
     targets = bench_gpt2_request, bench_bert, bench_multi_device, bench_baselines,
-        bench_serving_cluster
+        bench_serving_cluster, bench_serving_iteration_level
 }
 criterion_main!(benches);

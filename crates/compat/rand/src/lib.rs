@@ -18,13 +18,35 @@ pub trait SampleUniform: Copy + PartialOrd {
     fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
 }
 
+/// Unbiased uniform draw in `[0, span)` via Lemire's widening-multiply
+/// rejection method (Lemire 2019, "Fast Random Integer Generation in an
+/// Interval"): `x * span` maps a 64-bit word onto `span` buckets of the
+/// 128-bit product's high half; the low half detects the (at most
+/// `2^64 mod span`) words that would over-fill a bucket, and those are
+/// redrawn. A plain `next_u64() % span` over-weights the first
+/// `2^64 mod span` values of a non-power-of-two span.
+fn sample_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut m = u128::from(rng.next_u64()) * u128::from(span);
+    if (m as u64) < span {
+        // threshold = (2^64 - span) % span = 2^64 mod span.
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            m = u128::from(rng.next_u64()) * u128::from(span);
+        }
+    }
+    (m >> 64) as u64
+}
+
 macro_rules! impl_sample_int {
     ($($t:ty),*) => {$(
         impl SampleUniform for $t {
             fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
                 assert!(low < high, "gen_range requires low < high");
-                let span = (high as u128) - (low as u128);
-                low + (rng.next_u64() as u128 % span) as $t
+                // The span of a half-open range over a ≤64-bit integer
+                // type always fits in u64.
+                let span = ((high as u128) - (low as u128)) as u64;
+                low + sample_u64_below(rng, span) as $t
             }
         }
     )*};
@@ -125,6 +147,71 @@ mod tests {
             let v = rng.gen_range(f64::EPSILON..1.0);
             assert!((f64::EPSILON..1.0).contains(&v));
         }
+    }
+
+    /// RNG that replays a scripted sequence of words (then falls back to
+    /// a counter), for pinning the rejection-sampling edge cases.
+    struct ScriptedRng {
+        script: Vec<u64>,
+        pos: usize,
+    }
+
+    impl super::RngCore for ScriptedRng {
+        fn next_u64(&mut self) -> u64 {
+            let v = self
+                .script
+                .get(self.pos)
+                .copied()
+                .unwrap_or(self.pos as u64);
+            self.pos += 1;
+            v
+        }
+    }
+
+    #[test]
+    fn lemire_rejects_overfull_bucket_words() {
+        // span = 6: 2^64 mod 6 = 4, so words whose widening product has a
+        // low half < 4 must be rejected and redrawn. x = 3 gives
+        // m = 18, low half 18 < span, threshold = 4, 18 >= 4 -> accepted
+        // with high half 0. x = 0 gives low half 0 < 4 -> rejected.
+        let mut rng = ScriptedRng {
+            script: vec![0, u64::MAX],
+            pos: 0,
+        };
+        // First word (0) is rejected; u64::MAX maps to the top bucket.
+        let v = rng.gen_range(0u64..6);
+        assert_eq!(v, 5, "rejection must skip the biased word");
+        assert_eq!(rng.pos, 2, "exactly one redraw");
+
+        // A power-of-two span never rejects (threshold = 0).
+        let mut rng = ScriptedRng {
+            script: vec![0],
+            pos: 0,
+        };
+        assert_eq!(rng.gen_range(0u64..8), 0);
+        assert_eq!(rng.pos, 1);
+    }
+
+    #[test]
+    fn int_draws_uniform_over_non_power_of_two_span() {
+        // Uniformity regression for the modulo-bias fix: 60k draws over a
+        // span of 6 — each value within 5% of the expected 10k, and the
+        // chi-square statistic far below the 0.999 quantile (~20.5 for
+        // 5 degrees of freedom).
+        let mut rng = StdRng::seed_from_u64(0xB1A5);
+        const DRAWS: u64 = 60_000;
+        let mut counts = [0u64; 6];
+        for _ in 0..DRAWS {
+            counts[rng.gen_range(10u64..16) as usize - 10] += 1;
+        }
+        let expected = DRAWS as f64 / 6.0;
+        let mut chi2 = 0.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "value {i}: {c} draws, {dev:.3} off uniform");
+            chi2 += (c as f64 - expected).powi(2) / expected;
+        }
+        assert!(chi2 < 20.5, "chi-square {chi2:.1} over 0.999 quantile");
     }
 
     #[test]

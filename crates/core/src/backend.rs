@@ -33,13 +33,14 @@
 //! }
 //! ```
 
-use crate::capacity::{check_model, CapacityError};
+use crate::capacity::{check_batch, check_model, CapacityError};
 use crate::multi_device::DeviceGroup;
 use crate::{IanusSystem, MemoryPolicy};
-use ianus_model::{ModelConfig, RequestShape};
+use ianus_model::{ModelConfig, RequestShape, Stage};
 use ianus_sim::Duration;
 
-/// A device model that can serve whole requests.
+/// A device model that can serve whole requests — and, for
+/// iteration-level scheduling, individual prefill and decode steps.
 ///
 /// The contract every implementation upholds:
 ///
@@ -53,6 +54,12 @@ use ianus_sim::Duration;
 /// * `fits` is a *residency* check (weights + a nominal context's KV
 ///   cache + working buffers against device memory); callers dispatch a
 ///   request only after it returns `Ok`.
+/// * `prefill_time` and `decode_time` decompose `service_time`: at batch
+///   size 1, `prefill_time(model, input)` plus the request's
+///   `output − 1` decode steps reproduces `service_time(model, shape)`
+///   to within the backend's step-sampling accuracy. This is what lets
+///   [`crate::serving::Scheduling::IterationLevel`] agree with
+///   request-level results when batching is off.
 pub trait Backend {
     /// Human-readable platform name (stable across calls; used as the
     /// replica label in serving reports).
@@ -68,6 +75,57 @@ pub trait Backend {
     ///
     /// [`CapacityError`] describing the shortfall when it is not.
     fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError>;
+
+    /// Time to prefill `tokens` prompt tokens (the summarization stage),
+    /// which also produces the request's first output token.
+    ///
+    /// Default: the service time of a `(tokens, 1)` request, which is
+    /// exactly the prefill stage for every backend in this workspace.
+    fn prefill_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        self.service_time(model, RequestShape::new(tokens.max(1), 1))
+    }
+
+    /// Wall time of **one decode iteration** over `batch` concurrent
+    /// sequences, each attending to roughly `past_tokens` of context.
+    ///
+    /// Default: `batch ×` the marginal cost of one extra generated token
+    /// (the difference between a `(past, 2)` and a `(past, 1)` request)
+    /// — i.e. a backend with no batching hardware serializes the batch.
+    /// Backends whose decode is weight-streaming-bound (the GPU) override
+    /// this to amortize the weight traffic across the batch.
+    fn decode_time(&mut self, model: &ModelConfig, past_tokens: u64, batch: u32) -> Duration {
+        let past = past_tokens.max(1);
+        let with_step = self.service_time(model, RequestShape::new(past, 2));
+        let without = self.service_time(model, RequestShape::new(past, 1));
+        let step = if with_step > without {
+            with_step - without
+        } else {
+            Duration::ZERO
+        };
+        step * u64::from(batch.max(1))
+    }
+
+    /// Residency check for a *batch* of concurrently served sequences:
+    /// one copy of the weights plus every sequence's KV cache at its
+    /// final length. On success returns the projected fraction of device
+    /// memory occupied (the iteration-level scheduler's admission gate
+    /// and the `peak_kv_occupancy` it reports).
+    ///
+    /// Default: the model-level [`fits`](Self::fits) check with zero
+    /// reported occupancy — a backend without a memory model accepts any
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// [`CapacityError`] when the batch does not fit.
+    fn batch_fits(
+        &self,
+        model: &ModelConfig,
+        _batch: &[RequestShape],
+    ) -> Result<f64, CapacityError> {
+        self.fits(model)?;
+        Ok(0.0)
+    }
 }
 
 impl Backend for IanusSystem {
@@ -88,6 +146,36 @@ impl Backend for IanusSystem {
     fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
         check_model(self.config(), model)
     }
+
+    fn prefill_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        self.run_stage(
+            model,
+            &Stage::Summarization {
+                tokens: tokens.max(1),
+            },
+        )
+        .latency
+    }
+
+    /// A batched IANUS decode iteration serializes over the batch: the
+    /// generation-stage FCs run as in-memory PIM GEMVs (one pass per
+    /// input vector, so weight reads are *not* amortized across
+    /// sequences), and attention + vector work are per-sequence anyway.
+    /// This is the quantitative form of the paper's Section 6.1 stance —
+    /// IANUS serves batch 1 because batching buys it nothing.
+    fn decode_time(&mut self, model: &ModelConfig, past_tokens: u64, batch: u32) -> Duration {
+        self.run_stage(model, &Stage::Generation { past_tokens })
+            .latency
+            * u64::from(batch.max(1))
+    }
+
+    fn batch_fits(
+        &self,
+        model: &ModelConfig,
+        batch: &[RequestShape],
+    ) -> Result<f64, CapacityError> {
+        check_batch(self.config(), model, batch).map(|r| r.occupancy())
+    }
 }
 
 impl Backend for DeviceGroup {
@@ -101,6 +189,34 @@ impl Backend for DeviceGroup {
 
     fn fits(&self, model: &ModelConfig) -> Result<(), CapacityError> {
         check_model(self.system().config(), model)
+    }
+
+    fn prefill_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        self.system_mut()
+            .run_stage(
+                model,
+                &Stage::Summarization {
+                    tokens: tokens.max(1),
+                },
+            )
+            .latency
+    }
+
+    /// Serialized like the single device: the group's PIM GEMVs are
+    /// per-sequence passes too (see [`IanusSystem`]'s `decode_time`).
+    fn decode_time(&mut self, model: &ModelConfig, past_tokens: u64, batch: u32) -> Duration {
+        self.system_mut()
+            .run_stage(model, &Stage::Generation { past_tokens })
+            .latency
+            * u64::from(batch.max(1))
+    }
+
+    fn batch_fits(
+        &self,
+        model: &ModelConfig,
+        batch: &[RequestShape],
+    ) -> Result<f64, CapacityError> {
+        check_batch(self.system().config(), model, batch).map(|r| r.occupancy())
     }
 }
 
@@ -149,5 +265,84 @@ mod tests {
             IanusSystem::new(SystemConfig::partitioned()).name(),
             "IANUS (partitioned)"
         );
+    }
+
+    #[test]
+    fn prefill_plus_decode_steps_reproduce_service_time() {
+        // For short outputs run_request sums its generation stages
+        // exactly, so the step decomposition must reproduce it exactly.
+        let model = ModelConfig::gpt2_m();
+        let shape = RequestShape::new(64, 8);
+        let mut sys = IanusSystem::new(SystemConfig::ianus());
+        let service = Backend::service_time(&mut sys, &model, shape);
+        let mut steps = Backend::prefill_time(&mut sys, &model, shape.input);
+        for past in shape.input..shape.input + shape.generation_steps() {
+            steps += Backend::decode_time(&mut sys, &model, past, 1);
+        }
+        assert_eq!(steps, service);
+    }
+
+    #[test]
+    fn device_group_decomposition_matches_service_time() {
+        let model = ModelConfig::gpt_6_7b();
+        let shape = RequestShape::new(64, 4);
+        let mut group = DeviceGroup::new(SystemConfig::ianus(), 2);
+        let service = Backend::service_time(&mut group, &model, shape);
+        let mut steps = Backend::prefill_time(&mut group, &model, shape.input);
+        for past in shape.input..shape.input + shape.generation_steps() {
+            steps += Backend::decode_time(&mut group, &model, past, 1);
+        }
+        assert_eq!(steps, service);
+    }
+
+    #[test]
+    fn ianus_batched_decode_serializes() {
+        // The documented IANUS batching model: a batch-b iteration costs
+        // exactly b single-sequence steps (PIM GEMVs are per-sequence).
+        let model = ModelConfig::gpt2_m();
+        let mut sys = IanusSystem::new(SystemConfig::ianus());
+        let one = Backend::decode_time(&mut sys, &model, 128, 1);
+        let four = Backend::decode_time(&mut sys, &model, 128, 4);
+        assert_eq!(four, one * 4);
+    }
+
+    #[test]
+    fn batch_fits_reports_growing_occupancy() {
+        let model = ModelConfig::gpt2_xl();
+        let sys = IanusSystem::new(SystemConfig::ianus());
+        let shape = RequestShape::new(512, 512);
+        let one = Backend::batch_fits(&sys, &model, &[shape]).unwrap();
+        let four = Backend::batch_fits(&sys, &model, &[shape; 4]).unwrap();
+        assert!(four > one);
+        // Enough sequences must be refused.
+        assert!(Backend::batch_fits(&sys, &model, &[shape; 64]).is_err());
+        // And the group spreads the same batch across more memory.
+        let group = DeviceGroup::new(SystemConfig::ianus(), 4);
+        let grouped = Backend::batch_fits(&group, &model, &[shape; 4]).unwrap();
+        assert!(grouped < four);
+    }
+
+    #[test]
+    fn default_decode_time_is_marginal_service_cost() {
+        // A backend using only the trait defaults decomposes consistently
+        // too: default decode is the (past,2) − (past,1) marginal.
+        struct Linear;
+        impl Backend for Linear {
+            fn name(&self) -> &str {
+                "linear"
+            }
+            fn service_time(&mut self, _: &ModelConfig, shape: RequestShape) -> Duration {
+                Duration::from_us(10) * (shape.input + shape.output)
+            }
+            fn fits(&self, _: &ModelConfig) -> Result<(), CapacityError> {
+                Ok(())
+            }
+        }
+        let model = ModelConfig::gpt2_m();
+        let mut b = Linear;
+        assert_eq!(b.decode_time(&model, 100, 1), Duration::from_us(10));
+        assert_eq!(b.decode_time(&model, 100, 5), Duration::from_us(50));
+        assert_eq!(b.prefill_time(&model, 128), Duration::from_us(10) * 129);
+        assert!(b.batch_fits(&model, &[]).is_ok());
     }
 }

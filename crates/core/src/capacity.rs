@@ -77,16 +77,23 @@ impl CapacityReport {
     }
 }
 
+/// Activation/working-buffer margin assumed by the single-pool
+/// residency checks: [`nominal_footprint_bytes`] and the baselines'
+/// batch-admission gate both reserve this much beyond weights and KV,
+/// so the two can never drift apart.
+pub const WORKING_BUFFER_BYTES: u64 = 1 << 30;
+
 /// Nominal single-pool residency footprint of `model`: weights plus a
 /// 1024-token KV cache (capped at the model's maximum sequence) plus
-/// ~1 GiB of activation/buffer margin. This is the one place the
-/// nominal-context convention is defined; the baselines' `Backend::fits`
-/// and [`DeviceGroup::devices_for`](crate::multi_device::DeviceGroup::devices_for)
+/// the [`WORKING_BUFFER_BYTES`] activation/buffer margin. This is the
+/// one place the nominal-context convention is defined; the baselines'
+/// `Backend::fits` and
+/// [`DeviceGroup::devices_for`](crate::multi_device::DeviceGroup::devices_for)
 /// both build on it, while [`check_model`]/[`check_request`] apply the
 /// device-sharded variant.
 pub fn nominal_footprint_bytes(model: &ModelConfig) -> u64 {
     let context = model.max_seq.min(1024);
-    model.param_bytes() + model.kv_bytes_per_token() * context + (1 << 30)
+    model.param_bytes() + model.kv_bytes_per_token() * context + WORKING_BUFFER_BYTES
 }
 
 /// Checks whether `model` is resident on `cfg` without a concrete
@@ -149,20 +156,50 @@ pub fn check_request(
     model: &ModelConfig,
     request: RequestShape,
 ) -> Result<CapacityReport, CapacityError> {
-    let total_seq = request.input + request.output - 1;
-    if total_seq > model.max_seq {
-        return Err(CapacityError::SequenceTooLong {
-            requested: total_seq,
-            max_seq: model.max_seq,
-        });
+    check_batch(cfg, model, std::slice::from_ref(&request))
+}
+
+/// Checks whether a *batch* of concurrently resident requests fits `cfg`:
+/// one copy of the (sharded) weights, the sum of every sequence's KV
+/// cache at its final length, and the activation buffers of the widest
+/// prefill. This is the residency gate behind iteration-level admission
+/// ([`crate::serving::Scheduling::IterationLevel`]); with a single
+/// request it is exactly [`check_request`].
+///
+/// Request fields use the saturating token accounting of
+/// [`RequestShape::total_tokens`], so struct-literal zero shapes cannot
+/// underflow the `input + output − 1` arithmetic.
+///
+/// # Errors
+///
+/// [`CapacityError::SequenceTooLong`] if any sequence exceeds the model's
+/// maximum; [`CapacityError::OutOfMemory`] if the combined footprint
+/// exceeds per-device memory.
+pub fn check_batch(
+    cfg: &SystemConfig,
+    model: &ModelConfig,
+    batch: &[RequestShape],
+) -> Result<CapacityReport, CapacityError> {
+    let mut kv_total = 0u64;
+    let mut widest_input = 0u64;
+    for request in batch {
+        let total_seq = request.total_tokens();
+        if total_seq > model.max_seq {
+            return Err(CapacityError::SequenceTooLong {
+                requested: total_seq,
+                max_seq: model.max_seq,
+            });
+        }
+        kv_total += model.kv_bytes_per_token() * total_seq;
+        widest_input = widest_input.max(request.input);
     }
     let devices = u64::from(cfg.devices);
     // Weights shard across devices (head-wise and column-wise splits).
     let weight_bytes = model.param_bytes().div_ceil(devices);
     // KV cache shards head-wise with the attention partitioning.
-    let kv_bytes = (model.kv_bytes_per_token() * total_seq).div_ceil(devices);
+    let kv_bytes = kv_total.div_ceil(devices);
     // Activations: a few live token-row buffers per block-width dimension.
-    let activation_bytes = 8 * request.input * model.ffn_dim() * 2 / devices.max(1);
+    let activation_bytes = 8 * widest_input * model.ffn_dim() * 2 / devices.max(1);
     let available_bytes = cfg.weight_capacity_bytes();
     let report = CapacityReport {
         weight_bytes,
@@ -241,6 +278,55 @@ mod tests {
         // 2.5B weights (4.9 GB) exceed the 4 GB duplicated partition.
         assert!(u.occupancy() < 1.0);
         assert!(p.is_err());
+    }
+
+    #[test]
+    fn zero_output_literal_does_not_underflow() {
+        // Regression: `RequestShape` fields are `pub`, so a struct
+        // literal can carry `output: 0`; `input + output - 1` used to
+        // wrap to ~u64::MAX and report SequenceTooLong nonsense (or
+        // panic in debug). The saturating accounting treats it as an
+        // `input`-token footprint.
+        let rogue = RequestShape {
+            input: 128,
+            output: 0,
+        };
+        let r = check_request(&SystemConfig::ianus(), &ModelConfig::gpt2_m(), rogue).unwrap();
+        let baseline = check_request(
+            &SystemConfig::ianus(),
+            &ModelConfig::gpt2_m(),
+            RequestShape::new(128, 1),
+        )
+        .unwrap();
+        assert_eq!(r.kv_bytes, baseline.kv_bytes);
+    }
+
+    #[test]
+    fn batch_kv_is_additive_over_sequences() {
+        let cfg = SystemConfig::ianus();
+        let m = ModelConfig::gpt2_xl();
+        let shape = RequestShape::new(256, 64);
+        let one = check_request(&cfg, &m, shape).unwrap();
+        let four = check_batch(&cfg, &m, &[shape; 4]).unwrap();
+        assert_eq!(four.kv_bytes, one.kv_bytes * 4);
+        assert_eq!(four.weight_bytes, one.weight_bytes);
+        assert!(four.occupancy() > one.occupancy());
+    }
+
+    #[test]
+    fn batch_admission_hits_memory_wall() {
+        // Enough long sequences must eventually exceed the 8 GB device.
+        let cfg = SystemConfig::ianus();
+        let m = ModelConfig::gpt2_xl();
+        let shape = RequestShape::new(512, 512);
+        let mut batch = Vec::new();
+        let mut admitted = 0;
+        while check_batch(&cfg, &m, &batch).is_ok() {
+            batch.push(shape);
+            admitted += 1;
+            assert!(admitted < 1000, "memory wall never reached");
+        }
+        assert!(admitted > 1, "a single long request should fit");
     }
 
     #[test]

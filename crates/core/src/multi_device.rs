@@ -93,6 +93,13 @@ impl DeviceGroup {
         &self.system
     }
 
+    /// Mutable access to the underlying system (stage-level runs need
+    /// `&mut`; used by the group's [`Backend`](crate::backend::Backend)
+    /// prefill/decode costs).
+    pub fn system_mut(&mut self) -> &mut IanusSystem {
+        &mut self.system
+    }
+
     /// Minimum device count whose aggregate memory holds `model` (weights
     /// plus working set margin) — the paper's 2/4/8 for 6.7B/13B/30B.
     pub fn devices_for(model: &ModelConfig) -> u32 {

@@ -79,8 +79,21 @@ impl RequestShape {
     }
 
     /// Number of generation steps executed.
+    ///
+    /// Saturating: the fields are `pub`, so a struct-literal
+    /// `output: 0` can bypass [`RequestShape::new`]'s assert; such a
+    /// degenerate request runs zero steps instead of wrapping to
+    /// `u64::MAX` in release builds.
     pub fn generation_steps(&self) -> u64 {
-        self.output - 1
+        self.output.saturating_sub(1)
+    }
+
+    /// Total tokens resident in the KV cache when the request completes:
+    /// `input + output − 1` (the last generated token is sampled but
+    /// never attended to). Saturating against struct-literal zeros, like
+    /// [`Self::generation_steps`].
+    pub fn total_tokens(&self) -> u64 {
+        self.input.saturating_add(self.output.saturating_sub(1))
     }
 
     /// Iterates every stage of the request in execution order.
@@ -163,5 +176,33 @@ mod tests {
     #[should_panic(expected = "degenerate")]
     fn zero_output_rejected() {
         let _ = RequestShape::new(8, 0);
+    }
+
+    #[test]
+    fn struct_literal_zero_output_saturates() {
+        // Regression: the fields are `pub`, so `output: 0` can bypass
+        // `new()`'s assert. `generation_steps` must not wrap to
+        // `u64::MAX` (a near-infinite loop in request execution) and
+        // `stages()` must yield only the summarization stage.
+        let rogue = RequestShape {
+            input: 8,
+            output: 0,
+        };
+        assert_eq!(rogue.generation_steps(), 0);
+        assert_eq!(rogue.total_tokens(), 8);
+        assert_eq!(rogue.stages().count(), 1);
+        // Even both-zero literals stay finite.
+        let degenerate = RequestShape {
+            input: 0,
+            output: 0,
+        };
+        assert_eq!(degenerate.generation_steps(), 0);
+        assert_eq!(degenerate.total_tokens(), 0);
+    }
+
+    #[test]
+    fn total_tokens_counts_attended_positions() {
+        assert_eq!(RequestShape::new(128, 1).total_tokens(), 128);
+        assert_eq!(RequestShape::new(128, 64).total_tokens(), 191);
     }
 }

@@ -4,6 +4,9 @@
 //! ianus [--model NAME] [--input N] [--output N] [--system ianus|npu-mem|partitioned]
 //!       [--devices D] [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]
 //!       [--compare]
+//! ianus --serve [--model NAME] [--system ...] [--devices D] [--replicas K]
+//!       [--rate R] [--requests N] [--mix interactive|decode-heavy]
+//!       [--scheduling request|iteration] [--max-batch B] [--compare]
 //! ```
 //!
 //! Examples:
@@ -11,15 +14,34 @@
 //! ```text
 //! cargo run --release --bin ianus -- --model gpt2-xl --input 128 --output 64
 //! cargo run --release --bin ianus -- --model gpt-6.7b --devices 2 --compare
+//! cargo run --release --bin ianus -- --serve --model gpt2-m --replicas 2 \
+//!     --rate 8 --mix decode-heavy --scheduling iteration --max-batch 8
+//! cargo run --release --bin ianus -- --serve --model gpt2-m --compare
 //! ```
 
 use ianus::prelude::*;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum MixKind {
+    Interactive,
+    DecodeHeavy,
+}
+
+struct ServeArgs {
+    replicas: usize,
+    rate: f64,
+    requests: u64,
+    mix: MixKind,
+    scheduling: Scheduling,
+}
 
 struct Args {
     model: ModelConfig,
     request: RequestShape,
     system: SystemConfig,
+    devices: u32,
     compare: bool,
+    serve: Option<ServeArgs>,
 }
 
 fn usage() -> ! {
@@ -28,6 +50,10 @@ fn usage() -> ! {
          \x20            [--system ianus|npu-mem|partitioned] [--devices D]\n\
          \x20            [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]\n\
          \x20            [--compare]\n\
+         \x20      ianus --serve [--model NAME] [--system ...] [--devices D]\n\
+         \x20            [--replicas K] [--rate R] [--requests N]\n\
+         \x20            [--mix interactive|decode-heavy]\n\
+         \x20            [--scheduling request|iteration] [--max-batch B] [--compare]\n\
          models: {}",
         ModelConfig::all()
             .iter()
@@ -46,10 +72,36 @@ fn parse() -> Args {
     let mut pas = PasPolicy::ianus();
     let mut devices = 1u32;
     let mut compare = false;
+    let mut serve = false;
+    let mut replicas = 1usize;
+    let mut rate = 4.0f64;
+    let mut requests = 400u64;
+    let mut mix = MixKind::Interactive;
+    let mut iteration = false;
+    let mut max_batch = 8u32;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
+            "--serve" => serve = true,
+            "--replicas" => replicas = value().parse().unwrap_or_else(|_| usage()),
+            "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => requests = value().parse().unwrap_or_else(|_| usage()),
+            "--max-batch" => max_batch = value().parse().unwrap_or_else(|_| usage()),
+            "--mix" => {
+                mix = match value().as_str() {
+                    "interactive" => MixKind::Interactive,
+                    "decode-heavy" => MixKind::DecodeHeavy,
+                    _ => usage(),
+                }
+            }
+            "--scheduling" => {
+                iteration = match value().as_str() {
+                    "request" => false,
+                    "iteration" => true,
+                    _ => usage(),
+                }
+            }
             "--model" => {
                 let name = value();
                 model = ModelConfig::by_name(&name).unwrap_or_else(|| {
@@ -99,7 +151,107 @@ fn parse() -> Args {
         model,
         request: RequestShape::new(input, output),
         system: system.with_pas(pas).with_devices(devices),
+        devices,
         compare,
+        serve: serve.then_some(ServeArgs {
+            replicas,
+            rate,
+            requests,
+            mix,
+            scheduling: if iteration {
+                Scheduling::IterationLevel { max_batch }
+            } else {
+                Scheduling::RequestLevel
+            },
+        }),
+    }
+}
+
+fn serving_config(mix: MixKind, rate: f64, requests: u64) -> ServingConfig {
+    match mix {
+        MixKind::Interactive => ServingConfig::interactive(rate, requests),
+        MixKind::DecodeHeavy => ServingConfig::decode_heavy(rate, requests),
+    }
+}
+
+fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> ServingSim {
+    let cfg = serving_config(serve.mix, serve.rate, serve.requests);
+    let mut sim = ServingSim::new(cfg).scheduling(scheduling);
+    for _ in 0..serve.replicas.max(1) {
+        if args.devices > 1 {
+            sim = sim.replica(DeviceGroup::new(args.system, args.devices));
+        } else {
+            sim = sim.replica(IanusSystem::new(args.system));
+        }
+    }
+    sim
+}
+
+fn print_serving_report(label: &str, r: &ianus::system::serving::ServingReport) {
+    println!(
+        "{label:<22} {:>7.1} req/s | util {:>5.1}% | sojourn p50/p99 {:>8.0}/{:>8.0} ms",
+        r.throughput_rps,
+        r.utilization * 100.0,
+        r.p50_sojourn.as_ms_f64(),
+        r.p99_sojourn.as_ms_f64(),
+    );
+    println!(
+        "{:<22} TTFT p50/p99 {:>6.0}/{:>6.0} ms | ITL p50/p99 {:>6.2}/{:>6.2} ms | peak batch {} | KV {:>4.1}% | {}",
+        "",
+        r.ttft.p50.as_ms_f64(),
+        r.ttft.p99.as_ms_f64(),
+        r.inter_token.p50.as_ms_f64(),
+        r.inter_token.p99.as_ms_f64(),
+        r.peak_batch,
+        r.peak_kv_occupancy * 100.0,
+        if r.stable() { "stable" } else { "UNSTABLE" },
+    );
+}
+
+fn serve_main(args: &Args, serve: &ServeArgs) {
+    let mix_name = match serve.mix {
+        MixKind::Interactive => "interactive",
+        MixKind::DecodeHeavy => "decode-heavy",
+    };
+    println!(
+        "serving {} | {mix_name} mix | {} replica(s) x {} device(s) | {} req at {} req/s\n",
+        args.model.name, serve.replicas, args.devices, serve.requests, serve.rate
+    );
+    let modes: Vec<Scheduling> = if args.compare {
+        vec![
+            Scheduling::RequestLevel,
+            Scheduling::IterationLevel {
+                max_batch: match serve.scheduling {
+                    Scheduling::IterationLevel { max_batch } => max_batch,
+                    Scheduling::RequestLevel => 8,
+                },
+            },
+        ]
+    } else {
+        vec![serve.scheduling]
+    };
+    // One engine across all modes: switching with `set_scheduling`
+    // keeps the warm service/prefill/decode memos, so the second mode
+    // and the sustainable-rate searches are queueing-only passes.
+    let mut sim = build_cluster(args, serve, modes[0]);
+    if let Err((i, e)) = sim.fits(&args.model) {
+        eprintln!("model does not fit replica {i}: {e}");
+        std::process::exit(1);
+    }
+    for scheduling in modes {
+        sim.set_scheduling(scheduling);
+        let label = match scheduling {
+            Scheduling::RequestLevel => "request-level".to_string(),
+            Scheduling::IterationLevel { max_batch } => {
+                format!("iteration (batch {max_batch})")
+            }
+        };
+        let report = sim.run(&args.model);
+        print_serving_report(&label, &report);
+        if args.compare {
+            let sustainable = sim.sustainable_rate(&args.model, 0.1, 512.0);
+            println!("{:<22} sustainable rate {sustainable:.1} req/s\n", "");
+        }
     }
 }
 
@@ -116,6 +268,10 @@ fn print_report(label: &str, r: &RunReport) {
 
 fn main() {
     let args = parse();
+    if let Some(serve) = &args.serve {
+        serve_main(&args, serve);
+        return;
+    }
     println!(
         "{} | ({},{}) | {:?} memory | {} device(s)\n",
         args.model.name,

@@ -52,7 +52,10 @@
 //! ```
 //!
 //! And clusters of backends serve seeded Poisson traffic through
-//! [`ServingSim`](prelude::ServingSim):
+//! [`ServingSim`](prelude::ServingSim), at request granularity (the
+//! paper's batch-1 interactive regime) or with iteration-level
+//! continuous batching (KV-gated admission into a running decode
+//! batch):
 //!
 //! ```
 //! use ianus::prelude::*;
@@ -64,11 +67,23 @@
 //! assert_eq!(report.completed, 200);
 //! assert_eq!(report.per_replica.len(), 2);
 //! assert!(report.stable());
+//!
+//! let batched = ServingSim::new(ServingConfig::interactive(8.0, 200))
+//!     .cluster(2, |_| IanusSystem::new(SystemConfig::ianus()))
+//!     .scheduling(Scheduling::IterationLevel { max_batch: 4 })
+//!     .run(&ModelConfig::gpt2_m());
+//! assert_eq!(batched.completed, 200);
+//! assert!(batched.ttft.p50 <= batched.p50_sojourn);
 //! ```
 //!
-//! The pre-0.2 single-device entry point `system::serving::simulate` is
-//! **deprecated**; it survives as a thin shim over a single-replica
-//! `ServingSim` so older call sites keep compiling.
+//! Which mode wins is the paper's Section 6.1 argument made
+//! quantitative. IANUS's PIM GEMVs make *non-batched* decode
+//! bandwidth-efficient, so batch-1 serving already saturates the device
+//! — batching only stretches inter-token latency. A weight-streaming
+//! GPU is the opposite: batched decode amortizes its weight traffic, so
+//! continuous batching multiplies its sustainable rate at the cost of
+//! per-token latency. The pre-0.2 `system::serving::simulate` shim has
+//! been removed; build a `ServingSim` directly.
 
 pub use ianus_baselines as baselines;
 pub use ianus_core as system;
@@ -87,7 +102,8 @@ pub mod prelude {
     pub use ianus_core::multi_device::DeviceGroup;
     pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
     pub use ianus_core::serving::{
-        DispatchPolicy, RequestClass, ServingConfig, ServingReport, ServingSim,
+        DispatchPolicy, LatencyPercentiles, RequestClass, Scheduling, ServingConfig, ServingReport,
+        ServingSim,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

@@ -112,6 +112,49 @@ proptest! {
             .run_request(&model, req).total;
         prop_assert!(more < base);
     }
+
+    #[test]
+    fn iteration_admission_never_violates_kv_residency(
+        seed in 0u64..1000,
+        rate in prop::sample::select(vec![2.0f64, 8.0, 40.0]),
+        max_batch in 1u32..6,
+        shape in prop::sample::select(vec![
+            RequestShape::new(128, 32),
+            RequestShape::new(256, 128),
+            RequestShape::new(512, 512),
+        ]),
+    ) {
+        // Iteration-level serving must (a) finish every request, (b)
+        // never exceed the slot cap, and (c) never admit a batch whose
+        // projected KV-resident footprint exceeds device memory — the
+        // occupancy the engine records is the gate's own accounting, so
+        // a value above 1 means an admission slipped past the check.
+        let cfg = ServingConfig {
+            arrival_rate_hz: rate,
+            requests: 30,
+            seed,
+            mix: vec![RequestClass { shape, weight: 1.0 }],
+        };
+        let r = ServingSim::new(cfg)
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .scheduling(Scheduling::IterationLevel { max_batch })
+            .run(&ModelConfig::gpt2_xl());
+        prop_assert_eq!(r.completed, 30);
+        prop_assert!(r.peak_batch <= max_batch);
+        prop_assert!(
+            r.peak_kv_occupancy > 0.0 && r.peak_kv_occupancy <= 1.0,
+            "occupancy {} outside (0, 1]", r.peak_kv_occupancy
+        );
+        // Every admitted batch fits by the same arithmetic the gate uses.
+        let backend = IanusSystem::new(SystemConfig::ianus());
+        for width in 1..=r.peak_batch {
+            let batch = vec![shape; width as usize];
+            prop_assert!(
+                Backend::batch_fits(&backend, &ModelConfig::gpt2_xl(), &batch).is_ok(),
+                "peak batch of {} x {:?} does not fit", width, shape
+            );
+        }
+    }
 }
 
 #[test]
