@@ -42,6 +42,9 @@ pub struct DfxModel {
     pub bw_efficiency: f64,
     /// Fixed per-token overhead (vector ops, inter-FPGA ring).
     pub per_token_overhead: Duration,
+    /// Aggregate host-link bandwidth in GB/s (each Alveo U280 sits on
+    /// PCIe 3.0 ×16; the four FPGAs drain their KV shards in parallel).
+    pub host_gbps: f64,
 }
 
 impl DfxModel {
@@ -51,6 +54,7 @@ impl DfxModel {
             mem_gbps: 1840.0,
             bw_efficiency: 0.23,
             per_token_overhead: Duration::from_us(150),
+            host_gbps: 4.0 * 16.0,
         }
     }
 
@@ -99,6 +103,12 @@ impl Backend for DfxModel {
         batch: &[RequestShape],
     ) -> Result<f64, CapacityError> {
         crate::batch_fits_in_memory(model, batch, DFX_HBM_BYTES)
+    }
+
+    /// KV swaps drain each FPGA's shard over its own PCIe link; the
+    /// aggregate host bandwidth binds.
+    fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        crate::kv_transfer_over_host_link(model, tokens, self.host_gbps)
     }
 }
 

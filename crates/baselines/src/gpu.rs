@@ -78,6 +78,9 @@ pub struct GpuModel {
     pub fc_dispatch_cost: Duration,
     /// Fixed per-stage overhead (host-side setup, final sampling).
     pub stage_overhead: Duration,
+    /// Host-link bandwidth in GB/s (PCIe 4.0 ×16 on the A100-SXM
+    /// board), the path KV caches take when swapped to host memory.
+    pub host_gbps: f64,
 }
 
 /// Kernel counts of one decoder block in eager HuggingFace GPT-2.
@@ -101,6 +104,7 @@ impl GpuModel {
             attn_reorder_cost: Duration::from_ns(38_000),
             fc_dispatch_cost: Duration::from_ns(45_000),
             stage_overhead: Duration::from_us(1500),
+            host_gbps: 32.0,
         }
     }
 
@@ -302,6 +306,12 @@ impl Backend for GpuModel {
         batch: &[RequestShape],
     ) -> Result<f64, CapacityError> {
         crate::batch_fits_in_memory(model, batch, A100_HBM_BYTES)
+    }
+
+    /// KV swaps to host memory stream over the PCIe host link — HBM can
+    /// feed it an order of magnitude faster, so the link binds.
+    fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        crate::kv_transfer_over_host_link(model, tokens, self.host_gbps)
     }
 }
 

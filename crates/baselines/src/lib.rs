@@ -80,6 +80,20 @@ pub(crate) fn batch_fits_in_memory(
     }
 }
 
+/// Shared KV-swap pricing for the analytical baselines (the
+/// `Backend::kv_transfer_time` cost): the core crate's swap-traffic
+/// convention (`ianus_core::capacity::kv_swap_bytes`) streamed over the
+/// platform's host link. Defined once so the two baselines can never
+/// diverge on the formula.
+pub(crate) fn kv_transfer_over_host_link(
+    model: &ianus_model::ModelConfig,
+    tokens: u64,
+    host_gbps: f64,
+) -> ianus_sim::Duration {
+    let bytes = ianus_core::capacity::kv_swap_bytes(model, tokens);
+    ianus_sim::Duration::from_ns_f64(bytes as f64 / host_gbps)
+}
+
 #[cfg(test)]
 mod backend_tests {
     use super::*;
@@ -100,6 +114,23 @@ mod backend_tests {
             dfx.service_time(&model, shape),
             DfxModel::four_fpga().request_latency(&model, shape)
         );
+    }
+
+    #[test]
+    fn baseline_kv_transfer_prices_host_link() {
+        let model = ModelConfig::gpt2_xl();
+        let bytes = ianus_core::capacity::kv_swap_bytes(&model, 512);
+        let mut gpu = GpuModel::a100();
+        let t = gpu.kv_transfer_time(&model, 512);
+        // bytes / (GB/s) = nanoseconds.
+        let want = bytes as f64 / gpu.host_gbps;
+        assert!((t.as_ns_f64() / want - 1.0).abs() < 1e-9, "{t}");
+        // DFX's four parallel Gen3 ×16 links aggregate to twice the
+        // A100 board's single Gen4 ×16, so the same KV swaps faster.
+        let mut dfx = DfxModel::four_fpga();
+        let td = dfx.kv_transfer_time(&model, 512);
+        assert_eq!(td.as_ns_f64(), t.as_ns_f64() / 2.0);
+        assert_eq!(gpu.kv_transfer_time(&model, 0).as_ns_f64(), 0.0);
     }
 
     #[test]

@@ -88,10 +88,37 @@ fn bench_serving_iteration_level(c: &mut Criterion) {
     // "rate sweeps stay queueing-only fast" under continuous batching.
     let mut sim = ServingSim::new(ServingConfig::interactive(12.0, 400))
         .cluster(4, |_| IanusSystem::new(SystemConfig::ianus()))
-        .scheduling(Scheduling::IterationLevel { max_batch: 8 });
+        .scheduling(Scheduling::iteration(8));
     let model = ModelConfig::gpt2_m();
     sim.run(&model); // warm prefill + decode-grid memos
     c.bench_function("serving_iteration_4x_gpt2m_400req_b8", |b| {
+        b.iter(|| black_box(sim.run(&model)))
+    });
+}
+
+fn bench_serving_chunked_preemptive(c: &mut Criterion) {
+    use ianus_core::serving::{RequestClass, Scheduling, ServingConfig, ServingSim};
+    // The scheduler's most state-heavy configuration: chunked prefill
+    // (one chunk + one decode share per iteration) plus preemptive
+    // admission (current-length projections and eviction scans every
+    // iteration) on the KV-pressure-heavy GPT-2 XL draft shape. Guards
+    // the per-iteration bookkeeping the two knobs add on top of the
+    // warm-memo queueing pass.
+    let mut sim = ServingSim::new(ServingConfig {
+        arrival_rate_hz: 4.0,
+        requests: 120,
+        seed: 0x5EED,
+        mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
+    })
+    .replica(IanusSystem::new(SystemConfig::ianus()))
+    .scheduling(Scheduling::IterationLevel {
+        max_batch: 32,
+        prefill_chunk: Some(128),
+        preempt: true,
+    });
+    let model = ModelConfig::gpt2_xl();
+    sim.run(&model); // warm prefill + decode-grid memos
+    c.bench_function("serving_chunked_preempt_gpt2xl_120req_b32", |b| {
         b.iter(|| black_box(sim.run(&model)))
     });
 }
@@ -100,6 +127,6 @@ criterion_group! {
     name = benches;
     config = quick();
     targets = bench_gpt2_request, bench_bert, bench_multi_device, bench_baselines,
-        bench_serving_cluster, bench_serving_iteration_level
+        bench_serving_cluster, bench_serving_iteration_level, bench_serving_chunked_preemptive
 }
 criterion_main!(benches);

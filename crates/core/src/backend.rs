@@ -33,6 +33,8 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 use crate::capacity::{check_batch, check_model, CapacityError};
 use crate::multi_device::DeviceGroup;
 use crate::{IanusSystem, MemoryPolicy};
@@ -60,6 +62,12 @@ use ianus_sim::Duration;
 ///   to within the backend's step-sampling accuracy. This is what lets
 ///   [`crate::serving::Scheduling::IterationLevel`] agree with
 ///   request-level results when batching is off.
+/// * `kv_transfer_time` prices *one direction* of a KV-cache swap
+///   (eviction to or restoration from host memory) from the sequence's
+///   [`kv_swap_bytes`](crate::capacity::kv_swap_bytes) over the
+///   backend's host link; the preemptive scheduler charges it once at
+///   swap-out and once at swap-in. It grows monotonically with the
+///   token count and is zero for zero tokens.
 pub trait Backend {
     /// Human-readable platform name (stable across calls; used as the
     /// replica label in serving reports).
@@ -126,6 +134,22 @@ pub trait Backend {
         self.fits(model)?;
         Ok(0.0)
     }
+
+    /// Time to move one sequence's KV cache (`tokens` of context) one
+    /// way between device and host memory — the cost the preemptive
+    /// scheduler ([`crate::serving::Scheduling::IterationLevel`]'s
+    /// `preempt` knob) charges at each swap-out and each swap-in.
+    ///
+    /// Default: zero. A backend without a memory model reports zero
+    /// occupancy from [`batch_fits`](Self::batch_fits), so it never
+    /// triggers preemption either — the two defaults are consistent.
+    /// Backends with a real memory model override this to price
+    /// [`kv_swap_bytes`](crate::capacity::kv_swap_bytes) over their
+    /// host interconnect.
+    fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        let _ = (model, tokens);
+        Duration::ZERO
+    }
 }
 
 impl Backend for IanusSystem {
@@ -176,6 +200,14 @@ impl Backend for IanusSystem {
     ) -> Result<f64, CapacityError> {
         check_batch(self.config(), model, batch).map(|r| r.occupancy())
     }
+
+    /// KV swaps leave the device over PCIe (the GDDR6 side is an order
+    /// of magnitude faster, so the host link binds), plus one
+    /// synchronization round-trip.
+    fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        let bytes = crate::capacity::kv_swap_bytes(model, tokens);
+        self.config().pcie_latency + Duration::from_ns_f64(bytes as f64 / self.config().pcie_gbps)
+    }
 }
 
 impl Backend for DeviceGroup {
@@ -217,6 +249,17 @@ impl Backend for DeviceGroup {
         batch: &[RequestShape],
     ) -> Result<f64, CapacityError> {
         check_batch(self.system().config(), model, batch).map(|r| r.occupancy())
+    }
+
+    /// The KV cache shards head-wise with the attention partitioning,
+    /// and every device drains its shard over its own PCIe link in
+    /// parallel — so the per-link traffic divides by the device count
+    /// while the synchronization latency does not.
+    fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        let cfg = *self.system().config();
+        let bytes =
+            crate::capacity::kv_swap_bytes(model, tokens).div_ceil(u64::from(cfg.devices.max(1)));
+        cfg.pcie_latency + Duration::from_ns_f64(bytes as f64 / cfg.pcie_gbps)
     }
 }
 
@@ -323,6 +366,23 @@ mod tests {
     }
 
     #[test]
+    fn kv_transfer_is_pcie_bound_and_monotone() {
+        let model = ModelConfig::gpt2_xl();
+        let mut sys = IanusSystem::new(SystemConfig::ianus());
+        let short = Backend::kv_transfer_time(&mut sys, &model, 128);
+        let long = Backend::kv_transfer_time(&mut sys, &model, 1024);
+        assert!(short > Duration::ZERO);
+        assert!(long > short, "more KV must take longer to swap");
+        // 1024 tokens of GPT-2 XL KV ≈ 302 MB over a 64 GB/s link plus
+        // the sync latency: single-digit milliseconds.
+        assert!(long.as_ms_f64() > 1.0 && long.as_ms_f64() < 20.0, "{long}");
+        // A group drains its head-wise KV shards over parallel links.
+        let mut group = DeviceGroup::new(SystemConfig::ianus(), 4);
+        let grouped = Backend::kv_transfer_time(&mut group, &model, 1024);
+        assert!(grouped < long, "group {grouped} vs single {long}");
+    }
+
+    #[test]
     fn default_decode_time_is_marginal_service_cost() {
         // A backend using only the trait defaults decomposes consistently
         // too: default decode is the (past,2) − (past,1) marginal.
@@ -344,5 +404,8 @@ mod tests {
         assert_eq!(b.decode_time(&model, 100, 5), Duration::from_us(50));
         assert_eq!(b.prefill_time(&model, 128), Duration::from_us(10) * 129);
         assert!(b.batch_fits(&model, &[]).is_ok());
+        // No memory model: swaps are free — consistent with the default
+        // batch_fits never triggering preemption in the first place.
+        assert_eq!(b.kv_transfer_time(&model, 1024), Duration::ZERO);
     }
 }

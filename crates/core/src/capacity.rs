@@ -96,6 +96,27 @@ pub fn nominal_footprint_bytes(model: &ModelConfig) -> u64 {
     model.param_bytes() + model.kv_bytes_per_token() * context + WORKING_BUFFER_BYTES
 }
 
+/// Bytes that move when a sequence holding `tokens` of context is
+/// swapped out of (or back into) device memory: its KV cache, and
+/// nothing else — weights stay resident and activations are transient.
+/// This is the one place the swap-traffic convention is defined; every
+/// [`Backend::kv_transfer_time`](crate::backend::Backend::kv_transfer_time)
+/// implementation prices these bytes against its own host link.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_core::capacity::kv_swap_bytes;
+/// use ianus_model::ModelConfig;
+///
+/// let m = ModelConfig::gpt2_xl();
+/// assert_eq!(kv_swap_bytes(&m, 512), m.kv_bytes_per_token() * 512);
+/// assert_eq!(kv_swap_bytes(&m, 0), 0);
+/// ```
+pub fn kv_swap_bytes(model: &ModelConfig, tokens: u64) -> u64 {
+    model.kv_bytes_per_token() * tokens
+}
+
 /// Checks whether `model` is resident on `cfg` without a concrete
 /// request: weights plus the KV cache and activations of a nominal
 /// 1024-token context (capped at the model's maximum sequence). This is

@@ -24,6 +24,28 @@
 //!   at the price of inter-token latency, which is why the comparison
 //!   needs both modes to be quantitative.
 //!
+//! Iteration-level scheduling has two further knobs, both off by
+//! default (see [`Scheduling::iteration`] for the plain form):
+//!
+//! * **Chunked prefill** (`prefill_chunk`): instead of prefilling a
+//!   whole prompt the moment a request is admitted — stalling every
+//!   resident decode for the full prompt duration — the scheduler
+//!   splits the prompt into chunks and runs **mixed iterations**: one
+//!   chunk of one sequence's prefill plus one decode step of the
+//!   resident batch, priced as [`Backend::prefill_time`] on the chunk
+//!   plus [`Backend::decode_time`] on the decoding sequences. Long
+//!   prompts then stretch each resident ITL sample by one *chunk*, not
+//!   one *prompt*.
+//! * **KV-pressure preemption** (`preempt`): admission gates on the
+//!   batch's *current* KV lengths instead of every sequence's final
+//!   length, so more sequences are admitted up front; when KV growth
+//!   later makes the batch outgrow device memory, the scheduler evicts
+//!   the lowest-[`Priority`], youngest decoding sequence to a swap
+//!   queue — charging [`Backend::kv_transfer_time`] for the KV
+//!   swap-out, and again for the swap-in when it is re-admitted —
+//!   and reports per-request preemption counts in the
+//!   [`ServingReport`].
+//!
 //! The result is a [`ServingReport`] with sojourn, **time-to-first-token
 //! and inter-token-latency** percentiles, per-class and per-replica
 //! statistics, and a [`ServingSim::sustainable_rate`] search helper that
@@ -65,13 +87,15 @@
 //!
 //! let report = ServingSim::new(ServingConfig::interactive(6.0, 200))
 //!     .replica(IanusSystem::new(SystemConfig::ianus()))
-//!     .scheduling(Scheduling::IterationLevel { max_batch: 4 })
+//!     .scheduling(Scheduling::iteration(4))
 //!     .run(&ModelConfig::gpt2_m());
 //! assert_eq!(report.completed, 200);
 //! assert!(report.ttft.p99 >= report.ttft.p50);
 //! assert!(report.inter_token.p50.as_ms_f64() > 0.0);
 //! assert!(report.peak_batch >= 1 && report.peak_batch <= 4);
 //! ```
+
+#![deny(missing_docs)]
 
 use crate::backend::Backend;
 use ianus_model::{ModelConfig, RequestShape};
@@ -80,6 +104,22 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
 
+/// Scheduling tier of a request class.
+///
+/// Priorities only matter under KV-pressure preemption (the `preempt`
+/// knob of [`Scheduling::IterationLevel`]): when a replica must shed KV
+/// pressure, it evicts [`Priority::Batch`] sequences before
+/// [`Priority::Interactive`] ones (and the youngest sequence within a
+/// tier). Admission itself stays FCFS in both modes — the tier decides
+/// who *pays* for overcommit, not who runs first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Throughput-oriented background work (evicted first).
+    Batch,
+    /// Latency-sensitive interactive traffic (evicted last).
+    Interactive,
+}
+
 /// One entry of the request-shape mix.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestClass {
@@ -87,6 +127,25 @@ pub struct RequestClass {
     pub shape: RequestShape,
     /// Relative weight of this class in the mix.
     pub weight: f64,
+    /// Scheduling tier (see [`Priority`]).
+    pub priority: Priority,
+}
+
+impl RequestClass {
+    /// An [`Priority::Interactive`] class of `shape` with `weight`.
+    pub fn new(shape: RequestShape, weight: f64) -> Self {
+        RequestClass {
+            shape,
+            weight,
+            priority: Priority::Interactive,
+        }
+    }
+
+    /// Replaces the priority tier (builder style).
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
 }
 
 /// Configuration of a serving simulation.
@@ -112,18 +171,9 @@ impl ServingConfig {
             requests,
             seed: 0x5EED,
             mix: vec![
-                RequestClass {
-                    shape: RequestShape::new(128, 32),
-                    weight: 0.6,
-                },
-                RequestClass {
-                    shape: RequestShape::new(256, 64),
-                    weight: 0.3,
-                },
-                RequestClass {
-                    shape: RequestShape::new(512, 256),
-                    weight: 0.1,
-                },
+                RequestClass::new(RequestShape::new(128, 32), 0.6),
+                RequestClass::new(RequestShape::new(256, 64), 0.3),
+                RequestClass::new(RequestShape::new(512, 256), 0.1),
             ],
         }
     }
@@ -151,18 +201,29 @@ impl ServingConfig {
             requests,
             seed: 0x5EED,
             mix: vec![
-                RequestClass {
-                    shape: RequestShape::new(32, 128),
-                    weight: 0.5,
-                },
-                RequestClass {
-                    shape: RequestShape::new(64, 256),
-                    weight: 0.35,
-                },
-                RequestClass {
-                    shape: RequestShape::new(128, 512),
-                    weight: 0.15,
-                },
+                RequestClass::new(RequestShape::new(32, 128), 0.5),
+                RequestClass::new(RequestShape::new(64, 256), 0.35),
+                RequestClass::new(RequestShape::new(128, 512), 0.15),
+            ],
+        }
+    }
+
+    /// A two-tier mix of mostly short interactive turns plus a tail of
+    /// long-prompt [`Priority::Batch`] jobs (document summarization /
+    /// ingestion). This is the regime chunked prefill exists for: a
+    /// monolithic 896-token prefill stalls every resident decode for the
+    /// whole prompt, so the interactive tier's ITL tail tracks the
+    /// *batch* tier's prompt length until prefill is chunked — and the
+    /// regime where preemption's eviction order (batch before
+    /// interactive) earns its keep.
+    pub fn long_prompt(arrival_rate_hz: f64, requests: u64) -> Self {
+        ServingConfig {
+            arrival_rate_hz,
+            requests,
+            seed: 0x5EED,
+            mix: vec![
+                RequestClass::new(RequestShape::new(128, 32), 0.75),
+                RequestClass::new(RequestShape::new(896, 64), 0.25).with_priority(Priority::Batch),
             ],
         }
     }
@@ -183,10 +244,42 @@ pub enum Scheduling {
     /// running decode batch; each iteration emits one token per active
     /// sequence. The [`DispatchPolicy`] is ignored in this mode — the
     /// global queue *is* the dispatch.
+    ///
+    /// [`Scheduling::iteration`] builds the plain form (monolithic
+    /// prefill, no preemption); the fields document the two extensions.
     IterationLevel {
         /// Maximum concurrent sequences per replica (≥ 1).
         max_batch: u32,
+        /// Chunked prefill: `Some(n)` splits every prompt into chunks of
+        /// at most `n` tokens and interleaves one chunk per iteration
+        /// with the resident batch's decode step (a *mixed* iteration,
+        /// priced as the chunk's [`Backend::prefill_time`] plus the
+        /// decode batch's [`Backend::decode_time`]). `None` prefills
+        /// each prompt whole in one iteration. Must be positive when
+        /// set.
+        prefill_chunk: Option<u64>,
+        /// KV-pressure preemption: admission gates on *current* KV
+        /// lengths (optimistic overcommit), and when batch KV growth no
+        /// longer fits, the lowest-[`Priority`], youngest decoding
+        /// sequence is swapped out (charged
+        /// [`Backend::kv_transfer_time`] each way) until pressure
+        /// clears, then re-admitted ahead of new arrivals. When `false`,
+        /// admission gates on final lengths, so pressure can never
+        /// reject a batch mid-flight.
+        preempt: bool,
     },
+}
+
+impl Scheduling {
+    /// Iteration-level continuous batching with monolithic prefill and
+    /// no preemption — the common form, and the PR 2 behavior.
+    pub fn iteration(max_batch: u32) -> Self {
+        Scheduling::IterationLevel {
+            max_batch,
+            prefill_chunk: None,
+            preempt: false,
+        }
+    }
 }
 
 /// How arriving requests are assigned to replicas (request-level
@@ -250,6 +343,10 @@ pub struct ClassReport {
     pub p95_sojourn: Duration,
     /// 99th-percentile sojourn time.
     pub p99_sojourn: Duration,
+    /// KV swap-outs suffered by this class's requests (0 unless
+    /// preemption is enabled). Under the eviction order, batch-tier
+    /// classes absorb these first.
+    pub preemptions: u64,
 }
 
 /// Utilization statistics of one replica.
@@ -298,11 +395,24 @@ pub struct ServingReport {
     /// scheduling, and at least 1 in either mode once anything is
     /// served).
     pub peak_batch: u32,
-    /// Largest projected memory occupancy any admission saw (weights +
-    /// batch KV at final lengths, as a fraction of device memory).
+    /// Largest projected memory occupancy any admission (or, under
+    /// preemption, any iteration's pressure check) saw — weights plus
+    /// batch KV, as a fraction of device memory. Admissions project
+    /// final lengths by default and *current* lengths under preemption.
     /// Stays 0 under request-level scheduling and for backends without
-    /// a memory model.
+    /// a memory model. Never exceeds 1 without preemption (the gate
+    /// rejects first); under preemption a value above 1 records the
+    /// iterations where nothing was evictable (a lone or all-prefilling
+    /// batch) and the scheduler knowingly ran overcommitted.
     pub peak_kv_occupancy: f64,
+    /// Total KV swap-out events across the run (0 unless the
+    /// scheduling's `preempt` knob is on). Every swap-out is eventually
+    /// paired with a swap-in — preempted sequences always complete.
+    pub preemptions: u64,
+    /// Requests that were preempted at least once.
+    pub preempted_requests: u64,
+    /// Largest number of swap-outs any single request suffered.
+    pub max_preemptions: u32,
     /// Mean busy fraction across replicas.
     pub utilization: f64,
     /// Completed requests per second of simulated time.
@@ -339,6 +449,9 @@ impl ServingReport {
             inter_token: LatencyPercentiles::ZERO,
             peak_batch: 0,
             peak_kv_occupancy: 0.0,
+            preemptions: 0,
+            preempted_requests: 0,
+            max_preemptions: 0,
             utilization: 0.0,
             throughput_rps: 0.0,
             per_class: mix
@@ -349,6 +462,7 @@ impl ServingReport {
                     p50_sojourn: Duration::ZERO,
                     p95_sojourn: Duration::ZERO,
                     p99_sojourn: Duration::ZERO,
+                    preemptions: 0,
                 })
                 .collect(),
             per_replica: replica_names
@@ -470,6 +584,14 @@ impl Replica {
         a + (b - a) * (past - lo) as f64 / (hi - lo) as f64
     }
 
+    /// KV swap cost (one direction) for a sequence holding `tokens` of
+    /// context — charged once at swap-out and once at swap-in. Not
+    /// memoized: every backend prices it with plain bandwidth
+    /// arithmetic.
+    fn kv_transfer_secs(&mut self, model: &ModelConfig, tokens: u64) -> f64 {
+        self.backend.kv_transfer_time(model, tokens).as_secs_f64()
+    }
+
     /// The request's *unloaded batch-1* service time: prefill plus every
     /// decode step alone on the device. This is the iteration-level
     /// analogue of the request-level service time (it matches to within
@@ -495,31 +617,66 @@ impl Replica {
 struct Arrival {
     /// Arrival time in seconds.
     at: f64,
+    /// Global arrival index (FCFS order; eviction's "youngest").
+    idx: u64,
     /// Index into the config's mix.
     class: usize,
     /// The request shape (denormalized from the class).
     shape: RequestShape,
+    /// Scheduling tier (denormalized from the class).
+    priority: Priority,
 }
 
-/// One sequence resident in a replica's decode batch.
+/// One sequence resident in a replica's batch (prefilling or decoding)
+/// or parked in its swap queue.
 #[derive(Debug, Clone, Copy)]
 struct ActiveSeq {
     shape: RequestShape,
     /// Arrival time (for sojourn accounting).
     arrival: f64,
+    /// Global arrival index (admission order; eviction's "youngest").
+    idx: u64,
     /// Its unloaded batch-1 service time (for `mean_service`).
     service: f64,
     /// Index into the config's mix.
     class: usize,
-    /// Tokens currently in its KV cache.
+    /// Scheduling tier (evict `Batch` before `Interactive`).
+    priority: Priority,
+    /// Prompt tokens prefilled so far; the sequence is *prefilling*
+    /// until this reaches `shape.input`, then *decoding*.
+    prefilled: u64,
+    /// Tokens currently in its KV cache (prefilled prompt + generated).
     past: u64,
     /// Decode iterations left.
     remaining: u64,
     /// When its previous token was emitted. Inter-token samples are
     /// gaps between consecutive emissions, so a co-admitted request's
-    /// prefill stalling the batch shows up in the resident sequences'
-    /// ITL — not just in sojourn.
+    /// prefill chunk stalling the batch — or a swap-out dwell — shows
+    /// up in the resident sequences' ITL, not just in sojourn.
     last_token: f64,
+    /// KV swap-outs suffered so far.
+    preemptions: u32,
+}
+
+impl ActiveSeq {
+    /// Whether the prompt is fully prefilled (the sequence decodes).
+    fn decoding(&self) -> bool {
+        self.prefilled >= self.shape.input
+    }
+
+    /// The sequence's KV footprint *right now*, as a shape whose
+    /// [`RequestShape::total_tokens`] is `tokens`: the currency of the
+    /// optimistic (current-length) residency checks under preemption.
+    /// The tokens ride in `output` with a one-token `input` so
+    /// [`check_batch`](crate::capacity::check_batch)'s activation term
+    /// prices a single live decode row, not a phantom `tokens`-wide
+    /// prefill.
+    fn kv_shape(tokens: u64) -> RequestShape {
+        RequestShape {
+            input: 1,
+            output: tokens.max(1),
+        }
+    }
 }
 
 /// Raw samples out of either scheduling engine, before percentile
@@ -543,6 +700,10 @@ struct RunStats {
     last_finish: f64,
     peak_batch: u32,
     peak_kv_occupancy: f64,
+    preemptions: u64,
+    class_preemptions: Vec<u64>,
+    preempted_requests: u64,
+    max_preemptions: u32,
 }
 
 impl RunStats {
@@ -558,16 +719,34 @@ impl RunStats {
             last_finish: 0.0,
             peak_batch: 0,
             peak_kv_occupancy: 0.0,
+            preemptions: 0,
+            class_preemptions: vec![0u64; classes],
+            preempted_requests: 0,
+            max_preemptions: 0,
         }
     }
 
-    /// Records one completed request and its unloaded service time.
-    fn complete(&mut self, replica: usize, class: usize, arrival: f64, service: f64, finish: f64) {
+    /// Records one completed request: its unloaded service time and how
+    /// often it was preempted along the way.
+    fn complete(
+        &mut self,
+        replica: usize,
+        class: usize,
+        arrival: f64,
+        service: f64,
+        finish: f64,
+        preemptions: u32,
+    ) {
         self.sojourns.push(finish - arrival);
         self.class_sojourns[class].push(finish - arrival);
         self.service_sum += service;
         self.served[replica] += 1;
         self.last_finish = self.last_finish.max(finish);
+        self.class_preemptions[class] += u64::from(preemptions);
+        if preemptions > 0 {
+            self.preempted_requests += 1;
+            self.max_preemptions = self.max_preemptions.max(preemptions);
+        }
     }
 }
 
@@ -682,9 +861,9 @@ impl ServingSim {
     ///
     /// Panics if no replicas were added, the mix is empty, a weight is
     /// non-positive, the arrival rate is non-positive, an
-    /// iteration-level `max_batch` is zero, or (iteration-level only) a
-    /// mix shape can never be admitted on some replica even with an
-    /// empty batch.
+    /// iteration-level `max_batch` or `prefill_chunk` is zero, or
+    /// (iteration-level only) a mix shape can never be admitted on some
+    /// replica even with an empty batch.
     pub fn run(&mut self, model: &ModelConfig) -> ServingReport {
         assert!(!self.replicas.is_empty(), "serving cluster has no replicas");
         assert!(!self.cfg.mix.is_empty(), "request mix must be non-empty");
@@ -707,9 +886,14 @@ impl ServingSim {
         }
         let stats = match self.scheduling {
             Scheduling::RequestLevel => self.run_request_level(model),
-            Scheduling::IterationLevel { max_batch } => {
+            Scheduling::IterationLevel {
+                max_batch,
+                prefill_chunk,
+                preempt,
+            } => {
                 assert!(max_batch >= 1, "max_batch must be at least 1");
-                self.run_iteration_level(model, max_batch)
+                assert!(prefill_chunk != Some(0), "prefill chunk must be positive");
+                self.run_iteration_level(model, max_batch, prefill_chunk, preempt)
             }
         };
         self.assemble(stats)
@@ -723,15 +907,17 @@ impl ServingSim {
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut now = 0.0f64;
         (0..self.cfg.requests)
-            .map(|_| {
+            .map(|idx| {
                 // Exponential inter-arrival.
                 let u: f64 = rng.gen_range(f64::EPSILON..1.0);
                 now += -u.ln() / self.cfg.arrival_rate_hz;
                 let class = pick_class(&self.cfg.mix, rng.gen_range(0.0..total_weight));
                 Arrival {
                     at: now,
+                    idx,
                     class,
                     shape: self.cfg.mix[class].shape,
+                    priority: self.cfg.mix[class].priority,
                 }
             })
             .collect()
@@ -810,24 +996,40 @@ impl ServingSim {
     }
 
     /// Continuous batching: one global FCFS queue; every replica admits
-    /// at each decode-iteration boundary (KV-gated), prefills admissions
-    /// immediately, then decodes its whole batch one token forward.
-    fn run_iteration_level(&mut self, model: &ModelConfig, max_batch: u32) -> RunStats {
+    /// at each iteration boundary (KV-gated), then runs one iteration —
+    /// at most one prefill chunk (the whole prompt when chunking is
+    /// off) plus one decode step over its fully-prefilled sequences.
+    /// With `preempt`, admission overcommits against *current* KV
+    /// lengths and KV pressure evicts decoding sequences to a
+    /// replica-local swap queue.
+    fn run_iteration_level(
+        &mut self,
+        model: &ModelConfig,
+        max_batch: u32,
+        prefill_chunk: Option<u64>,
+        preempt: bool,
+    ) -> RunStats {
+        let chunk_size = prefill_chunk.unwrap_or(u64::MAX);
         let n = self.replicas.len();
         let mut queue: std::collections::VecDeque<Arrival> = self.generate_arrivals().into();
         let total = self.cfg.requests;
         let mut clock = vec![0.0f64; n]; // per-replica iteration clock
         let mut batches: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
+        // Swapped-out sequences per replica (their KV lives host-side;
+        // FIFO re-admission ahead of new arrivals).
+        let mut swapped: Vec<std::collections::VecDeque<ActiveSeq>> =
+            vec![std::collections::VecDeque::new(); n];
         let mut stats = RunStats::new(n, self.cfg.mix.len(), total);
         let mut done = 0u64;
 
         while done < total {
             // The next actionable replica: the earliest iteration
-            // boundary among replicas that either hold a batch or could
-            // admit the queue head (idle replicas fast-forward to it).
+            // boundary among replicas that hold work (resident or
+            // swapped) or could admit the queue head (idle replicas
+            // fast-forward to it).
             let mut next: Option<(usize, f64)> = None;
             for (r, batch) in batches.iter().enumerate() {
-                let at = if !batch.is_empty() {
+                let at = if !batch.is_empty() || !swapped[r].is_empty() {
                     clock[r]
                 } else if let Some(front) = queue.front() {
                     clock[r].max(front.at)
@@ -843,89 +1045,285 @@ impl ServingSim {
             };
             clock[r] = at;
 
+            // Swap-ins first: preempted sequences are older than
+            // anything still queued, so they are *offered* freed slots
+            // before new admissions at every boundary (a head that does
+            // not yet fit lets newer arrivals pass — FIFO among the
+            // swapped, not a hard barrier against the queue). A swapped
+            // sequence re-enters when one projected iteration of KV
+            // growth (its own and the residents') still fits — checking
+            // grown lengths, not current ones, keeps a re-admission
+            // from bouncing straight back out through the pressure
+            // check below, which would charge both transfer costs for
+            // zero progress. When the batch is empty it re-enters
+            // unconditionally, which guarantees every preempted
+            // sequence eventually completes.
+            while (batches[r].len() as u32) < max_batch {
+                let Some(cand) = swapped[r].front() else {
+                    break;
+                };
+                if !batches[r].is_empty() {
+                    let grown = |s: &ActiveSeq| {
+                        ActiveSeq::kv_shape(if s.decoding() && s.remaining > 0 {
+                            s.past + 1
+                        } else {
+                            s.past
+                        })
+                    };
+                    let mut projected: Vec<RequestShape> = batches[r].iter().map(grown).collect();
+                    projected.push(grown(cand));
+                    match self.replicas[r].backend.batch_fits(model, &projected) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let seq = swapped[r].pop_front().expect("front just peeked");
+                let swap_in = self.replicas[r].kv_transfer_secs(model, seq.past);
+                clock[r] += swap_in;
+                stats.busy[r] += swap_in;
+                stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                batches[r].push(seq);
+            }
+
             // Admission at the iteration boundary: FCFS from the global
-            // queue, bounded by batch slots and KV residency.
+            // queue, bounded by batch slots and KV residency — the
+            // residents' *final* lengths normally, their *current*
+            // lengths (optimistic overcommit) under preemption.
             while (batches[r].len() as u32) < max_batch {
                 let Some(front) = queue.front() else { break };
                 if front.at > clock[r] {
                     break;
                 }
-                let mut resident: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
-                resident.push(front.shape);
+                // A request that can never be served — its sequence
+                // exceeds the model's positional table, or it does not
+                // fit even an empty replica — must panic rather than
+                // block the queue (non-preempt) or be optimistically
+                // admitted into an eviction storm that no swap can
+                // resolve (preempt gates on current lengths, which
+                // would miss the final-length violation).
+                if let Err(e) = self.replicas[r]
+                    .backend
+                    .batch_fits(model, std::slice::from_ref(&front.shape))
+                {
+                    assert!(
+                        !(batches[r].is_empty() && swapped[r].is_empty()),
+                        "request {:?} can never be admitted on replica {} ({}): {}",
+                        front.shape,
+                        r,
+                        self.replicas[r].backend.name(),
+                        e
+                    );
+                    break;
+                }
+                let resident: Vec<RequestShape> = if preempt {
+                    let mut v: Vec<RequestShape> = batches[r]
+                        .iter()
+                        .map(|s| ActiveSeq::kv_shape(s.past))
+                        .collect();
+                    // The candidate's imminent footprint: its whole
+                    // prompt's KV, at prefill activation width.
+                    v.push(RequestShape {
+                        input: front.shape.input.max(1),
+                        output: 1,
+                    });
+                    v
+                } else {
+                    let mut v: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
+                    v.push(front.shape);
+                    v
+                };
                 match self.replicas[r].backend.batch_fits(model, &resident) {
                     Ok(occupancy) => {
                         stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
                     }
-                    Err(e) => {
-                        // Head-of-line blocking is FCFS-faithful; a
-                        // request that cannot fit even an empty batch
-                        // would block the queue forever.
-                        assert!(
-                            !batches[r].is_empty(),
-                            "request {:?} can never be admitted on replica {} ({}): {}",
-                            front.shape,
-                            r,
-                            self.replicas[r].backend.name(),
-                            e
-                        );
-                        break;
-                    }
+                    // Head-of-line blocking is FCFS-faithful; the
+                    // lone-request check above already ruled out a
+                    // never-admittable head.
+                    Err(_) => break,
                 }
                 let arrival = queue.pop_front().expect("front just peeked");
-                let prefill = self.replicas[r].prefill_secs(model, arrival.shape.input);
                 let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
-                // Resident during the prefill too: a single-token
-                // request still occupied the replica alongside the
-                // running batch.
                 stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
-                clock[r] += prefill;
-                stats.busy[r] += prefill;
-                stats.ttfts.push(clock[r] - arrival.at);
-                let steps = arrival.shape.generation_steps();
-                if steps == 0 {
-                    // Single-token request: the prefill is the request.
-                    stats.complete(r, arrival.class, arrival.at, service, clock[r]);
-                    done += 1;
-                } else {
-                    batches[r].push(ActiveSeq {
-                        shape: arrival.shape,
-                        arrival: arrival.at,
-                        service,
-                        class: arrival.class,
-                        past: arrival.shape.input,
-                        remaining: steps,
-                        // Its first token came out of the prefill.
-                        last_token: clock[r],
-                    });
+                batches[r].push(ActiveSeq {
+                    shape: arrival.shape,
+                    arrival: arrival.at,
+                    idx: arrival.idx,
+                    service,
+                    class: arrival.class,
+                    priority: arrival.priority,
+                    prefilled: 0,
+                    past: 0,
+                    remaining: arrival.shape.generation_steps(),
+                    last_token: clock[r],
+                    preemptions: 0,
+                });
+            }
+
+            if batches[r].is_empty() {
+                continue;
+            }
+
+            // The iteration's prefill share: one chunk of the oldest
+            // still-prefilling sequence (FCFS by arrival index — a
+            // stable id, because evictions below reshuffle positions).
+            let chunk_target: Option<u64> = batches[r]
+                .iter()
+                .filter(|s| !s.decoding())
+                .map(|s| s.idx)
+                .min();
+            let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.shape.input - s.prefilled);
+
+            // KV-pressure check before executing: project every
+            // sequence's KV one iteration forward (the chunk for the
+            // prefilling sequence, +1 token per decoder) and evict the
+            // lowest-priority, youngest *decoding* sequence until the
+            // projection fits. Prefilling sequences are never evicted —
+            // their partially-built KV would be wasted work — and a
+            // lone sequence is never evicted (it could then never make
+            // progress), so a single oversized request degrades to the
+            // non-preemptive behavior instead of livelocking.
+            if preempt {
+                loop {
+                    let projected: Vec<RequestShape> = batches[r]
+                        .iter()
+                        .map(|s| {
+                            let grown = if chunk_target == Some(s.idx) {
+                                s.past + chunk_tokens(s)
+                            } else if s.decoding() && s.remaining > 0 {
+                                s.past + 1
+                            } else {
+                                s.past
+                            };
+                            ActiveSeq::kv_shape(grown)
+                        })
+                        .collect();
+                    match self.replicas[r].backend.batch_fits(model, &projected) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                            break;
+                        }
+                        Err(e) => {
+                            let victim = batches[r]
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| s.decoding())
+                                .min_by_key(|(_, s)| (s.priority, std::cmp::Reverse(s.idx)))
+                                .map(|(i, _)| i);
+                            let Some(v) = victim.filter(|_| batches[r].len() > 1) else {
+                                // Nothing evictable: tolerate the
+                                // overcommit for this iteration, and
+                                // record the over-capacity footprint so
+                                // the report cannot claim the run fit
+                                // in memory (the final-shape admission
+                                // check rules out SequenceTooLong here,
+                                // so the error always carries a ratio).
+                                if let crate::capacity::CapacityError::OutOfMemory {
+                                    required,
+                                    available,
+                                } = e
+                                {
+                                    stats.peak_kv_occupancy = stats
+                                        .peak_kv_occupancy
+                                        .max(required as f64 / available as f64);
+                                }
+                                break;
+                            };
+                            let mut seq = batches[r].remove(v);
+                            seq.preemptions += 1;
+                            stats.preemptions += 1;
+                            let swap_out = self.replicas[r].kv_transfer_secs(model, seq.past);
+                            clock[r] += swap_out;
+                            stats.busy[r] += swap_out;
+                            swapped[r].push_back(seq);
+                        }
+                    }
                 }
             }
 
-            // One decode iteration over the running batch.
-            if !batches[r].is_empty() {
-                let width = batches[r].len();
-                let mean_past = batches[r].iter().map(|s| s.past).sum::<u64>() / width as u64;
-                let dt = self.replicas[r].decode_secs(model, mean_past, width as u32);
-                clock[r] += dt;
-                stats.busy[r] += dt;
-                let now = clock[r];
-                for seq in batches[r].iter_mut() {
-                    // Gap since the sequence's previous token — includes
-                    // any admission prefills that stalled the batch, not
-                    // just this iteration's decode time.
-                    stats.itls.push(now - seq.last_token);
+            // One mixed iteration: the prefill chunk (if any) plus one
+            // decode step over every fully-prefilled sequence. Both
+            // shares execute in the same iteration, so the chunk
+            // stretches each decoder's token gap by the *chunk* cost.
+            let chunk: Option<(usize, u64)> = chunk_target.map(|idx| {
+                let ci = batches[r]
+                    .iter()
+                    .position(|s| s.idx == idx)
+                    .expect("prefilling sequences are never evicted");
+                (ci, chunk_tokens(&batches[r][ci]))
+            });
+            let (decode_width, mean_past) = {
+                let decoders: Vec<&ActiveSeq> =
+                    batches[r].iter().filter(|s| s.decoding()).collect();
+                let width = decoders.len();
+                let mean = if width > 0 {
+                    decoders.iter().map(|s| s.past).sum::<u64>() / width as u64
+                } else {
+                    0
+                };
+                (width as u32, mean)
+            };
+            let mut dt = 0.0f64;
+            if let Some((_, tokens)) = chunk {
+                dt += self.replicas[r].prefill_secs(model, tokens);
+            }
+            if decode_width > 0 {
+                dt += self.replicas[r].decode_secs(model, mean_past, decode_width);
+            }
+            clock[r] += dt;
+            stats.busy[r] += dt;
+            let now = clock[r];
+
+            // Advance the prefilling sequence; its first token comes out
+            // of the final chunk.
+            if let Some((ci, tokens)) = chunk {
+                let seq = &mut batches[r][ci];
+                seq.prefilled += tokens;
+                seq.past = seq.prefilled;
+                if seq.decoding() {
+                    stats.ttfts.push(now - seq.arrival);
                     seq.last_token = now;
-                    seq.past += 1;
-                    seq.remaining -= 1;
-                }
-                let mut i = 0;
-                while i < batches[r].len() {
-                    if batches[r][i].remaining == 0 {
-                        let seq = batches[r].swap_remove(i);
-                        stats.complete(r, seq.class, seq.arrival, seq.service, now);
+                    if seq.remaining == 0 {
+                        // Single-token request: the prefill is the
+                        // request.
+                        let seq = batches[r].remove(ci);
+                        stats.complete(
+                            r,
+                            seq.class,
+                            seq.arrival,
+                            seq.service,
+                            now,
+                            seq.preemptions,
+                        );
                         done += 1;
-                    } else {
-                        i += 1;
                     }
+                }
+            }
+
+            // Advance the decoders (skipping a sequence whose prefill
+            // completed *this* iteration: its first decode token comes
+            // next iteration).
+            let mut i = 0;
+            while i < batches[r].len() {
+                let seq = &mut batches[r][i];
+                if !seq.decoding() || seq.last_token >= now {
+                    i += 1;
+                    continue;
+                }
+                // Gap since the sequence's previous token — includes
+                // co-scheduled prefill chunks and swap traffic that
+                // stalled the batch, not just this iteration's decode.
+                stats.itls.push(now - seq.last_token);
+                seq.last_token = now;
+                seq.past += 1;
+                seq.remaining -= 1;
+                if seq.remaining == 0 {
+                    let seq = batches[r].remove(i);
+                    stats.complete(r, seq.class, seq.arrival, seq.service, now, seq.preemptions);
+                    done += 1;
+                } else {
+                    i += 1;
                 }
             }
         }
@@ -948,13 +1346,14 @@ impl ServingSim {
             .cfg
             .mix
             .iter()
-            .zip(&stats.class_sojourns)
-            .map(|(c, cs)| ClassReport {
+            .zip(stats.class_sojourns.iter().zip(&stats.class_preemptions))
+            .map(|(c, (cs, &preemptions))| ClassReport {
                 shape: c.shape,
                 completed: cs.len() as u64,
                 p50_sojourn: percentile(cs, 0.50),
                 p95_sojourn: percentile(cs, 0.95),
                 p99_sojourn: percentile(cs, 0.99),
+                preemptions,
             })
             .collect();
         let per_replica = self
@@ -977,6 +1376,9 @@ impl ServingSim {
             inter_token: LatencyPercentiles::from_sorted(&stats.itls),
             peak_batch: stats.peak_batch,
             peak_kv_occupancy: stats.peak_kv_occupancy,
+            preemptions: stats.preemptions,
+            preempted_requests: stats.preempted_requests,
+            max_preemptions: stats.max_preemptions,
             utilization: (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0),
             throughput_rps: self.cfg.requests as f64 / stats.last_finish,
             per_class,
@@ -987,12 +1389,28 @@ impl ServingSim {
     /// Binary-searches the highest arrival rate in `[lo_hz, hi_hz]` whose
     /// report is [`stable`](ServingReport::stable), to a 1% relative
     /// resolution. Returns `0.0` when even `lo_hz` is unstable. Service
-    /// memos make each probe a queueing-only pass (no device simulation).
+    /// memos make each probe a queueing-only pass (no device simulation),
+    /// and the configured arrival rate is restored afterwards.
     ///
     /// # Panics
     ///
     /// Panics if `lo_hz` or the bracket is non-positive, or on the
     /// conditions of [`run`](Self::run).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ianus_core::serving::{ServingConfig, ServingSim};
+    /// use ianus_core::{IanusSystem, SystemConfig};
+    /// use ianus_model::ModelConfig;
+    ///
+    /// let mut sim = ServingSim::new(ServingConfig::interactive(1.0, 150))
+    ///     .replica(IanusSystem::new(SystemConfig::ianus()));
+    /// let rate = sim.sustainable_rate(&ModelConfig::gpt2_m(), 0.5, 64.0);
+    /// assert!(rate > 0.5, "one IANUS device sustains interactive load");
+    /// // The probe leaves the configured rate untouched.
+    /// assert_eq!(sim.config().arrival_rate_hz, 1.0);
+    /// ```
     pub fn sustainable_rate(&mut self, model: &ModelConfig, lo_hz: f64, hi_hz: f64) -> f64 {
         assert!(lo_hz > 0.0 && hi_hz > lo_hz, "need 0 < lo_hz < hi_hz");
         let original = self.cfg.arrival_rate_hz;
@@ -1079,7 +1497,7 @@ mod tests {
     }
 
     fn mix_one(shape: RequestShape) -> Vec<RequestClass> {
-        vec![RequestClass { shape, weight: 1.0 }]
+        vec![RequestClass::new(shape, 1.0)]
     }
 
     fn fixed(name: &'static str, us_per_token: u64) -> FixedRate {
@@ -1235,16 +1653,7 @@ mod tests {
             arrival_rate_hz: 4.0,
             requests: 400,
             seed: 3,
-            mix: vec![
-                RequestClass {
-                    shape: light,
-                    weight: 0.5,
-                },
-                RequestClass {
-                    shape: heavy,
-                    weight: 0.5,
-                },
-            ],
+            mix: vec![RequestClass::new(light, 0.5), RequestClass::new(heavy, 0.5)],
         };
         let r = ServingSim::new(cfg).replica(fixed("a", 100)).run(&model);
         assert_eq!(r.per_class.len(), 2);
@@ -1279,18 +1688,9 @@ mod tests {
         // Regression: a draw at (or past) the total weight must pick the
         // *last* class, not silently snap back to mix[0].
         let mix = vec![
-            RequestClass {
-                shape: RequestShape::new(1, 1),
-                weight: 0.1,
-            },
-            RequestClass {
-                shape: RequestShape::new(2, 1),
-                weight: 0.2,
-            },
-            RequestClass {
-                shape: RequestShape::new(3, 1),
-                weight: 0.3,
-            },
+            RequestClass::new(RequestShape::new(1, 1), 0.1),
+            RequestClass::new(RequestShape::new(2, 1), 0.2),
+            RequestClass::new(RequestShape::new(3, 1), 0.3),
         ];
         let total: f64 = mix.iter().map(|c| c.weight).sum();
         // 0.1 + 0.2 + 0.3 != 0.6 exactly in binary; whatever the residue,
@@ -1422,7 +1822,7 @@ mod tests {
     fn zero_max_batch_rejected() {
         let _ = ServingSim::new(ServingConfig::interactive(1.0, 1))
             .replica(fixed("a", 100))
-            .scheduling(Scheduling::IterationLevel { max_batch: 0 })
+            .scheduling(Scheduling::iteration(0))
             .run(&ModelConfig::gpt2_m());
     }
 
@@ -1439,7 +1839,7 @@ mod tests {
                 .run(&ModelConfig::gpt2_m());
             let it = ServingSim::new(cfg)
                 .cluster(replicas, |_| fixed("fixed", 150))
-                .scheduling(Scheduling::IterationLevel { max_batch: 1 })
+                .scheduling(Scheduling::iteration(1))
                 .run(&ModelConfig::gpt2_m());
             assert_eq!(it.completed, req.completed);
             for (a, b, what) in [
@@ -1472,7 +1872,7 @@ mod tests {
             .run(&model);
         let it = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
-            .scheduling(Scheduling::IterationLevel { max_batch: 1 })
+            .scheduling(Scheduling::iteration(1))
             .run(&model);
         assert_eq!(it.completed, req.completed);
         for (a, b, what) in [
@@ -1502,7 +1902,7 @@ mod tests {
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
-            .scheduling(Scheduling::IterationLevel { max_batch: 32 })
+            .scheduling(Scheduling::iteration(32))
             .run(&ModelConfig::gpt2_xl());
         assert_eq!(r.completed, 40);
         assert!(
@@ -1530,7 +1930,7 @@ mod tests {
         let req_rate = req_sim.sustainable_rate(&model, 0.05, 64.0);
         let mut it_sim = ServingSim::new(ServingConfig::decode_heavy(0.5, 250))
             .replica(WeightStreamGpu::default())
-            .scheduling(Scheduling::IterationLevel { max_batch: 8 });
+            .scheduling(Scheduling::iteration(8));
         let it_rate = it_sim.sustainable_rate(&model, 0.05, 64.0);
         assert!(
             it_rate >= req_rate * 2.0,
@@ -1609,7 +2009,7 @@ mod tests {
 
         let batched = ServingSim::new(ServingConfig::interactive(30.0, 200))
             .replica(fixed("a", 100))
-            .scheduling(Scheduling::IterationLevel { max_batch: 4 })
+            .scheduling(Scheduling::iteration(4))
             .run(&model);
         assert!(batched.peak_batch > 1);
         // Serialized batches stretch the iteration time past one token.
@@ -1617,12 +2017,237 @@ mod tests {
         assert!(batched.ttft.p50 < batched.p50_sojourn);
     }
 
+    /// Chunk sizes at or above every prompt in the mix take the exact
+    /// same code path as monolithic prefill (one whole-prompt chunk per
+    /// admission), so the reports must be bit-identical — the
+    /// "chunk ≥ prompt degenerates to monolithic" contract.
+    #[test]
+    fn chunk_at_least_prompt_is_exactly_monolithic() {
+        let model = ModelConfig::gpt2_m();
+        let run = |prefill_chunk| {
+            ServingSim::new(ServingConfig::interactive(16.0, 250).with_seed(9))
+                .cluster(2, |_| fixed("fixed", 120))
+                .scheduling(Scheduling::IterationLevel {
+                    max_batch: 4,
+                    prefill_chunk,
+                    preempt: false,
+                })
+                .run(&model)
+        };
+        let mono = run(None);
+        // The longest interactive-mix prompt is 512 tokens.
+        assert_eq!(run(Some(512)), mono);
+        assert_eq!(run(Some(100_000)), mono);
+        // A smaller chunk must actually change the schedule.
+        assert_ne!(run(Some(64)), mono);
+    }
+
+    /// The tentpole's latency claim: on a long-prompt + interactive
+    /// mix, chunking the prefill bounds each resident decoder's stall
+    /// to one chunk instead of one prompt, so the interactive ITL tail
+    /// collapses at the same arrival rate.
+    #[test]
+    fn chunked_prefill_improves_itl_tail_on_long_prompt_mix() {
+        // 20 req/s ≈ 70% utilization on the 100 µs/token backend: busy
+        // enough that long prefills regularly land on a running decode
+        // batch (below ~50% they mostly run alone and both schedules'
+        // tails collapse to the short-prompt stall).
+        let model = ModelConfig::gpt2_m();
+        let run = |prefill_chunk| {
+            ServingSim::new(ServingConfig::long_prompt(20.0, 400))
+                .replica(fixed("fixed", 100))
+                .scheduling(Scheduling::IterationLevel {
+                    max_batch: 4,
+                    prefill_chunk,
+                    preempt: false,
+                })
+                .run(&model)
+        };
+        let mono = run(None);
+        let chunked = run(Some(128));
+        assert!(
+            chunked.inter_token.p99.as_ns_f64() < 0.5 * mono.inter_token.p99.as_ns_f64(),
+            "chunked ITL p99 {} should be well under monolithic {}",
+            chunked.inter_token.p99,
+            mono.inter_token.p99
+        );
+        // The throughput side is untouched: same completions, and the
+        // long-prompt class still finishes in comparable time.
+        assert_eq!(chunked.completed, mono.completed);
+        assert!(
+            chunked.p99_sojourn.as_ns_f64() < 1.5 * mono.p99_sojourn.as_ns_f64(),
+            "chunking must not blow up sojourn: {} vs {}",
+            chunked.p99_sojourn,
+            mono.p99_sojourn
+        );
+    }
+
+    /// KV pressure on a real memory model: optimistic admission
+    /// overcommits GPT-2 XL (512,512) sequences on an 8 GB IANUS
+    /// device, growth forces evictions, and every preempted sequence
+    /// still completes.
+    #[test]
+    fn preemption_triggers_and_all_requests_complete() {
+        let cfg = ServingConfig {
+            arrival_rate_hz: 50.0, // overload so the queue never drains
+            requests: 40,
+            seed: 11,
+            mix: mix_one(RequestShape::new(512, 512)),
+        };
+        let r = ServingSim::new(cfg)
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .scheduling(Scheduling::IterationLevel {
+                max_batch: 32,
+                prefill_chunk: None,
+                preempt: true,
+            })
+            .run(&ModelConfig::gpt2_xl());
+        assert_eq!(r.completed, 40);
+        assert!(r.preemptions > 0, "overcommit never triggered eviction");
+        assert!(r.preempted_requests > 0 && r.preempted_requests <= r.completed);
+        assert!(r.max_preemptions >= 1);
+        assert!(u64::from(r.max_preemptions) <= r.preemptions);
+        assert!(
+            r.preemptions >= u64::from(r.max_preemptions),
+            "totals must dominate the per-request max"
+        );
+        // Above 1 is possible only via documented tolerated overcommit
+        // (lone/all-prefilling batches), which stays small here.
+        assert!(
+            r.peak_kv_occupancy > 0.5 && r.peak_kv_occupancy < 1.25,
+            "peak occupancy {}",
+            r.peak_kv_occupancy
+        );
+        // Optimistic admission packs more sequences than the
+        // final-length gate would ever allow.
+        let conservative = ServingSim::new(ServingConfig {
+            arrival_rate_hz: 50.0,
+            requests: 40,
+            seed: 11,
+            mix: mix_one(RequestShape::new(512, 512)),
+        })
+        .replica(IanusSystem::new(SystemConfig::ianus()))
+        .scheduling(Scheduling::iteration(32))
+        .run(&ModelConfig::gpt2_xl());
+        assert!(
+            r.peak_batch > conservative.peak_batch,
+            "preemptive admission ({}) should overcommit past the \
+             final-length gate ({})",
+            r.peak_batch,
+            conservative.peak_batch
+        );
+    }
+
+    /// Eviction order: batch-tier sequences are swapped out before
+    /// interactive ones, so preemptions concentrate on the batch class.
+    #[test]
+    fn eviction_prefers_batch_tier() {
+        let shape = RequestShape::new(512, 512);
+        let cfg = ServingConfig {
+            arrival_rate_hz: 50.0,
+            requests: 40,
+            seed: 7,
+            mix: vec![
+                RequestClass::new(shape, 0.5),
+                RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
+            ],
+        };
+        let r = ServingSim::new(cfg)
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .scheduling(Scheduling::IterationLevel {
+                max_batch: 32,
+                prefill_chunk: None,
+                preempt: true,
+            })
+            .run(&ModelConfig::gpt2_xl());
+        assert_eq!(r.completed, 40);
+        assert!(r.preemptions > 0);
+        let interactive = &r.per_class[0];
+        let batch = &r.per_class[1];
+        assert_eq!(
+            interactive.preemptions + batch.preemptions,
+            r.preemptions,
+            "class preemptions must partition the total"
+        );
+        assert!(
+            batch.preemptions > interactive.preemptions,
+            "batch tier ({}) should absorb the evictions, not the \
+             interactive tier ({})",
+            batch.preemptions,
+            interactive.preemptions
+        );
+    }
+
+    #[test]
+    fn priority_orders_batch_below_interactive() {
+        assert!(Priority::Batch < Priority::Interactive);
+        // The default class tier is interactive; the builder overrides.
+        let c = RequestClass::new(RequestShape::new(8, 8), 1.0);
+        assert_eq!(c.priority, Priority::Interactive);
+        assert_eq!(c.with_priority(Priority::Batch).priority, Priority::Batch);
+    }
+
+    #[test]
+    fn chunked_preemptive_scheduling_is_seed_stable() {
+        let build = || {
+            ServingSim::new(ServingConfig::long_prompt(30.0, 120).with_seed(77))
+                .replica(IanusSystem::new(SystemConfig::ianus()))
+                .scheduling(Scheduling::IterationLevel {
+                    max_batch: 8,
+                    prefill_chunk: Some(128),
+                    preempt: true,
+                })
+        };
+        let a = build().run(&ModelConfig::gpt2_m());
+        let b = build().run(&ModelConfig::gpt2_m());
+        assert_eq!(a, b);
+        assert_eq!(a.completed, 120);
+    }
+
+    /// Regression: optimistic (current-length) admission must not let a
+    /// request whose *final* sequence exceeds the model's positional
+    /// table slip in — its KV would eventually outgrow `max_seq`, an
+    /// error no amount of eviction can fix. The final-shape check at
+    /// admission panics instead, exactly like the non-preemptive gate.
+    #[test]
+    #[should_panic(expected = "can never be admitted")]
+    fn preempt_rejects_sequence_exceeding_max_seq() {
+        // GPT-2 M caps at 1024 positions; (512,600) totals 1111.
+        let cfg = ServingConfig {
+            arrival_rate_hz: 1.0,
+            requests: 1,
+            seed: 0,
+            mix: mix_one(RequestShape::new(512, 600)),
+        };
+        let _ = ServingSim::new(cfg)
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .scheduling(Scheduling::IterationLevel {
+                max_batch: 4,
+                prefill_chunk: None,
+                preempt: true,
+            })
+            .run(&ModelConfig::gpt2_m());
+    }
+
+    #[test]
+    #[should_panic(expected = "prefill chunk")]
+    fn zero_prefill_chunk_rejected() {
+        let _ = ServingSim::new(ServingConfig::interactive(1.0, 1))
+            .replica(fixed("a", 100))
+            .scheduling(Scheduling::IterationLevel {
+                max_batch: 4,
+                prefill_chunk: Some(0),
+                preempt: false,
+            })
+            .run(&ModelConfig::gpt2_m());
+    }
+
     #[test]
     fn iteration_scheduling_is_seed_stable() {
         let build = || {
             ServingSim::new(ServingConfig::interactive(20.0, 250).with_seed(77))
                 .cluster(3, |_| fixed("fixed", 100))
-                .scheduling(Scheduling::IterationLevel { max_batch: 4 })
+                .scheduling(Scheduling::iteration(4))
         };
         let a = build().run(&ModelConfig::gpt2_m());
         let b = build().run(&ModelConfig::gpt2_m());
@@ -1642,7 +2267,7 @@ mod tests {
             mix: mix_one(RequestShape::new(99, 17)),
         })
         .replica(fixed("a", 100))
-        .scheduling(Scheduling::IterationLevel { max_batch: 4 });
+        .scheduling(Scheduling::iteration(4));
         let rate = sim.sustainable_rate(&model, 1.0, 1000.0);
         assert!(rate > 10.0 && rate < 200.0, "rate {rate}");
         assert_eq!(sim.config().arrival_rate_hz, 1.0);

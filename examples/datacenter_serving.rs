@@ -162,7 +162,7 @@ fn main() {
         let req_rate = req_sim.sustainable_rate(&model, 0.02, 64.0);
         let mut it_sim = ServingSim::new(ServingConfig::decode_heavy(0.5, 250))
             .boxed_replica(make())
-            .scheduling(Scheduling::IterationLevel { max_batch: 8 });
+            .scheduling(Scheduling::iteration(8));
         let it_rate = it_sim.sustainable_rate(&model, 0.02, 64.0);
         // Tail behaviour at 80% of each mode's own sustainable rate.
         it_sim.set_rate(it_rate * 0.8);
@@ -175,6 +175,54 @@ fn main() {
             it_rate / req_rate.max(1e-9),
             at_load.ttft.p50.as_ms_f64(),
             at_load.inter_token.p50.as_ms_f64(),
+        );
+    }
+
+    // Chunked prefill, cross-platform: on a long-prompt priority mix at
+    // each platform's own 80%-load point, what does chunking the
+    // 896-token prefills do to the interactive inter-token p99? The
+    // stall a resident decode suffers drops from one *prompt* to one
+    // *chunk* on every platform — the effect is architectural, not an
+    // IANUS artifact; only the magnitude differs (DFX's token-serial
+    // prefill is so slow that both tails saturate).
+    println!("\nchunked prefill on the long-prompt mix (25% of prompts are 896 tokens):");
+    println!(
+        "  {:<16} {:>9} | {:>13} {:>13} {:>7}",
+        "platform", "load", "mono itl p99", "chunk itl p99", "gain"
+    );
+    type BackendFactory2 = fn() -> Box<dyn Backend>;
+    let factories: Vec<(&str, BackendFactory2)> = vec![
+        ("IANUS", || {
+            Box::new(IanusSystem::new(SystemConfig::ianus()))
+        }),
+        ("NPU-MEM", || {
+            Box::new(IanusSystem::new(SystemConfig::npu_mem()))
+        }),
+        ("A100 (eager)", || Box::new(GpuModel::a100())),
+    ];
+    for (name, make) in factories {
+        let mut probe = ServingSim::new(ServingConfig::long_prompt(1.0, 300)).boxed_replica(make());
+        probe.set_scheduling(Scheduling::iteration(4));
+        let rate = 0.8 * probe.sustainable_rate(&model, 0.02, 64.0);
+        let run = |prefill_chunk| {
+            let mut sim =
+                ServingSim::new(ServingConfig::long_prompt(rate, 300)).boxed_replica(make());
+            sim.set_scheduling(Scheduling::IterationLevel {
+                max_batch: 4,
+                prefill_chunk,
+                preempt: false,
+            });
+            sim.run(&model)
+        };
+        let mono = run(None);
+        let chunked = run(Some(128));
+        println!(
+            "  {:<16} {:>5.1} r/s | {:>10.1} ms {:>10.1} ms {:>6.1}x",
+            name,
+            rate,
+            mono.inter_token.p99.as_ms_f64(),
+            chunked.inter_token.p99.as_ms_f64(),
+            mono.inter_token.p99.as_ns_f64() / chunked.inter_token.p99.as_ns_f64().max(1.0),
         );
     }
 }

@@ -64,10 +64,7 @@ fn main() {
                 arrival_rate_hz: 0.1,
                 requests: 200,
                 seed: 0x5CA1E,
-                mix: vec![RequestClass {
-                    shape: req,
-                    weight: 1.0,
-                }],
+                mix: vec![RequestClass::new(req, 1.0)],
             })
             .cluster(replicas, |_| {
                 DeviceGroup::new(SystemConfig::ianus(), min_devices)

@@ -5,8 +5,9 @@
 //!       [--devices D] [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]
 //!       [--compare]
 //! ianus --serve [--model NAME] [--system ...] [--devices D] [--replicas K]
-//!       [--rate R] [--requests N] [--mix interactive|decode-heavy]
-//!       [--scheduling request|iteration] [--max-batch B] [--compare]
+//!       [--rate R] [--requests N] [--mix interactive|decode-heavy|long-prompt]
+//!       [--scheduling request|iteration] [--max-batch B]
+//!       [--prefill-chunk N] [--preempt] [--compare]
 //! ```
 //!
 //! Examples:
@@ -16,6 +17,8 @@
 //! cargo run --release --bin ianus -- --model gpt-6.7b --devices 2 --compare
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --replicas 2 \
 //!     --rate 8 --mix decode-heavy --scheduling iteration --max-batch 8
+//! cargo run --release --bin ianus -- --serve --model gpt2-m --mix long-prompt \
+//!     --scheduling iteration --max-batch 8 --prefill-chunk 128 --preempt
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --compare
 //! ```
 
@@ -25,6 +28,7 @@ use ianus::prelude::*;
 enum MixKind {
     Interactive,
     DecodeHeavy,
+    LongPrompt,
 }
 
 struct ServeArgs {
@@ -52,8 +56,9 @@ fn usage() -> ! {
          \x20            [--compare]\n\
          \x20      ianus --serve [--model NAME] [--system ...] [--devices D]\n\
          \x20            [--replicas K] [--rate R] [--requests N]\n\
-         \x20            [--mix interactive|decode-heavy]\n\
-         \x20            [--scheduling request|iteration] [--max-batch B] [--compare]\n\
+         \x20            [--mix interactive|decode-heavy|long-prompt]\n\
+         \x20            [--scheduling request|iteration] [--max-batch B]\n\
+         \x20            [--prefill-chunk N] [--preempt] [--compare]\n\
          models: {}",
         ModelConfig::all()
             .iter()
@@ -79,6 +84,8 @@ fn parse() -> Args {
     let mut mix = MixKind::Interactive;
     let mut iteration = false;
     let mut max_batch = 8u32;
+    let mut prefill_chunk = 0u64; // 0 = monolithic prefill
+    let mut preempt = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -88,10 +95,13 @@ fn parse() -> Args {
             "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
             "--requests" => requests = value().parse().unwrap_or_else(|_| usage()),
             "--max-batch" => max_batch = value().parse().unwrap_or_else(|_| usage()),
+            "--prefill-chunk" => prefill_chunk = value().parse().unwrap_or_else(|_| usage()),
+            "--preempt" => preempt = true,
             "--mix" => {
                 mix = match value().as_str() {
                     "interactive" => MixKind::Interactive,
                     "decode-heavy" => MixKind::DecodeHeavy,
+                    "long-prompt" => MixKind::LongPrompt,
                     _ => usage(),
                 }
             }
@@ -159,7 +169,11 @@ fn parse() -> Args {
             requests,
             mix,
             scheduling: if iteration {
-                Scheduling::IterationLevel { max_batch }
+                Scheduling::IterationLevel {
+                    max_batch,
+                    prefill_chunk: (prefill_chunk > 0).then_some(prefill_chunk),
+                    preempt,
+                }
             } else {
                 Scheduling::RequestLevel
             },
@@ -171,6 +185,7 @@ fn serving_config(mix: MixKind, rate: f64, requests: u64) -> ServingConfig {
     match mix {
         MixKind::Interactive => ServingConfig::interactive(rate, requests),
         MixKind::DecodeHeavy => ServingConfig::decode_heavy(rate, requests),
+        MixKind::LongPrompt => ServingConfig::long_prompt(rate, requests),
     }
 }
 
@@ -206,27 +221,32 @@ fn print_serving_report(label: &str, r: &ianus::system::serving::ServingReport) 
         r.peak_kv_occupancy * 100.0,
         if r.stable() { "stable" } else { "UNSTABLE" },
     );
+    if r.preemptions > 0 {
+        println!(
+            "{:<22} preempted {} request(s) {} time(s) (max {} per request)",
+            "", r.preempted_requests, r.preemptions, r.max_preemptions,
+        );
+    }
 }
 
 fn serve_main(args: &Args, serve: &ServeArgs) {
     let mix_name = match serve.mix {
         MixKind::Interactive => "interactive",
         MixKind::DecodeHeavy => "decode-heavy",
+        MixKind::LongPrompt => "long-prompt",
     };
     println!(
         "serving {} | {mix_name} mix | {} replica(s) x {} device(s) | {} req at {} req/s\n",
         args.model.name, serve.replicas, args.devices, serve.requests, serve.rate
     );
     let modes: Vec<Scheduling> = if args.compare {
-        vec![
-            Scheduling::RequestLevel,
-            Scheduling::IterationLevel {
-                max_batch: match serve.scheduling {
-                    Scheduling::IterationLevel { max_batch } => max_batch,
-                    Scheduling::RequestLevel => 8,
-                },
-            },
-        ]
+        // --compare contrasts request-level with the *configured*
+        // iteration-level form (keeping any chunking/preemption knobs).
+        let iteration = match serve.scheduling {
+            it @ Scheduling::IterationLevel { .. } => it,
+            Scheduling::RequestLevel => Scheduling::iteration(8),
+        };
+        vec![Scheduling::RequestLevel, iteration]
     } else {
         vec![serve.scheduling]
     };
@@ -242,8 +262,17 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
         sim.set_scheduling(scheduling);
         let label = match scheduling {
             Scheduling::RequestLevel => "request-level".to_string(),
-            Scheduling::IterationLevel { max_batch } => {
-                format!("iteration (batch {max_batch})")
+            Scheduling::IterationLevel {
+                max_batch,
+                prefill_chunk,
+                preempt,
+            } => {
+                let chunk = match prefill_chunk {
+                    Some(c) => format!(", chunk {c}"),
+                    None => String::new(),
+                };
+                let pre = if preempt { ", preempt" } else { "" };
+                format!("iteration (batch {max_batch}{chunk}{pre})")
             }
         };
         let report = sim.run(&args.model);

@@ -70,7 +70,7 @@
 //!
 //! let batched = ServingSim::new(ServingConfig::interactive(8.0, 200))
 //!     .cluster(2, |_| IanusSystem::new(SystemConfig::ianus()))
-//!     .scheduling(Scheduling::IterationLevel { max_batch: 4 })
+//!     .scheduling(Scheduling::iteration(4))
 //!     .run(&ModelConfig::gpt2_m());
 //! assert_eq!(batched.completed, 200);
 //! assert!(batched.ttft.p50 <= batched.p50_sojourn);
@@ -84,6 +84,15 @@
 //! continuous batching multiplies its sustainable rate at the cost of
 //! per-token latency. The pre-0.2 `system::serving::simulate` shim has
 //! been removed; build a `ServingSim` directly.
+//!
+//! Iteration-level scheduling further supports **chunked prefill**
+//! (long prompts interleave with resident decodes one chunk per
+//! iteration instead of stalling them whole) and **KV-pressure
+//! preemption** (optimistic admission against current KV lengths, with
+//! lowest-[`Priority`](prelude::Priority) eviction to a swap queue
+//! priced by `Backend::kv_transfer_time`) — see
+//! [`Scheduling::IterationLevel`](prelude::Scheduling) and
+//! `ARCHITECTURE.md` at the repo root for the full map.
 
 pub use ianus_baselines as baselines;
 pub use ianus_core as system;
@@ -102,8 +111,8 @@ pub mod prelude {
     pub use ianus_core::multi_device::DeviceGroup;
     pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
     pub use ianus_core::serving::{
-        DispatchPolicy, LatencyPercentiles, RequestClass, Scheduling, ServingConfig, ServingReport,
-        ServingSim,
+        DispatchPolicy, LatencyPercentiles, Priority, RequestClass, Scheduling, ServingConfig,
+        ServingReport, ServingSim,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

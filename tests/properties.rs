@@ -133,11 +133,11 @@ proptest! {
             arrival_rate_hz: rate,
             requests: 30,
             seed,
-            mix: vec![RequestClass { shape, weight: 1.0 }],
+            mix: vec![RequestClass::new(shape, 1.0)],
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
-            .scheduling(Scheduling::IterationLevel { max_batch })
+            .scheduling(Scheduling::iteration(max_batch))
             .run(&ModelConfig::gpt2_xl());
         prop_assert_eq!(r.completed, 30);
         prop_assert!(r.peak_batch <= max_batch);

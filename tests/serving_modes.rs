@@ -11,14 +11,8 @@ fn small_mix(rate: f64, requests: u64) -> ServingConfig {
         requests,
         seed: 0xBEEF,
         mix: vec![
-            RequestClass {
-                shape: RequestShape::new(64, 8),
-                weight: 0.7,
-            },
-            RequestClass {
-                shape: RequestShape::new(128, 16),
-                weight: 0.3,
-            },
+            RequestClass::new(RequestShape::new(64, 8), 0.7),
+            RequestClass::new(RequestShape::new(128, 16), 0.3),
         ],
     }
 }
@@ -39,7 +33,15 @@ fn both_modes_run_on_all_four_backend_types() {
     for (name, make) in factories {
         for scheduling in [
             Scheduling::RequestLevel,
-            Scheduling::IterationLevel { max_batch: 4 },
+            Scheduling::iteration(4),
+            // Chunked prefill and preemptive admission must run on every
+            // backend too — including the trait-default ones whose
+            // batch_fits admits everything and whose swaps are free.
+            Scheduling::IterationLevel {
+                max_batch: 4,
+                prefill_chunk: Some(32),
+                preempt: true,
+            },
         ] {
             let r = ServingSim::new(small_mix(2.0, 40))
                 .boxed_replica(make())
@@ -57,7 +59,7 @@ fn both_modes_run_on_all_four_backend_types() {
             assert!(r.ttft.p50 <= r.p50_sojourn, "{name} {scheduling:?}");
             match scheduling {
                 Scheduling::RequestLevel => assert_eq!(r.peak_batch, 1, "{name}"),
-                Scheduling::IterationLevel { max_batch } => {
+                Scheduling::IterationLevel { max_batch, .. } => {
                     assert!(r.peak_batch >= 1 && r.peak_batch <= max_batch, "{name}")
                 }
             }
@@ -77,7 +79,7 @@ fn gpu_batching_multiplies_sustainable_rate_on_decode_heavy_mix() {
     let req_rate = req_sim.sustainable_rate(&model, 0.02, 64.0);
     let mut it_sim = ServingSim::new(ServingConfig::decode_heavy(0.5, 200))
         .replica(GpuModel::a100())
-        .scheduling(Scheduling::IterationLevel { max_batch: 8 });
+        .scheduling(Scheduling::iteration(8));
     let it_rate = it_sim.sustainable_rate(&model, 0.02, 64.0);
     assert!(req_rate > 0.0, "request-level bracket too narrow");
     assert!(
@@ -97,7 +99,7 @@ fn ianus_batch1_wins_decode_heavy_regime_against_batched_gpu() {
     let ianus_rate = ianus.sustainable_rate(&model, 0.02, 64.0);
     let mut gpu = ServingSim::new(ServingConfig::decode_heavy(0.5, 200))
         .replica(GpuModel::a100())
-        .scheduling(Scheduling::IterationLevel { max_batch: 8 });
+        .scheduling(Scheduling::iteration(8));
     let gpu_rate = gpu.sustainable_rate(&model, 0.02, 64.0);
     assert!(
         ianus_rate > gpu_rate,
