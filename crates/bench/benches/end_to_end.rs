@@ -123,10 +123,40 @@ fn bench_serving_chunked_preemptive(c: &mut Criterion) {
     });
 }
 
+fn bench_serving_policy_sweep(c: &mut Criterion) {
+    use ianus_core::serving::policy::LargestKv;
+    use ianus_core::serving::{
+        RequestClass, SchedulerPolicy, Scheduling, ServingConfig, ServingSim,
+    };
+    // A non-default eviction policy on the same KV-pressure scenario:
+    // guards the comparator-based victim/readmission selection the
+    // policy API added over the hard-wired min_by_key scans (the
+    // per-iteration view construction is the new cost).
+    let mut sim = ServingSim::new(ServingConfig {
+        arrival_rate_hz: 4.0,
+        requests: 120,
+        seed: 0x5EED,
+        mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
+    })
+    .replica(IanusSystem::new(SystemConfig::ianus()))
+    .scheduling(Scheduling::IterationLevel {
+        max_batch: 32,
+        prefill_chunk: Some(128),
+        preempt: true,
+    })
+    .policy(SchedulerPolicy::default().with_eviction(LargestKv));
+    let model = ModelConfig::gpt2_xl();
+    sim.run(&model); // warm prefill + decode-grid memos
+    c.bench_function("serving_policy_largest_kv_gpt2xl_120req_b32", |b| {
+        b.iter(|| black_box(sim.run(&model)))
+    });
+}
+
 criterion_group! {
     name = benches;
     config = quick();
     targets = bench_gpt2_request, bench_bert, bench_multi_device, bench_baselines,
-        bench_serving_cluster, bench_serving_iteration_level, bench_serving_chunked_preemptive
+        bench_serving_cluster, bench_serving_iteration_level, bench_serving_chunked_preemptive,
+        bench_serving_policy_sweep
 }
 criterion_main!(benches);

@@ -1,0 +1,1137 @@
+//! The cluster engine: replica memoization, both scheduling loops, and
+//! the rate-search helpers.
+
+use super::policy::{QueuedRequest, SchedulerPolicy, SeqView};
+use super::report::{request_attains, LatencyPercentiles, RunStats};
+use super::{
+    pick_class, ClassReport, DispatchPolicy, Priority, ReplicaReport, Scheduling, ServingConfig,
+    ServingReport, Slo,
+};
+use crate::backend::Backend;
+use ianus_model::{ModelConfig, RequestShape};
+use ianus_sim::Duration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Past-lengths below this are always priced exactly; above it, decode
+/// times are sampled on a geometric grid and interpolated.
+const DECODE_GRID_START: u64 = 4;
+
+/// Bracketing grid points `(lo, hi]` around `past` on the geometric
+/// (×5/4) decode-sampling grid starting at [`DECODE_GRID_START`].
+/// Requires `past > DECODE_GRID_START`; returns `lo ≤ past ≤ hi`.
+fn decode_grid_bracket(past: u64) -> (u64, u64) {
+    let mut lo = DECODE_GRID_START;
+    loop {
+        let hi = (lo * 5 / 4).max(lo + 1);
+        if past <= hi {
+            return (lo, hi);
+        }
+        lo = hi;
+    }
+}
+
+struct Replica {
+    backend: Box<dyn Backend>,
+    /// Memoized service times, keyed by model and shape so one engine
+    /// can serve different models across runs. `ModelConfig::name` is
+    /// the model's identity here: two configs sharing a name are
+    /// assumed to be the same model (true for the built-in zoo; callers
+    /// mutating a config's fields must also rename it).
+    service: HashMap<(&'static str, RequestShape), Duration>,
+    /// Memoized prefill times in seconds, keyed by (model, tokens).
+    prefill: HashMap<(&'static str, u64), f64>,
+    /// Memoized decode-iteration times in seconds at grid past-lengths,
+    /// keyed by (model, batch, past). Queries between grid points are
+    /// piecewise-linearly interpolated — decode latency varies smoothly
+    /// with past length (linearly growing KV traffic), so the geometric
+    /// grid keeps per-(model, batch) device simulations to a few dozen
+    /// while staying accurate to well under a percent.
+    decode: HashMap<(&'static str, u32, u64), f64>,
+    /// Memoized unloaded batch-1 service (prefill + all decode steps) in
+    /// seconds, keyed by (model, shape) — iteration-level `mean_service`.
+    ideal: HashMap<(&'static str, RequestShape), f64>,
+}
+
+impl Replica {
+    fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
+        let key = (model.name, shape);
+        if let Some(&d) = self.service.get(&key) {
+            return d;
+        }
+        let d = self.backend.service_time(model, shape);
+        self.service.insert(key, d);
+        d
+    }
+
+    fn prefill_secs(&mut self, model: &ModelConfig, tokens: u64) -> f64 {
+        let key = (model.name, tokens);
+        if let Some(&s) = self.prefill.get(&key) {
+            return s;
+        }
+        let s = self.backend.prefill_time(model, tokens).as_secs_f64();
+        self.prefill.insert(key, s);
+        s
+    }
+
+    /// Exact (memoized) decode-iteration time at a grid past-length.
+    fn decode_exact_secs(&mut self, model: &ModelConfig, past: u64, batch: u32) -> f64 {
+        let key = (model.name, batch, past);
+        if let Some(&s) = self.decode.get(&key) {
+            return s;
+        }
+        let s = self.backend.decode_time(model, past, batch).as_secs_f64();
+        self.decode.insert(key, s);
+        s
+    }
+
+    /// Decode-iteration time at an arbitrary past-length: exact below
+    /// [`DECODE_GRID_START`], interpolated between grid samples above.
+    /// The grid is clamped to the model's positional table so sampling
+    /// never prices a past the model cannot attend to.
+    fn decode_secs(&mut self, model: &ModelConfig, past: u64, batch: u32) -> f64 {
+        let past = past.max(1);
+        if past <= DECODE_GRID_START {
+            return self.decode_exact_secs(model, past, batch);
+        }
+        let (lo, hi) = decode_grid_bracket(past);
+        let hi = hi.min(model.max_seq.saturating_sub(1)).max(past);
+        if hi == lo {
+            return self.decode_exact_secs(model, lo, batch);
+        }
+        let a = self.decode_exact_secs(model, lo, batch);
+        let b = self.decode_exact_secs(model, hi, batch);
+        a + (b - a) * (past - lo) as f64 / (hi - lo) as f64
+    }
+
+    /// KV swap cost (one direction) for a sequence holding `tokens` of
+    /// context — charged once at swap-out and once at swap-in. Not
+    /// memoized: every backend prices it with plain bandwidth
+    /// arithmetic.
+    fn kv_transfer_secs(&mut self, model: &ModelConfig, tokens: u64) -> f64 {
+        self.backend.kv_transfer_time(model, tokens).as_secs_f64()
+    }
+
+    /// The request's *unloaded batch-1* service time: prefill plus every
+    /// decode step alone on the device. This is the iteration-level
+    /// analogue of the request-level service time (it matches to within
+    /// decode-grid interpolation error), and what `mean_service` reports
+    /// in both modes — so [`ServingReport::stable`]'s tail bound is
+    /// equally strict whether or not batching stretches residency.
+    fn ideal_service_secs(&mut self, model: &ModelConfig, shape: RequestShape) -> f64 {
+        let key = (model.name, shape);
+        if let Some(&s) = self.ideal.get(&key) {
+            return s;
+        }
+        let mut s = self.prefill_secs(model, shape.input);
+        for past in shape.input..shape.input + shape.generation_steps() {
+            s += self.decode_secs(model, past, 1);
+        }
+        self.ideal.insert(key, s);
+        s
+    }
+}
+
+/// One generated arrival of the Poisson trace.
+#[derive(Debug, Clone, Copy)]
+struct Arrival {
+    /// Arrival time in seconds.
+    at: f64,
+    /// Global arrival index (FCFS order; the default eviction's
+    /// "youngest").
+    idx: u64,
+    /// Index into the config's mix.
+    class: usize,
+    /// The request shape (denormalized from the class).
+    shape: RequestShape,
+    /// Scheduling tier (denormalized from the class).
+    priority: Priority,
+    /// The class SLO (denormalized from the class).
+    slo: Option<Slo>,
+}
+
+impl Arrival {
+    /// TTFT deadline in seconds, when the class carries an SLO.
+    fn deadline(&self) -> Option<f64> {
+        self.slo.map(|s| self.at + s.ttft.as_secs_f64())
+    }
+
+    /// The admission-policy view of this waiting request.
+    fn queued_view(&self) -> QueuedRequest {
+        QueuedRequest {
+            shape: self.shape,
+            arrival: self.at,
+            arrival_idx: self.idx,
+            priority: self.priority,
+            deadline: self.deadline(),
+        }
+    }
+}
+
+/// One sequence resident in a replica's batch (prefilling or decoding)
+/// or parked in its swap queue.
+#[derive(Debug, Clone)]
+struct ActiveSeq {
+    shape: RequestShape,
+    /// Arrival time (for sojourn accounting).
+    arrival: f64,
+    /// Global arrival index (admission order; the default eviction's
+    /// "youngest").
+    idx: u64,
+    /// Its unloaded batch-1 service time (for `mean_service`).
+    service: f64,
+    /// Index into the config's mix.
+    class: usize,
+    /// Scheduling tier.
+    priority: Priority,
+    /// The class SLO (for attainment scoring and deadline policies).
+    slo: Option<Slo>,
+    /// Prompt tokens prefilled so far; the sequence is *prefilling*
+    /// until this reaches `shape.input`, then *decoding*.
+    prefilled: u64,
+    /// Tokens currently in its KV cache (prefilled prompt + generated).
+    past: u64,
+    /// Decode iterations left.
+    remaining: u64,
+    /// When its previous token was emitted. Inter-token samples are
+    /// gaps between consecutive emissions, so a co-admitted request's
+    /// prefill chunk stalling the batch — or a swap-out dwell — shows
+    /// up in the resident sequences' ITL, not just in sojourn.
+    last_token: f64,
+    /// Measured time-to-first-token in seconds (set when the prefill
+    /// completes; every completion passes through that point first).
+    ttft: f64,
+    /// This sequence's own inter-token gaps (for per-request SLO
+    /// attainment; the same samples also land in the global ITL pool).
+    gaps: Vec<f64>,
+    /// KV swap-outs suffered so far.
+    preemptions: u32,
+    /// Monotone swap-out sequence number (0 until first preempted) —
+    /// what FIFO re-admission orders by.
+    swap_epoch: u64,
+}
+
+impl ActiveSeq {
+    /// Whether the prompt is fully prefilled (the sequence decodes).
+    fn decoding(&self) -> bool {
+        self.prefilled >= self.shape.input
+    }
+
+    /// TTFT deadline in seconds, when the class carries an SLO.
+    fn deadline(&self) -> Option<f64> {
+        self.slo.map(|s| self.arrival + s.ttft.as_secs_f64())
+    }
+
+    /// The eviction/re-admission policy view of this sequence.
+    fn view(&self) -> SeqView {
+        SeqView {
+            shape: self.shape,
+            arrival: self.arrival,
+            arrival_idx: self.idx,
+            priority: self.priority,
+            deadline: self.deadline(),
+            kv_tokens: self.past,
+            prefilled: self.prefilled,
+            generated: self.shape.generation_steps() - self.remaining,
+            remaining: self.remaining,
+            preemptions: self.preemptions,
+            swap_epoch: self.swap_epoch,
+        }
+    }
+
+    /// The sequence's KV footprint *right now*, as a shape whose
+    /// [`RequestShape::total_tokens`] is `tokens`: the currency of the
+    /// optimistic (current-length) residency checks under preemption.
+    /// The tokens ride in `output` with a one-token `input` so
+    /// [`check_batch`](crate::capacity::check_batch)'s activation term
+    /// prices a single live decode row, not a phantom `tokens`-wide
+    /// prefill.
+    fn kv_shape(tokens: u64) -> RequestShape {
+        RequestShape {
+            input: 1,
+            output: tokens.max(1),
+        }
+    }
+}
+
+/// Builder-style cluster serving engine over [`Backend`] replicas.
+///
+/// Construct with a [`ServingConfig`], add one or more replicas, pick a
+/// [`DispatchPolicy`] (request-level) or a [`SchedulerPolicy`]
+/// (iteration-level), then [`run`](Self::run). The engine owns its
+/// replicas; service-time memos survive across runs, so rate sweeps and
+/// [`sustainable_rate`](Self::sustainable_rate) searches re-simulate no
+/// device.
+pub struct ServingSim {
+    cfg: ServingConfig,
+    dispatch: DispatchPolicy,
+    scheduling: Scheduling,
+    scheduler: SchedulerPolicy,
+    replicas: Vec<Replica>,
+}
+
+impl ServingSim {
+    /// Starts a simulation builder with no replicas, FCFS dispatch,
+    /// request-level scheduling, and the default [`SchedulerPolicy`].
+    pub fn new(cfg: ServingConfig) -> Self {
+        ServingSim {
+            cfg,
+            dispatch: DispatchPolicy::FcfsSingleQueue,
+            scheduling: Scheduling::RequestLevel,
+            scheduler: SchedulerPolicy::default(),
+            replicas: Vec::new(),
+        }
+    }
+
+    /// Adds one replica backend.
+    pub fn replica(self, backend: impl Backend + 'static) -> Self {
+        self.boxed_replica(Box::new(backend))
+    }
+
+    /// Adds an already-boxed replica (for heterogeneous `dyn` lists).
+    pub fn boxed_replica(mut self, backend: Box<dyn Backend>) -> Self {
+        self.replicas.push(Replica {
+            backend,
+            service: HashMap::new(),
+            prefill: HashMap::new(),
+            decode: HashMap::new(),
+            ideal: HashMap::new(),
+        });
+        self
+    }
+
+    /// Adds `n` replicas built by `make(index)`.
+    pub fn cluster<B: Backend + 'static>(
+        mut self,
+        n: usize,
+        mut make: impl FnMut(usize) -> B,
+    ) -> Self {
+        for i in 0..n {
+            self = self.replica(make(i));
+        }
+        self
+    }
+
+    /// Sets the dispatch policy (request-level scheduling only).
+    pub fn dispatch(mut self, policy: DispatchPolicy) -> Self {
+        self.dispatch = policy;
+        self
+    }
+
+    /// Sets the scheduling granularity (builder style).
+    pub fn scheduling(mut self, scheduling: Scheduling) -> Self {
+        self.scheduling = scheduling;
+        self
+    }
+
+    /// Changes the scheduling granularity in place, keeping replicas and
+    /// their memos — the cheap way to compare modes on one engine.
+    pub fn set_scheduling(&mut self, scheduling: Scheduling) {
+        self.scheduling = scheduling;
+    }
+
+    /// Installs a [`SchedulerPolicy`] bundle (iteration-level
+    /// scheduling; request-level routing stays with
+    /// [`dispatch`](Self::dispatch)). The default bundle reproduces the
+    /// historical hard-wired scheduler bit-identically.
+    pub fn policy(mut self, scheduler: SchedulerPolicy) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Swaps the policy bundle in place, keeping replicas and their
+    /// memos — the cheap way to sweep the policy space on one engine
+    /// (the device costs do not depend on the policy).
+    pub fn set_policy(&mut self, scheduler: SchedulerPolicy) {
+        self.scheduler = scheduler;
+    }
+
+    /// The installed policy bundle.
+    pub fn scheduler_policy(&self) -> &SchedulerPolicy {
+        &self.scheduler
+    }
+
+    /// Number of replicas added so far.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &ServingConfig {
+        &self.cfg
+    }
+
+    /// Changes the arrival rate in place, keeping replicas and their
+    /// service memos. This is the canonical rate-sweep entry: the first
+    /// [`run`](Self::run) prices every (model, shape/step) the mix
+    /// needs on each replica, after which every further rate is a
+    /// queueing-only pass (no device simulation), each re-seeding the
+    /// same arrival trace *shape* at the new rate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ianus_core::serving::{ServingConfig, ServingSim};
+    /// use ianus_core::{IanusSystem, SystemConfig};
+    /// use ianus_model::ModelConfig;
+    ///
+    /// let model = ModelConfig::gpt2_m();
+    /// let mut sim = ServingSim::new(ServingConfig::interactive(1.0, 150))
+    ///     .replica(IanusSystem::new(SystemConfig::ianus()));
+    /// let mut last_p99 = 0.0;
+    /// for rate in [1.0, 4.0, 16.0] {
+    ///     sim.set_rate(rate); // warm memos after the first run
+    ///     let r = sim.run(&model);
+    ///     assert_eq!(r.completed, 150);
+    ///     assert!(r.sojourn.p99.as_ms_f64() >= last_p99);
+    ///     last_p99 = r.sojourn.p99.as_ms_f64();
+    /// }
+    /// assert_eq!(sim.config().arrival_rate_hz, 16.0);
+    /// ```
+    pub fn set_rate(&mut self, arrival_rate_hz: f64) {
+        self.cfg.arrival_rate_hz = arrival_rate_hz;
+    }
+
+    /// Checks that `model` is resident on every replica.
+    ///
+    /// # Errors
+    ///
+    /// The first replica's [`CapacityError`](crate::capacity::CapacityError),
+    /// tagged with its index, if any replica cannot hold the model.
+    pub fn fits(&self, model: &ModelConfig) -> Result<(), (usize, crate::capacity::CapacityError)> {
+        for (i, r) in self.replicas.iter().enumerate() {
+            r.backend.fits(model).map_err(|e| (i, e))?;
+        }
+        Ok(())
+    }
+
+    /// Runs the simulation for `model` and reports cluster statistics.
+    ///
+    /// Zero configured requests yield an all-zero report rather than a
+    /// division by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no replicas were added, the mix is empty, a weight is
+    /// non-positive, the arrival rate is non-positive, an
+    /// iteration-level `max_batch` or `prefill_chunk` is zero, or
+    /// (iteration-level only) a mix shape can never be admitted on some
+    /// replica even with an empty batch.
+    pub fn run(&mut self, model: &ModelConfig) -> ServingReport {
+        assert!(!self.replicas.is_empty(), "serving cluster has no replicas");
+        assert!(!self.cfg.mix.is_empty(), "request mix must be non-empty");
+        assert!(
+            self.cfg.arrival_rate_hz > 0.0,
+            "arrival rate must be positive"
+        );
+        assert!(
+            self.cfg.mix.iter().all(|c| c.weight > 0.0),
+            "weights must be positive"
+        );
+        if self.cfg.requests == 0 {
+            return ServingReport::empty(
+                self.replicas
+                    .iter()
+                    .map(|r| r.backend.name().to_string())
+                    .collect(),
+                &self.cfg.mix,
+            );
+        }
+        let stats = match self.scheduling {
+            Scheduling::RequestLevel => self.run_request_level(model),
+            Scheduling::IterationLevel {
+                max_batch,
+                prefill_chunk,
+                preempt,
+            } => {
+                assert!(max_batch >= 1, "max_batch must be at least 1");
+                assert!(prefill_chunk != Some(0), "prefill chunk must be positive");
+                self.run_iteration_level(model, max_batch, prefill_chunk, preempt)
+            }
+        };
+        self.assemble(stats)
+    }
+
+    /// Seeded Poisson arrivals of the weighted mix. The draw order (one
+    /// inter-arrival draw, then one class draw, per request) is shared by
+    /// both scheduling modes, so a seed denotes the *same* trace in both.
+    fn generate_arrivals(&self) -> Vec<Arrival> {
+        let total_weight: f64 = self.cfg.mix.iter().map(|c| c.weight).sum();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut now = 0.0f64;
+        (0..self.cfg.requests)
+            .map(|idx| {
+                // Exponential inter-arrival.
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                now += -u.ln() / self.cfg.arrival_rate_hz;
+                let class = pick_class(&self.cfg.mix, rng.gen_range(0.0..total_weight));
+                Arrival {
+                    at: now,
+                    idx,
+                    class,
+                    shape: self.cfg.mix[class].shape,
+                    priority: self.cfg.mix[class].priority,
+                    slo: self.cfg.mix[class].slo,
+                }
+            })
+            .collect()
+    }
+
+    /// Classic M/G/k: whole requests routed at arrival by the dispatch
+    /// policy, each replica serving one request at a time.
+    fn run_request_level(&mut self, model: &ModelConfig) -> RunStats {
+        // Memoize every (replica, shape) service and prefill time up
+        // front: ShortestExpectedJob consults all replicas per arrival,
+        // and TTFT needs the prefill split.
+        let shapes: Vec<RequestShape> = self.cfg.mix.iter().map(|c| c.shape).collect();
+        for r in &mut self.replicas {
+            for &shape in &shapes {
+                r.service_time(model, shape);
+                r.prefill_secs(model, shape.input);
+            }
+        }
+
+        let n = self.replicas.len();
+        let mut free = vec![0.0f64; n]; // per-replica next-free time
+                                        // Outstanding finish times per replica (FIFO per replica, so the
+                                        // front is always the earliest) — LeastLoaded's queue lengths.
+        let mut outstanding: Vec<std::collections::VecDeque<f64>> =
+            vec![std::collections::VecDeque::new(); n];
+        let mut stats = RunStats::new(n, self.cfg.mix.len(), self.cfg.requests);
+        stats.peak_batch = 1;
+
+        for arrival in self.generate_arrivals() {
+            let now = arrival.at;
+            let shape = arrival.shape;
+            // Retire requests finished by this arrival instant.
+            for q in &mut outstanding {
+                while q.front().is_some_and(|&f| f <= now) {
+                    q.pop_front();
+                }
+            }
+
+            let replica = match self.dispatch {
+                DispatchPolicy::FcfsSingleQueue => argmin(&free, |&f| f),
+                DispatchPolicy::LeastLoaded => argmin(&outstanding, |q| q.len()),
+                DispatchPolicy::ShortestExpectedJob => {
+                    let mut best = 0usize;
+                    let mut best_done = f64::INFINITY;
+                    for (i, (&f, r)) in free.iter().zip(&self.replicas).enumerate() {
+                        let done = f.max(now) + r.service[&(model.name, shape)].as_secs_f64();
+                        if done < best_done {
+                            best_done = done;
+                            best = i;
+                        }
+                    }
+                    best
+                }
+            };
+
+            let s = self.replicas[replica].service[&(model.name, shape)].as_secs_f64();
+            let prefill = self.replicas[replica].prefill[&(model.name, shape.input)];
+            let start = now.max(free[replica]);
+            let finish = start + s;
+            free[replica] = finish;
+            outstanding[replica].push_back(finish);
+            stats.busy[replica] += s;
+            let ttft = start - now + prefill;
+            stats.ttfts.push(ttft);
+            let steps = shape.generation_steps();
+            let attained = if steps > 0 {
+                let itl = (s - prefill).max(0.0) / steps as f64;
+                stats.itls.extend(std::iter::repeat_n(itl, steps as usize));
+                request_attains(arrival.slo, ttft, &[itl])
+            } else {
+                request_attains(arrival.slo, ttft, &[])
+            };
+            stats.complete(replica, arrival.class, now, s, finish, 0, attained);
+        }
+        stats
+    }
+
+    /// Continuous batching: one global wait queue ordered by the
+    /// [`AdmissionPolicy`](super::policy::AdmissionPolicy); every
+    /// replica admits at each iteration boundary (KV-gated), then runs
+    /// one iteration — at most one prefill chunk (the whole prompt when
+    /// chunking is off) plus one decode step over its fully-prefilled
+    /// sequences. With `preempt`, admission overcommits against
+    /// *current* KV lengths and KV pressure evicts the
+    /// [`EvictionPolicy`](super::policy::EvictionPolicy)'s victim to a
+    /// replica-local swap queue ordered by the
+    /// [`ReadmissionPolicy`](super::policy::ReadmissionPolicy).
+    fn run_iteration_level(
+        &mut self,
+        model: &ModelConfig,
+        max_batch: u32,
+        prefill_chunk: Option<u64>,
+        preempt: bool,
+    ) -> RunStats {
+        let chunk_size = prefill_chunk.unwrap_or(u64::MAX);
+        let n = self.replicas.len();
+        // Pending arrivals, ascending by arrival time (and index): the
+        // prefix with `at <= clock` is the wait queue the admission
+        // policy orders.
+        let mut pending: Vec<Arrival> = self.generate_arrivals();
+        let total = self.cfg.requests;
+        let mut clock = vec![0.0f64; n]; // per-replica iteration clock
+        let mut batches: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
+        // Swapped-out sequences per replica (their KV lives host-side;
+        // re-admission order is the readmission policy's, ahead of new
+        // arrivals).
+        let mut swapped: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
+        let mut stats = RunStats::new(n, self.cfg.mix.len(), total);
+        let mut done = 0u64;
+        // Monotone swap-out counter (FIFO re-admission's order).
+        let mut swap_count = 0u64;
+
+        while done < total {
+            // The next actionable replica: the earliest iteration
+            // boundary among replicas that hold work (resident or
+            // swapped) or could admit the earliest pending arrival
+            // (idle replicas fast-forward to it).
+            let mut next: Option<(usize, f64)> = None;
+            for (r, batch) in batches.iter().enumerate() {
+                let at = if !batch.is_empty() || !swapped[r].is_empty() {
+                    clock[r]
+                } else if let Some(first) = pending.first() {
+                    clock[r].max(first.at)
+                } else {
+                    continue;
+                };
+                if next.is_none_or(|(_, best)| at < best) {
+                    next = Some((r, at));
+                }
+            }
+            let Some((r, at)) = next else {
+                unreachable!("requests outstanding but no replica actionable")
+            };
+            clock[r] = at;
+
+            // Swap-ins first: preempted sequences are older than
+            // anything still queued, so they are *offered* freed slots
+            // before new admissions at every boundary (a policy head
+            // that does not yet fit lets newer arrivals pass —
+            // policy-ordered among the swapped, not a hard barrier
+            // against the queue). A swapped sequence re-enters when one
+            // projected iteration of KV growth (its own and the
+            // residents') still fits — checking grown lengths, not
+            // current ones, keeps a re-admission from bouncing straight
+            // back out through the pressure check below, which would
+            // charge both transfer costs for zero progress. When the
+            // batch is empty it re-enters unconditionally, which
+            // guarantees every preempted sequence eventually completes.
+            while (batches[r].len() as u32) < max_batch {
+                let Some(ci) = select_min(
+                    &swapped[r],
+                    |s| s.view(),
+                    |a, b| self.scheduler.readmission.compare(a, b),
+                ) else {
+                    break;
+                };
+                if !batches[r].is_empty() {
+                    let grown = |s: &ActiveSeq| {
+                        ActiveSeq::kv_shape(if s.decoding() && s.remaining > 0 {
+                            s.past + 1
+                        } else {
+                            s.past
+                        })
+                    };
+                    let mut projected: Vec<RequestShape> = batches[r].iter().map(grown).collect();
+                    projected.push(grown(&swapped[r][ci]));
+                    match self.replicas[r].backend.batch_fits(model, &projected) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                        }
+                        Err(_) => break,
+                    }
+                }
+                let seq = swapped[r].remove(ci);
+                let swap_in = self.replicas[r].kv_transfer_secs(model, seq.past);
+                clock[r] += swap_in;
+                stats.busy[r] += swap_in;
+                stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                batches[r].push(seq);
+            }
+
+            // Admission at the iteration boundary: the admission
+            // policy's order over the already-arrived prefix of the
+            // queue, bounded by batch slots and KV residency — the
+            // residents' *final* lengths normally, their *current*
+            // lengths (optimistic overcommit) under preemption.
+            while (batches[r].len() as u32) < max_batch {
+                let arrived = pending.iter().take_while(|a| a.at <= clock[r]).count();
+                let Some(pi) = select_min(
+                    &pending[..arrived],
+                    |a| a.queued_view(),
+                    |a, b| self.scheduler.admission.compare(a, b),
+                ) else {
+                    break;
+                };
+                let head = &pending[pi];
+                // A request that can never be served — its sequence
+                // exceeds the model's positional table, or it does not
+                // fit even an empty replica — must panic rather than
+                // block the queue (non-preempt) or be optimistically
+                // admitted into an eviction storm that no swap can
+                // resolve (preempt gates on current lengths, which
+                // would miss the final-length violation).
+                if let Err(e) = self.replicas[r]
+                    .backend
+                    .batch_fits(model, std::slice::from_ref(&head.shape))
+                {
+                    assert!(
+                        !(batches[r].is_empty() && swapped[r].is_empty()),
+                        "request {:?} can never be admitted on replica {} ({}): {}",
+                        head.shape,
+                        r,
+                        self.replicas[r].backend.name(),
+                        e
+                    );
+                    break;
+                }
+                let resident: Vec<RequestShape> = if preempt {
+                    let mut v: Vec<RequestShape> = batches[r]
+                        .iter()
+                        .map(|s| ActiveSeq::kv_shape(s.past))
+                        .collect();
+                    // The candidate's imminent footprint: its whole
+                    // prompt's KV, at prefill activation width.
+                    v.push(RequestShape {
+                        input: head.shape.input.max(1),
+                        output: 1,
+                    });
+                    v
+                } else {
+                    let mut v: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
+                    v.push(head.shape);
+                    v
+                };
+                match self.replicas[r].backend.batch_fits(model, &resident) {
+                    Ok(occupancy) => {
+                        stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                    }
+                    // Head-of-line blocking (in policy order) is
+                    // faithful to the policy; the lone-request check
+                    // above already ruled out a never-admittable head.
+                    Err(_) => break,
+                }
+                let arrival = pending.remove(pi);
+                let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
+                stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                batches[r].push(ActiveSeq {
+                    shape: arrival.shape,
+                    arrival: arrival.at,
+                    idx: arrival.idx,
+                    service,
+                    class: arrival.class,
+                    priority: arrival.priority,
+                    slo: arrival.slo,
+                    prefilled: 0,
+                    past: 0,
+                    remaining: arrival.shape.generation_steps(),
+                    last_token: clock[r],
+                    ttft: 0.0,
+                    gaps: Vec::new(),
+                    preemptions: 0,
+                    swap_epoch: 0,
+                });
+            }
+
+            if batches[r].is_empty() {
+                continue;
+            }
+
+            // The iteration's prefill share: one chunk of the oldest
+            // still-prefilling sequence (FCFS by arrival index — a
+            // stable id, because evictions below reshuffle positions).
+            let chunk_target: Option<u64> = batches[r]
+                .iter()
+                .filter(|s| !s.decoding())
+                .map(|s| s.idx)
+                .min();
+            let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.shape.input - s.prefilled);
+
+            // KV-pressure check before executing: project every
+            // sequence's KV one iteration forward (the chunk for the
+            // prefilling sequence, +1 token per decoder) and evict the
+            // eviction policy's victim among the *decoding* sequences
+            // until the projection fits. Prefilling sequences are never
+            // evicted — their partially-built KV would be wasted work —
+            // and a lone sequence is never evicted (it could then never
+            // make progress), so a single oversized request degrades to
+            // the non-preemptive behavior instead of livelocking.
+            if preempt {
+                loop {
+                    let projected: Vec<RequestShape> = batches[r]
+                        .iter()
+                        .map(|s| {
+                            let grown = if chunk_target == Some(s.idx) {
+                                s.past + chunk_tokens(s)
+                            } else if s.decoding() && s.remaining > 0 {
+                                s.past + 1
+                            } else {
+                                s.past
+                            };
+                            ActiveSeq::kv_shape(grown)
+                        })
+                        .collect();
+                    match self.replicas[r].backend.batch_fits(model, &projected) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                            break;
+                        }
+                        Err(e) => {
+                            let victim = select_min_filtered(
+                                &batches[r],
+                                |s| s.decoding(),
+                                |s| s.view(),
+                                |a, b| self.scheduler.eviction.compare(a, b),
+                            );
+                            let Some(v) = victim.filter(|_| batches[r].len() > 1) else {
+                                // Nothing evictable: tolerate the
+                                // overcommit for this iteration, and
+                                // record the over-capacity footprint so
+                                // the report cannot claim the run fit
+                                // in memory (the final-shape admission
+                                // check rules out SequenceTooLong here,
+                                // so the error always carries a ratio).
+                                if let crate::capacity::CapacityError::OutOfMemory {
+                                    required,
+                                    available,
+                                } = e
+                                {
+                                    stats.peak_kv_occupancy = stats
+                                        .peak_kv_occupancy
+                                        .max(required as f64 / available as f64);
+                                }
+                                break;
+                            };
+                            let mut seq = batches[r].remove(v);
+                            seq.preemptions += 1;
+                            swap_count += 1;
+                            seq.swap_epoch = swap_count;
+                            stats.preemptions += 1;
+                            let swap_out = self.replicas[r].kv_transfer_secs(model, seq.past);
+                            clock[r] += swap_out;
+                            stats.busy[r] += swap_out;
+                            swapped[r].push(seq);
+                        }
+                    }
+                }
+            }
+
+            // One mixed iteration: the prefill chunk (if any) plus one
+            // decode step over every fully-prefilled sequence. Both
+            // shares execute in the same iteration, so the chunk
+            // stretches each decoder's token gap by the *chunk* cost.
+            let chunk: Option<(usize, u64)> = chunk_target.map(|idx| {
+                let ci = batches[r]
+                    .iter()
+                    .position(|s| s.idx == idx)
+                    .expect("prefilling sequences are never evicted");
+                (ci, chunk_tokens(&batches[r][ci]))
+            });
+            let (decode_width, mean_past) = {
+                let decoders: Vec<&ActiveSeq> =
+                    batches[r].iter().filter(|s| s.decoding()).collect();
+                let width = decoders.len();
+                let mean = if width > 0 {
+                    decoders.iter().map(|s| s.past).sum::<u64>() / width as u64
+                } else {
+                    0
+                };
+                (width as u32, mean)
+            };
+            let mut dt = 0.0f64;
+            if let Some((_, tokens)) = chunk {
+                dt += self.replicas[r].prefill_secs(model, tokens);
+            }
+            if decode_width > 0 {
+                dt += self.replicas[r].decode_secs(model, mean_past, decode_width);
+            }
+            clock[r] += dt;
+            stats.busy[r] += dt;
+            let now = clock[r];
+
+            // Advance the prefilling sequence; its first token comes out
+            // of the final chunk.
+            if let Some((ci, tokens)) = chunk {
+                let seq = &mut batches[r][ci];
+                seq.prefilled += tokens;
+                seq.past = seq.prefilled;
+                if seq.decoding() {
+                    seq.ttft = now - seq.arrival;
+                    stats.ttfts.push(seq.ttft);
+                    seq.last_token = now;
+                    if seq.remaining == 0 {
+                        // Single-token request: the prefill is the
+                        // request.
+                        let seq = batches[r].remove(ci);
+                        let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
+                        stats.complete(
+                            r,
+                            seq.class,
+                            seq.arrival,
+                            seq.service,
+                            now,
+                            seq.preemptions,
+                            attained,
+                        );
+                        done += 1;
+                    }
+                }
+            }
+
+            // Advance the decoders (skipping a sequence whose prefill
+            // completed *this* iteration: its first decode token comes
+            // next iteration).
+            let mut i = 0;
+            while i < batches[r].len() {
+                let seq = &mut batches[r][i];
+                if !seq.decoding() || seq.last_token >= now {
+                    i += 1;
+                    continue;
+                }
+                // Gap since the sequence's previous token — includes
+                // co-scheduled prefill chunks and swap traffic that
+                // stalled the batch, not just this iteration's decode.
+                let gap = now - seq.last_token;
+                stats.itls.push(gap);
+                seq.gaps.push(gap);
+                seq.last_token = now;
+                seq.past += 1;
+                seq.remaining -= 1;
+                if seq.remaining == 0 {
+                    let seq = batches[r].remove(i);
+                    let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
+                    stats.complete(
+                        r,
+                        seq.class,
+                        seq.arrival,
+                        seq.service,
+                        now,
+                        seq.preemptions,
+                        attained,
+                    );
+                    done += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Builds the report from either engine's raw samples.
+    fn assemble(&self, mut stats: RunStats) -> ServingReport {
+        let finite_sort = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        };
+        finite_sort(&mut stats.sojourns);
+        finite_sort(&mut stats.ttfts);
+        finite_sort(&mut stats.itls);
+        for cs in &mut stats.class_sojourns {
+            finite_sort(cs);
+        }
+        let n = self.replicas.len();
+        let per_class = self
+            .cfg
+            .mix
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let cs = &stats.class_sojourns[i];
+                let completed = cs.len() as u64;
+                ClassReport {
+                    shape: c.shape,
+                    completed,
+                    sojourn: LatencyPercentiles::from_sorted(cs),
+                    preemptions: stats.class_preemptions[i],
+                    slo_attainment: if completed == 0 {
+                        1.0
+                    } else {
+                        stats.class_attained[i] as f64 / completed as f64
+                    },
+                }
+            })
+            .collect();
+        let per_replica = self
+            .replicas
+            .iter()
+            .zip(stats.busy.iter().zip(&stats.served))
+            .map(|(r, (&b, &c))| ReplicaReport {
+                name: r.backend.name().to_string(),
+                completed: c,
+                utilization: (b / stats.last_finish).min(1.0),
+            })
+            .collect();
+        ServingReport {
+            completed: self.cfg.requests,
+            mean_service: Duration::from_secs_f64(stats.service_sum / self.cfg.requests as f64),
+            sojourn: LatencyPercentiles::from_sorted(&stats.sojourns),
+            ttft: LatencyPercentiles::from_sorted(&stats.ttfts),
+            inter_token: LatencyPercentiles::from_sorted(&stats.itls),
+            peak_batch: stats.peak_batch,
+            peak_kv_occupancy: stats.peak_kv_occupancy,
+            preemptions: stats.preemptions,
+            preempted_requests: stats.preempted_requests,
+            max_preemptions: stats.max_preemptions,
+            slo_attainment: stats.attained as f64 / self.cfg.requests as f64,
+            utilization: (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0),
+            throughput_rps: self.cfg.requests as f64 / stats.last_finish,
+            goodput_rps: stats.attained as f64 / stats.last_finish,
+            per_class,
+            per_replica,
+        }
+    }
+
+    /// Binary-searches the highest arrival rate in `[lo_hz, hi_hz]` whose
+    /// report satisfies `ok`, to a 1% relative resolution. Returns `0.0`
+    /// when even `lo_hz` fails. Service memos make each probe a
+    /// queueing-only pass (no device simulation), and the configured
+    /// arrival rate is restored afterwards.
+    ///
+    /// This is the generic form behind
+    /// [`sustainable_rate`](Self::sustainable_rate) (stability) and
+    /// [`sustainable_goodput_rate`](Self::sustainable_goodput_rate)
+    /// (stability + SLO attainment); `ok` must be monotone in spirit —
+    /// a criterion that flickers with rate makes bisection meaningless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo_hz` or the bracket is non-positive, or on the
+    /// conditions of [`run`](Self::run).
+    pub fn sustainable_rate_where(
+        &mut self,
+        model: &ModelConfig,
+        lo_hz: f64,
+        hi_hz: f64,
+        mut ok: impl FnMut(&ServingReport) -> bool,
+    ) -> f64 {
+        assert!(lo_hz > 0.0 && hi_hz > lo_hz, "need 0 < lo_hz < hi_hz");
+        let original = self.cfg.arrival_rate_hz;
+        let mut ok_at = |sim: &mut Self, rate: f64| {
+            sim.cfg.arrival_rate_hz = rate;
+            let report = sim.run(model);
+            ok(&report)
+        };
+        let mut best = 0.0f64;
+        let (mut lo, mut hi) = (lo_hz, hi_hz);
+        if ok_at(self, lo) {
+            best = lo;
+            if ok_at(self, hi) {
+                best = hi;
+                lo = hi;
+            }
+            while hi / lo > 1.01 {
+                let mid = (lo * hi).sqrt();
+                if ok_at(self, mid) {
+                    best = mid;
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+        }
+        self.cfg.arrival_rate_hz = original;
+        best
+    }
+
+    /// Binary-searches the highest arrival rate in `[lo_hz, hi_hz]` whose
+    /// report is [`stable`](ServingReport::stable), to a 1% relative
+    /// resolution. Returns `0.0` when even `lo_hz` is unstable.
+    ///
+    /// # Panics
+    ///
+    /// See [`sustainable_rate_where`](Self::sustainable_rate_where).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ianus_core::serving::{ServingConfig, ServingSim};
+    /// use ianus_core::{IanusSystem, SystemConfig};
+    /// use ianus_model::ModelConfig;
+    ///
+    /// let mut sim = ServingSim::new(ServingConfig::interactive(1.0, 150))
+    ///     .replica(IanusSystem::new(SystemConfig::ianus()));
+    /// let rate = sim.sustainable_rate(&ModelConfig::gpt2_m(), 0.5, 64.0);
+    /// assert!(rate > 0.5, "one IANUS device sustains interactive load");
+    /// // The probe leaves the configured rate untouched.
+    /// assert_eq!(sim.config().arrival_rate_hz, 1.0);
+    /// ```
+    pub fn sustainable_rate(&mut self, model: &ModelConfig, lo_hz: f64, hi_hz: f64) -> f64 {
+        self.sustainable_rate_where(model, lo_hz, hi_hz, |r| r.stable())
+    }
+
+    /// Binary-searches the highest arrival rate whose report is both
+    /// [`stable`](ServingReport::stable) and meets `min_attainment` of
+    /// its SLOs ([`slo_attainment`](ServingReport::slo_attainment) ≥
+    /// `min_attainment`) — the **goodput** capacity an SLO-aware
+    /// operator provisions for, rather than the bare stability knee.
+    /// With no SLOs in the mix this degrades to
+    /// [`sustainable_rate`](Self::sustainable_rate) (attainment is
+    /// identically 1).
+    ///
+    /// # Panics
+    ///
+    /// See [`sustainable_rate_where`](Self::sustainable_rate_where).
+    pub fn sustainable_goodput_rate(
+        &mut self,
+        model: &ModelConfig,
+        lo_hz: f64,
+        hi_hz: f64,
+        min_attainment: f64,
+    ) -> f64 {
+        self.sustainable_rate_where(model, lo_hz, hi_hz, |r| {
+            r.stable() && r.slo_attainment >= min_attainment
+        })
+    }
+}
+
+/// Index of the comparator-minimal element (ties keep the earliest),
+/// viewing each element through `view`. `None` on an empty slice.
+fn select_min<T, V>(
+    items: &[T],
+    view: impl Fn(&T) -> V,
+    compare: impl Fn(&V, &V) -> std::cmp::Ordering,
+) -> Option<usize> {
+    select_min_filtered(items, |_| true, view, compare)
+}
+
+/// [`select_min`] over the elements passing `keep`.
+fn select_min_filtered<T, V>(
+    items: &[T],
+    keep: impl Fn(&T) -> bool,
+    view: impl Fn(&T) -> V,
+    compare: impl Fn(&V, &V) -> std::cmp::Ordering,
+) -> Option<usize> {
+    let mut best: Option<(usize, V)> = None;
+    for (i, item) in items.iter().enumerate() {
+        if !keep(item) {
+            continue;
+        }
+        let v = view(item);
+        best = match best {
+            None => Some((i, v)),
+            Some((bi, bv)) => {
+                if compare(&v, &bv).is_lt() {
+                    Some((i, v))
+                } else {
+                    Some((bi, bv))
+                }
+            }
+        };
+    }
+    best.map(|(i, _)| i)
+}
+
+fn argmin<T, K: PartialOrd>(items: &[T], key: impl Fn(&T) -> K) -> usize {
+    let mut best = 0usize;
+    for i in 1..items.len() {
+        if key(&items[i]) < key(&items[best]) {
+            best = i;
+        }
+    }
+    best
+}

@@ -1,0 +1,495 @@
+//! Pluggable scheduler policies for iteration-level serving.
+//!
+//! The continuous-batching engine makes three kinds of decisions beyond
+//! the mechanisms themselves (admission gating, chunked prefill, KV
+//! swaps), and each is a trait here:
+//!
+//! * [`AdmissionPolicy`] — in what order the global wait queue is
+//!   admitted ([`FcfsAdmission`], [`PriorityAdmission`],
+//!   [`ShortestPromptAdmission`], [`DeadlineAdmission`]).
+//! * [`EvictionPolicy`] — which resident sequence is swapped out under
+//!   KV pressure ([`LowestPriorityYoungest`], [`LargestKv`],
+//!   [`LeastProgress`]).
+//! * [`ReadmissionPolicy`] — in what order swapped sequences re-enter
+//!   ([`FifoReadmission`], [`DeadlineReadmission`]).
+//!
+//! A [`SchedulerPolicy`] bundles one of each and is installed with
+//! [`ServingSim::policy`](super::ServingSim::policy). Policies are
+//! **comparators**, not queue owners: the engine presents candidate
+//! views ([`QueuedRequest`] / [`SeqView`]) and takes the policy-minimal
+//! element, so every policy automatically inherits the engine's
+//! invariants — head-of-line blocking happens in *policy order*,
+//! prefilling and lone sequences are never evicted, and a preempted
+//! sequence always completes. Comparators must be **deterministic pure
+//! functions** of their arguments (simulations are seeded and
+//! reproducible; a stateful or randomized comparator would break
+//! [`ServingSim::sustainable_rate`](super::ServingSim::sustainable_rate)
+//! bisection too). Ties are broken by the engine in favor of the
+//! earlier candidate, so total orders are not required — but every
+//! built-in ends its key chain with the arrival index to stay
+//! unambiguous.
+//!
+//! # Adding a policy
+//!
+//! Implement the trait over the view struct and install it:
+//!
+//! ```
+//! use ianus_core::serving::policy::{EvictionPolicy, SeqView};
+//! use ianus_core::serving::{Scheduling, SchedulerPolicy, ServingConfig, ServingSim};
+//! use ianus_core::{IanusSystem, SystemConfig};
+//! use ianus_model::ModelConfig;
+//! use std::cmp::Ordering;
+//!
+//! /// Evict the *oldest* decoding sequence (whatever its tier).
+//! struct OldestFirst;
+//!
+//! impl EvictionPolicy for OldestFirst {
+//!     fn name(&self) -> &'static str {
+//!         "oldest-first"
+//!     }
+//!     fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+//!         a.arrival_idx.cmp(&b.arrival_idx)
+//!     }
+//! }
+//!
+//! let report = ServingSim::new(ServingConfig::interactive(8.0, 80))
+//!     .replica(IanusSystem::new(SystemConfig::ianus()))
+//!     .scheduling(Scheduling::IterationLevel {
+//!         max_batch: 8,
+//!         prefill_chunk: None,
+//!         preempt: true,
+//!     })
+//!     .policy(SchedulerPolicy::default().with_eviction(OldestFirst))
+//!     .run(&ModelConfig::gpt2_m());
+//! assert_eq!(report.completed, 80);
+//! ```
+
+use super::Priority;
+use ianus_model::RequestShape;
+use std::cmp::Ordering;
+
+/// A waiting (not yet admitted) request, as the [`AdmissionPolicy`]
+/// sees it. Times are simulation seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueuedRequest {
+    /// The request shape.
+    pub shape: RequestShape,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Global arrival index (FCFS order; unique).
+    pub arrival_idx: u64,
+    /// Scheduling tier of the request's class.
+    pub priority: Priority,
+    /// TTFT deadline in seconds (`arrival + slo.ttft`), when the
+    /// request's class carries an [`Slo`](super::Slo).
+    pub deadline: Option<f64>,
+}
+
+/// A resident or swapped sequence, as the [`EvictionPolicy`] and
+/// [`ReadmissionPolicy`] see it. Times are simulation seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SeqView {
+    /// The request shape.
+    pub shape: RequestShape,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Global arrival index (FCFS order; unique — the default
+    /// eviction's "youngest" is the largest index).
+    pub arrival_idx: u64,
+    /// Scheduling tier of the request's class.
+    pub priority: Priority,
+    /// TTFT deadline in seconds (`arrival + slo.ttft`), when the
+    /// request's class carries an [`Slo`](super::Slo).
+    pub deadline: Option<f64>,
+    /// Tokens currently in the sequence's KV cache — what a swap-out
+    /// would have to move, and what eviction frees.
+    pub kv_tokens: u64,
+    /// Prompt tokens prefilled so far.
+    pub prefilled: u64,
+    /// Output tokens generated so far (completed decode steps).
+    pub generated: u64,
+    /// Decode steps left.
+    pub remaining: u64,
+    /// KV swap-outs suffered so far.
+    pub preemptions: u32,
+    /// Monotone swap-out sequence number (eviction order across the
+    /// replica); 0 until first preempted. [`FifoReadmission`] orders by
+    /// this.
+    pub swap_epoch: u64,
+}
+
+/// Orders the deadline option with `None` last, for the deadline-aware
+/// policies.
+fn deadline_cmp(a: Option<f64>, b: Option<f64>) -> Ordering {
+    a.unwrap_or(f64::INFINITY)
+        .total_cmp(&b.unwrap_or(f64::INFINITY))
+}
+
+/// Orders the wait queue of an iteration-level replica.
+///
+/// At every iteration boundary the engine considers the requests that
+/// have already arrived and admits the policy-minimal one first
+/// (smaller per [`compare`](Self::compare) = admitted earlier). If that
+/// request does not fit the KV gate, admission stops for this boundary
+/// — head-of-line blocking is in *policy order*, so a policy that
+/// front-loads large requests also decides who blocks.
+pub trait AdmissionPolicy {
+    /// Short stable identifier (report/CLI label).
+    fn name(&self) -> &'static str;
+
+    /// `Less` ⇒ `a` is admitted before `b`.
+    fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering;
+}
+
+/// First come, first served — admission in arrival order. The default,
+/// and the only order under which a seed denotes the same trace as the
+/// historical hard-wired scheduler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FcfsAdmission;
+
+impl AdmissionPolicy for FcfsAdmission {
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+
+    fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering {
+        a.arrival_idx.cmp(&b.arrival_idx)
+    }
+}
+
+/// [`Priority::Interactive`] requests are admitted before
+/// [`Priority::Batch`] ones; FCFS within a tier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PriorityAdmission;
+
+impl AdmissionPolicy for PriorityAdmission {
+    fn name(&self) -> &'static str {
+        "priority"
+    }
+
+    fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering {
+        // Interactive > Batch in the Priority order; admit the greater
+        // tier first.
+        b.priority
+            .cmp(&a.priority)
+            .then(a.arrival_idx.cmp(&b.arrival_idx))
+    }
+}
+
+/// Shortest prompt first — the classic SJF-flavored order for
+/// prefill-bound queues; FCFS among equal prompts.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestPromptAdmission;
+
+impl AdmissionPolicy for ShortestPromptAdmission {
+    fn name(&self) -> &'static str {
+        "shortest-prompt"
+    }
+
+    fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering {
+        a.shape
+            .input
+            .cmp(&b.shape.input)
+            .then(a.arrival_idx.cmp(&b.arrival_idx))
+    }
+}
+
+/// Earliest deadline first over the TTFT deadlines: requests whose
+/// class carries an [`Slo`](super::Slo) are ordered by
+/// `arrival + slo.ttft`; requests without a deadline go last, FCFS
+/// among themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineAdmission;
+
+impl AdmissionPolicy for DeadlineAdmission {
+    fn name(&self) -> &'static str {
+        "edf"
+    }
+
+    fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering {
+        deadline_cmp(a.deadline, b.deadline).then(a.arrival_idx.cmp(&b.arrival_idx))
+    }
+}
+
+/// Selects the victim when KV pressure forces a swap-out.
+///
+/// The engine filters the candidates first — only *decoding* sequences
+/// are offered (a prefilling sequence's partially built KV would be
+/// wasted work), and it never evicts a lone sequence (which could then
+/// never make progress) — then swaps out the policy-minimal candidate,
+/// repeating until the projected batch fits. Those liveness guards
+/// belong to the engine, not the policy: every policy inherits
+/// "preempted sequences always complete" for free.
+pub trait EvictionPolicy {
+    /// Short stable identifier (report/CLI label).
+    fn name(&self) -> &'static str;
+
+    /// `Less` ⇒ `a` is evicted before `b`.
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering;
+}
+
+/// Evict the lowest-[`Priority`] tier first, the youngest sequence
+/// (largest arrival index) within a tier — batch work pays for
+/// overcommit before interactive work, and the sequence with the least
+/// sunk residency pays first within the tier. The default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowestPriorityYoungest;
+
+impl EvictionPolicy for LowestPriorityYoungest {
+    fn name(&self) -> &'static str {
+        "lowest-priority-youngest"
+    }
+
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+        a.priority
+            .cmp(&b.priority)
+            .then(b.arrival_idx.cmp(&a.arrival_idx))
+    }
+}
+
+/// Evict the sequence holding the most KV — one swap frees the most
+/// memory (fewest victims per pressure event), at the price of paying
+/// the largest transfer and discarding the longest context from
+/// residency. Ties fall back to the default order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LargestKv;
+
+impl EvictionPolicy for LargestKv {
+    fn name(&self) -> &'static str {
+        "largest-kv"
+    }
+
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+        b.kv_tokens
+            .cmp(&a.kv_tokens)
+            .then(LowestPriorityYoungest.compare(a, b))
+    }
+}
+
+/// Evict the sequence that has generated the fewest output tokens —
+/// the least completed work is lost (and, symmetrically, the victim has
+/// the most decode left, so its swap dwell hurts the least relative to
+/// its remaining runtime). Ties fall back to the default order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastProgress;
+
+impl EvictionPolicy for LeastProgress {
+    fn name(&self) -> &'static str {
+        "least-progress"
+    }
+
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+        a.generated
+            .cmp(&b.generated)
+            .then(LowestPriorityYoungest.compare(a, b))
+    }
+}
+
+/// Orders the swap queue: which preempted sequence is offered a freed
+/// slot first.
+///
+/// Swapped sequences are always offered slots *before* new admissions
+/// at every boundary (they are older than anything still queued), and
+/// when a replica's batch empties, the policy-minimal one re-enters
+/// unconditionally — the liveness guarantee, again owned by the engine.
+pub trait ReadmissionPolicy {
+    /// Short stable identifier (report/CLI label).
+    fn name(&self) -> &'static str;
+
+    /// `Less` ⇒ `a` re-enters before `b`.
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering;
+}
+
+/// Re-admit in swap-out order (first evicted, first restored). The
+/// default.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoReadmission;
+
+impl ReadmissionPolicy for FifoReadmission {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+        a.swap_epoch
+            .cmp(&b.swap_epoch)
+            .then(a.arrival_idx.cmp(&b.arrival_idx))
+    }
+}
+
+/// Deadline-aware re-admission: the sequence whose request carries the
+/// earliest TTFT deadline (`arrival + slo.ttft`) re-enters first —
+/// latency-critical work spends the least time swapped out. Sequences
+/// without a deadline go last, in swap-out order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DeadlineReadmission;
+
+impl ReadmissionPolicy for DeadlineReadmission {
+    fn name(&self) -> &'static str {
+        "deadline"
+    }
+
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+        deadline_cmp(a.deadline, b.deadline).then(FifoReadmission.compare(a, b))
+    }
+}
+
+/// One admission + eviction + re-admission bundle, installed with
+/// [`ServingSim::policy`](super::ServingSim::policy).
+///
+/// [`SchedulerPolicy::default`] is the historical hard-wired scheduler
+/// — FCFS admission, lowest-priority/youngest eviction, FIFO
+/// re-admission — and reproduces its schedules bit-identically, so
+/// installing a bundle is never a silent behavior change unless a
+/// non-default member is chosen.
+pub struct SchedulerPolicy {
+    /// Wait-queue order.
+    pub admission: Box<dyn AdmissionPolicy>,
+    /// Victim selection under KV pressure.
+    pub eviction: Box<dyn EvictionPolicy>,
+    /// Swap-queue order.
+    pub readmission: Box<dyn ReadmissionPolicy>,
+}
+
+impl Default for SchedulerPolicy {
+    fn default() -> Self {
+        SchedulerPolicy {
+            admission: Box::new(FcfsAdmission),
+            eviction: Box::new(LowestPriorityYoungest),
+            readmission: Box::new(FifoReadmission),
+        }
+    }
+}
+
+impl SchedulerPolicy {
+    /// Replaces the admission policy (builder style).
+    pub fn with_admission(mut self, admission: impl AdmissionPolicy + 'static) -> Self {
+        self.admission = Box::new(admission);
+        self
+    }
+
+    /// Replaces the eviction policy (builder style).
+    pub fn with_eviction(mut self, eviction: impl EvictionPolicy + 'static) -> Self {
+        self.eviction = Box::new(eviction);
+        self
+    }
+
+    /// Replaces the re-admission policy (builder style).
+    pub fn with_readmission(mut self, readmission: impl ReadmissionPolicy + 'static) -> Self {
+        self.readmission = Box::new(readmission);
+        self
+    }
+
+    /// `admission+eviction+readmission` label, for report headers and
+    /// sweep tables.
+    pub fn label(&self) -> String {
+        format!(
+            "{}+{}+{}",
+            self.admission.name(),
+            self.eviction.name(),
+            self.readmission.name()
+        )
+    }
+}
+
+impl std::fmt::Debug for SchedulerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchedulerPolicy")
+            .field("admission", &self.admission.name())
+            .field("eviction", &self.eviction.name())
+            .field("readmission", &self.readmission.name())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(idx: u64, input: u64, priority: Priority, deadline: Option<f64>) -> QueuedRequest {
+        QueuedRequest {
+            shape: RequestShape::new(input, 8),
+            arrival: idx as f64,
+            arrival_idx: idx,
+            priority,
+            deadline,
+        }
+    }
+
+    fn seq(idx: u64, priority: Priority, kv: u64, generated: u64, epoch: u64) -> SeqView {
+        SeqView {
+            shape: RequestShape::new(128, 64),
+            arrival: idx as f64,
+            arrival_idx: idx,
+            priority,
+            deadline: None,
+            kv_tokens: kv,
+            prefilled: 128,
+            generated,
+            remaining: 64 - generated,
+            preemptions: 0,
+            swap_epoch: epoch,
+        }
+    }
+
+    #[test]
+    fn admission_orders() {
+        let a = req(0, 512, Priority::Batch, Some(9.0));
+        let b = req(1, 64, Priority::Interactive, Some(2.0));
+        let c = req(2, 128, Priority::Interactive, None);
+        assert_eq!(FcfsAdmission.compare(&a, &b), Ordering::Less);
+        assert_eq!(PriorityAdmission.compare(&b, &a), Ordering::Less);
+        assert_eq!(PriorityAdmission.compare(&b, &c), Ordering::Less);
+        assert_eq!(ShortestPromptAdmission.compare(&b, &a), Ordering::Less);
+        assert_eq!(DeadlineAdmission.compare(&b, &a), Ordering::Less);
+        // No deadline sorts last.
+        assert_eq!(DeadlineAdmission.compare(&a, &c), Ordering::Less);
+    }
+
+    #[test]
+    fn eviction_orders() {
+        let batch_young = seq(9, Priority::Batch, 100, 10, 0);
+        let batch_old = seq(1, Priority::Batch, 600, 40, 0);
+        let inter_big = seq(5, Priority::Interactive, 900, 2, 0);
+        // Default: tier first, then youngest.
+        assert_eq!(
+            LowestPriorityYoungest.compare(&batch_young, &batch_old),
+            Ordering::Less
+        );
+        assert_eq!(
+            LowestPriorityYoungest.compare(&batch_old, &inter_big),
+            Ordering::Less
+        );
+        // Largest KV ignores tier until the tiebreak.
+        assert_eq!(LargestKv.compare(&inter_big, &batch_old), Ordering::Less);
+        // Least progress evicts the sequence with the fewest tokens out.
+        assert_eq!(
+            LeastProgress.compare(&inter_big, &batch_young),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn readmission_orders() {
+        let mut first = seq(3, Priority::Batch, 100, 5, 1);
+        let mut second = seq(2, Priority::Interactive, 100, 5, 2);
+        assert_eq!(FifoReadmission.compare(&first, &second), Ordering::Less);
+        first.deadline = None;
+        second.deadline = Some(4.0);
+        assert_eq!(DeadlineReadmission.compare(&second, &first), Ordering::Less);
+    }
+
+    #[test]
+    fn bundle_labels() {
+        assert_eq!(
+            SchedulerPolicy::default().label(),
+            "fcfs+lowest-priority-youngest+fifo"
+        );
+        let custom = SchedulerPolicy::default()
+            .with_admission(DeadlineAdmission)
+            .with_eviction(LargestKv)
+            .with_readmission(DeadlineReadmission);
+        assert_eq!(custom.label(), "edf+largest-kv+deadline");
+        assert!(format!("{custom:?}").contains("largest-kv"));
+    }
+}

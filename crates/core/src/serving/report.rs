@@ -1,0 +1,299 @@
+//! Serving-report types and the raw-sample assembly behind them.
+
+use super::RequestClass;
+use ianus_sim::Duration;
+
+/// p50/p95/p99 and worst-case of one latency distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median.
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Worst-case sample — the tail beyond p99, where preemption
+    /// swap dwells and monolithic-prefill stalls hide.
+    pub max: Duration,
+}
+
+impl LatencyPercentiles {
+    /// All-zero percentiles (empty distribution).
+    pub const ZERO: LatencyPercentiles = LatencyPercentiles {
+        p50: Duration::ZERO,
+        p95: Duration::ZERO,
+        p99: Duration::ZERO,
+        max: Duration::ZERO,
+    };
+
+    /// Percentiles of an ascending-sorted sample of seconds.
+    pub(crate) fn from_sorted(sorted: &[f64]) -> Self {
+        LatencyPercentiles {
+            p50: percentile(sorted, 0.50),
+            p95: percentile(sorted, 0.95),
+            p99: percentile(sorted, 0.99),
+            max: Duration::from_secs_f64(sorted.last().copied().unwrap_or(0.0)),
+        }
+    }
+}
+
+/// Sojourn statistics of one request class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassReport {
+    /// The class's request shape.
+    pub shape: ianus_model::RequestShape,
+    /// Requests of this class completed.
+    pub completed: u64,
+    /// Sojourn (queueing + service) percentiles.
+    pub sojourn: LatencyPercentiles,
+    /// KV swap-outs suffered by this class's requests (0 unless
+    /// preemption is enabled). Under the default eviction order,
+    /// batch-tier classes absorb these first.
+    pub preemptions: u64,
+    /// Fraction of this class's completed requests that met its
+    /// [`Slo`](super::Slo); 1.0 when the class has no SLO (or nothing
+    /// completed).
+    pub slo_attainment: f64,
+}
+
+/// Utilization statistics of one replica.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaReport {
+    /// The replica's backend name.
+    pub name: String,
+    /// Requests this replica served.
+    pub completed: u64,
+    /// Fraction of the cluster makespan this replica was busy.
+    pub utilization: f64,
+}
+
+/// Result of a serving simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests completed.
+    pub completed: u64,
+    /// Mean *unloaded* device service time across completed requests:
+    /// what each request would cost alone on its replica (under
+    /// iteration-level scheduling, prefill plus its batch-1 decode
+    /// steps). Contention — queueing and batch stretch — shows up in
+    /// the sojourn percentiles, not here, so [`stable`](Self::stable)'s
+    /// tail bound means the same thing in both scheduling modes.
+    pub mean_service: Duration,
+    /// Sojourn (queueing + service) percentiles across all requests.
+    pub sojourn: LatencyPercentiles,
+    /// Time-to-first-token percentiles: arrival to the end of the
+    /// request's prefill (which produces the first output token). Under
+    /// request-level scheduling this is queueing wait plus prefill time.
+    pub ttft: LatencyPercentiles,
+    /// Inter-token latency percentiles, sampled per generated token.
+    /// Under iteration-level scheduling each sample is the gap between
+    /// a sequence's consecutive token emissions — decode iterations
+    /// *plus* any co-admitted prefills that stalled the batch; under
+    /// request-level it is the request's generation time divided by its
+    /// step count. Requests with a single output token contribute no
+    /// samples.
+    pub inter_token: LatencyPercentiles,
+    /// Largest number of sequences concurrently resident on one replica
+    /// (decoding or prefilling; always 1 under request-level
+    /// scheduling, and at least 1 in either mode once anything is
+    /// served).
+    pub peak_batch: u32,
+    /// Largest projected memory occupancy any admission (or, under
+    /// preemption, any iteration's pressure check) saw — weights plus
+    /// batch KV, as a fraction of device memory. Admissions project
+    /// final lengths by default and *current* lengths under preemption.
+    /// Stays 0 under request-level scheduling and for backends without
+    /// a memory model. Never exceeds 1 without preemption (the gate
+    /// rejects first); under preemption a value above 1 records the
+    /// iterations where nothing was evictable (a lone or all-prefilling
+    /// batch) and the scheduler knowingly ran overcommitted.
+    pub peak_kv_occupancy: f64,
+    /// Total KV swap-out events across the run (0 unless the
+    /// scheduling's `preempt` knob is on). Every swap-out is eventually
+    /// paired with a swap-in — preempted sequences always complete.
+    pub preemptions: u64,
+    /// Requests that were preempted at least once.
+    pub preempted_requests: u64,
+    /// Largest number of swap-outs any single request suffered.
+    pub max_preemptions: u32,
+    /// Fraction of completed requests that met their class
+    /// [`Slo`](super::Slo). Requests whose class has no SLO trivially
+    /// attain, so a mix without SLOs reports 1.0 and
+    /// [`goodput_rps`](Self::goodput_rps) equals
+    /// [`throughput_rps`](Self::throughput_rps).
+    pub slo_attainment: f64,
+    /// Mean busy fraction across replicas.
+    pub utilization: f64,
+    /// Completed requests per second of simulated time.
+    pub throughput_rps: f64,
+    /// Completions *within SLO* per second of simulated time — the
+    /// serving-quality throughput an SLO-aware operator provisions for.
+    /// Equals `throughput_rps × slo_attainment`.
+    pub goodput_rps: f64,
+    /// Per-class statistics (same order as the config's mix).
+    pub per_class: Vec<ClassReport>,
+    /// Per-replica load (same order as the replicas were added).
+    pub per_replica: Vec<ReplicaReport>,
+}
+
+impl ServingReport {
+    /// Whether the system was stable (utilization below one and tail
+    /// latency bounded relative to service time).
+    ///
+    /// The tail bound matters most on wide clusters over a finite
+    /// horizon, where measured utilization saturates slowly: an
+    /// overloaded 8-replica run can sit just under the utilization gate
+    /// while p99 sojourn has already blown out to dozens of service
+    /// times.
+    pub fn stable(&self) -> bool {
+        self.utilization < 0.95
+            && self.sojourn.p99.as_ns_f64() < 20.0 * self.mean_service.as_ns_f64()
+    }
+
+    /// The all-zero report of an empty (zero-request) simulation.
+    pub(crate) fn empty(replica_names: Vec<String>, mix: &[RequestClass]) -> Self {
+        ServingReport {
+            completed: 0,
+            mean_service: Duration::ZERO,
+            sojourn: LatencyPercentiles::ZERO,
+            ttft: LatencyPercentiles::ZERO,
+            inter_token: LatencyPercentiles::ZERO,
+            peak_batch: 0,
+            peak_kv_occupancy: 0.0,
+            preemptions: 0,
+            preempted_requests: 0,
+            max_preemptions: 0,
+            slo_attainment: 1.0,
+            utilization: 0.0,
+            throughput_rps: 0.0,
+            goodput_rps: 0.0,
+            per_class: mix
+                .iter()
+                .map(|c| ClassReport {
+                    shape: c.shape,
+                    completed: 0,
+                    sojourn: LatencyPercentiles::ZERO,
+                    preemptions: 0,
+                    slo_attainment: 1.0,
+                })
+                .collect(),
+            per_replica: replica_names
+                .into_iter()
+                .map(|name| ReplicaReport {
+                    name,
+                    completed: 0,
+                    utilization: 0.0,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Raw samples out of either scheduling engine, before percentile
+/// assembly.
+pub(crate) struct RunStats {
+    pub sojourns: Vec<f64>,
+    pub class_sojourns: Vec<Vec<f64>>,
+    pub ttfts: Vec<f64>,
+    pub itls: Vec<f64>,
+    pub busy: Vec<f64>,
+    pub served: Vec<u64>,
+    /// Sum of per-request *unloaded* service times: the whole-request
+    /// device time under request-level scheduling, and the memoized
+    /// batch-1 prefill + decode-step sum under iteration-level (the two
+    /// agree to within decode-grid interpolation error). Keeping the
+    /// batch-stretch *out* of this sum means [`ServingReport::stable`]'s
+    /// `p99 < 20 × mean_service` bound is equally strict in both modes —
+    /// pricing residency here instead lets finite-horizon overload pass
+    /// as "stable" once batching inflates the denominator.
+    pub service_sum: f64,
+    pub last_finish: f64,
+    pub peak_batch: u32,
+    pub peak_kv_occupancy: f64,
+    pub preemptions: u64,
+    pub class_preemptions: Vec<u64>,
+    pub preempted_requests: u64,
+    pub max_preemptions: u32,
+    /// Completed requests that met their class SLO (requests without an
+    /// SLO count as attained).
+    pub attained: u64,
+    pub class_attained: Vec<u64>,
+}
+
+impl RunStats {
+    pub fn new(replicas: usize, classes: usize, requests: u64) -> Self {
+        RunStats {
+            sojourns: Vec::with_capacity(requests as usize),
+            class_sojourns: vec![Vec::new(); classes],
+            ttfts: Vec::with_capacity(requests as usize),
+            itls: Vec::new(),
+            busy: vec![0.0; replicas],
+            served: vec![0u64; replicas],
+            service_sum: 0.0,
+            last_finish: 0.0,
+            peak_batch: 0,
+            peak_kv_occupancy: 0.0,
+            preemptions: 0,
+            class_preemptions: vec![0u64; classes],
+            preempted_requests: 0,
+            max_preemptions: 0,
+            attained: 0,
+            class_attained: vec![0u64; classes],
+        }
+    }
+
+    /// Records one completed request: its unloaded service time, how
+    /// often it was preempted along the way, and whether it met its
+    /// class SLO.
+    #[allow(clippy::too_many_arguments)]
+    pub fn complete(
+        &mut self,
+        replica: usize,
+        class: usize,
+        arrival: f64,
+        service: f64,
+        finish: f64,
+        preemptions: u32,
+        attained: bool,
+    ) {
+        self.sojourns.push(finish - arrival);
+        self.class_sojourns[class].push(finish - arrival);
+        self.service_sum += service;
+        self.served[replica] += 1;
+        self.last_finish = self.last_finish.max(finish);
+        self.class_preemptions[class] += u64::from(preemptions);
+        if preemptions > 0 {
+            self.preempted_requests += 1;
+            self.max_preemptions = self.max_preemptions.max(preemptions);
+        }
+        if attained {
+            self.attained += 1;
+            self.class_attained[class] += 1;
+        }
+    }
+}
+
+/// Whether a completed request met `slo`: TTFT within target and the
+/// p99 of its own inter-token gaps within target. `gaps` need not be
+/// sorted (this sorts a copy); an empty gap set (single-token request)
+/// trivially meets the ITL half.
+pub(crate) fn request_attains(slo: Option<super::Slo>, ttft_secs: f64, gaps: &[f64]) -> bool {
+    let Some(slo) = slo else { return true };
+    if ttft_secs > slo.ttft.as_secs_f64() {
+        return false;
+    }
+    if gaps.is_empty() {
+        return true;
+    }
+    let mut sorted = gaps.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("gaps are finite"));
+    percentile(&sorted, 0.99).as_secs_f64() <= slo.itl_p99.as_secs_f64()
+}
+
+pub(crate) fn percentile(sorted: &[f64], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    Duration::from_secs_f64(sorted[idx])
+}

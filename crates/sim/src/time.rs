@@ -116,6 +116,11 @@ impl Duration {
         Duration(us * 1_000_000)
     }
 
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000_000)
+    }
+
     /// Creates a duration from fractional nanoseconds, rounding to the
     /// nearest picosecond.
     pub fn from_ns_f64(ns: f64) -> Self {

@@ -119,7 +119,7 @@ fn main() {
     }
     println!(
         "  cluster p99 sojourn {:.0} ms ({})",
-        report.p99_sojourn.as_ms_f64(),
+        report.sojourn.p99.as_ms_f64(),
         if report.stable() {
             "stable"
         } else {

@@ -1,0 +1,137 @@
+//! Eviction-policy sweep under KV pressure: the PR 3 preemption
+//! scenario — GPT-2 XL (512,512) drafts overcommitting one 8 GB IANUS
+//! device — replayed under every built-in [`EvictionPolicy`], with an
+//! SLO on the interactive tier so the policies can be *scored*, not
+//! just observed.
+//!
+//! ```text
+//! cargo run --release --example policy_sweep
+//! ```
+//!
+//! The scenario: a 50/50 mix of interactive and batch-tier (512,512)
+//! drafts at 4 req/s (heavy overload — the device sustains ~0.4), max
+//! batch 32, 128-token prefill chunks, preemptive admission. Every
+//! sequence's KV grows to ~300 MB, so the optimistically admitted batch
+//! outgrows device memory and the scheduler must pick victims. Which
+//! rule it uses decides who eats the swap dwells:
+//!
+//! * `lowest-priority-youngest` (default) — tier-targeted: the batch
+//!   tier absorbs essentially every eviction, interactive sequences
+//!   almost never swap.
+//! * `largest-kv` — frees the most memory per *pressure event*, but is
+//!   tier-blind (interactive sequences with big contexts swap too) and
+//!   its victims re-enter big, so swap-out/swap-in cycles repeat — the
+//!   most total swaps, yet the thinnest resident batches.
+//! * `least-progress` — loses the least completed work per eviction,
+//!   also tier-blind; the fewest total swaps here.
+//!
+//! All three preserve the liveness contract (every preempted sequence
+//! completes; prefilling and lone sequences are never evicted) — that
+//! is enforced by the engine, not the policy, and regression-tested in
+//! `tests/policy_api.rs`.
+
+use ianus::prelude::*;
+
+/// The PR 3 preemption scenario (`serving_queue`'s closing section),
+/// plus a TTFT/ITL SLO on the interactive class.
+fn scenario() -> ServingConfig {
+    let shape = RequestShape::new(512, 512);
+    let slo = Slo::new(
+        Duration::from_secs_f64(60.0), // TTFT: queue + chunked prefill
+        Duration::from_ms(150),        // ITL p99: decode + swap dwells
+    );
+    ServingConfig {
+        arrival_rate_hz: 4.0,
+        requests: 120,
+        seed: 0x5EED,
+        mix: vec![
+            RequestClass::new(shape, 0.5).with_slo(slo),
+            RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
+        ],
+    }
+}
+
+fn bundle(eviction: &str) -> SchedulerPolicy {
+    match eviction {
+        "lowest-priority-youngest" => {
+            SchedulerPolicy::default().with_eviction(LowestPriorityYoungest)
+        }
+        "largest-kv" => SchedulerPolicy::default().with_eviction(LargestKv),
+        "least-progress" => SchedulerPolicy::default().with_eviction(LeastProgress),
+        _ => unreachable!(),
+    }
+}
+
+fn main() {
+    let model = ModelConfig::gpt2_xl();
+    println!(
+        "eviction-policy sweep: {} (512,512) drafts, 50% interactive (SLO: TTFT 60 s, \
+         ITL p99 150 ms) + 50% batch tier,",
+        model.name
+    );
+    println!(
+        "one IANUS device, 4 req/s x 120 requests, iteration-level (max batch 32, \
+         chunk 128, preempt), FCFS admission, FIFO re-admission\n"
+    );
+    println!(
+        "{:<26} {:>7} {:>11} {:>11} {:>10} {:>10} {:>9} {:>8}",
+        "eviction policy",
+        "swaps",
+        "int:batch",
+        "itl p99 ms",
+        "itl max s",
+        "int p99 s",
+        "SLO att.",
+        "goodput"
+    );
+
+    // One engine for the whole sweep: the policy does not change device
+    // costs, so after the first run every probe is queueing-only.
+    let mut sim = ServingSim::new(scenario())
+        .replica(IanusSystem::new(SystemConfig::ianus()))
+        .scheduling(Scheduling::IterationLevel {
+            max_batch: 32,
+            prefill_chunk: Some(128),
+            preempt: true,
+        });
+
+    let mut best: Option<(String, f64)> = None;
+    for eviction in ["lowest-priority-youngest", "largest-kv", "least-progress"] {
+        sim.set_policy(bundle(eviction));
+        let r = sim.run(&model);
+        assert_eq!(r.completed, 120, "liveness: every request completes");
+        let interactive = &r.per_class[0];
+        let batch = &r.per_class[1];
+        println!(
+            "{:<26} {:>7} {:>5}:{:<5} {:>11.1} {:>10.2} {:>10.0} {:>8.1}% {:>8.2}",
+            eviction,
+            r.preemptions,
+            interactive.preemptions,
+            batch.preemptions,
+            r.inter_token.p99.as_ms_f64(),
+            r.inter_token.max.as_ms_f64() / 1e3,
+            interactive.sojourn.p99.as_ms_f64() / 1e3,
+            r.slo_attainment * 100.0,
+            r.goodput_rps,
+        );
+        let att = interactive.slo_attainment;
+        if best.as_ref().is_none_or(|(_, b)| att > *b) {
+            best = Some((eviction.to_string(), att));
+        }
+    }
+
+    let (winner, att) = best.expect("three policies ran");
+    println!(
+        "\n{winner} minimizes interactive-tier SLO violations \
+         ({:.1}% of interactive requests within SLO).",
+        att * 100.0
+    );
+    println!(
+        "The default concentrates evictions on the batch tier (interactive sequences \
+         almost never swap),\nleast-progress makes the fewest swaps, and largest-kv \
+         swaps the most *sequences* but frees the\nmost memory per swap — thinner \
+         resident batches mean faster serialized decode iterations, which\nis what \
+         the per-request ITL SLO actually scores. Victim selection is a real policy \
+         trade, not a tie."
+    );
+}

@@ -27,9 +27,9 @@ fn print_sweep(label: &str, mut sim: ServingSim, model: &ModelConfig) {
             "{:>9.1} | {:>7.1}% {:>10.0} {:>10.0} {:>10.0} {:>9.0} {:>9.2} {:>8}",
             rate,
             report.utilization * 100.0,
-            report.p50_sojourn.as_ms_f64(),
-            report.p95_sojourn.as_ms_f64(),
-            report.p99_sojourn.as_ms_f64(),
+            report.sojourn.p50.as_ms_f64(),
+            report.sojourn.p95.as_ms_f64(),
+            report.sojourn.p99.as_ms_f64(),
             report.ttft.p99.as_ms_f64(),
             report.inter_token.p99.as_ms_f64(),
             if report.stable() { "yes" } else { "NO" }
@@ -132,7 +132,7 @@ fn main() {
             label,
             r.inter_token.p99.as_ms_f64(),
             r.ttft.p99.as_ms_f64(),
-            r.p99_sojourn.as_ms_f64(),
+            r.sojourn.p99.as_ms_f64(),
             r.preemptions,
         );
     }

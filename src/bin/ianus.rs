@@ -5,10 +5,22 @@
 //!       [--devices D] [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]
 //!       [--compare]
 //! ianus --serve [--model NAME] [--system ...] [--devices D] [--replicas K]
-//!       [--rate R] [--requests N] [--mix interactive|decode-heavy|long-prompt]
+//!       [--rate R] [--requests N] [--mix interactive|decode-heavy|long-prompt|custom]
 //!       [--scheduling request|iteration] [--max-batch B]
-//!       [--prefill-chunk N] [--preempt] [--compare]
+//!       [--prefill-chunk N] [--preempt]
+//!       [--admission fcfs|priority|shortest-prompt|edf]
+//!       [--eviction lowest-priority|largest-kv|least-progress]
+//!       [--readmission fifo|deadline]
+//!       [--slo-ttft-ms MS] [--slo-itl-ms MS]
+//!       [--compare] [--compare-policies]
 //! ```
+//!
+//! `--slo-ttft-ms`/`--slo-itl-ms` attach an SLO to the mix's
+//! interactive-tier classes (batch-tier classes carry no target), and
+//! the report then shows SLO attainment and goodput. `--compare-policies`
+//! replays the configured scenario under all three eviction policies
+//! (forcing iteration-level preemption on if needed) and reports which
+//! one minimizes interactive SLO violations.
 //!
 //! Examples:
 //!
@@ -18,7 +30,12 @@
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --replicas 2 \
 //!     --rate 8 --mix decode-heavy --scheduling iteration --max-batch 8
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --mix long-prompt \
-//!     --scheduling iteration --max-batch 8 --prefill-chunk 128 --preempt
+//!     --scheduling iteration --max-batch 8 --prefill-chunk 128 --preempt \
+//!     --slo-ttft-ms 2000 --slo-itl-ms 40
+//! cargo run --release --bin ianus -- --serve --model gpt2-xl --mix custom \
+//!     --input 512 --output 512 --scheduling iteration --max-batch 32 \
+//!     --prefill-chunk 128 --preempt --slo-ttft-ms 60000 --slo-itl-ms 150 \
+//!     --compare-policies
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --compare
 //! ```
 
@@ -29,6 +46,62 @@ enum MixKind {
     Interactive,
     DecodeHeavy,
     LongPrompt,
+    /// A 50/50 interactive/batch-tier mix of one `--input`/`--output`
+    /// shape — the way to build KV pressure from the command line
+    /// (e.g. `--mix custom --input 512 --output 512` on GPT-2 XL).
+    Custom,
+}
+
+const ADMISSIONS: [&str; 4] = ["fcfs", "priority", "shortest-prompt", "edf"];
+const EVICTIONS: [&str; 3] = ["lowest-priority", "largest-kv", "least-progress"];
+const READMISSIONS: [&str; 2] = ["fifo", "deadline"];
+
+/// Resolves a flag value against its name table (the single source of
+/// the valid policy names), rejecting unknown names at parse time.
+fn intern(value: String, table: &'static [&'static str]) -> &'static str {
+    table
+        .iter()
+        .find(|n| **n == value)
+        .copied()
+        .unwrap_or_else(|| usage())
+}
+
+/// Policy flags as parsed names; `SchedulerPolicy` is not `Clone`, so
+/// fresh bundles are built from these on demand.
+#[derive(Clone, Copy)]
+struct PolicyNames {
+    admission: &'static str,
+    eviction: &'static str,
+    readmission: &'static str,
+}
+
+impl PolicyNames {
+    fn bundle(&self) -> SchedulerPolicy {
+        bundle_of(self.admission, self.eviction, self.readmission)
+    }
+}
+
+fn bundle_of(admission: &str, eviction: &str, readmission: &str) -> SchedulerPolicy {
+    // Names were interned against the tables at parse time.
+    let mut p = SchedulerPolicy::default();
+    p = match admission {
+        "fcfs" => p.with_admission(FcfsAdmission),
+        "priority" => p.with_admission(PriorityAdmission),
+        "shortest-prompt" => p.with_admission(ShortestPromptAdmission),
+        "edf" => p.with_admission(DeadlineAdmission),
+        _ => unreachable!("interned admission name"),
+    };
+    p = match eviction {
+        "lowest-priority" => p.with_eviction(LowestPriorityYoungest),
+        "largest-kv" => p.with_eviction(LargestKv),
+        "least-progress" => p.with_eviction(LeastProgress),
+        _ => unreachable!("interned eviction name"),
+    };
+    match readmission {
+        "fifo" => p.with_readmission(FifoReadmission),
+        "deadline" => p.with_readmission(DeadlineReadmission),
+        _ => unreachable!("interned readmission name"),
+    }
 }
 
 struct ServeArgs {
@@ -37,6 +110,15 @@ struct ServeArgs {
     requests: u64,
     mix: MixKind,
     scheduling: Scheduling,
+    /// The raw `--max-batch`/`--prefill-chunk` values, kept separately
+    /// so `--compare-policies` honors them even when `--scheduling
+    /// iteration` was not passed (its fallback must not silently drop
+    /// configured knobs).
+    max_batch: u32,
+    prefill_chunk: Option<u64>,
+    policy: PolicyNames,
+    slo: Option<Slo>,
+    compare_policies: bool,
 }
 
 struct Args {
@@ -56,9 +138,14 @@ fn usage() -> ! {
          \x20            [--compare]\n\
          \x20      ianus --serve [--model NAME] [--system ...] [--devices D]\n\
          \x20            [--replicas K] [--rate R] [--requests N]\n\
-         \x20            [--mix interactive|decode-heavy|long-prompt]\n\
+         \x20            [--mix interactive|decode-heavy|long-prompt|custom]\n\
          \x20            [--scheduling request|iteration] [--max-batch B]\n\
-         \x20            [--prefill-chunk N] [--preempt] [--compare]\n\
+         \x20            [--prefill-chunk N] [--preempt]\n\
+         \x20            [--admission fcfs|priority|shortest-prompt|edf]\n\
+         \x20            [--eviction lowest-priority|largest-kv|least-progress]\n\
+         \x20            [--readmission fifo|deadline]\n\
+         \x20            [--slo-ttft-ms MS] [--slo-itl-ms MS]\n\
+         \x20            [--compare] [--compare-policies]\n\
          models: {}",
         ModelConfig::all()
             .iter()
@@ -86,6 +173,12 @@ fn parse() -> Args {
     let mut max_batch = 8u32;
     let mut prefill_chunk = 0u64; // 0 = monolithic prefill
     let mut preempt = false;
+    let mut admission = "fcfs";
+    let mut eviction = "lowest-priority";
+    let mut readmission = "fifo";
+    let mut slo_ttft_ms = 0u64; // 0 = no target
+    let mut slo_itl_ms = 0u64;
+    let mut compare_policies = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -97,11 +190,18 @@ fn parse() -> Args {
             "--max-batch" => max_batch = value().parse().unwrap_or_else(|_| usage()),
             "--prefill-chunk" => prefill_chunk = value().parse().unwrap_or_else(|_| usage()),
             "--preempt" => preempt = true,
+            "--admission" => admission = intern(value(), &ADMISSIONS),
+            "--eviction" => eviction = intern(value(), &EVICTIONS),
+            "--readmission" => readmission = intern(value(), &READMISSIONS),
+            "--slo-ttft-ms" => slo_ttft_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--slo-itl-ms" => slo_itl_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--compare-policies" => compare_policies = true,
             "--mix" => {
                 mix = match value().as_str() {
                     "interactive" => MixKind::Interactive,
                     "decode-heavy" => MixKind::DecodeHeavy,
                     "long-prompt" => MixKind::LongPrompt,
+                    "custom" => MixKind::Custom,
                     _ => usage(),
                 }
             }
@@ -157,6 +257,22 @@ fn parse() -> Args {
             _ => usage(),
         }
     }
+    let slo = (slo_ttft_ms > 0 || slo_itl_ms > 0).then(|| {
+        // An unset half defaults to a day-long target no completed
+        // request misses (effectively "only the other half is scored").
+        Slo::new(
+            if slo_ttft_ms > 0 {
+                Duration::from_ms(slo_ttft_ms)
+            } else {
+                Duration::from_secs_f64(86_400.0)
+            },
+            if slo_itl_ms > 0 {
+                Duration::from_ms(slo_itl_ms)
+            } else {
+                Duration::from_secs_f64(86_400.0)
+            },
+        )
+    });
     Args {
         model,
         request: RequestShape::new(input, output),
@@ -177,21 +293,50 @@ fn parse() -> Args {
             } else {
                 Scheduling::RequestLevel
             },
+            max_batch,
+            prefill_chunk: (prefill_chunk > 0).then_some(prefill_chunk),
+            policy: PolicyNames {
+                admission,
+                eviction,
+                readmission,
+            },
+            slo,
+            compare_policies,
         }),
     }
 }
 
-fn serving_config(mix: MixKind, rate: f64, requests: u64) -> ServingConfig {
-    match mix {
-        MixKind::Interactive => ServingConfig::interactive(rate, requests),
-        MixKind::DecodeHeavy => ServingConfig::decode_heavy(rate, requests),
-        MixKind::LongPrompt => ServingConfig::long_prompt(rate, requests),
+/// The configured mix, with any `--slo-*` target attached to its
+/// interactive-tier classes (batch-tier classes carry no target).
+fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
+    let mut cfg = match serve.mix {
+        MixKind::Interactive => ServingConfig::interactive(serve.rate, serve.requests),
+        MixKind::DecodeHeavy => ServingConfig::decode_heavy(serve.rate, serve.requests),
+        MixKind::LongPrompt => ServingConfig::long_prompt(serve.rate, serve.requests),
+        MixKind::Custom => ServingConfig {
+            arrival_rate_hz: serve.rate,
+            requests: serve.requests,
+            seed: 0x5EED,
+            mix: vec![
+                RequestClass::new(shape, 0.5),
+                RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
+            ],
+        },
+    };
+    if let Some(slo) = serve.slo {
+        for class in &mut cfg.mix {
+            if class.priority == Priority::Interactive {
+                *class = class.with_slo(slo);
+            }
+        }
     }
+    cfg
 }
 
 fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> ServingSim {
-    let cfg = serving_config(serve.mix, serve.rate, serve.requests);
-    let mut sim = ServingSim::new(cfg).scheduling(scheduling);
+    let mut sim = ServingSim::new(serving_config(serve, args.request))
+        .scheduling(scheduling)
+        .policy(serve.policy.bundle());
     for _ in 0..serve.replicas.max(1) {
         if args.devices > 1 {
             sim = sim.replica(DeviceGroup::new(args.system, args.devices));
@@ -202,29 +347,140 @@ fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> Serv
     sim
 }
 
-fn print_serving_report(label: &str, r: &ianus::system::serving::ServingReport) {
+fn print_serving_report(label: &str, r: &ServingReport, slo: bool) {
     println!(
-        "{label:<22} {:>7.1} req/s | util {:>5.1}% | sojourn p50/p99 {:>8.0}/{:>8.0} ms",
+        "{label:<22} {:>7.1} req/s | util {:>5.1}% | sojourn p50/p99/max {:>8.0}/{:>8.0}/{:>8.0} ms",
         r.throughput_rps,
         r.utilization * 100.0,
-        r.p50_sojourn.as_ms_f64(),
-        r.p99_sojourn.as_ms_f64(),
+        r.sojourn.p50.as_ms_f64(),
+        r.sojourn.p99.as_ms_f64(),
+        r.sojourn.max.as_ms_f64(),
     );
     println!(
-        "{:<22} TTFT p50/p99 {:>6.0}/{:>6.0} ms | ITL p50/p99 {:>6.2}/{:>6.2} ms | peak batch {} | KV {:>4.1}% | {}",
+        "{:<22} TTFT p50/p99/max {:>6.0}/{:>6.0}/{:>6.0} ms | ITL p50/p99/max {:>6.2}/{:>6.2}/{:>6.2} ms",
         "",
         r.ttft.p50.as_ms_f64(),
         r.ttft.p99.as_ms_f64(),
+        r.ttft.max.as_ms_f64(),
         r.inter_token.p50.as_ms_f64(),
         r.inter_token.p99.as_ms_f64(),
+        r.inter_token.max.as_ms_f64(),
+    );
+    println!(
+        "{:<22} peak batch {} | KV {:>4.1}% | {}",
+        "",
         r.peak_batch,
         r.peak_kv_occupancy * 100.0,
         if r.stable() { "stable" } else { "UNSTABLE" },
     );
+    if slo {
+        println!(
+            "{:<22} SLO attainment {:>5.1}% | goodput {:>6.1} req/s (of {:>6.1})",
+            "",
+            r.slo_attainment * 100.0,
+            r.goodput_rps,
+            r.throughput_rps,
+        );
+    }
     if r.preemptions > 0 {
         println!(
             "{:<22} preempted {} request(s) {} time(s) (max {} per request)",
             "", r.preempted_requests, r.preemptions, r.max_preemptions,
+        );
+    }
+}
+
+fn scheduling_label(scheduling: Scheduling) -> String {
+    match scheduling {
+        Scheduling::RequestLevel => "request-level".to_string(),
+        Scheduling::IterationLevel {
+            max_batch,
+            prefill_chunk,
+            preempt,
+        } => {
+            let chunk = match prefill_chunk {
+                Some(c) => format!(", chunk {c}"),
+                None => String::new(),
+            };
+            let pre = if preempt { ", preempt" } else { "" };
+            format!("iteration (batch {max_batch}{chunk}{pre})")
+        }
+    }
+}
+
+/// `--compare-policies`: the configured scenario (iteration-level with
+/// preemption forced on — eviction never fires without it) replayed
+/// under all three eviction policies on one warm engine.
+fn compare_policies_main(args: &Args, serve: &ServeArgs) {
+    if serve.scheduling == Scheduling::RequestLevel {
+        println!("(--compare-policies forces iteration-level scheduling with --preempt)\n");
+    }
+    // Either way the sweep honors the configured --max-batch and
+    // --prefill-chunk; only preempt is forced (eviction never fires
+    // without it).
+    let scheduling = Scheduling::IterationLevel {
+        max_batch: serve.max_batch,
+        prefill_chunk: serve.prefill_chunk,
+        preempt: true,
+    };
+    let mut sim = build_cluster(args, serve, scheduling);
+    if let Err((i, e)) = sim.fits(&args.model) {
+        eprintln!("model does not fit replica {i}: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "eviction-policy sweep under {} ({} admission, {} readmission):",
+        scheduling_label(scheduling),
+        serve.policy.admission,
+        serve.policy.readmission,
+    );
+    let scored = serve.slo.is_some();
+    if scored {
+        println!(
+            "  {:<18} {:>11} {:>12} {:>12} {:>11} {:>11}",
+            "eviction", "preemptions", "itl p99 ms", "itl max ms", "slo attain", "goodput r/s"
+        );
+    } else {
+        println!(
+            "  {:<18} {:>11} {:>12} {:>12}   (pass --slo-ttft-ms/--slo-itl-ms to score policies)",
+            "eviction", "preemptions", "itl p99 ms", "itl max ms"
+        );
+    }
+    let mut best: Option<(&'static str, f64)> = None;
+    for eviction in EVICTIONS {
+        sim.set_policy(bundle_of(
+            serve.policy.admission,
+            eviction,
+            serve.policy.readmission,
+        ));
+        let r = sim.run(&args.model);
+        if scored {
+            println!(
+                "  {:<18} {:>11} {:>12.1} {:>12.1} {:>10.1}% {:>11.2}",
+                eviction,
+                r.preemptions,
+                r.inter_token.p99.as_ms_f64(),
+                r.inter_token.max.as_ms_f64(),
+                r.slo_attainment * 100.0,
+                r.goodput_rps,
+            );
+            if best.is_none_or(|(_, b)| r.slo_attainment > b) {
+                best = Some((eviction, r.slo_attainment));
+            }
+        } else {
+            println!(
+                "  {:<18} {:>11} {:>12.1} {:>12.1}",
+                eviction,
+                r.preemptions,
+                r.inter_token.p99.as_ms_f64(),
+                r.inter_token.max.as_ms_f64(),
+            );
+        }
+    }
+    if let Some((winner, att)) = best {
+        println!(
+            "\n{winner} minimizes SLO violations ({:.1}% of requests within SLO).",
+            att * 100.0
         );
     }
 }
@@ -234,11 +490,16 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
         MixKind::Interactive => "interactive",
         MixKind::DecodeHeavy => "decode-heavy",
         MixKind::LongPrompt => "long-prompt",
+        MixKind::Custom => "custom (50/50 interactive/batch tiers)",
     };
     println!(
         "serving {} | {mix_name} mix | {} replica(s) x {} device(s) | {} req at {} req/s\n",
         args.model.name, serve.replicas, args.devices, serve.requests, serve.rate
     );
+    if serve.compare_policies {
+        compare_policies_main(args, serve);
+        return;
+    }
     let modes: Vec<Scheduling> = if args.compare {
         // --compare contrasts request-level with the *configured*
         // iteration-level form (keeping any chunking/preemption knobs).
@@ -260,23 +521,8 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
     }
     for scheduling in modes {
         sim.set_scheduling(scheduling);
-        let label = match scheduling {
-            Scheduling::RequestLevel => "request-level".to_string(),
-            Scheduling::IterationLevel {
-                max_batch,
-                prefill_chunk,
-                preempt,
-            } => {
-                let chunk = match prefill_chunk {
-                    Some(c) => format!(", chunk {c}"),
-                    None => String::new(),
-                };
-                let pre = if preempt { ", preempt" } else { "" };
-                format!("iteration (batch {max_batch}{chunk}{pre})")
-            }
-        };
         let report = sim.run(&args.model);
-        print_serving_report(&label, &report);
+        print_serving_report(&scheduling_label(scheduling), &report, serve.slo.is_some());
         if args.compare {
             let sustainable = sim.sustainable_rate(&args.model, 0.1, 512.0);
             println!("{:<22} sustainable rate {sustainable:.1} req/s\n", "");

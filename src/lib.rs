@@ -73,7 +73,7 @@
 //!     .scheduling(Scheduling::iteration(4))
 //!     .run(&ModelConfig::gpt2_m());
 //! assert_eq!(batched.completed, 200);
-//! assert!(batched.ttft.p50 <= batched.p50_sojourn);
+//! assert!(batched.ttft.p50 <= batched.sojourn.p50);
 //! ```
 //!
 //! Which mode wins is the paper's Section 6.1 argument made
@@ -89,10 +89,19 @@
 //! (long prompts interleave with resident decodes one chunk per
 //! iteration instead of stalling them whole) and **KV-pressure
 //! preemption** (optimistic admission against current KV lengths, with
-//! lowest-[`Priority`](prelude::Priority) eviction to a swap queue
-//! priced by `Backend::kv_transfer_time`) — see
-//! [`Scheduling::IterationLevel`](prelude::Scheduling) and
-//! `ARCHITECTURE.md` at the repo root for the full map.
+//! eviction to a swap queue priced by `Backend::kv_transfer_time`).
+//! *Which* request is admitted next, *which* sequence is evicted, and
+//! *which* swapped sequence returns first are pluggable: a
+//! [`SchedulerPolicy`](prelude::SchedulerPolicy) bundles an admission,
+//! an eviction, and a re-admission policy trait (defaults: FCFS,
+//! lowest-[`Priority`](prelude::Priority)/youngest, FIFO — reproducing
+//! the historical scheduler bit-identically), request classes can carry
+//! an [`Slo`](prelude::Slo) scored as `slo_attainment`/`goodput_rps`,
+//! and `examples/policy_sweep.rs` compares the eviction policies under
+//! identical KV pressure — see
+//! [`Scheduling::IterationLevel`](prelude::Scheduling),
+//! [`serving::policy`](system::serving::policy), and `ARCHITECTURE.md`
+//! at the repo root for the full map.
 
 pub use ianus_baselines as baselines;
 pub use ianus_core as system;
@@ -110,9 +119,14 @@ pub mod prelude {
     pub use ianus_core::capacity::CapacityError;
     pub use ianus_core::multi_device::DeviceGroup;
     pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
+    pub use ianus_core::serving::policy::{
+        DeadlineAdmission, DeadlineReadmission, FcfsAdmission, FifoReadmission, LargestKv,
+        LeastProgress, LowestPriorityYoungest, PriorityAdmission, ShortestPromptAdmission,
+    };
     pub use ianus_core::serving::{
-        DispatchPolicy, LatencyPercentiles, Priority, RequestClass, Scheduling, ServingConfig,
-        ServingReport, ServingSim,
+        AdmissionPolicy, DispatchPolicy, EvictionPolicy, LatencyPercentiles, Priority,
+        ReadmissionPolicy, RequestClass, SchedulerPolicy, Scheduling, ServingConfig, ServingReport,
+        ServingSim, Slo,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

@@ -150,10 +150,10 @@ fn chunked_prefill_beats_monolithic_itl_on_ianus() {
         mono.inter_token.p99
     );
     assert!(
-        chunked.p99_sojourn.as_ns_f64() < 1.2 * mono.p99_sojourn.as_ns_f64(),
+        chunked.sojourn.p99.as_ns_f64() < 1.2 * mono.sojourn.p99.as_ns_f64(),
         "chunking must not degrade sojourn tails: {} vs {}",
-        chunked.p99_sojourn,
-        mono.p99_sojourn
+        chunked.sojourn.p99,
+        mono.sojourn.p99
     );
 }
 

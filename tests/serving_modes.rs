@@ -56,7 +56,7 @@ fn both_modes_run_on_all_four_backend_types() {
                 r.inter_token.p50.as_ms_f64() > 0.0,
                 "{name} {scheduling:?}: ITL not populated"
             );
-            assert!(r.ttft.p50 <= r.p50_sojourn, "{name} {scheduling:?}");
+            assert!(r.ttft.p50 <= r.sojourn.p50, "{name} {scheduling:?}");
             match scheduling {
                 Scheduling::RequestLevel => assert_eq!(r.peak_batch, 1, "{name}"),
                 Scheduling::IterationLevel { max_batch, .. } => {
