@@ -45,6 +45,10 @@ pub struct DfxModel {
     /// Aggregate host-link bandwidth in GB/s (each Alveo U280 sits on
     /// PCIe 3.0 ×16; the four FPGAs drain their KV shards in parallel).
     pub host_gbps: f64,
+    /// Host DRAM reserved for swapped-out KV caches, in bytes (the
+    /// appliance's FPGAs share one server host). Swap-outs past this
+    /// pool fall back to recompute-based eviction.
+    pub host_kv_bytes: u64,
 }
 
 impl DfxModel {
@@ -55,6 +59,7 @@ impl DfxModel {
             bw_efficiency: 0.23,
             per_token_overhead: Duration::from_us(150),
             host_gbps: 4.0 * 16.0,
+            host_kv_bytes: 64 << 30,
         }
     }
 
@@ -109,6 +114,10 @@ impl Backend for DfxModel {
     /// aggregate host bandwidth binds.
     fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
         crate::kv_transfer_over_host_link(model, tokens, self.host_gbps)
+    }
+
+    fn host_kv_bytes(&self) -> Option<u64> {
+        Some(self.host_kv_bytes)
     }
 }
 

@@ -81,6 +81,10 @@ pub struct GpuModel {
     /// Host-link bandwidth in GB/s (PCIe 4.0 ×16 on the A100-SXM
     /// board), the path KV caches take when swapped to host memory.
     pub host_gbps: f64,
+    /// Host DRAM reserved for swapped-out KV caches, in bytes — one
+    /// GPU's slice of the serving host's memory. Swap-outs past this
+    /// pool fall back to recompute-based eviction.
+    pub host_kv_bytes: u64,
 }
 
 /// Kernel counts of one decoder block in eager HuggingFace GPT-2.
@@ -105,6 +109,9 @@ impl GpuModel {
             fc_dispatch_cost: Duration::from_ns(45_000),
             stage_overhead: Duration::from_us(1500),
             host_gbps: 32.0,
+            // A DGX-A100 host carries 2 TB of DRAM across 8 GPUs; one
+            // GPU's generous slice.
+            host_kv_bytes: 192 << 30,
         }
     }
 
@@ -312,6 +319,10 @@ impl Backend for GpuModel {
     /// feed it an order of magnitude faster, so the link binds.
     fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
         crate::kv_transfer_over_host_link(model, tokens, self.host_gbps)
+    }
+
+    fn host_kv_bytes(&self) -> Option<u64> {
+        Some(self.host_kv_bytes)
     }
 }
 

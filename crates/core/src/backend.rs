@@ -150,6 +150,22 @@ pub trait Backend {
         let _ = (model, tokens);
         Duration::ZERO
     }
+
+    /// Host-side DRAM available to swapped-out KV caches, in bytes —
+    /// the finite pool the preemptive scheduler debits with
+    /// [`kv_swap_bytes`](crate::capacity::kv_swap_bytes) at each
+    /// swap-out and credits back at the swap-in. A swap-out that would
+    /// overflow the pool falls back to recompute-based eviction (the
+    /// KV is dropped and re-prefilled on re-admission).
+    ///
+    /// Default: `None` — unbounded, consistent with the other
+    /// no-memory-model defaults (and with engine behavior before the
+    /// pool existed). Backends with a real memory model report their
+    /// host-DRAM budget; [`ServingSim::host_kv_pool`](crate::serving::ServingSim::host_kv_pool)
+    /// can override it per engine.
+    fn host_kv_bytes(&self) -> Option<u64> {
+        None
+    }
 }
 
 impl Backend for IanusSystem {
@@ -208,6 +224,10 @@ impl Backend for IanusSystem {
         let bytes = crate::capacity::kv_swap_bytes(model, tokens);
         self.config().pcie_latency + Duration::from_ns_f64(bytes as f64 / self.config().pcie_gbps)
     }
+
+    fn host_kv_bytes(&self) -> Option<u64> {
+        Some(self.config().host_kv_bytes)
+    }
 }
 
 impl Backend for DeviceGroup {
@@ -260,6 +280,12 @@ impl Backend for DeviceGroup {
         let bytes =
             crate::capacity::kv_swap_bytes(model, tokens).div_ceil(u64::from(cfg.devices.max(1)));
         cfg.pcie_latency + Duration::from_ns_f64(bytes as f64 / cfg.pcie_gbps)
+    }
+
+    /// The ganged devices hang off **one** host, so the group shares a
+    /// single host-DRAM pool — it does not scale with the device count.
+    fn host_kv_bytes(&self) -> Option<u64> {
+        Some(self.system().config().host_kv_bytes)
     }
 }
 
@@ -366,6 +392,18 @@ mod tests {
     }
 
     #[test]
+    fn host_pool_defaults() {
+        // Simulated devices report the config's host-DRAM budget; a
+        // device group shares one host, so the pool does not scale.
+        let sys = IanusSystem::new(SystemConfig::ianus());
+        assert_eq!(Backend::host_kv_bytes(&sys), Some(32 << 30));
+        let group = DeviceGroup::new(SystemConfig::ianus(), 4);
+        assert_eq!(Backend::host_kv_bytes(&group), Some(32 << 30));
+        let tuned = IanusSystem::new(SystemConfig::ianus().with_host_kv_bytes(1 << 30));
+        assert_eq!(Backend::host_kv_bytes(&tuned), Some(1 << 30));
+    }
+
+    #[test]
     fn kv_transfer_is_pcie_bound_and_monotone() {
         let model = ModelConfig::gpt2_xl();
         let mut sys = IanusSystem::new(SystemConfig::ianus());
@@ -404,8 +442,10 @@ mod tests {
         assert_eq!(b.decode_time(&model, 100, 5), Duration::from_us(50));
         assert_eq!(b.prefill_time(&model, 128), Duration::from_us(10) * 129);
         assert!(b.batch_fits(&model, &[]).is_ok());
-        // No memory model: swaps are free — consistent with the default
-        // batch_fits never triggering preemption in the first place.
+        // No memory model: swaps are free and host space unbounded —
+        // consistent with the default batch_fits never triggering
+        // preemption in the first place.
         assert_eq!(b.kv_transfer_time(&model, 1024), Duration::ZERO);
+        assert_eq!(b.host_kv_bytes(), None);
     }
 }

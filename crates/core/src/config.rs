@@ -56,6 +56,12 @@ pub struct SystemConfig {
     pub pcie_gbps: f64,
     /// PCIe transfer latency (per synchronization message).
     pub pcie_latency: Duration,
+    /// Host DRAM reserved for swapped-out KV caches, in bytes — the
+    /// finite pool `Backend::host_kv_bytes` reports for this device (a
+    /// device group shares one host, so the pool does not scale with
+    /// the device count). Swap-outs that would overflow it fall back to
+    /// recompute-based eviction in the serving engine.
+    pub host_kv_bytes: u64,
     /// Fixed cost of one macro PIM command beyond its micro-command
     /// schedule: command-scheduler hand-off to the PCU, macro→micro
     /// decode, input-vector marshalling from the core, and the completion
@@ -78,6 +84,7 @@ impl SystemConfig {
             devices: 1,
             pcie_gbps: 64.0,
             pcie_latency: Duration::from_ns(1500),
+            host_kv_bytes: 32 << 30,
             pim_macro_overhead: Duration::from_ns(1800),
         }
     }
@@ -121,6 +128,12 @@ impl SystemConfig {
             "pim chip count {chips} out of range"
         );
         self.pim_chips = chips;
+        self
+    }
+
+    /// Overrides the host-side KV swap pool (bytes).
+    pub fn with_host_kv_bytes(mut self, bytes: u64) -> Self {
+        self.host_kv_bytes = bytes;
         self
     }
 

@@ -1,7 +1,7 @@
 //! The cluster engine: replica memoization, both scheduling loops, and
 //! the rate-search helpers.
 
-use super::policy::{QueuedRequest, SchedulerPolicy, SeqView};
+use super::policy::{EvictionMechanism, QueuedRequest, SchedulerPolicy, SeqView};
 use super::report::{request_attains, LatencyPercentiles, RunStats};
 use super::{
     pick_class, ClassReport, DispatchPolicy, Priority, ReplicaReport, Scheduling, ServingConfig,
@@ -113,6 +113,28 @@ impl Replica {
         self.backend.kv_transfer_time(model, tokens).as_secs_f64()
     }
 
+    /// Grid-interpolated prefill cost at an arbitrary token count:
+    /// exact at and below [`DECODE_GRID_START`], interpolated between
+    /// geometric grid samples above. This is the *recompute-cost
+    /// estimate* behind eviction decisions — pricing every distinct
+    /// context length exactly would run a fresh device simulation per
+    /// candidate per pressure event. (Actual re-prefill execution is
+    /// still priced exactly, through the chunk machinery.)
+    fn prefill_est_secs(&mut self, model: &ModelConfig, tokens: u64) -> f64 {
+        let tokens = tokens.max(1);
+        if tokens <= DECODE_GRID_START {
+            return self.prefill_secs(model, tokens);
+        }
+        let (lo, hi) = decode_grid_bracket(tokens);
+        let hi = hi.min(model.max_seq).max(tokens);
+        if hi == lo {
+            return self.prefill_secs(model, lo);
+        }
+        let a = self.prefill_secs(model, lo);
+        let b = self.prefill_secs(model, hi);
+        a + (b - a) * (tokens - lo) as f64 / (hi - lo) as f64
+    }
+
     /// The request's *unloaded batch-1* service time: prefill plus every
     /// decode step alone on the device. This is the iteration-level
     /// analogue of the request-level service time (it matches to within
@@ -188,8 +210,15 @@ struct ActiveSeq {
     /// The class SLO (for attainment scoring and deadline policies).
     slo: Option<Slo>,
     /// Prompt tokens prefilled so far; the sequence is *prefilling*
-    /// until this reaches `shape.input`, then *decoding*.
+    /// until this reaches [`prefill_target`](Self::prefill_target),
+    /// then *decoding*.
     prefilled: u64,
+    /// How many tokens of context the current prefill must build:
+    /// `shape.input` for the initial prompt. A recompute-based eviction
+    /// resets this to the context length at eviction (prompt plus
+    /// tokens generated so far) — the re-prefill rebuilds the whole
+    /// context through the same chunk machinery.
+    prefill_target: u64,
     /// Tokens currently in its KV cache (prefilled prompt + generated).
     past: u64,
     /// Decode iterations left.
@@ -205,17 +234,28 @@ struct ActiveSeq {
     /// This sequence's own inter-token gaps (for per-request SLO
     /// attainment; the same samples also land in the global ITL pool).
     gaps: Vec<f64>,
-    /// KV swap-outs suffered so far.
+    /// KV evictions suffered so far (swap-outs plus recompute drops).
     preemptions: u32,
+    /// Recompute-based evictions suffered so far (subset of
+    /// `preemptions`).
+    recomputes: u32,
     /// Monotone swap-out sequence number (0 until first preempted) —
     /// what FIFO re-admission orders by.
     swap_epoch: u64,
+    /// Bytes this sequence currently holds in the replica's host pool
+    /// (0 while resident, and always 0 for recompute evictions).
+    hosted_bytes: u64,
+    /// Set when a recompute re-prefill completed *this* iteration: the
+    /// rebuild produces no new token, so the decode advance must skip
+    /// the sequence once without resetting its inter-token clock (the
+    /// eviction dwell belongs in its ITL, like a swap dwell does).
+    just_prefilled: bool,
 }
 
 impl ActiveSeq {
-    /// Whether the prompt is fully prefilled (the sequence decodes).
+    /// Whether the context is fully (re)built (the sequence decodes).
     fn decoding(&self) -> bool {
-        self.prefilled >= self.shape.input
+        self.prefilled >= self.prefill_target
     }
 
     /// TTFT deadline in seconds, when the class carries an SLO.
@@ -223,8 +263,9 @@ impl ActiveSeq {
         self.slo.map(|s| self.arrival + s.ttft.as_secs_f64())
     }
 
-    /// The eviction/re-admission policy view of this sequence.
-    fn view(&self) -> SeqView {
+    /// The eviction/re-admission policy view of this sequence, with
+    /// the engine-supplied eviction-cost estimates filled in.
+    fn view(&self, swap_secs: f64, recompute_secs: f64) -> SeqView {
         SeqView {
             shape: self.shape,
             arrival: self.arrival,
@@ -237,6 +278,8 @@ impl ActiveSeq {
             remaining: self.remaining,
             preemptions: self.preemptions,
             swap_epoch: self.swap_epoch,
+            swap_secs,
+            recompute_secs,
         }
     }
 
@@ -269,6 +312,13 @@ pub struct ServingSim {
     scheduling: Scheduling,
     scheduler: SchedulerPolicy,
     replicas: Vec<Replica>,
+    /// Host-pool override: `None` defers to each replica's
+    /// [`Backend::host_kv_bytes`]; `Some(None)` forces unbounded;
+    /// `Some(Some(b))` forces a `b`-byte pool on every replica.
+    host_kv_override: Option<Option<u64>>,
+    /// Whether swap DMA overlaps compute (off by default — serialized
+    /// transfers, the historical behavior).
+    overlap_dma: bool,
 }
 
 impl ServingSim {
@@ -281,6 +331,8 @@ impl ServingSim {
             scheduling: Scheduling::RequestLevel,
             scheduler: SchedulerPolicy::default(),
             replicas: Vec::new(),
+            host_kv_override: None,
+            overlap_dma: false,
         }
     }
 
@@ -350,6 +402,43 @@ impl ServingSim {
     /// The installed policy bundle.
     pub fn scheduler_policy(&self) -> &SchedulerPolicy {
         &self.scheduler
+    }
+
+    /// Overrides every replica's host-side KV swap pool: `Some(bytes)`
+    /// forces a finite pool of that size, `None` forces an unbounded
+    /// pool. Without this override each replica uses its backend's own
+    /// [`Backend::host_kv_bytes`]. The pool bounds how much swapped KV
+    /// can live host-side at once; a swap-out that would overflow it
+    /// falls back to recompute-based eviction.
+    pub fn host_kv_pool(mut self, bytes: Option<u64>) -> Self {
+        self.host_kv_override = Some(bytes);
+        self
+    }
+
+    /// In-place form of [`host_kv_pool`](Self::host_kv_pool) for warm
+    /// engines.
+    pub fn set_host_kv_pool(&mut self, bytes: Option<u64>) {
+        self.host_kv_override = Some(bytes);
+    }
+
+    /// Enables (or disables) **overlapped swap DMA**: each replica gets
+    /// a DMA-channel clock, swap transfers run on it concurrently with
+    /// compute, and the batch only stalls when it actually needs the
+    /// data or the memory — a swap-out frees device KV at DMA
+    /// *completion* (the iteration waits if it needs those bytes
+    /// sooner) and a swap-in's completion gates the sequence's
+    /// re-entry into the batch while decode continues around it. Off by
+    /// default: transfers serialize with compute on the replica clock,
+    /// the historical behavior.
+    pub fn overlap_dma(mut self, overlap: bool) -> Self {
+        self.overlap_dma = overlap;
+        self
+    }
+
+    /// In-place form of [`overlap_dma`](Self::overlap_dma) for warm
+    /// engines.
+    pub fn set_overlap_dma(&mut self, overlap: bool) {
+        self.overlap_dma = overlap;
     }
 
     /// Number of replicas added so far.
@@ -545,7 +634,7 @@ impl ServingSim {
             } else {
                 request_attains(arrival.slo, ttft, &[])
             };
-            stats.complete(replica, arrival.class, now, s, finish, 0, attained);
+            stats.complete(replica, arrival.class, now, s, finish, 0, 0, attained);
         }
         stats
     }
@@ -568,18 +657,42 @@ impl ServingSim {
         preempt: bool,
     ) -> RunStats {
         let chunk_size = prefill_chunk.unwrap_or(u64::MAX);
+        let overlap = self.overlap_dma;
         let n = self.replicas.len();
-        // Pending arrivals, ascending by arrival time (and index): the
-        // prefix with `at <= clock` is the wait queue the admission
-        // policy orders.
-        let mut pending: Vec<Arrival> = self.generate_arrivals();
+        // Effective per-replica host KV pool (`None` = unbounded).
+        let pools: Vec<Option<u64>> = self
+            .replicas
+            .iter()
+            .map(|r| {
+                self.host_kv_override
+                    .unwrap_or_else(|| r.backend.host_kv_bytes())
+            })
+            .collect();
+        // Arrivals ascending by time (and index). The wait queue is the
+        // arrived, not-yet-admitted slice: `taken` tombstones admitted
+        // requests and `head` skips the taken prefix, so each boundary
+        // scans only the arrived window instead of `Vec::remove`-ing
+        // out of the full trace (which made large sweeps quadratic).
+        let arrivals: Vec<Arrival> = self.generate_arrivals();
+        let mut taken = vec![false; arrivals.len()];
+        let mut head = 0usize;
         let total = self.cfg.requests;
-        let mut clock = vec![0.0f64; n]; // per-replica iteration clock
+        let mut clock = vec![0.0f64; n]; // per-replica compute clock
+        let mut dma_free = vec![0.0f64; n]; // per-replica DMA-channel clock
+        let mut host_used = vec![0u64; n]; // bytes of swapped KV host-side
         let mut batches: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
-        // Swapped-out sequences per replica (their KV lives host-side;
-        // re-admission order is the readmission policy's, ahead of new
-        // arrivals).
+        // Swapped-out sequences per replica (their KV lives host-side —
+        // or nowhere, for recompute evictions; re-admission order is
+        // the readmission policy's, ahead of new arrivals).
         let mut swapped: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
+        // In-flight swap-outs under overlapped DMA: the victim's device
+        // KV is freed at DMA *completion*, not issue — (completion
+        // time, tokens still occupying device memory).
+        let mut outgoing: Vec<Vec<(f64, u64)>> = vec![Vec::new(); n];
+        // In-flight swap-ins under overlapped DMA: the sequence joins
+        // the batch when its transfer completes — (ready time,
+        // sequence). Its device KV is reserved from issue.
+        let mut incoming: Vec<Vec<(f64, ActiveSeq)>> = vec![Vec::new(); n];
         let mut stats = RunStats::new(n, self.cfg.mix.len(), total);
         let mut done = 0u64;
         // Monotone swap-out counter (FIFO re-admission's order).
@@ -587,15 +700,15 @@ impl ServingSim {
 
         while done < total {
             // The next actionable replica: the earliest iteration
-            // boundary among replicas that hold work (resident or
-            // swapped) or could admit the earliest pending arrival
+            // boundary among replicas that hold work (resident, swapped
+            // or in-flight) or could admit the earliest pending arrival
             // (idle replicas fast-forward to it).
             let mut next: Option<(usize, f64)> = None;
             for (r, batch) in batches.iter().enumerate() {
-                let at = if !batch.is_empty() || !swapped[r].is_empty() {
+                let at = if !batch.is_empty() || !swapped[r].is_empty() || !incoming[r].is_empty() {
                     clock[r]
-                } else if let Some(first) = pending.first() {
-                    clock[r].max(first.at)
+                } else if head < arrivals.len() {
+                    clock[r].max(arrivals[head].at)
                 } else {
                     continue;
                 };
@@ -608,6 +721,23 @@ impl ServingSim {
             };
             clock[r] = at;
 
+            // Retire DMA that completed by this boundary: finished
+            // swap-outs release their device KV, finished swap-ins join
+            // the batch (releasing their host-pool bytes).
+            outgoing[r].retain(|&(done_at, _)| done_at > clock[r]);
+            let mut i = 0;
+            while i < incoming[r].len() {
+                if incoming[r][i].0 <= clock[r] {
+                    let (_, mut seq) = incoming[r].remove(i);
+                    host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
+                    seq.hosted_bytes = 0;
+                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                    batches[r].push(seq);
+                } else {
+                    i += 1;
+                }
+            }
+
             // Swap-ins first: preempted sequences are older than
             // anything still queued, so they are *offered* freed slots
             // before new admissions at every boundary (a policy head
@@ -619,17 +749,34 @@ impl ServingSim {
             // current ones, keeps a re-admission from bouncing straight
             // back out through the pressure check below, which would
             // charge both transfer costs for zero progress. When the
-            // batch is empty it re-enters unconditionally, which
+            // replica is empty it re-enters unconditionally, which
             // guarantees every preempted sequence eventually completes.
-            while (batches[r].len() as u32) < max_batch {
-                let Some(ci) = select_min(
-                    &swapped[r],
-                    |s| s.view(),
+            while batches[r].len() + incoming[r].len() < max_batch as usize
+                && !swapped[r].is_empty()
+            {
+                let views: Vec<(usize, SeqView)> = swapped[r]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        // Credit the candidate's own hosted bytes back:
+                        // its swap-side cost must not read as "pool
+                        // full" when the fullness is the candidate
+                        // itself (swapping *in* frees the pool).
+                        let headroom = pools[r]
+                            .map(|p| p.saturating_sub(host_used[r].saturating_sub(s.hosted_bytes)));
+                        (i, costed_view(s, &mut self.replicas[r], model, headroom))
+                    })
+                    .collect();
+                let Some(vi) = select_min(
+                    &views,
+                    |t| t.1,
                     |a, b| self.scheduler.readmission.compare(a, b),
                 ) else {
                     break;
                 };
-                if !batches[r].is_empty() {
+                let ci = views[vi].0;
+                let force = batches[r].is_empty() && incoming[r].is_empty();
+                if !force {
                     let grown = |s: &ActiveSeq| {
                         ActiveSeq::kv_shape(if s.decoding() && s.remaining > 0 {
                             s.past + 1
@@ -638,7 +785,25 @@ impl ServingSim {
                         })
                     };
                     let mut projected: Vec<RequestShape> = batches[r].iter().map(grown).collect();
-                    projected.push(grown(&swapped[r][ci]));
+                    projected.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                    projected.extend(outgoing[r].iter().map(|&(_, tok)| ActiveSeq::kv_shape(tok)));
+                    let cand = &swapped[r][ci];
+                    if cand.decoding() {
+                        projected.push(grown(cand));
+                    } else {
+                        // A recompute victim holds no KV *yet*, but
+                        // will immediately re-prefill its whole
+                        // context: gate on that imminent footprint
+                        // (like fresh admission does on the prompt),
+                        // not on its vacuously empty cache — otherwise
+                        // it re-enters a full device and the pressure
+                        // check just evicts someone else (recompute
+                        // thrash).
+                        projected.push(RequestShape {
+                            input: cand.prefill_target.max(1),
+                            output: 1,
+                        });
+                    }
                     match self.replicas[r].backend.batch_fits(model, &projected) {
                         Ok(occupancy) => {
                             stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
@@ -646,29 +811,59 @@ impl ServingSim {
                         Err(_) => break,
                     }
                 }
-                let seq = swapped[r].remove(ci);
+                let mut seq = swapped[r].remove(ci);
+                if seq.hosted_bytes == 0 {
+                    // Recompute victim: nothing to restore over the
+                    // link — it rejoins the batch and re-prefills its
+                    // context through the chunk machinery.
+                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                    batches[r].push(seq);
+                    continue;
+                }
                 let swap_in = self.replicas[r].kv_transfer_secs(model, seq.past);
-                clock[r] += swap_in;
-                stats.busy[r] += swap_in;
-                stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
-                batches[r].push(seq);
+                stats.dma[r] += swap_in;
+                let start = clock[r].max(dma_free[r]);
+                let ready = start + swap_in;
+                dma_free[r] = ready;
+                if overlap && !force {
+                    // Decode continues around the transfer; the
+                    // sequence re-enters when its DMA completes.
+                    incoming[r].push((ready, seq));
+                } else {
+                    // Serialized (or forced restart of an empty
+                    // replica): the compute clock waits out the DMA.
+                    stats.stall[r] += ready - clock[r];
+                    clock[r] = ready;
+                    host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
+                    seq.hosted_bytes = 0;
+                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                    batches[r].push(seq);
+                }
             }
 
             // Admission at the iteration boundary: the admission
-            // policy's order over the already-arrived prefix of the
+            // policy's order over the already-arrived slice of the
             // queue, bounded by batch slots and KV residency — the
             // residents' *final* lengths normally, their *current*
             // lengths (optimistic overcommit) under preemption.
-            while (batches[r].len() as u32) < max_batch {
-                let arrived = pending.iter().take_while(|a| a.at <= clock[r]).count();
-                let Some(pi) = select_min(
-                    &pending[..arrived],
-                    |a| a.queued_view(),
+            while batches[r].len() + incoming[r].len() < max_batch as usize {
+                let mut window: Vec<(usize, QueuedRequest)> = Vec::new();
+                let mut i = head;
+                while i < arrivals.len() && arrivals[i].at <= clock[r] {
+                    if !taken[i] {
+                        window.push((i, arrivals[i].queued_view()));
+                    }
+                    i += 1;
+                }
+                let Some(wi) = select_min(
+                    &window,
+                    |t| t.1,
                     |a, b| self.scheduler.admission.compare(a, b),
                 ) else {
                     break;
                 };
-                let head = &pending[pi];
+                let pi = window[wi].0;
+                let cand = &arrivals[pi];
                 // A request that can never be served — its sequence
                 // exceeds the model's positional table, or it does not
                 // fit even an empty replica — must panic rather than
@@ -678,12 +873,12 @@ impl ServingSim {
                 // would miss the final-length violation).
                 if let Err(e) = self.replicas[r]
                     .backend
-                    .batch_fits(model, std::slice::from_ref(&head.shape))
+                    .batch_fits(model, std::slice::from_ref(&cand.shape))
                 {
                     assert!(
-                        !(batches[r].is_empty() && swapped[r].is_empty()),
+                        !(batches[r].is_empty() && swapped[r].is_empty() && incoming[r].is_empty()),
                         "request {:?} can never be admitted on replica {} ({}): {}",
-                        head.shape,
+                        cand.shape,
                         r,
                         self.replicas[r].backend.name(),
                         e
@@ -695,16 +890,20 @@ impl ServingSim {
                         .iter()
                         .map(|s| ActiveSeq::kv_shape(s.past))
                         .collect();
+                    // In-flight KV holds device memory too: reserved
+                    // swap-ins, and swap-outs not yet drained.
+                    v.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                    v.extend(outgoing[r].iter().map(|&(_, tok)| ActiveSeq::kv_shape(tok)));
                     // The candidate's imminent footprint: its whole
                     // prompt's KV, at prefill activation width.
                     v.push(RequestShape {
-                        input: head.shape.input.max(1),
+                        input: cand.shape.input.max(1),
                         output: 1,
                     });
                     v
                 } else {
                     let mut v: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
-                    v.push(head.shape);
+                    v.push(cand.shape);
                     v
                 };
                 match self.replicas[r].backend.batch_fits(model, &resident) {
@@ -716,7 +915,11 @@ impl ServingSim {
                     // above already ruled out a never-admittable head.
                     Err(_) => break,
                 }
-                let arrival = pending.remove(pi);
+                taken[pi] = true;
+                while head < arrivals.len() && taken[head] {
+                    head += 1;
+                }
+                let arrival = arrivals[pi];
                 let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
                 stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
                 batches[r].push(ActiveSeq {
@@ -728,17 +931,50 @@ impl ServingSim {
                     priority: arrival.priority,
                     slo: arrival.slo,
                     prefilled: 0,
+                    prefill_target: arrival.shape.input,
                     past: 0,
                     remaining: arrival.shape.generation_steps(),
                     last_token: clock[r],
                     ttft: 0.0,
                     gaps: Vec::new(),
                     preemptions: 0,
+                    recomputes: 0,
                     swap_epoch: 0,
+                    hosted_bytes: 0,
+                    just_prefilled: false,
                 });
             }
 
             if batches[r].is_empty() {
+                // Nothing resident but DMA in flight — a swap-in whose
+                // completion gates re-entry, or swap-outs still holding
+                // the device KV an arrival may need. Advance to the
+                // next arrival or the earliest completion on either
+                // list, whichever is sooner: the clock always moves, so
+                // admission can never spin against memory that is
+                // already draining, and idle-waiting on DMA counts as
+                // swap stall. (With nothing in flight the top-of-loop
+                // fast-forward handles the idle replica.) Both lists
+                // were pruned at the boundary, so any event here is
+                // strictly in the future.
+                let event = match (earliest(&incoming[r]), earliest(&outgoing[r])) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(event) = event {
+                    let next_arrival = if head < arrivals.len() {
+                        arrivals[head].at
+                    } else {
+                        f64::INFINITY
+                    };
+                    if next_arrival > clock[r] && next_arrival < event {
+                        clock[r] = next_arrival;
+                    } else {
+                        stats.stall[r] += event - clock[r];
+                        clock[r] = event;
+                        outgoing[r].retain(|&(t, _)| t > clock[r]);
+                    }
+                }
                 continue;
             }
 
@@ -750,7 +986,7 @@ impl ServingSim {
                 .filter(|s| !s.decoding())
                 .map(|s| s.idx)
                 .min();
-            let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.shape.input - s.prefilled);
+            let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.prefill_target - s.prefilled);
 
             // KV-pressure check before executing: project every
             // sequence's KV one iteration forward (the chunk for the
@@ -761,34 +997,83 @@ impl ServingSim {
             // and a lone sequence is never evicted (it could then never
             // make progress), so a single oversized request degrades to
             // the non-preemptive behavior instead of livelocking.
+            //
+            // The victim's KV leaves by the bundle's EvictionMechanism:
+            // swapped to the host pool (falling back to recompute when
+            // the pool is full), dropped for re-prefill, or whichever
+            // is cheaper for this victim. Under overlapped DMA an
+            // eviction frees memory only at transfer completion, so the
+            // fit check runs at two horizons: the *eventual* projection
+            // (in-flight swap-outs excluded — they drain without
+            // further evictions) decides whether more victims are
+            // needed, and the *current* projection (in-flight KV
+            // included) decides how long the iteration must stall for
+            // the DMA to hand the memory back.
             if preempt {
                 loop {
-                    let projected: Vec<RequestShape> = batches[r]
-                        .iter()
-                        .map(|s| {
-                            let grown = if chunk_target == Some(s.idx) {
-                                s.past + chunk_tokens(s)
-                            } else if s.decoding() && s.remaining > 0 {
-                                s.past + 1
-                            } else {
-                                s.past
-                            };
-                            ActiveSeq::kv_shape(grown)
-                        })
-                        .collect();
-                    match self.replicas[r].backend.batch_fits(model, &projected) {
-                        Ok(occupancy) => {
-                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                    let grown_shape = |s: &ActiveSeq| {
+                        let grown = if chunk_target == Some(s.idx) {
+                            s.past + chunk_tokens(s)
+                        } else if s.decoding() && s.remaining > 0 {
+                            s.past + 1
+                        } else {
+                            s.past
+                        };
+                        ActiveSeq::kv_shape(grown)
+                    };
+                    let mut eventual: Vec<RequestShape> =
+                        batches[r].iter().map(grown_shape).collect();
+                    eventual.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                    match self.replicas[r].backend.batch_fits(model, &eventual) {
+                        Ok(_) => {
+                            // Enough memory once in-flight swap-outs
+                            // drain; stall the iteration until the ones
+                            // it actually needs have completed.
+                            loop {
+                                let mut current = eventual.clone();
+                                current.extend(
+                                    outgoing[r].iter().map(|&(_, tok)| ActiveSeq::kv_shape(tok)),
+                                );
+                                match self.replicas[r].backend.batch_fits(model, &current) {
+                                    Ok(occupancy) => {
+                                        stats.peak_kv_occupancy =
+                                            stats.peak_kv_occupancy.max(occupancy);
+                                        break;
+                                    }
+                                    Err(_) => {
+                                        let (j, done_at) = outgoing[r]
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(j, &(t, _))| (j, t))
+                                            .min_by(|a, b| a.1.total_cmp(&b.1))
+                                            .expect(
+                                                "current projection exceeds the eventual one \
+                                                 only through in-flight swap-outs",
+                                            );
+                                        stats.stall[r] += (done_at - clock[r]).max(0.0);
+                                        clock[r] = clock[r].max(done_at);
+                                        outgoing[r].remove(j);
+                                    }
+                                }
+                            }
                             break;
                         }
                         Err(e) => {
-                            let victim = select_min_filtered(
-                                &batches[r],
-                                |s| s.decoding(),
-                                |s| s.view(),
+                            let headroom = pools[r].map(|p| p.saturating_sub(host_used[r]));
+                            let views: Vec<(usize, SeqView)> = batches[r]
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| s.decoding())
+                                .map(|(i, s)| {
+                                    (i, costed_view(s, &mut self.replicas[r], model, headroom))
+                                })
+                                .collect();
+                            let victim = select_min(
+                                &views,
+                                |t| t.1,
                                 |a, b| self.scheduler.eviction.compare(a, b),
                             );
-                            let Some(v) = victim.filter(|_| batches[r].len() > 1) else {
+                            let Some(vi) = victim.filter(|_| batches[r].len() > 1) else {
                                 // Nothing evictable: tolerate the
                                 // overcommit for this iteration, and
                                 // record the over-capacity footprint so
@@ -807,14 +1092,59 @@ impl ServingSim {
                                 }
                                 break;
                             };
+                            let (v, view) = views[vi];
                             let mut seq = batches[r].remove(v);
                             seq.preemptions += 1;
                             swap_count += 1;
                             seq.swap_epoch = swap_count;
                             stats.preemptions += 1;
-                            let swap_out = self.replicas[r].kv_transfer_secs(model, seq.past);
-                            clock[r] += swap_out;
-                            stats.busy[r] += swap_out;
+                            let bytes = crate::capacity::kv_swap_bytes(model, seq.past);
+                            let pool_takes = headroom.is_none_or(|h| bytes <= h);
+                            let by_swap = match self.scheduler.mechanism {
+                                EvictionMechanism::Swap => pool_takes,
+                                EvictionMechanism::Recompute => false,
+                                // The one published cost rule
+                                // (`SeqView::eviction_cost_secs`):
+                                // `swap_secs` is already infinite when
+                                // the pool cannot take the bytes, so
+                                // the comparison alone decides.
+                                EvictionMechanism::Cheapest => {
+                                    2.0 * view.swap_secs <= view.recompute_secs
+                                }
+                            };
+                            if by_swap {
+                                seq.hosted_bytes = bytes;
+                                host_used[r] += bytes;
+                                stats.host_peak_bytes = stats.host_peak_bytes.max(host_used[r]);
+                                if let Some(pool) = pools[r] {
+                                    stats.host_peak_occupancy = stats
+                                        .host_peak_occupancy
+                                        .max(host_used[r] as f64 / pool.max(1) as f64);
+                                }
+                                let swap_out = self.replicas[r].kv_transfer_secs(model, seq.past);
+                                stats.dma[r] += swap_out;
+                                let start = clock[r].max(dma_free[r]);
+                                let done_at = start + swap_out;
+                                dma_free[r] = done_at;
+                                if overlap {
+                                    // Device KV drains in the
+                                    // background; freed at completion.
+                                    outgoing[r].push((done_at, seq.past));
+                                } else {
+                                    stats.stall[r] += done_at - clock[r];
+                                    clock[r] = done_at;
+                                }
+                            } else {
+                                // Recompute-based eviction (chosen, or
+                                // forced by a full host pool): drop the
+                                // KV now, rebuild the whole context by
+                                // re-prefill on re-admission.
+                                stats.recomputes += 1;
+                                seq.recomputes += 1;
+                                seq.prefill_target = seq.past;
+                                seq.prefilled = 0;
+                                seq.past = 0;
+                            }
                             swapped[r].push(seq);
                         }
                     }
@@ -837,7 +1167,11 @@ impl ServingSim {
                     batches[r].iter().filter(|s| s.decoding()).collect();
                 let width = decoders.len();
                 let mean = if width > 0 {
-                    decoders.iter().map(|s| s.past).sum::<u64>() / width as u64
+                    // Round the mean in f64: integer division floored
+                    // it, systematically under-pricing decode for
+                    // heterogeneous batches.
+                    let sum = decoders.iter().map(|s| s.past).sum::<u64>();
+                    (sum as f64 / width as f64).round() as u64
                 } else {
                     0
                 };
@@ -855,30 +1189,41 @@ impl ServingSim {
             let now = clock[r];
 
             // Advance the prefilling sequence; its first token comes out
-            // of the final chunk.
+            // of the final chunk — unless this was a recompute
+            // re-prefill, which only rebuilds KV the sequence already
+            // produced tokens for.
             if let Some((ci, tokens)) = chunk {
                 let seq = &mut batches[r][ci];
                 seq.prefilled += tokens;
                 seq.past = seq.prefilled;
                 if seq.decoding() {
-                    seq.ttft = now - seq.arrival;
-                    stats.ttfts.push(seq.ttft);
-                    seq.last_token = now;
-                    if seq.remaining == 0 {
-                        // Single-token request: the prefill is the
-                        // request.
-                        let seq = batches[r].remove(ci);
-                        let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
-                        stats.complete(
-                            r,
-                            seq.class,
-                            seq.arrival,
-                            seq.service,
-                            now,
-                            seq.preemptions,
-                            attained,
-                        );
-                        done += 1;
+                    if seq.recomputes == 0 {
+                        seq.ttft = now - seq.arrival;
+                        stats.ttfts.push(seq.ttft);
+                        seq.last_token = now;
+                        if seq.remaining == 0 {
+                            // Single-token request: the prefill is the
+                            // request.
+                            let seq = batches[r].remove(ci);
+                            let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
+                            stats.complete(
+                                r,
+                                seq.class,
+                                seq.arrival,
+                                seq.service,
+                                now,
+                                seq.preemptions,
+                                seq.recomputes,
+                                attained,
+                            );
+                            done += 1;
+                        }
+                    } else {
+                        // No token emitted: skip this sequence's decode
+                        // advance once, keeping `last_token` so the
+                        // whole eviction dwell lands in its next ITL
+                        // gap (as a swap dwell would).
+                        seq.just_prefilled = true;
                     }
                 }
             }
@@ -889,7 +1234,10 @@ impl ServingSim {
             let mut i = 0;
             while i < batches[r].len() {
                 let seq = &mut batches[r][i];
-                if !seq.decoding() || seq.last_token >= now {
+                if std::mem::take(&mut seq.just_prefilled)
+                    || !seq.decoding()
+                    || seq.last_token >= now
+                {
                     i += 1;
                     continue;
                 }
@@ -912,6 +1260,7 @@ impl ServingSim {
                         seq.service,
                         now,
                         seq.preemptions,
+                        seq.recomputes,
                         attained,
                     );
                     done += 1;
@@ -920,6 +1269,12 @@ impl ServingSim {
                 }
             }
         }
+        // Every swap-out must have been paired with a swap-in (and
+        // every recompute drop with a re-prefill): nothing may end the
+        // run swapped, in flight, or holding host-pool bytes.
+        debug_assert!(swapped.iter().all(Vec::is_empty));
+        debug_assert!(incoming.iter().all(Vec::is_empty));
+        debug_assert!(host_used.iter().all(|&b| b == 0));
         stats
     }
 
@@ -948,6 +1303,7 @@ impl ServingSim {
                     completed,
                     sojourn: LatencyPercentiles::from_sorted(cs),
                     preemptions: stats.class_preemptions[i],
+                    recomputes: stats.class_recomputes[i],
                     slo_attainment: if completed == 0 {
                         1.0
                     } else {
@@ -959,11 +1315,12 @@ impl ServingSim {
         let per_replica = self
             .replicas
             .iter()
-            .zip(stats.busy.iter().zip(&stats.served))
-            .map(|(r, (&b, &c))| ReplicaReport {
+            .enumerate()
+            .map(|(i, r)| ReplicaReport {
                 name: r.backend.name().to_string(),
-                completed: c,
-                utilization: (b / stats.last_finish).min(1.0),
+                completed: stats.served[i],
+                utilization: (stats.busy[i] / stats.last_finish).min(1.0),
+                kv_dma: Duration::from_secs_f64(stats.dma[i]),
             })
             .collect();
         ServingReport {
@@ -975,8 +1332,13 @@ impl ServingSim {
             peak_batch: stats.peak_batch,
             peak_kv_occupancy: stats.peak_kv_occupancy,
             preemptions: stats.preemptions,
+            recomputes: stats.recomputes,
             preempted_requests: stats.preempted_requests,
             max_preemptions: stats.max_preemptions,
+            host_kv_peak_bytes: stats.host_peak_bytes,
+            host_kv_peak_occupancy: stats.host_peak_occupancy,
+            kv_dma: Duration::from_secs_f64(stats.dma.iter().sum()),
+            swap_stall: Duration::from_secs_f64(stats.stall.iter().sum()),
             slo_attainment: stats.attained as f64 / self.cfg.requests as f64,
             utilization: (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0),
             throughput_rps: self.cfg.requests as f64 / stats.last_finish,
@@ -1096,21 +1458,8 @@ fn select_min<T, V>(
     view: impl Fn(&T) -> V,
     compare: impl Fn(&V, &V) -> std::cmp::Ordering,
 ) -> Option<usize> {
-    select_min_filtered(items, |_| true, view, compare)
-}
-
-/// [`select_min`] over the elements passing `keep`.
-fn select_min_filtered<T, V>(
-    items: &[T],
-    keep: impl Fn(&T) -> bool,
-    view: impl Fn(&T) -> V,
-    compare: impl Fn(&V, &V) -> std::cmp::Ordering,
-) -> Option<usize> {
     let mut best: Option<(usize, V)> = None;
     for (i, item) in items.iter().enumerate() {
-        if !keep(item) {
-            continue;
-        }
         let v = view(item);
         best = match best {
             None => Some((i, v)),
@@ -1124,6 +1473,31 @@ fn select_min_filtered<T, V>(
         };
     }
     best.map(|(i, _)| i)
+}
+
+/// Earliest scheduled time in an in-flight DMA list (`None` when
+/// empty).
+fn earliest<T>(list: &[(f64, T)]) -> Option<f64> {
+    list.iter().map(|&(t, _)| t).min_by(f64::total_cmp)
+}
+
+/// The policy view of `seq` with its eviction-cost estimates: one-way
+/// swap time (infinite when the replica's host-pool `headroom` cannot
+/// take the sequence's KV bytes) and the grid-estimated re-prefill
+/// cost of its current context.
+fn costed_view(
+    seq: &ActiveSeq,
+    replica: &mut Replica,
+    model: &ModelConfig,
+    headroom: Option<u64>,
+) -> SeqView {
+    let bytes = crate::capacity::kv_swap_bytes(model, seq.past);
+    let swap_secs = match headroom {
+        Some(h) if bytes > h => f64::INFINITY,
+        _ => replica.kv_transfer_secs(model, seq.past),
+    };
+    let recompute_secs = replica.prefill_est_secs(model, seq.past);
+    seq.view(swap_secs, recompute_secs)
 }
 
 fn argmin<T, K: PartialOrd>(items: &[T], key: impl Fn(&T) -> K) -> usize {

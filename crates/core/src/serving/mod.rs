@@ -46,6 +46,23 @@
 //!   the swap-in when it is re-admitted — and reports per-request
 //!   preemption counts in the [`ServingReport`].
 //!
+//! Swapped KV is a **finite host-side resource**: each replica's pool
+//! is bounded by
+//! [`Backend::host_kv_bytes`](crate::backend::Backend::host_kv_bytes)
+//! (or the [`ServingSim::host_kv_pool`] override), and a swap-out that
+//! would overflow it falls back to **recompute-based eviction** — the
+//! KV is dropped and the whole context re-prefilled on re-admission.
+//! Recompute is also selectable outright (or per-victim by cost) via
+//! [`EvictionMechanism`] on the policy bundle, and the
+//! [`CheapestEviction`](policy::CheapestEviction) policy picks victims
+//! by eviction cost per KV token freed. With
+//! [`ServingSim::overlap_dma`], swap traffic runs on a per-replica DMA
+//! channel that overlaps decode: transfers only stall the batch when
+//! the memory or the sequence is actually needed, and the report
+//! splits [`kv_dma`](ServingReport::kv_dma) from
+//! [`swap_stall`](ServingReport::swap_stall) —
+//! [`utilization`](ServingReport::utilization) always means compute.
+//!
 //! # Scheduler policies
 //!
 //! *Which* request is admitted next, *which* sequence is evicted under
@@ -159,7 +176,9 @@ mod report;
 mod tests;
 
 pub use engine::ServingSim;
-pub use policy::{AdmissionPolicy, EvictionPolicy, ReadmissionPolicy, SchedulerPolicy};
+pub use policy::{
+    AdmissionPolicy, EvictionMechanism, EvictionPolicy, ReadmissionPolicy, SchedulerPolicy,
+};
 pub use report::{ClassReport, LatencyPercentiles, ReplicaReport, ServingReport};
 
 use ianus_model::RequestShape;

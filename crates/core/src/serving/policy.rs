@@ -116,6 +116,28 @@ pub struct SeqView {
     /// replica); 0 until first preempted. [`FifoReadmission`] orders by
     /// this.
     pub swap_epoch: u64,
+    /// *One-way* KV transfer time for this sequence's current KV over
+    /// the replica's host link, in seconds — half the price of evicting
+    /// it by swap (charged again at swap-in). `f64::INFINITY` when the
+    /// replica's host pool cannot take the bytes right now, so
+    /// cost-aware policies see a full pool as "swap unavailable".
+    pub swap_secs: f64,
+    /// Estimated time to rebuild this sequence's current KV by
+    /// re-prefilling its whole context, in seconds — the price of
+    /// evicting it by recompute (grid-interpolated from the replica's
+    /// prefill costs).
+    pub recompute_secs: f64,
+}
+
+impl SeqView {
+    /// The cheapest way to evict this sequence, in seconds: KV transfer
+    /// both ways, or one re-prefill of the current context — whichever
+    /// is less (a full host pool makes the swap side infinite). This is
+    /// the cost [`CheapestEviction`] normalizes by freed KV, and what
+    /// the engine's `cheapest` eviction *mechanism* picks between.
+    pub fn eviction_cost_secs(&self) -> f64 {
+        (2.0 * self.swap_secs).min(self.recompute_secs)
+    }
 }
 
 /// Orders the deadline option with `None` last, for the deadline-aware
@@ -285,6 +307,32 @@ impl EvictionPolicy for LeastProgress {
     }
 }
 
+/// Evict the sequence with the lowest *eviction cost per KV token
+/// freed* — [`SeqView::eviction_cost_secs`] (KV transfer both ways, or
+/// one re-prefill of the context, whichever is cheaper — and a full
+/// host pool prices the swap side infinite) divided by
+/// [`kv_tokens`](SeqView::kv_tokens). The ROADMAP's cost-aware victim:
+/// where [`LargestKv`] maximizes freed memory regardless of what the
+/// eviction costs, this pays the least per byte relieved — under a
+/// tight host pool it shifts victims away from huge contexts whose
+/// forced recompute is superlinearly expensive. Ties fall back to the
+/// default order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheapestEviction;
+
+impl EvictionPolicy for CheapestEviction {
+    fn name(&self) -> &'static str {
+        "cheapest"
+    }
+
+    fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
+        let per_token = |s: &SeqView| s.eviction_cost_secs() / s.kv_tokens.max(1) as f64;
+        per_token(a)
+            .total_cmp(&per_token(b))
+            .then(LowestPriorityYoungest.compare(a, b))
+    }
+}
+
 /// Orders the swap queue: which preempted sequence is offered a freed
 /// slot first.
 ///
@@ -334,14 +382,52 @@ impl ReadmissionPolicy for DeadlineReadmission {
     }
 }
 
+/// *How* a chosen victim's KV leaves the device — the mechanism the
+/// engine applies after the [`EvictionPolicy`] has picked *who* pays.
+///
+/// Whatever the mechanism, a swap-out that would overflow the
+/// replica's finite host pool
+/// ([`Backend::host_kv_bytes`](crate::backend::Backend::host_kv_bytes))
+/// falls back to [`Recompute`](Self::Recompute) — the pool is a hard
+/// capacity, not a preference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EvictionMechanism {
+    /// Swap the KV to host memory (charged
+    /// [`kv_transfer_time`](crate::backend::Backend::kv_transfer_time)
+    /// each way, host pool debited while swapped). The default, and the
+    /// historical behavior.
+    #[default]
+    Swap,
+    /// Drop the KV and re-prefill the whole context on re-admission
+    /// (priced by
+    /// [`prefill_time`](crate::backend::Backend::prefill_time), chunked
+    /// like any prompt when chunking is on). Uses no host memory.
+    Recompute,
+    /// Per eviction, whichever is cheaper for this victim: KV transfer
+    /// both ways vs one re-prefill of the context
+    /// ([`SeqView::eviction_cost_secs`]).
+    Cheapest,
+}
+
+impl EvictionMechanism {
+    /// Short stable identifier (report/CLI label).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EvictionMechanism::Swap => "swap",
+            EvictionMechanism::Recompute => "recompute",
+            EvictionMechanism::Cheapest => "cheapest",
+        }
+    }
+}
+
 /// One admission + eviction + re-admission bundle, installed with
 /// [`ServingSim::policy`](super::ServingSim::policy).
 ///
 /// [`SchedulerPolicy::default`] is the historical hard-wired scheduler
 /// — FCFS admission, lowest-priority/youngest eviction, FIFO
-/// re-admission — and reproduces its schedules bit-identically, so
-/// installing a bundle is never a silent behavior change unless a
-/// non-default member is chosen.
+/// re-admission, swap-based eviction — and reproduces its schedules
+/// bit-identically, so installing a bundle is never a silent behavior
+/// change unless a non-default member is chosen.
 pub struct SchedulerPolicy {
     /// Wait-queue order.
     pub admission: Box<dyn AdmissionPolicy>,
@@ -349,6 +435,8 @@ pub struct SchedulerPolicy {
     pub eviction: Box<dyn EvictionPolicy>,
     /// Swap-queue order.
     pub readmission: Box<dyn ReadmissionPolicy>,
+    /// How a victim's KV leaves the device (swap vs recompute).
+    pub mechanism: EvictionMechanism,
 }
 
 impl Default for SchedulerPolicy {
@@ -357,6 +445,7 @@ impl Default for SchedulerPolicy {
             admission: Box::new(FcfsAdmission),
             eviction: Box::new(LowestPriorityYoungest),
             readmission: Box::new(FifoReadmission),
+            mechanism: EvictionMechanism::Swap,
         }
     }
 }
@@ -380,15 +469,27 @@ impl SchedulerPolicy {
         self
     }
 
+    /// Replaces the eviction mechanism (builder style).
+    pub fn with_mechanism(mut self, mechanism: EvictionMechanism) -> Self {
+        self.mechanism = mechanism;
+        self
+    }
+
     /// `admission+eviction+readmission` label, for report headers and
-    /// sweep tables.
+    /// sweep tables; a non-default eviction mechanism is appended as a
+    /// fourth `+segment`.
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "{}+{}+{}",
             self.admission.name(),
             self.eviction.name(),
             self.readmission.name()
-        )
+        );
+        if self.mechanism != EvictionMechanism::Swap {
+            label.push('+');
+            label.push_str(self.mechanism.name());
+        }
+        label
     }
 }
 
@@ -398,6 +499,7 @@ impl std::fmt::Debug for SchedulerPolicy {
             .field("admission", &self.admission.name())
             .field("eviction", &self.eviction.name())
             .field("readmission", &self.readmission.name())
+            .field("mechanism", &self.mechanism.name())
             .finish()
     }
 }
@@ -429,6 +531,8 @@ mod tests {
             remaining: 64 - generated,
             preemptions: 0,
             swap_epoch: epoch,
+            swap_secs: kv as f64 * 1e-5,
+            recompute_secs: kv as f64 * 1e-4,
         }
     }
 
@@ -491,5 +595,28 @@ mod tests {
             .with_readmission(DeadlineReadmission);
         assert_eq!(custom.label(), "edf+largest-kv+deadline");
         assert!(format!("{custom:?}").contains("largest-kv"));
+        let mech = SchedulerPolicy::default().with_mechanism(EvictionMechanism::Cheapest);
+        assert_eq!(mech.label(), "fcfs+lowest-priority-youngest+fifo+cheapest");
+        assert!(format!("{mech:?}").contains("cheapest"));
+    }
+
+    #[test]
+    fn cheapest_eviction_orders_by_cost_per_token() {
+        // With swap at 1e-5 s/token and recompute at 1e-4 s/token, the
+        // per-token eviction cost is a constant 2e-5 s — the tiebreak
+        // (default order) decides.
+        let a = seq(1, Priority::Batch, 600, 40, 0);
+        let b = seq(9, Priority::Batch, 100, 10, 0);
+        assert_eq!(CheapestEviction.compare(&b, &a), Ordering::Less);
+        // A full host pool makes the swap side infinite: the victim
+        // whose recompute-per-token is cheaper goes first.
+        let mut big = seq(1, Priority::Batch, 1000, 40, 0);
+        let mut small = seq(9, Priority::Batch, 100, 10, 0);
+        big.swap_secs = f64::INFINITY;
+        small.swap_secs = f64::INFINITY;
+        big.recompute_secs = 0.5; // 5e-4 s/token: superlinear prefill
+        small.recompute_secs = 0.01; // 1e-4 s/token
+        assert_eq!(CheapestEviction.compare(&small, &big), Ordering::Less);
+        assert_eq!(big.eviction_cost_secs(), 0.5);
     }
 }

@@ -46,10 +46,15 @@ pub struct ClassReport {
     pub completed: u64,
     /// Sojourn (queueing + service) percentiles.
     pub sojourn: LatencyPercentiles,
-    /// KV swap-outs suffered by this class's requests (0 unless
-    /// preemption is enabled). Under the default eviction order,
-    /// batch-tier classes absorb these first.
+    /// KV evictions suffered by this class's requests (swap-outs plus
+    /// recompute drops; 0 unless preemption is enabled). Under the
+    /// default eviction order, batch-tier classes absorb these first.
     pub preemptions: u64,
+    /// The subset of this class's [`preemptions`](Self::preemptions)
+    /// resolved by dropping the KV and re-prefilling (host-pool
+    /// overflow, or a recompute-flavored
+    /// [`EvictionMechanism`](super::policy::EvictionMechanism)).
+    pub recomputes: u64,
     /// Fraction of this class's completed requests that met its
     /// [`Slo`](super::Slo); 1.0 when the class has no SLO (or nothing
     /// completed).
@@ -63,8 +68,15 @@ pub struct ReplicaReport {
     pub name: String,
     /// Requests this replica served.
     pub completed: u64,
-    /// Fraction of the cluster makespan this replica was busy.
+    /// Fraction of the cluster makespan this replica spent **computing**
+    /// (prefill + decode iterations). KV swap DMA is accounted in
+    /// [`kv_dma`](Self::kv_dma), not here — utilization means compute.
     pub utilization: f64,
+    /// Total KV swap DMA time on this replica's host link (swap-outs +
+    /// swap-ins). With DMA overlap on, most of this hides under decode;
+    /// the part that stalled compute is the report-level
+    /// [`swap_stall`](ServingReport::swap_stall).
+    pub kv_dma: Duration,
 }
 
 /// Result of a serving simulation.
@@ -108,21 +120,53 @@ pub struct ServingReport {
     /// iterations where nothing was evictable (a lone or all-prefilling
     /// batch) and the scheduler knowingly ran overcommitted.
     pub peak_kv_occupancy: f64,
-    /// Total KV swap-out events across the run (0 unless the
-    /// scheduling's `preempt` knob is on). Every swap-out is eventually
-    /// paired with a swap-in — preempted sequences always complete.
+    /// Total KV eviction events across the run (0 unless the
+    /// scheduling's `preempt` knob is on): swap-outs plus recompute
+    /// drops. Every swap-out is eventually paired with a swap-in, and
+    /// every recompute drop with a re-prefill — preempted sequences
+    /// always complete.
     pub preemptions: u64,
+    /// The subset of [`preemptions`](Self::preemptions) resolved by
+    /// **recompute-based eviction** — the KV was dropped (host pool
+    /// full, or a recompute-flavored
+    /// [`EvictionMechanism`](super::policy::EvictionMechanism)) and the
+    /// context re-prefilled on re-admission.
+    pub recomputes: u64,
     /// Requests that were preempted at least once.
     pub preempted_requests: u64,
-    /// Largest number of swap-outs any single request suffered.
+    /// Largest number of evictions any single request suffered.
     pub max_preemptions: u32,
+    /// Largest number of bytes of swapped-out KV simultaneously
+    /// resident in any replica's host pool.
+    pub host_kv_peak_bytes: u64,
+    /// [`host_kv_peak_bytes`](Self::host_kv_peak_bytes) as a fraction
+    /// of the tightest *finite* host pool it was observed against
+    /// ([`Backend::host_kv_bytes`](crate::backend::Backend::host_kv_bytes)
+    /// or the [`ServingSim::host_kv_pool`](super::ServingSim::host_kv_pool)
+    /// override). Never exceeds 1 — an overflowing swap-out falls back
+    /// to recompute instead. 0 when nothing swapped or every pool is
+    /// unbounded.
+    pub host_kv_peak_occupancy: f64,
+    /// Total KV swap DMA time across replicas (each transfer charged
+    /// once; see [`ReplicaReport::kv_dma`]).
+    pub kv_dma: Duration,
+    /// Total time replica *compute* clocks sat stalled on swap DMA.
+    /// Without DMA overlap every transfer stalls, so this equals
+    /// [`kv_dma`](Self::kv_dma); with overlap
+    /// ([`ServingSim::overlap_dma`](super::ServingSim::overlap_dma)) it
+    /// shrinks to the transfers whose data was needed before the DMA
+    /// finished.
+    pub swap_stall: Duration,
     /// Fraction of completed requests that met their class
     /// [`Slo`](super::Slo). Requests whose class has no SLO trivially
     /// attain, so a mix without SLOs reports 1.0 and
     /// [`goodput_rps`](Self::goodput_rps) equals
     /// [`throughput_rps`](Self::throughput_rps).
     pub slo_attainment: f64,
-    /// Mean busy fraction across replicas.
+    /// Mean **compute**-busy fraction across replicas (prefill + decode
+    /// iterations; KV swap DMA lives in [`kv_dma`](Self::kv_dma) and
+    /// [`swap_stall`](Self::swap_stall), so swap-heavy runs no longer
+    /// read as compute-saturated).
     pub utilization: f64,
     /// Completed requests per second of simulated time.
     pub throughput_rps: f64,
@@ -161,8 +205,13 @@ impl ServingReport {
             peak_batch: 0,
             peak_kv_occupancy: 0.0,
             preemptions: 0,
+            recomputes: 0,
             preempted_requests: 0,
             max_preemptions: 0,
+            host_kv_peak_bytes: 0,
+            host_kv_peak_occupancy: 0.0,
+            kv_dma: Duration::ZERO,
+            swap_stall: Duration::ZERO,
             slo_attainment: 1.0,
             utilization: 0.0,
             throughput_rps: 0.0,
@@ -174,6 +223,7 @@ impl ServingReport {
                     completed: 0,
                     sojourn: LatencyPercentiles::ZERO,
                     preemptions: 0,
+                    recomputes: 0,
                     slo_attainment: 1.0,
                 })
                 .collect(),
@@ -183,6 +233,7 @@ impl ServingReport {
                     name,
                     completed: 0,
                     utilization: 0.0,
+                    kv_dma: Duration::ZERO,
                 })
                 .collect(),
         }
@@ -196,7 +247,14 @@ pub(crate) struct RunStats {
     pub class_sojourns: Vec<Vec<f64>>,
     pub ttfts: Vec<f64>,
     pub itls: Vec<f64>,
+    /// Per-replica **compute** time (prefill + decode iterations only;
+    /// KV swap DMA goes to [`dma`](Self::dma) so utilization keeps
+    /// meaning compute-busy).
     pub busy: Vec<f64>,
+    /// Per-replica KV swap DMA transfer time.
+    pub dma: Vec<f64>,
+    /// Per-replica compute-clock time stalled on swap DMA.
+    pub stall: Vec<f64>,
     pub served: Vec<u64>,
     /// Sum of per-request *unloaded* service times: the whole-request
     /// device time under request-level scheduling, and the memoized
@@ -211,9 +269,15 @@ pub(crate) struct RunStats {
     pub peak_batch: u32,
     pub peak_kv_occupancy: f64,
     pub preemptions: u64,
+    pub recomputes: u64,
     pub class_preemptions: Vec<u64>,
+    pub class_recomputes: Vec<u64>,
     pub preempted_requests: u64,
     pub max_preemptions: u32,
+    /// Peak bytes of swapped KV in any replica's host pool, and that
+    /// peak as a fraction of the tightest finite pool it hit.
+    pub host_peak_bytes: u64,
+    pub host_peak_occupancy: f64,
     /// Completed requests that met their class SLO (requests without an
     /// SLO count as attained).
     pub attained: u64,
@@ -228,23 +292,29 @@ impl RunStats {
             ttfts: Vec::with_capacity(requests as usize),
             itls: Vec::new(),
             busy: vec![0.0; replicas],
+            dma: vec![0.0; replicas],
+            stall: vec![0.0; replicas],
             served: vec![0u64; replicas],
             service_sum: 0.0,
             last_finish: 0.0,
             peak_batch: 0,
             peak_kv_occupancy: 0.0,
             preemptions: 0,
+            recomputes: 0,
             class_preemptions: vec![0u64; classes],
+            class_recomputes: vec![0u64; classes],
             preempted_requests: 0,
             max_preemptions: 0,
+            host_peak_bytes: 0,
+            host_peak_occupancy: 0.0,
             attained: 0,
             class_attained: vec![0u64; classes],
         }
     }
 
     /// Records one completed request: its unloaded service time, how
-    /// often it was preempted along the way, and whether it met its
-    /// class SLO.
+    /// often it was preempted (and recompute-preempted) along the way,
+    /// and whether it met its class SLO.
     #[allow(clippy::too_many_arguments)]
     pub fn complete(
         &mut self,
@@ -254,6 +324,7 @@ impl RunStats {
         service: f64,
         finish: f64,
         preemptions: u32,
+        recomputes: u32,
         attained: bool,
     ) {
         self.sojourns.push(finish - arrival);
@@ -262,6 +333,7 @@ impl RunStats {
         self.served[replica] += 1;
         self.last_finish = self.last_finish.max(finish);
         self.class_preemptions[class] += u64::from(preemptions);
+        self.class_recomputes[class] += u64::from(recomputes);
         if preemptions > 0 {
             self.preempted_requests += 1;
             self.max_preemptions = self.max_preemptions.max(preemptions);

@@ -655,6 +655,59 @@ fn chunked_prefill_improves_itl_tail_on_long_prompt_mix() {
     );
 }
 
+/// Mixed-iteration decode pricing computes the mean past length in
+/// f64 and *rounds* it; integer division used to floor it, biasing
+/// decode cost low for every heterogeneous batch.
+///
+/// Hand-traced scenario on a linear backend (prefill(n) = n ms,
+/// decode(past, b) = past·b ms): two (4,3) requests arrive ~µs apart
+/// at one replica with max_batch 2. Iterations: prefill #1 (4 ms);
+/// prefill #2 + decode #1 at past 4 (8 ms); joint decode at pasts
+/// {5, 4} — mean 4.5, **rounds to 5** → 10 ms (a floor prices it 8 ms);
+/// final decode of #2 at past 5 (5 ms). So the last request finishes
+/// 27 ms after the first arrival with rounding, 25 ms with flooring.
+#[test]
+fn mixed_batch_decode_mean_rounds_not_floors() {
+    struct LinearSteps;
+    impl Backend for LinearSteps {
+        fn name(&self) -> &str {
+            "linear-steps"
+        }
+        fn service_time(&mut self, _: &ModelConfig, shape: RequestShape) -> Duration {
+            let mut t = Backend::prefill_time(self, &ModelConfig::gpt2_m(), shape.input);
+            for past in shape.input..shape.input + shape.generation_steps() {
+                t += Duration::from_ms(past);
+            }
+            t
+        }
+        fn fits(&self, _: &ModelConfig) -> Result<(), crate::capacity::CapacityError> {
+            Ok(())
+        }
+        fn prefill_time(&mut self, _: &ModelConfig, tokens: u64) -> Duration {
+            Duration::from_ms(tokens.max(1))
+        }
+        fn decode_time(&mut self, _: &ModelConfig, past: u64, batch: u32) -> Duration {
+            Duration::from_ms(past.max(1)) * u64::from(batch)
+        }
+    }
+    let cfg = ServingConfig {
+        arrival_rate_hz: 1e6, // both requests arrive within microseconds
+        requests: 2,
+        seed: 1,
+        mix: mix_one(RequestShape::new(4, 3)),
+    };
+    let r = ServingSim::new(cfg)
+        .replica(LinearSteps)
+        .scheduling(Scheduling::iteration(2))
+        .run(&ModelConfig::gpt2_m());
+    assert_eq!(r.completed, 2);
+    let last = r.sojourn.max.as_ms_f64();
+    assert!(
+        (26.8..27.001).contains(&last),
+        "rounded mean prices the trace at ~27 ms, floored at ~25 ms: got {last}"
+    );
+}
+
 /// KV pressure on a real memory model: optimistic admission
 /// overcommits GPT-2 XL (512,512) sequences on an 8 GB IANUS
 /// device, growth forces evictions, and every preempted sequence

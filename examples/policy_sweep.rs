@@ -1,40 +1,53 @@
-//! Eviction-policy sweep under KV pressure: the PR 3 preemption
-//! scenario — GPT-2 XL (512,512) drafts overcommitting one 8 GB IANUS
-//! device — replayed under every built-in [`EvictionPolicy`], with an
-//! SLO on the interactive tier so the policies can be *scored*, not
-//! just observed.
+//! Eviction-policy sweep under KV pressure and a **finite host pool**:
+//! the PR 3 preemption scenario — GPT-2 XL (512,512) drafts
+//! overcommitting one 8 GB IANUS device — replayed under every built-in
+//! [`EvictionPolicy`], with an SLO on the interactive tier so the
+//! policies can be *scored*, and host DRAM capped at 1 GiB so swap
+//! space is a real resource: swap-outs that would overflow the pool
+//! fall back to recompute-based eviction (drop the KV, re-prefill on
+//! re-admission).
 //!
 //! ```text
-//! cargo run --release --example policy_sweep
+//! cargo run --release --example policy_sweep [-- --smoke]
 //! ```
+//!
+//! (`--smoke` runs a reduced request count for CI.)
 //!
 //! The scenario: a 50/50 mix of interactive and batch-tier (512,512)
 //! drafts at 4 req/s (heavy overload — the device sustains ~0.4), max
 //! batch 32, 128-token prefill chunks, preemptive admission. Every
 //! sequence's KV grows to ~300 MB, so the optimistically admitted batch
-//! outgrows device memory and the scheduler must pick victims. Which
-//! rule it uses decides who eats the swap dwells:
+//! outgrows device memory and the scheduler must pick victims — and
+//! with only ~3 sequences' worth of host swap space, *how* each victim
+//! leaves matters as much as who is picked:
 //!
 //! * `lowest-priority-youngest` (default) — tier-targeted: the batch
-//!   tier absorbs essentially every eviction, interactive sequences
-//!   almost never swap.
-//! * `largest-kv` — frees the most memory per *pressure event*, but is
-//!   tier-blind (interactive sequences with big contexts swap too) and
-//!   its victims re-enter big, so swap-out/swap-in cycles repeat — the
-//!   most total swaps, yet the thinnest resident batches.
-//! * `least-progress` — loses the least completed work per eviction,
-//!   also tier-blind; the fewest total swaps here.
+//!   tier absorbs essentially every eviction.
+//! * `largest-kv` — frees the most memory per pressure event, but its
+//!   big victims rarely fit the pool: nearly every eviction degrades
+//!   to a recompute. Thin resident batches keep serialized decode
+//!   iterations short, which is what the per-request ITL SLO scores —
+//!   the best attainment here.
+//! * `least-progress` — loses the least completed work per eviction.
+//! * `cheapest` — cost-per-freed-token victims (transfer both ways vs
+//!   re-prefill, pool-aware).
 //!
-//! All three preserve the liveness contract (every preempted sequence
-//! completes; prefilling and lone sequences are never evicted) — that
-//! is enforced by the engine, not the policy, and regression-tested in
-//! `tests/policy_api.rs`.
+//! The closing section changes the regime: on a host link throttled to
+//! 4 GB/s, pure largest-KV pays tens of seconds of serialized swap
+//! stall while the cost-aware bundle (`cheapest` victims + `cheapest`
+//! mechanism) notices recompute is cheaper, avoids the link entirely,
+//! and wins on **goodput** — the ROADMAP's cost-aware-victim trade
+//! made measurable.
+//!
+//! All policies preserve the liveness contract (every preempted
+//! sequence completes; the host pool never overflows) — enforced by
+//! the engine and regression-tested in `tests/{policy_api,host_pool}.rs`.
 
 use ianus::prelude::*;
 
-/// The PR 3 preemption scenario (`serving_queue`'s closing section),
-/// plus a TTFT/ITL SLO on the interactive class.
-fn scenario() -> ServingConfig {
+/// The PR 3 preemption scenario plus a TTFT/ITL SLO on the interactive
+/// class.
+fn scenario(requests: u64) -> ServingConfig {
     let shape = RequestShape::new(512, 512);
     let slo = Slo::new(
         Duration::from_secs_f64(60.0), // TTFT: queue + chunked prefill
@@ -42,7 +55,7 @@ fn scenario() -> ServingConfig {
     );
     ServingConfig {
         arrival_rate_hz: 4.0,
-        requests: 120,
+        requests,
         seed: 0x5EED,
         mix: vec![
             RequestClass::new(shape, 0.5).with_slo(slo),
@@ -51,6 +64,13 @@ fn scenario() -> ServingConfig {
     }
 }
 
+const EVICTIONS: [&str; 4] = [
+    "lowest-priority-youngest",
+    "largest-kv",
+    "least-progress",
+    "cheapest",
+];
+
 fn bundle(eviction: &str) -> SchedulerPolicy {
     match eviction {
         "lowest-priority-youngest" => {
@@ -58,11 +78,14 @@ fn bundle(eviction: &str) -> SchedulerPolicy {
         }
         "largest-kv" => SchedulerPolicy::default().with_eviction(LargestKv),
         "least-progress" => SchedulerPolicy::default().with_eviction(LeastProgress),
+        "cheapest" => SchedulerPolicy::default().with_eviction(CheapestEviction),
         _ => unreachable!(),
     }
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let requests = if smoke { 40 } else { 120 };
     let model = ModelConfig::gpt2_xl();
     println!(
         "eviction-policy sweep: {} (512,512) drafts, 50% interactive (SLO: TTFT 60 s, \
@@ -70,68 +93,141 @@ fn main() {
         model.name
     );
     println!(
-        "one IANUS device, 4 req/s x 120 requests, iteration-level (max batch 32, \
-         chunk 128, preempt), FCFS admission, FIFO re-admission\n"
+        "one IANUS device, 4 req/s x {requests} requests, iteration-level (max batch 32, \
+         chunk 128, preempt),"
     );
+    println!("FCFS admission, FIFO re-admission, 1 GiB host KV pool (swap mechanism)\n");
     println!(
-        "{:<26} {:>7} {:>11} {:>11} {:>10} {:>10} {:>9} {:>8}",
+        "{:<26} {:>7} {:>10} {:>9} {:>11} {:>10} {:>9} {:>8}",
         "eviction policy",
-        "swaps",
-        "int:batch",
+        "evicts",
+        "recomputes",
+        "host occ",
         "itl p99 ms",
-        "itl max s",
-        "int p99 s",
+        "dma/stall",
         "SLO att.",
         "goodput"
     );
 
     // One engine for the whole sweep: the policy does not change device
     // costs, so after the first run every probe is queueing-only.
-    let mut sim = ServingSim::new(scenario())
+    let mut sim = ServingSim::new(scenario(requests))
         .replica(IanusSystem::new(SystemConfig::ianus()))
         .scheduling(Scheduling::IterationLevel {
             max_batch: 32,
             prefill_chunk: Some(128),
             preempt: true,
-        });
+        })
+        .host_kv_pool(Some(1 << 30));
 
     let mut best: Option<(String, f64)> = None;
-    for eviction in ["lowest-priority-youngest", "largest-kv", "least-progress"] {
+    for eviction in EVICTIONS {
         sim.set_policy(bundle(eviction));
         let r = sim.run(&model);
-        assert_eq!(r.completed, 120, "liveness: every request completes");
-        let interactive = &r.per_class[0];
-        let batch = &r.per_class[1];
+        assert_eq!(r.completed, requests, "liveness: every request completes");
+        assert!(
+            r.host_kv_peak_occupancy <= 1.0,
+            "the host pool is a hard bound"
+        );
+        assert!(r.recomputes > 0, "a 1 GiB pool must force recomputes");
         println!(
-            "{:<26} {:>7} {:>5}:{:<5} {:>11.1} {:>10.2} {:>10.0} {:>8.1}% {:>8.2}",
+            "{:<26} {:>7} {:>10} {:>8.0}% {:>11.1} {:>4.1}/{:<4.1} {:>8.1}% {:>8.2}",
             eviction,
             r.preemptions,
-            interactive.preemptions,
-            batch.preemptions,
+            r.recomputes,
+            r.host_kv_peak_occupancy * 100.0,
             r.inter_token.p99.as_ms_f64(),
-            r.inter_token.max.as_ms_f64() / 1e3,
-            interactive.sojourn.p99.as_ms_f64() / 1e3,
+            r.kv_dma.as_secs_f64(),
+            r.swap_stall.as_secs_f64(),
             r.slo_attainment * 100.0,
             r.goodput_rps,
         );
-        let att = interactive.slo_attainment;
+        let att = r.slo_attainment;
         if best.as_ref().is_none_or(|(_, b)| att > *b) {
             best = Some((eviction.to_string(), att));
         }
     }
 
-    let (winner, att) = best.expect("three policies ran");
+    let (winner, att) = best.expect("four policies ran");
     println!(
-        "\n{winner} minimizes interactive-tier SLO violations \
-         ({:.1}% of interactive requests within SLO).",
+        "\n{winner} maximizes SLO attainment ({:.1}% within SLO) under the finite pool.",
         att * 100.0
     );
     println!(
-        "The default concentrates evictions on the batch tier (interactive sequences \
-         almost never swap),\nleast-progress makes the fewest swaps, and largest-kv \
-         swaps the most *sequences* but frees the\nmost memory per swap — thinner \
-         resident batches mean faster serialized decode iterations, which\nis what \
-         the per-request ITL SLO actually scores. Victim selection is a real policy \
-         trade, not a tie."
+        "With ~3 sequences of swap space, largest-kv's big victims overflow the pool and \
+         degrade to\nrecomputes — yet freeing the most KV per eviction still keeps resident \
+         batches thin and\nserialized decode iterations short, which is what the per-request \
+         ITL SLO actually scores."
+    );
+
+    // Overlapped DMA on the same finite-pool scenario: the transfers
+    // that do happen hide behind decode instead of stalling the batch.
+    sim.set_policy(SchedulerPolicy::default());
+    let serial = sim.run(&model);
+    sim.set_overlap_dma(true);
+    let overlapped = sim.run(&model);
+    sim.set_overlap_dma(false);
+    println!(
+        "\noverlapped DMA (default policy): swap stall {:.2} s -> {:.2} s of {:.2} s DMA",
+        serial.swap_stall.as_secs_f64(),
+        overlapped.swap_stall.as_secs_f64(),
+        overlapped.kv_dma.as_secs_f64(),
+    );
+    assert!(overlapped.swap_stall <= serial.swap_stall);
+
+    // The cost-aware headline: throttle the host link to 4 GB/s and
+    // give it back a roomy pool. Pure largest-KV now pays the biggest
+    // possible transfers over the bottleneck link; the cost-aware
+    // bundle recomputes instead and wins on goodput.
+    println!("\n--- host link throttled to 4 GB/s (32 GiB pool) ---");
+    let mut slow = SystemConfig::ianus();
+    slow.pcie_gbps = 4.0;
+    let mut sim = ServingSim::new(scenario(requests))
+        .replica(IanusSystem::new(slow))
+        .scheduling(Scheduling::IterationLevel {
+            max_batch: 32,
+            prefill_chunk: Some(128),
+            preempt: true,
+        });
+    println!(
+        "{:<34} {:>7} {:>10} {:>11} {:>9} {:>8}",
+        "bundle", "evicts", "recomputes", "stall s", "SLO att.", "goodput"
+    );
+    let mut goodput = Vec::new();
+    for (label, policy) in [
+        (
+            "largest-kv + swap",
+            SchedulerPolicy::default().with_eviction(LargestKv),
+        ),
+        (
+            "cheapest + cheapest (cost-aware)",
+            SchedulerPolicy::default()
+                .with_eviction(CheapestEviction)
+                .with_mechanism(EvictionMechanism::Cheapest),
+        ),
+    ] {
+        sim.set_policy(policy);
+        let r = sim.run(&model);
+        assert_eq!(r.completed, requests);
+        println!(
+            "{:<34} {:>7} {:>10} {:>11.2} {:>8.1}% {:>8.2}",
+            label,
+            r.preemptions,
+            r.recomputes,
+            r.swap_stall.as_secs_f64(),
+            r.slo_attainment * 100.0,
+            r.goodput_rps,
+        );
+        goodput.push(r.goodput_rps);
+    }
+    assert!(
+        goodput[1] > goodput[0],
+        "cost-aware eviction must beat pure largest-KV on the slow link"
+    );
+    println!(
+        "\nWhen the host link is the bottleneck, weighing kv_transfer both ways against \
+         recompute is\nworth {:.0}% goodput over pure largest-KV — victim *cost* is a real \
+         policy axis, not a tie.",
+        (goodput[1] / goodput[0] - 1.0) * 100.0
     );
 }

@@ -3,8 +3,11 @@
 //! latency near saturation?
 //!
 //! ```text
-//! cargo run --release --example serving_queue
+//! cargo run --release --example serving_queue [-- --smoke]
 //! ```
+//!
+//! (`--smoke` runs reduced request counts and skips the
+//! sustainable-rate searches, for CI.)
 //!
 //! Uses the [`ServingSim`] cluster engine over the unified [`Backend`]
 //! trait: Poisson arrivals of a mixed request distribution, pluggable
@@ -39,6 +42,8 @@ fn print_sweep(label: &str, mut sim: ServingSim, model: &ModelConfig) {
 }
 
 fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n = if smoke { 120 } else { 400 };
     let model = ModelConfig::gpt2_l();
     println!(
         "serving {} — interactive mix (60% chat, 30% completion, 10% long)\n",
@@ -52,7 +57,7 @@ fn main() {
     ] {
         print_sweep(
             name,
-            ServingSim::new(ServingConfig::interactive(1.0, 400)).replica(IanusSystem::new(system)),
+            ServingSim::new(ServingConfig::interactive(1.0, n)).replica(IanusSystem::new(system)),
             &model,
         );
     }
@@ -60,7 +65,7 @@ fn main() {
     // Cluster scaling: 4 IANUS replicas behind least-loaded dispatch.
     print_sweep(
         "IANUS, 4 replicas (least-loaded)",
-        ServingSim::new(ServingConfig::interactive(1.0, 400))
+        ServingSim::new(ServingConfig::interactive(1.0, n))
             .cluster(4, |_| IanusSystem::new(SystemConfig::ianus()))
             .dispatch(DispatchPolicy::LeastLoaded),
         &model,
@@ -71,32 +76,37 @@ fn main() {
     // batches stretch inter-token latency.
     print_sweep(
         "IANUS, 4 replicas (continuous batching, max_batch 4)",
-        ServingSim::new(ServingConfig::interactive(1.0, 400))
+        ServingSim::new(ServingConfig::interactive(1.0, n))
             .cluster(4, |_| IanusSystem::new(SystemConfig::ianus()))
             .scheduling(Scheduling::iteration(4)),
         &model,
     );
 
-    // Sustainable-rate search per cluster size, in both scheduling modes.
-    println!("sustainable interactive rate (p99-stable), by cluster size:");
-    println!(
-        "  {:>10} | {:>13} | {:>21}",
-        "replicas", "request-level", "iteration (batch 4)"
-    );
-    for replicas in [1usize, 2, 4, 8] {
-        let mut req_sim = ServingSim::new(ServingConfig::interactive(1.0, 400))
-            .cluster(replicas, |_| IanusSystem::new(SystemConfig::ianus()))
-            .dispatch(DispatchPolicy::LeastLoaded);
-        let req_rate = req_sim.sustainable_rate(&model, 0.5, 256.0);
-        let mut it_sim = ServingSim::new(ServingConfig::interactive(1.0, 400))
-            .cluster(replicas, |_| IanusSystem::new(SystemConfig::ianus()))
-            .scheduling(Scheduling::iteration(4));
-        let it_rate = it_sim.sustainable_rate(&model, 0.5, 256.0);
-        println!("  {replicas:>10} | {req_rate:>11.1} r/s | {it_rate:>17.1} r/s");
+    // Sustainable-rate search per cluster size, in both scheduling
+    // modes (skipped under --smoke: each search is dozens of runs).
+    if !smoke {
+        println!("sustainable interactive rate (p99-stable), by cluster size:");
+        println!(
+            "  {:>10} | {:>13} | {:>21}",
+            "replicas", "request-level", "iteration (batch 4)"
+        );
+        for replicas in [1usize, 2, 4, 8] {
+            let mut req_sim = ServingSim::new(ServingConfig::interactive(1.0, n))
+                .cluster(replicas, |_| IanusSystem::new(SystemConfig::ianus()))
+                .dispatch(DispatchPolicy::LeastLoaded);
+            let req_rate = req_sim.sustainable_rate(&model, 0.5, 256.0);
+            let mut it_sim = ServingSim::new(ServingConfig::interactive(1.0, n))
+                .cluster(replicas, |_| IanusSystem::new(SystemConfig::ianus()))
+                .scheduling(Scheduling::iteration(4));
+            let it_rate = it_sim.sustainable_rate(&model, 0.5, 256.0);
+            println!("  {replicas:>10} | {req_rate:>11.1} r/s | {it_rate:>17.1} r/s");
+        }
+        println!(
+            "\nthe PIM offload multiplies the per-device rate; replicas scale it near-linearly."
+        );
+        println!("batching buys IANUS nothing (its PIM decode serializes the batch, stretching");
+        println!("p99 tails for zero extra throughput) — the paper's case for batch-1 serving.");
     }
-    println!("\nthe PIM offload multiplies the per-device rate; replicas scale it near-linearly.");
-    println!("batching buys IANUS nothing (its PIM decode serializes the batch, stretching");
-    println!("p99 tails for zero extra throughput) — the paper's case for batch-1 serving.");
 
     // Chunked prefill under a long-prompt priority mix: monolithic
     // prefill stalls every resident decode for a whole 896-token
@@ -119,14 +129,17 @@ fn main() {
         ("chunked (128)", Some(128u64), false),
         ("chunked (128) + preempt", Some(128), true),
     ] {
-        let r = ServingSim::new(ServingConfig::long_prompt(12.0, 300))
-            .replica(IanusSystem::new(SystemConfig::ianus()))
-            .scheduling(Scheduling::IterationLevel {
-                max_batch: 4,
-                prefill_chunk,
-                preempt,
-            })
-            .run(&model);
+        let r = ServingSim::new(ServingConfig::long_prompt(
+            12.0,
+            if smoke { 100 } else { 300 },
+        ))
+        .replica(IanusSystem::new(SystemConfig::ianus()))
+        .scheduling(Scheduling::IterationLevel {
+            max_batch: 4,
+            prefill_chunk,
+            preempt,
+        })
+        .run(&model);
         println!(
             "  {:<28} {:>6.1} ms {:>6.0} ms {:>7.0} ms {:>12}",
             label,
@@ -148,7 +161,7 @@ fn main() {
     let shape = RequestShape::new(512, 512);
     let cfg = ServingConfig {
         arrival_rate_hz: 4.0,
-        requests: 120,
+        requests: if smoke { 60 } else { 120 },
         seed: 0x5EED,
         mix: vec![
             RequestClass::new(shape, 0.5),
@@ -178,4 +191,11 @@ fn main() {
         "  interactive tier absorbed {} preemptions, batch tier {}",
         r.per_class[0].preemptions, r.per_class[1].preemptions
     );
+    println!(
+        "  swapped KV peaked at {} MiB of the 32 GiB host pool; {:.2} s of swap DMA \
+         stalled the batch",
+        r.host_kv_peak_bytes >> 20,
+        r.swap_stall.as_secs_f64(),
+    );
+    println!("  (see policy_sweep for finite host pools, recompute eviction, and overlapped DMA)");
 }

@@ -9,8 +9,10 @@
 //!       [--scheduling request|iteration] [--max-batch B]
 //!       [--prefill-chunk N] [--preempt]
 //!       [--admission fcfs|priority|shortest-prompt|edf]
-//!       [--eviction lowest-priority|largest-kv|least-progress]
+//!       [--eviction lowest-priority|largest-kv|least-progress|cheapest]
 //!       [--readmission fifo|deadline]
+//!       [--eviction-mechanism swap|recompute|cheapest]
+//!       [--host-kv-gb G] [--overlap-dma]
 //!       [--slo-ttft-ms MS] [--slo-itl-ms MS]
 //!       [--compare] [--compare-policies]
 //! ```
@@ -18,9 +20,18 @@
 //! `--slo-ttft-ms`/`--slo-itl-ms` attach an SLO to the mix's
 //! interactive-tier classes (batch-tier classes carry no target), and
 //! the report then shows SLO attainment and goodput. `--compare-policies`
-//! replays the configured scenario under all three eviction policies
+//! replays the configured scenario under every eviction policy
 //! (forcing iteration-level preemption on if needed) and reports which
 //! one minimizes interactive SLO violations.
+//!
+//! `--host-kv-gb` bounds the host DRAM available for swapped KV per
+//! replica (0 = unbounded; default: the backend's own budget, 32 GiB
+//! for IANUS devices) — swap-outs past the pool fall back to
+//! recompute-based eviction. `--eviction-mechanism` picks how victims
+//! leave device memory (swap to host, drop-and-re-prefill, or
+//! per-victim cheapest), and `--overlap-dma` runs swap traffic on a
+//! per-replica DMA channel that overlaps decode instead of stalling
+//! the batch.
 //!
 //! Examples:
 //!
@@ -53,8 +64,14 @@ enum MixKind {
 }
 
 const ADMISSIONS: [&str; 4] = ["fcfs", "priority", "shortest-prompt", "edf"];
-const EVICTIONS: [&str; 3] = ["lowest-priority", "largest-kv", "least-progress"];
+const EVICTIONS: [&str; 4] = [
+    "lowest-priority",
+    "largest-kv",
+    "least-progress",
+    "cheapest",
+];
 const READMISSIONS: [&str; 2] = ["fifo", "deadline"];
+const MECHANISMS: [&str; 3] = ["swap", "recompute", "cheapest"];
 
 /// Resolves a flag value against its name table (the single source of
 /// the valid policy names), rejecting unknown names at parse time.
@@ -73,15 +90,26 @@ struct PolicyNames {
     admission: &'static str,
     eviction: &'static str,
     readmission: &'static str,
+    mechanism: &'static str,
 }
 
 impl PolicyNames {
     fn bundle(&self) -> SchedulerPolicy {
-        bundle_of(self.admission, self.eviction, self.readmission)
+        bundle_of(
+            self.admission,
+            self.eviction,
+            self.readmission,
+            self.mechanism,
+        )
     }
 }
 
-fn bundle_of(admission: &str, eviction: &str, readmission: &str) -> SchedulerPolicy {
+fn bundle_of(
+    admission: &str,
+    eviction: &str,
+    readmission: &str,
+    mechanism: &str,
+) -> SchedulerPolicy {
     // Names were interned against the tables at parse time.
     let mut p = SchedulerPolicy::default();
     p = match admission {
@@ -95,12 +123,19 @@ fn bundle_of(admission: &str, eviction: &str, readmission: &str) -> SchedulerPol
         "lowest-priority" => p.with_eviction(LowestPriorityYoungest),
         "largest-kv" => p.with_eviction(LargestKv),
         "least-progress" => p.with_eviction(LeastProgress),
+        "cheapest" => p.with_eviction(CheapestEviction),
         _ => unreachable!("interned eviction name"),
     };
-    match readmission {
+    p = match readmission {
         "fifo" => p.with_readmission(FifoReadmission),
         "deadline" => p.with_readmission(DeadlineReadmission),
         _ => unreachable!("interned readmission name"),
+    };
+    match mechanism {
+        "swap" => p.with_mechanism(EvictionMechanism::Swap),
+        "recompute" => p.with_mechanism(EvictionMechanism::Recompute),
+        "cheapest" => p.with_mechanism(EvictionMechanism::Cheapest),
+        _ => unreachable!("interned mechanism name"),
     }
 }
 
@@ -119,6 +154,10 @@ struct ServeArgs {
     policy: PolicyNames,
     slo: Option<Slo>,
     compare_policies: bool,
+    /// `--host-kv-gb`: `Some(None)` forces an unbounded pool (0),
+    /// `Some(Some(b))` a finite one; `None` keeps the backend default.
+    host_kv: Option<Option<u64>>,
+    overlap_dma: bool,
 }
 
 struct Args {
@@ -142,8 +181,10 @@ fn usage() -> ! {
          \x20            [--scheduling request|iteration] [--max-batch B]\n\
          \x20            [--prefill-chunk N] [--preempt]\n\
          \x20            [--admission fcfs|priority|shortest-prompt|edf]\n\
-         \x20            [--eviction lowest-priority|largest-kv|least-progress]\n\
+         \x20            [--eviction lowest-priority|largest-kv|least-progress|cheapest]\n\
          \x20            [--readmission fifo|deadline]\n\
+         \x20            [--eviction-mechanism swap|recompute|cheapest]\n\
+         \x20            [--host-kv-gb G] [--overlap-dma]\n\
          \x20            [--slo-ttft-ms MS] [--slo-itl-ms MS]\n\
          \x20            [--compare] [--compare-policies]\n\
          models: {}",
@@ -176,9 +217,12 @@ fn parse() -> Args {
     let mut admission = "fcfs";
     let mut eviction = "lowest-priority";
     let mut readmission = "fifo";
+    let mut mechanism = "swap";
     let mut slo_ttft_ms = 0u64; // 0 = no target
     let mut slo_itl_ms = 0u64;
     let mut compare_policies = false;
+    let mut host_kv: Option<Option<u64>> = None;
+    let mut overlap_dma = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -193,6 +237,15 @@ fn parse() -> Args {
             "--admission" => admission = intern(value(), &ADMISSIONS),
             "--eviction" => eviction = intern(value(), &EVICTIONS),
             "--readmission" => readmission = intern(value(), &READMISSIONS),
+            "--eviction-mechanism" => mechanism = intern(value(), &MECHANISMS),
+            "--host-kv-gb" => {
+                let gb: u64 = value().parse().unwrap_or_else(|_| usage());
+                // Checked: `gb << 30` would silently wrap absurd
+                // values (≥ 2^34 GiB) to a tiny or zero pool.
+                let bytes = gb.checked_mul(1 << 30).unwrap_or_else(|| usage());
+                host_kv = Some((gb > 0).then_some(bytes));
+            }
+            "--overlap-dma" => overlap_dma = true,
             "--slo-ttft-ms" => slo_ttft_ms = value().parse().unwrap_or_else(|_| usage()),
             "--slo-itl-ms" => slo_itl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--compare-policies" => compare_policies = true,
@@ -299,9 +352,12 @@ fn parse() -> Args {
                 admission,
                 eviction,
                 readmission,
+                mechanism,
             },
             slo,
             compare_policies,
+            host_kv,
+            overlap_dma,
         }),
     }
 }
@@ -336,7 +392,11 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
 fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> ServingSim {
     let mut sim = ServingSim::new(serving_config(serve, args.request))
         .scheduling(scheduling)
-        .policy(serve.policy.bundle());
+        .policy(serve.policy.bundle())
+        .overlap_dma(serve.overlap_dma);
+    if let Some(pool) = serve.host_kv {
+        sim = sim.host_kv_pool(pool);
+    }
     for _ in 0..serve.replicas.max(1) {
         if args.devices > 1 {
             sim = sim.replica(DeviceGroup::new(args.system, args.devices));
@@ -384,8 +444,20 @@ fn print_serving_report(label: &str, r: &ServingReport, slo: bool) {
     }
     if r.preemptions > 0 {
         println!(
-            "{:<22} preempted {} request(s) {} time(s) (max {} per request)",
-            "", r.preempted_requests, r.preemptions, r.max_preemptions,
+            "{:<22} preempted {} request(s) {} time(s) (max {} per request; {} by recompute)",
+            "", r.preempted_requests, r.preemptions, r.max_preemptions, r.recomputes,
+        );
+        println!(
+            "{:<22} swap DMA {:.2} s ({:.2} s stalled compute) | host pool peak {} MiB{}",
+            "",
+            r.kv_dma.as_secs_f64(),
+            r.swap_stall.as_secs_f64(),
+            r.host_kv_peak_bytes >> 20,
+            if r.host_kv_peak_occupancy > 0.0 {
+                format!(" ({:.0}% of pool)", r.host_kv_peak_occupancy * 100.0)
+            } else {
+                String::new()
+            },
         );
     }
 }
@@ -429,21 +501,28 @@ fn compare_policies_main(args: &Args, serve: &ServeArgs) {
         std::process::exit(1);
     }
     println!(
-        "eviction-policy sweep under {} ({} admission, {} readmission):",
+        "eviction-policy sweep under {} ({} admission, {} readmission, {} mechanism):",
         scheduling_label(scheduling),
         serve.policy.admission,
         serve.policy.readmission,
+        serve.policy.mechanism,
     );
     let scored = serve.slo.is_some();
     if scored {
         println!(
-            "  {:<18} {:>11} {:>12} {:>12} {:>11} {:>11}",
-            "eviction", "preemptions", "itl p99 ms", "itl max ms", "slo attain", "goodput r/s"
+            "  {:<18} {:>11} {:>10} {:>12} {:>12} {:>11} {:>11}",
+            "eviction",
+            "preemptions",
+            "recomputes",
+            "itl p99 ms",
+            "itl max ms",
+            "slo attain",
+            "goodput r/s"
         );
     } else {
         println!(
-            "  {:<18} {:>11} {:>12} {:>12}   (pass --slo-ttft-ms/--slo-itl-ms to score policies)",
-            "eviction", "preemptions", "itl p99 ms", "itl max ms"
+            "  {:<18} {:>11} {:>10} {:>12} {:>12}   (pass --slo-ttft-ms/--slo-itl-ms to score)",
+            "eviction", "preemptions", "recomputes", "itl p99 ms", "itl max ms"
         );
     }
     let mut best: Option<(&'static str, f64)> = None;
@@ -452,13 +531,15 @@ fn compare_policies_main(args: &Args, serve: &ServeArgs) {
             serve.policy.admission,
             eviction,
             serve.policy.readmission,
+            serve.policy.mechanism,
         ));
         let r = sim.run(&args.model);
         if scored {
             println!(
-                "  {:<18} {:>11} {:>12.1} {:>12.1} {:>10.1}% {:>11.2}",
+                "  {:<18} {:>11} {:>10} {:>12.1} {:>12.1} {:>10.1}% {:>11.2}",
                 eviction,
                 r.preemptions,
+                r.recomputes,
                 r.inter_token.p99.as_ms_f64(),
                 r.inter_token.max.as_ms_f64(),
                 r.slo_attainment * 100.0,
@@ -469,9 +550,10 @@ fn compare_policies_main(args: &Args, serve: &ServeArgs) {
             }
         } else {
             println!(
-                "  {:<18} {:>11} {:>12.1} {:>12.1}",
+                "  {:<18} {:>11} {:>10} {:>12.1} {:>12.1}",
                 eviction,
                 r.preemptions,
+                r.recomputes,
                 r.inter_token.p99.as_ms_f64(),
                 r.inter_token.max.as_ms_f64(),
             );

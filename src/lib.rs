@@ -120,13 +120,14 @@ pub mod prelude {
     pub use ianus_core::multi_device::DeviceGroup;
     pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
     pub use ianus_core::serving::policy::{
-        DeadlineAdmission, DeadlineReadmission, FcfsAdmission, FifoReadmission, LargestKv,
-        LeastProgress, LowestPriorityYoungest, PriorityAdmission, ShortestPromptAdmission,
+        CheapestEviction, DeadlineAdmission, DeadlineReadmission, FcfsAdmission, FifoReadmission,
+        LargestKv, LeastProgress, LowestPriorityYoungest, PriorityAdmission,
+        ShortestPromptAdmission,
     };
     pub use ianus_core::serving::{
-        AdmissionPolicy, DispatchPolicy, EvictionPolicy, LatencyPercentiles, Priority,
-        ReadmissionPolicy, RequestClass, SchedulerPolicy, Scheduling, ServingConfig, ServingReport,
-        ServingSim, Slo,
+        AdmissionPolicy, DispatchPolicy, EvictionMechanism, EvictionPolicy, LatencyPercentiles,
+        Priority, ReadmissionPolicy, RequestClass, SchedulerPolicy, Scheduling, ServingConfig,
+        ServingReport, ServingSim, Slo,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

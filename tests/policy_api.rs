@@ -37,13 +37,18 @@ fn run_pr3(policy: SchedulerPolicy) -> ServingReport {
         .run(&ModelConfig::gpt2_xl())
 }
 
-/// The tentpole's refactor contract: the pluggable-policy engine under
-/// the default bundle reproduces the hard-wired PR 3 scheduler's
-/// numbers **bit-identically** on the pinned scenario. The integer
-/// counters are exact; the latency pins are the PR 3 values to
-/// sub-nanosecond (they were captured from the pre-refactor engine).
+/// The refactor contract: the engine under the default bundle — swap
+/// eviction mechanism, serialized (non-overlapped) DMA, a host pool
+/// the scenario never fills — reproduces the pinned schedule
+/// **bit-identically**: the integer counters (the PR 3/PR 4 values,
+/// unchanged) are exact and the latency pins hold to sub-nanosecond.
+/// The latency/throughput pins were refreshed in PR 5 for two bugfixes
+/// that legitimately moved them: the heterogeneous-batch decode mean is
+/// now rounded instead of floored, and utilization stopped counting
+/// swap DMA as compute (0.9971 → 0.9939 here; the schedule itself is
+/// unchanged — every count and the tier split are still exactly PR 3).
 #[test]
-fn default_bundle_reproduces_pr3_numbers_bit_identically() {
+fn default_bundle_reproduces_pinned_numbers_bit_identically() {
     let r = run_pr3(SchedulerPolicy::default());
     assert_eq!(r.completed, 120);
     assert_eq!(r.preemptions, 166);
@@ -57,17 +62,17 @@ fn default_bundle_reproduces_pr3_numbers_bit_identically() {
     let pins = [
         (
             r.sojourn.p50.as_ns_f64(),
-            156_023_212_672.013,
+            156_044_606_306.706,
             "p50 sojourn",
         ),
         (
             r.sojourn.p99.as_ns_f64(),
-            249_598_245_840.588,
+            249_635_468_799.372,
             "p99 sojourn",
         ),
-        (r.ttft.p99.as_ns_f64(), 202_136_663_168.098, "ttft p99"),
-        (r.inter_token.p50.as_ns_f64(), 108_999_446.487, "itl p50"),
-        (r.inter_token.p99.as_ns_f64(), 144_851_537.938, "itl p99"),
+        (r.ttft.p99.as_ns_f64(), 202_167_897_121.038, "ttft p99"),
+        (r.inter_token.p50.as_ns_f64(), 109_027_501.291, "itl p50"),
+        (r.inter_token.p99.as_ns_f64(), 144_886_619.462, "itl p99"),
         (
             r.mean_service.as_ns_f64(),
             2_346_781_227.852,
@@ -75,7 +80,7 @@ fn default_bundle_reproduces_pr3_numbers_bit_identically() {
         ),
         (
             r.per_class[0].sojourn.p99.as_ns_f64(),
-            246_118_989_786.206,
+            246_155_686_630.681,
             "interactive p99",
         ),
     ];
@@ -86,11 +91,45 @@ fn default_bundle_reproduces_pr3_numbers_bit_identically() {
         );
     }
     assert!((r.peak_kv_occupancy - 0.999_997_258_186_340_3).abs() < 1e-12);
-    assert!((r.throughput_rps - 0.421_343_394_586_689_96).abs() < 1e-12);
-    assert!((r.utilization - 0.997_148_839_673_197_6).abs() < 1e-12);
+    assert!((r.throughput_rps - 0.421_288_248_707_171_13).abs() < 1e-12);
+    assert!((r.utilization - 0.993_946_396_393_345).abs() < 1e-12);
     // No SLOs in the mix: attainment is vacuous, goodput == throughput.
     assert_eq!(r.slo_attainment, 1.0);
     assert!((r.goodput_rps - r.throughput_rps).abs() < 1e-12);
+    // Swap accounting: all 332 transfers (166 each way) are DMA, every
+    // one stalls the serialized clock, none counts as compute.
+    assert!((r.kv_dma.as_secs_f64() - 0.912_292_176).abs() < 1e-6);
+    assert_eq!(r.kv_dma, r.swap_stall, "no overlap: every transfer stalls");
+    assert_eq!(r.per_replica[0].kv_dma, r.kv_dma);
+    // The 32 GiB default IANUS host pool absorbs the ~3.2 GiB of
+    // swapped KV without ever forcing a recompute.
+    assert_eq!(r.recomputes, 0);
+    assert_eq!(r.host_kv_peak_bytes, 3_386_769_408);
+    assert!((r.host_kv_peak_occupancy - 0.098_567_963).abs() < 1e-6);
+}
+
+/// The tentpole's reduction contract: forcing an **unbounded host
+/// pool** leaves the default-settings schedule bit-identical (the
+/// pool only matters when it would overflow), and the report itself —
+/// minus the pool-occupancy fields — matches the pinned run exactly.
+#[test]
+fn unbounded_pool_reduces_to_pinned_baseline() {
+    let mut bounded = run_pr3(SchedulerPolicy::default());
+    let unbounded = ServingSim::new(pr3_scenario())
+        .replica(IanusSystem::new(SystemConfig::ianus()))
+        .scheduling(Scheduling::IterationLevel {
+            max_batch: 32,
+            prefill_chunk: Some(128),
+            preempt: true,
+        })
+        .host_kv_pool(None)
+        .run(&ModelConfig::gpt2_xl());
+    // An unbounded pool reports no occupancy; everything else is
+    // identical, byte for byte.
+    assert_eq!(unbounded.host_kv_peak_occupancy, 0.0);
+    assert_eq!(unbounded.host_kv_peak_bytes, bounded.host_kv_peak_bytes);
+    bounded.host_kv_peak_occupancy = 0.0;
+    assert_eq!(unbounded, bounded);
 }
 
 /// The acceptance criterion's other half: non-default eviction policies
