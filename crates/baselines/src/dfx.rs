@@ -119,6 +119,17 @@ impl Backend for DfxModel {
     fn host_kv_bytes(&self) -> Option<u64> {
         Some(self.host_kv_bytes)
     }
+
+    /// Aggregate HBM left for KV blocks once the weights and the
+    /// working-buffer margin are resident, matching
+    /// [`batch_fits`](Backend::batch_fits)'s single-pool accounting.
+    fn kv_budget_bytes(&self, model: &ModelConfig, _widest_input: u64) -> Option<u64> {
+        Some(
+            DFX_HBM_BYTES
+                .saturating_sub(model.param_bytes())
+                .saturating_sub(ianus_core::capacity::WORKING_BUFFER_BYTES),
+        )
+    }
 }
 
 #[cfg(test)]

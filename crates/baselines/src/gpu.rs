@@ -324,6 +324,17 @@ impl Backend for GpuModel {
     fn host_kv_bytes(&self) -> Option<u64> {
         Some(self.host_kv_bytes)
     }
+
+    /// HBM left for KV blocks once the weights and the working-buffer
+    /// margin are resident — the same arithmetic as
+    /// [`batch_fits`](Backend::batch_fits), restated as a budget.
+    fn kv_budget_bytes(&self, model: &ModelConfig, _widest_input: u64) -> Option<u64> {
+        Some(
+            A100_HBM_BYTES
+                .saturating_sub(model.param_bytes())
+                .saturating_sub(ianus_core::capacity::WORKING_BUFFER_BYTES),
+        )
+    }
 }
 
 #[cfg(test)]

@@ -166,6 +166,21 @@ pub trait Backend {
     fn host_kv_bytes(&self) -> Option<u64> {
         None
     }
+
+    /// Device bytes available to hold KV cache once `model`'s weights
+    /// and the activation buffers of a `widest_input`-wide prefill are
+    /// resident — the budget the paged allocator
+    /// ([`crate::serving::kv`]) carves into fixed-size blocks when
+    /// [`ServingSim::kv_block`](crate::serving::ServingSim::kv_block)
+    /// is set.
+    ///
+    /// Default: `None` — a backend without a memory model has no block
+    /// budget either, so paging stays inactive on it (consistent with
+    /// [`batch_fits`](Self::batch_fits) never triggering preemption).
+    fn kv_budget_bytes(&self, model: &ModelConfig, widest_input: u64) -> Option<u64> {
+        let _ = (model, widest_input);
+        None
+    }
 }
 
 impl Backend for IanusSystem {
@@ -228,6 +243,14 @@ impl Backend for IanusSystem {
     fn host_kv_bytes(&self) -> Option<u64> {
         Some(self.config().host_kv_bytes)
     }
+
+    fn kv_budget_bytes(&self, model: &ModelConfig, widest_input: u64) -> Option<u64> {
+        Some(crate::capacity::kv_budget_bytes(
+            self.config(),
+            model,
+            widest_input,
+        ))
+    }
 }
 
 impl Backend for DeviceGroup {
@@ -286,6 +309,16 @@ impl Backend for DeviceGroup {
     /// single host-DRAM pool — it does not scale with the device count.
     fn host_kv_bytes(&self) -> Option<u64> {
         Some(self.system().config().host_kv_bytes)
+    }
+
+    /// KV blocks shard head-wise with the attention partitioning, so
+    /// the group's block budget aggregates every device's headroom.
+    fn kv_budget_bytes(&self, model: &ModelConfig, widest_input: u64) -> Option<u64> {
+        Some(crate::capacity::kv_budget_bytes(
+            self.system().config(),
+            model,
+            widest_input,
+        ))
     }
 }
 

@@ -117,6 +117,43 @@ pub fn kv_swap_bytes(model: &ModelConfig, tokens: u64) -> u64 {
     model.kv_bytes_per_token() * tokens
 }
 
+/// Device bytes available to hold KV cache on `cfg` once `model`'s
+/// (sharded) weights and the activation buffers of a `widest_input`-wide
+/// prefill are resident — aggregated across the configuration's devices,
+/// since the KV cache shards head-wise just like [`check_batch`]'s
+/// accounting assumes. This is the budget a paged allocator
+/// ([`crate::serving::kv`]) carves into fixed-size blocks; dividing by a
+/// block's [`kv_swap_bytes`] gives the device block count.
+///
+/// Returns 0 when the weights alone (plus buffers) exceed device memory.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_core::capacity::{check_batch, kv_budget_bytes};
+/// use ianus_core::SystemConfig;
+/// use ianus_model::{ModelConfig, RequestShape};
+///
+/// let cfg = SystemConfig::ianus();
+/// let m = ModelConfig::gpt2_xl();
+/// let budget = kv_budget_bytes(&cfg, &m, 512);
+/// // The budget is exactly what check_batch would let KV grow to.
+/// let kv_per_seq = m.kv_bytes_per_token() * 1024;
+/// let fits = budget / kv_per_seq;
+/// let batch = vec![RequestShape::new(512, 512); fits as usize];
+/// assert!(check_batch(&cfg, &m, &batch).is_ok());
+/// ```
+pub fn kv_budget_bytes(cfg: &SystemConfig, model: &ModelConfig, widest_input: u64) -> u64 {
+    let devices = u64::from(cfg.devices).max(1);
+    let weight_bytes = model.param_bytes().div_ceil(devices);
+    let activation_bytes = 8 * widest_input * model.ffn_dim() * 2 / devices;
+    let per_device = cfg
+        .weight_capacity_bytes()
+        .saturating_sub(weight_bytes)
+        .saturating_sub(activation_bytes);
+    per_device * devices
+}
+
 /// Checks whether `model` is resident on `cfg` without a concrete
 /// request: weights plus the KV cache and activations of a nominal
 /// 1024-token context (capped at the model's maximum sequence). This is

@@ -1,6 +1,7 @@
 //! The cluster engine: replica memoization, both scheduling loops, and
 //! the rate-search helpers.
 
+use super::kv::{prefix_key, PagedKv};
 use super::policy::{EvictionMechanism, QueuedRequest, SchedulerPolicy, SeqView};
 use super::report::{request_attains, LatencyPercentiles, RunStats};
 use super::{
@@ -250,6 +251,14 @@ struct ActiveSeq {
     /// the sequence once without resetting its inter-token clock (the
     /// eviction dwell belongs in its ITL, like a swap dwell does).
     just_prefilled: bool,
+    /// Prompt tokens served out of the prefix cache (paged mode only;
+    /// always 0 under contiguous accounting). These blocks are shared
+    /// with the cache, so evictions neither move nor drop them and
+    /// recompute re-prefills restart from here, not from zero.
+    shared_tokens: u64,
+    /// Whether admission hit the prefix cache (routes the TTFT sample
+    /// into the cache-hit pool instead of the cold one).
+    cache_hit: bool,
 }
 
 impl ActiveSeq {
@@ -265,7 +274,13 @@ impl ActiveSeq {
 
     /// The eviction/re-admission policy view of this sequence, with
     /// the engine-supplied eviction-cost estimates filled in.
-    fn view(&self, swap_secs: f64, recompute_secs: f64) -> SeqView {
+    fn view(
+        &self,
+        swap_secs: f64,
+        recompute_secs: f64,
+        kv_blocks: u64,
+        readmit_delay_secs: f64,
+    ) -> SeqView {
         SeqView {
             shape: self.shape,
             arrival: self.arrival,
@@ -280,6 +295,9 @@ impl ActiveSeq {
             swap_epoch: self.swap_epoch,
             swap_secs,
             recompute_secs,
+            kv_blocks,
+            shared_tokens: self.shared_tokens,
+            readmit_delay_secs,
         }
     }
 
@@ -319,6 +337,9 @@ pub struct ServingSim {
     /// Whether swap DMA overlaps compute (off by default — serialized
     /// transfers, the historical behavior).
     overlap_dma: bool,
+    /// Paged-KV block size in tokens; 0 (the default) keeps the legacy
+    /// contiguous accounting.
+    kv_block: u64,
 }
 
 impl ServingSim {
@@ -333,6 +354,7 @@ impl ServingSim {
             replicas: Vec::new(),
             host_kv_override: None,
             overlap_dma: false,
+            kv_block: 0,
         }
     }
 
@@ -439,6 +461,27 @@ impl ServingSim {
     /// engines.
     pub fn set_overlap_dma(&mut self, overlap: bool) {
         self.overlap_dma = overlap;
+    }
+
+    /// Switches iteration-level KV accounting to **paged blocks** of
+    /// `tokens` tokens each (0, the default, keeps the legacy
+    /// contiguous accounting, bit-identically). Each replica's block
+    /// budget comes from its backend's
+    /// [`Backend::kv_budget_bytes`](crate::backend::Backend::kv_budget_bytes);
+    /// a backend that reports no budget stays contiguous. Paged mode
+    /// gates admission and pressure on free *blocks*, shares
+    /// full-block prompt prefixes copy-on-write across requests of the
+    /// same class (a [`RequestClass::prefix_tokens`](super::RequestClass)
+    /// above 0 opts the class in), and moves only a sequence's
+    /// *unshared* tokens on swap or recompute.
+    pub fn kv_block(mut self, tokens: u64) -> Self {
+        self.kv_block = tokens;
+        self
+    }
+
+    /// In-place form of [`kv_block`](Self::kv_block) for warm engines.
+    pub fn set_kv_block(&mut self, tokens: u64) {
+        self.kv_block = tokens;
     }
 
     /// Number of replicas added so far.
@@ -626,6 +669,9 @@ impl ServingSim {
             stats.busy[replica] += s;
             let ttft = start - now + prefill;
             stats.ttfts.push(ttft);
+            // Request-level scheduling has no prefix cache: every TTFT
+            // is a cold one.
+            stats.ttft_colds.push(ttft);
             let steps = shape.generation_steps();
             let attained = if steps > 0 {
                 let itl = (s - prefill).max(0.0) / steps as f64;
@@ -677,7 +723,58 @@ impl ServingSim {
         let mut taken = vec![false; arrivals.len()];
         let mut head = 0usize;
         let total = self.cfg.requests;
+        // Paged-KV state per replica when a block size is set and the
+        // backend reports a block budget; `None` keeps the legacy
+        // contiguous accounting (bit-identical) on that replica.
+        let widest_input = self
+            .cfg
+            .mix
+            .iter()
+            .map(|c| c.shape.input)
+            .max()
+            .unwrap_or(1);
+        let class_keys: Vec<Option<u64>> = self
+            .cfg
+            .mix
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.prefix_tokens > 0).then(|| prefix_key(i, c.prefix_tokens)))
+            .collect();
+        let mut paged: Vec<Option<PagedKv>> = Vec::with_capacity(n);
+        for (i, rep) in self.replicas.iter().enumerate() {
+            let p = (self.kv_block > 0)
+                .then(|| rep.backend.kv_budget_bytes(model, widest_input))
+                .flatten()
+                .map(|budget| {
+                    let block_bytes = crate::capacity::kv_swap_bytes(model, self.kv_block).max(1);
+                    let total_blocks = budget / block_bytes;
+                    // The paged analogue of the never-admittable
+                    // admission guard: every mix shape must fit an
+                    // empty replica, or the run could only livelock.
+                    let need = self
+                        .cfg
+                        .mix
+                        .iter()
+                        .map(|c| c.shape.total_tokens().div_ceil(self.kv_block))
+                        .max()
+                        .unwrap_or(1);
+                    assert!(
+                        total_blocks >= need,
+                        "kv_block {}: replica {i} ({}) holds {total_blocks} KV blocks but the \
+                         largest mix sequence needs {need} — shrink the block size or the shapes",
+                        self.kv_block,
+                        rep.backend.name(),
+                    );
+                    PagedKv::new(total_blocks, self.kv_block)
+                });
+            paged.push(p);
+        }
         let mut clock = vec![0.0f64; n]; // per-replica compute clock
+                                         // Per-replica running mean iteration time (what one swapped-out
+                                         // slot in the re-admission queue costs in wall clock) — the
+                                         // re-admission delay term of `SeqView::eviction_cost_secs`.
+        let mut iter_sum = vec![0.0f64; n];
+        let mut iter_n = vec![0u64; n];
         let mut dma_free = vec![0.0f64; n]; // per-replica DMA-channel clock
         let mut host_used = vec![0u64; n]; // bytes of swapped KV host-side
         let mut batches: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
@@ -687,8 +784,9 @@ impl ServingSim {
         let mut swapped: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
         // In-flight swap-outs under overlapped DMA: the victim's device
         // KV is freed at DMA *completion*, not issue — (completion
-        // time, tokens still occupying device memory).
-        let mut outgoing: Vec<Vec<(f64, u64)>> = vec![Vec::new(); n];
+        // time, unshared tokens still occupying device memory, victim
+        // arrival index — the handle paged mode frees blocks by).
+        let mut outgoing: Vec<Vec<(f64, u64, u64)>> = vec![Vec::new(); n];
         // In-flight swap-ins under overlapped DMA: the sequence joins
         // the batch when its transfer completes — (ready time,
         // sequence). Its device KV is reserved from issue.
@@ -724,7 +822,17 @@ impl ServingSim {
             // Retire DMA that completed by this boundary: finished
             // swap-outs release their device KV, finished swap-ins join
             // the batch (releasing their host-pool bytes).
-            outgoing[r].retain(|&(done_at, _)| done_at > clock[r]);
+            let mut i = 0;
+            while i < outgoing[r].len() {
+                if outgoing[r][i].0 <= clock[r] {
+                    let (_, _, oid) = outgoing[r].remove(i);
+                    if let Some(p) = paged[r].as_mut() {
+                        p.drop_unshared(oid);
+                    }
+                } else {
+                    i += 1;
+                }
+            }
             let mut i = 0;
             while i < incoming[r].len() {
                 if incoming[r][i].0 <= clock[r] {
@@ -754,6 +862,15 @@ impl ServingSim {
             while batches[r].len() + incoming[r].len() < max_batch as usize
                 && !swapped[r].is_empty()
             {
+                // What one re-admission-queue slot costs in wall clock
+                // right now (for the cost views; the depth excludes the
+                // candidate itself — it prices the queue it would
+                // re-join on a further eviction).
+                let readmit_delay = if iter_n[r] > 0 {
+                    swapped[r].len().saturating_sub(1) as f64 * iter_sum[r] / iter_n[r] as f64
+                } else {
+                    0.0
+                };
                 let views: Vec<(usize, SeqView)> = swapped[r]
                     .iter()
                     .enumerate()
@@ -764,7 +881,18 @@ impl ServingSim {
                         // itself (swapping *in* frees the pool).
                         let headroom = pools[r]
                             .map(|p| p.saturating_sub(host_used[r].saturating_sub(s.hosted_bytes)));
-                        (i, costed_view(s, &mut self.replicas[r], model, headroom))
+                        let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                        (
+                            i,
+                            costed_view(
+                                s,
+                                &mut self.replicas[r],
+                                model,
+                                headroom,
+                                kv_blocks,
+                                readmit_delay,
+                            ),
+                        )
                     })
                     .collect();
                 let Some(vi) = select_min(
@@ -777,41 +905,92 @@ impl ServingSim {
                 let ci = views[vi].0;
                 let force = batches[r].is_empty() && incoming[r].is_empty();
                 if !force {
-                    let grown = |s: &ActiveSeq| {
-                        ActiveSeq::kv_shape(if s.decoding() && s.remaining > 0 {
+                    let grown_tokens = |s: &ActiveSeq| {
+                        if s.decoding() && s.remaining > 0 {
                             s.past + 1
                         } else {
                             s.past
-                        })
-                    };
-                    let mut projected: Vec<RequestShape> = batches[r].iter().map(grown).collect();
-                    projected.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
-                    projected.extend(outgoing[r].iter().map(|&(_, tok)| ActiveSeq::kv_shape(tok)));
-                    let cand = &swapped[r][ci];
-                    if cand.decoding() {
-                        projected.push(grown(cand));
-                    } else {
-                        // A recompute victim holds no KV *yet*, but
-                        // will immediately re-prefill its whole
-                        // context: gate on that imminent footprint
-                        // (like fresh admission does on the prompt),
-                        // not on its vacuously empty cache — otherwise
-                        // it re-enters a full device and the pressure
-                        // check just evicts someone else (recompute
-                        // thrash).
-                        projected.push(RequestShape {
-                            input: cand.prefill_target.max(1),
-                            output: 1,
-                        });
-                    }
-                    match self.replicas[r].backend.batch_fits(model, &projected) {
-                        Ok(occupancy) => {
-                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
                         }
-                        Err(_) => break,
+                    };
+                    let fits = if let Some(p) = paged[r].as_mut() {
+                        // Block arithmetic: residents' one-iteration
+                        // growth plus whatever the candidate must
+                        // reacquire beyond the (shared) blocks it still
+                        // holds — its context for a hosted victim, its
+                        // imminent re-prefill target for a recompute
+                        // victim (gating on the vacuously small current
+                        // cache would invite recompute thrash).
+                        let cand = &swapped[r][ci];
+                        let target = if cand.decoding() {
+                            grown_tokens(cand)
+                        } else {
+                            cand.prefill_target.max(1)
+                        };
+                        let mut need = p.blocks_for(target).saturating_sub(p.blocks_of(cand.idx));
+                        for s in batches[r].iter() {
+                            need += p
+                                .blocks_for(grown_tokens(s))
+                                .saturating_sub(p.blocks_of(s.idx));
+                        }
+                        p.reclaim(need);
+                        if need <= p.free_blocks() {
+                            stats.peak_kv_occupancy =
+                                stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        let grown = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
+                        let mut projected: Vec<RequestShape> =
+                            batches[r].iter().map(grown).collect();
+                        projected
+                            .extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                        projected.extend(
+                            outgoing[r]
+                                .iter()
+                                .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                        );
+                        let cand = &swapped[r][ci];
+                        if cand.decoding() {
+                            projected.push(grown(cand));
+                        } else {
+                            // A recompute victim holds no KV *yet*, but
+                            // will immediately re-prefill its whole
+                            // context: gate on that imminent footprint
+                            // (like fresh admission does on the prompt),
+                            // not on its vacuously empty cache — otherwise
+                            // it re-enters a full device and the pressure
+                            // check just evicts someone else (recompute
+                            // thrash).
+                            projected.push(RequestShape {
+                                input: cand.prefill_target.max(1),
+                                output: 1,
+                            });
+                        }
+                        match self.replicas[r].backend.batch_fits(model, &projected) {
+                            Ok(occupancy) => {
+                                stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    };
+                    if !fits {
+                        break;
                     }
                 }
                 let mut seq = swapped[r].remove(ci);
+                if let Some(p) = paged[r].as_mut() {
+                    // A victim whose swap-out DMA is still draining
+                    // never really left the device: cancel the pending
+                    // retire (which would free blocks now live again)
+                    // and regrow the table to its context — a no-op
+                    // when the blocks were never dropped. Recompute
+                    // victims reacquire blocks lazily, chunk by chunk.
+                    outgoing[r].retain(|&(_, _, oid)| oid != seq.idx);
+                    p.grow(seq.idx, seq.past);
+                }
                 if seq.hosted_bytes == 0 {
                     // Recompute victim: nothing to restore over the
                     // link — it rejoins the batch and re-prefills its
@@ -820,7 +999,10 @@ impl ServingSim {
                     batches[r].push(seq);
                     continue;
                 }
-                let swap_in = self.replicas[r].kv_transfer_secs(model, seq.past);
+                // Restore what the swap-out moved: the unshared
+                // context (everything, under contiguous accounting).
+                let swap_in =
+                    self.replicas[r].kv_transfer_secs(model, seq.past - seq.shared_tokens);
                 stats.dma[r] += swap_in;
                 let start = clock[r].max(dma_free[r]);
                 let ready = start + swap_in;
@@ -885,35 +1067,78 @@ impl ServingSim {
                     );
                     break;
                 }
-                let resident: Vec<RequestShape> = if preempt {
-                    let mut v: Vec<RequestShape> = batches[r]
-                        .iter()
-                        .map(|s| ActiveSeq::kv_shape(s.past))
-                        .collect();
-                    // In-flight KV holds device memory too: reserved
-                    // swap-ins, and swap-outs not yet drained.
-                    v.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
-                    v.extend(outgoing[r].iter().map(|&(_, tok)| ActiveSeq::kv_shape(tok)));
-                    // The candidate's imminent footprint: its whole
-                    // prompt's KV, at prefill activation width.
-                    v.push(RequestShape {
-                        input: cand.shape.input.max(1),
-                        output: 1,
+                let fits = if let Some(p) = paged[r].as_mut() {
+                    // Block arithmetic. The candidate's need is its
+                    // footprint minus whatever the prefix cache already
+                    // holds (capped below the whole prompt so at least
+                    // one token always prefills — TTFT stays
+                    // measurable): the imminent prompt under preemptive
+                    // overcommit, the final length otherwise — plus, in
+                    // the final-length mode, every resident's residual
+                    // growth to completion.
+                    let hit_tokens = class_keys[cand.class].map_or(0, |key| {
+                        p.prefix_hit_tokens(key, cand.shape.input.saturating_sub(1))
                     });
-                    v
-                } else {
-                    let mut v: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
-                    v.push(cand.shape);
-                    v
-                };
-                match self.replicas[r].backend.batch_fits(model, &resident) {
-                    Ok(occupancy) => {
-                        stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                    let mut need = if preempt {
+                        p.blocks_for(cand.shape.input)
+                    } else {
+                        p.blocks_for(cand.shape.total_tokens())
                     }
-                    // Head-of-line blocking (in policy order) is
-                    // faithful to the policy; the lone-request check
-                    // above already ruled out a never-admittable head.
-                    Err(_) => break,
+                    .saturating_sub(p.blocks_for(hit_tokens));
+                    if !preempt {
+                        for s in batches[r].iter() {
+                            need += p
+                                .blocks_for(s.shape.total_tokens())
+                                .saturating_sub(p.blocks_of(s.idx));
+                        }
+                    }
+                    p.reclaim(need);
+                    if need <= p.free_blocks() {
+                        stats.peak_kv_occupancy =
+                            stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    let resident: Vec<RequestShape> = if preempt {
+                        let mut v: Vec<RequestShape> = batches[r]
+                            .iter()
+                            .map(|s| ActiveSeq::kv_shape(s.past))
+                            .collect();
+                        // In-flight KV holds device memory too: reserved
+                        // swap-ins, and swap-outs not yet drained.
+                        v.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                        v.extend(
+                            outgoing[r]
+                                .iter()
+                                .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                        );
+                        // The candidate's imminent footprint: its whole
+                        // prompt's KV, at prefill activation width.
+                        v.push(RequestShape {
+                            input: cand.shape.input.max(1),
+                            output: 1,
+                        });
+                        v
+                    } else {
+                        let mut v: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
+                        v.push(cand.shape);
+                        v
+                    };
+                    match self.replicas[r].backend.batch_fits(model, &resident) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                };
+                // Head-of-line blocking (in policy order) is faithful
+                // to the policy; the lone-request check above already
+                // ruled out a never-admittable head.
+                if !fits {
+                    break;
                 }
                 taken[pi] = true;
                 while head < arrivals.len() && taken[head] {
@@ -921,6 +1146,22 @@ impl ServingSim {
                 }
                 let arrival = arrivals[pi];
                 let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
+                // Map the shared prefix (if the class opted in and the
+                // cache holds it): the sequence starts with those
+                // tokens already built and prefills only the suffix.
+                let mut shared_tokens = 0u64;
+                if let Some(p) = paged[r].as_mut() {
+                    shared_tokens = p.admit(
+                        arrival.idx,
+                        class_keys[arrival.class],
+                        arrival.shape.input.saturating_sub(1),
+                    );
+                    stats.prompt_tokens += arrival.shape.input;
+                    if shared_tokens > 0 {
+                        stats.prefix_hits += 1;
+                        stats.shared_prompt_tokens += shared_tokens;
+                    }
+                }
                 stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
                 batches[r].push(ActiveSeq {
                     shape: arrival.shape,
@@ -930,9 +1171,9 @@ impl ServingSim {
                     class: arrival.class,
                     priority: arrival.priority,
                     slo: arrival.slo,
-                    prefilled: 0,
+                    prefilled: shared_tokens,
                     prefill_target: arrival.shape.input,
-                    past: 0,
+                    past: shared_tokens,
                     remaining: arrival.shape.generation_steps(),
                     last_token: clock[r],
                     ttft: 0.0,
@@ -942,6 +1183,8 @@ impl ServingSim {
                     swap_epoch: 0,
                     hosted_bytes: 0,
                     just_prefilled: false,
+                    shared_tokens,
+                    cache_hit: shared_tokens > 0,
                 });
             }
 
@@ -957,7 +1200,11 @@ impl ServingSim {
                 // fast-forward handles the idle replica.) Both lists
                 // were pruned at the boundary, so any event here is
                 // strictly in the future.
-                let event = match (earliest(&incoming[r]), earliest(&outgoing[r])) {
+                let out_event = outgoing[r]
+                    .iter()
+                    .map(|&(t, _, _)| t)
+                    .min_by(f64::total_cmp);
+                let event = match (earliest(&incoming[r]), out_event) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, b) => a.or(b),
                 };
@@ -972,7 +1219,17 @@ impl ServingSim {
                     } else {
                         stats.stall[r] += event - clock[r];
                         clock[r] = event;
-                        outgoing[r].retain(|&(t, _)| t > clock[r]);
+                        let mut j = 0;
+                        while j < outgoing[r].len() {
+                            if outgoing[r][j].0 <= clock[r] {
+                                let (_, _, oid) = outgoing[r].remove(j);
+                                if let Some(p) = paged[r].as_mut() {
+                                    p.drop_unshared(oid);
+                                }
+                            } else {
+                                j += 1;
+                            }
+                        }
                     }
                 }
                 continue;
@@ -1010,144 +1267,237 @@ impl ServingSim {
             // included) decides how long the iteration must stall for
             // the DMA to hand the memory back.
             if preempt {
+                // Outcome of one pressure probe: either the projection
+                // fits (possibly after stalling for in-flight
+                // swap-outs), or a victim must go — carrying the
+                // over-capacity ratio to record if nothing is
+                // evictable.
+                enum Pressure {
+                    Fits,
+                    Evict(Option<f64>),
+                }
                 loop {
-                    let grown_shape = |s: &ActiveSeq| {
-                        let grown = if chunk_target == Some(s.idx) {
+                    let grown_tokens = |s: &ActiveSeq| {
+                        if chunk_target == Some(s.idx) {
                             s.past + chunk_tokens(s)
                         } else if s.decoding() && s.remaining > 0 {
                             s.past + 1
                         } else {
                             s.past
-                        };
-                        ActiveSeq::kv_shape(grown)
+                        }
                     };
-                    let mut eventual: Vec<RequestShape> =
-                        batches[r].iter().map(grown_shape).collect();
-                    eventual.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
-                    match self.replicas[r].backend.batch_fits(model, &eventual) {
-                        Ok(_) => {
+                    let pressure = if let Some(p) = paged[r].as_mut() {
+                        // Block arithmetic: one iteration of growth
+                        // over the batch, against free blocks plus the
+                        // unshared blocks in-flight swap-outs will hand
+                        // back (they drain without further evictions).
+                        let growth: u64 = batches[r]
+                            .iter()
+                            .map(|s| {
+                                p.blocks_for(grown_tokens(s))
+                                    .saturating_sub(p.blocks_of(s.idx))
+                            })
+                            .sum();
+                        p.reclaim(growth);
+                        let in_flight: u64 = outgoing[r]
+                            .iter()
+                            .map(|&(_, _, oid)| p.unshared_blocks_of(oid))
+                            .sum();
+                        if growth <= p.free_blocks() + in_flight {
                             // Enough memory once in-flight swap-outs
                             // drain; stall the iteration until the ones
                             // it actually needs have completed.
-                            loop {
-                                let mut current = eventual.clone();
-                                current.extend(
-                                    outgoing[r].iter().map(|&(_, tok)| ActiveSeq::kv_shape(tok)),
-                                );
-                                match self.replicas[r].backend.batch_fits(model, &current) {
-                                    Ok(occupancy) => {
-                                        stats.peak_kv_occupancy =
-                                            stats.peak_kv_occupancy.max(occupancy);
-                                        break;
-                                    }
-                                    Err(_) => {
-                                        let (j, done_at) = outgoing[r]
+                            while growth > p.free_blocks() {
+                                let (j, done_at) = outgoing[r]
+                                    .iter()
+                                    .enumerate()
+                                    .map(|(j, &(t, _, _))| (j, t))
+                                    .min_by(|a, b| a.1.total_cmp(&b.1))
+                                    .expect(
+                                        "growth exceeds free blocks only through \
+                                         in-flight swap-outs",
+                                    );
+                                stats.stall[r] += (done_at - clock[r]).max(0.0);
+                                clock[r] = clock[r].max(done_at);
+                                let (_, _, oid) = outgoing[r].remove(j);
+                                p.drop_unshared(oid);
+                            }
+                            stats.peak_kv_occupancy =
+                                stats.peak_kv_occupancy.max(p.occupancy_plus(growth));
+                            Pressure::Fits
+                        } else {
+                            Pressure::Evict(Some(p.occupancy_plus(growth)))
+                        }
+                    } else {
+                        let grown_shape = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
+                        let mut eventual: Vec<RequestShape> =
+                            batches[r].iter().map(grown_shape).collect();
+                        eventual
+                            .extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                        match self.replicas[r].backend.batch_fits(model, &eventual) {
+                            Ok(_) => {
+                                // Enough memory once in-flight swap-outs
+                                // drain; stall the iteration until the ones
+                                // it actually needs have completed.
+                                loop {
+                                    let mut current = eventual.clone();
+                                    current.extend(
+                                        outgoing[r]
                                             .iter()
-                                            .enumerate()
-                                            .map(|(j, &(t, _))| (j, t))
-                                            .min_by(|a, b| a.1.total_cmp(&b.1))
-                                            .expect(
-                                                "current projection exceeds the eventual one \
-                                                 only through in-flight swap-outs",
-                                            );
-                                        stats.stall[r] += (done_at - clock[r]).max(0.0);
-                                        clock[r] = clock[r].max(done_at);
-                                        outgoing[r].remove(j);
+                                            .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                                    );
+                                    match self.replicas[r].backend.batch_fits(model, &current) {
+                                        Ok(occupancy) => {
+                                            stats.peak_kv_occupancy =
+                                                stats.peak_kv_occupancy.max(occupancy);
+                                            break;
+                                        }
+                                        Err(_) => {
+                                            let (j, done_at) = outgoing[r]
+                                                .iter()
+                                                .enumerate()
+                                                .map(|(j, &(t, _, _))| (j, t))
+                                                .min_by(|a, b| a.1.total_cmp(&b.1))
+                                                .expect(
+                                                    "current projection exceeds the eventual one \
+                                                     only through in-flight swap-outs",
+                                                );
+                                            stats.stall[r] += (done_at - clock[r]).max(0.0);
+                                            clock[r] = clock[r].max(done_at);
+                                            outgoing[r].remove(j);
+                                        }
                                     }
                                 }
+                                Pressure::Fits
                             }
-                            break;
-                        }
-                        Err(e) => {
-                            let headroom = pools[r].map(|p| p.saturating_sub(host_used[r]));
-                            let views: Vec<(usize, SeqView)> = batches[r]
-                                .iter()
-                                .enumerate()
-                                .filter(|(_, s)| s.decoding())
-                                .map(|(i, s)| {
-                                    (i, costed_view(s, &mut self.replicas[r], model, headroom))
-                                })
-                                .collect();
-                            let victim = select_min(
-                                &views,
-                                |t| t.1,
-                                |a, b| self.scheduler.eviction.compare(a, b),
-                            );
-                            let Some(vi) = victim.filter(|_| batches[r].len() > 1) else {
-                                // Nothing evictable: tolerate the
-                                // overcommit for this iteration, and
-                                // record the over-capacity footprint so
-                                // the report cannot claim the run fit
-                                // in memory (the final-shape admission
-                                // check rules out SequenceTooLong here,
-                                // so the error always carries a ratio).
+                            // The final-shape admission check rules out
+                            // SequenceTooLong here, so the error always
+                            // carries a ratio.
+                            Err(e) => Pressure::Evict(
                                 if let crate::capacity::CapacityError::OutOfMemory {
                                     required,
                                     available,
                                 } = e
                                 {
-                                    stats.peak_kv_occupancy = stats
-                                        .peak_kv_occupancy
-                                        .max(required as f64 / available as f64);
-                                }
-                                break;
-                            };
-                            let (v, view) = views[vi];
-                            let mut seq = batches[r].remove(v);
-                            seq.preemptions += 1;
-                            swap_count += 1;
-                            seq.swap_epoch = swap_count;
-                            stats.preemptions += 1;
-                            let bytes = crate::capacity::kv_swap_bytes(model, seq.past);
-                            let pool_takes = headroom.is_none_or(|h| bytes <= h);
-                            let by_swap = match self.scheduler.mechanism {
-                                EvictionMechanism::Swap => pool_takes,
-                                EvictionMechanism::Recompute => false,
-                                // The one published cost rule
-                                // (`SeqView::eviction_cost_secs`):
-                                // `swap_secs` is already infinite when
-                                // the pool cannot take the bytes, so
-                                // the comparison alone decides.
-                                EvictionMechanism::Cheapest => {
-                                    2.0 * view.swap_secs <= view.recompute_secs
-                                }
-                            };
-                            if by_swap {
-                                seq.hosted_bytes = bytes;
-                                host_used[r] += bytes;
-                                stats.host_peak_bytes = stats.host_peak_bytes.max(host_used[r]);
-                                if let Some(pool) = pools[r] {
-                                    stats.host_peak_occupancy = stats
-                                        .host_peak_occupancy
-                                        .max(host_used[r] as f64 / pool.max(1) as f64);
-                                }
-                                let swap_out = self.replicas[r].kv_transfer_secs(model, seq.past);
-                                stats.dma[r] += swap_out;
-                                let start = clock[r].max(dma_free[r]);
-                                let done_at = start + swap_out;
-                                dma_free[r] = done_at;
-                                if overlap {
-                                    // Device KV drains in the
-                                    // background; freed at completion.
-                                    outgoing[r].push((done_at, seq.past));
+                                    Some(required as f64 / available as f64)
                                 } else {
-                                    stats.stall[r] += done_at - clock[r];
-                                    clock[r] = done_at;
-                                }
-                            } else {
-                                // Recompute-based eviction (chosen, or
-                                // forced by a full host pool): drop the
-                                // KV now, rebuild the whole context by
-                                // re-prefill on re-admission.
-                                stats.recomputes += 1;
-                                seq.recomputes += 1;
-                                seq.prefill_target = seq.past;
-                                seq.prefilled = 0;
-                                seq.past = 0;
+                                    None
+                                },
+                            ),
+                        }
+                    };
+                    let over = match pressure {
+                        Pressure::Fits => break,
+                        Pressure::Evict(over) => over,
+                    };
+                    let headroom = pools[r].map(|p| p.saturating_sub(host_used[r]));
+                    // The queue the victim would join: each slot ahead
+                    // of it costs roughly one mean iteration of wait.
+                    let readmit_delay = if iter_n[r] > 0 {
+                        swapped[r].len() as f64 * iter_sum[r] / iter_n[r] as f64
+                    } else {
+                        0.0
+                    };
+                    let views: Vec<(usize, SeqView)> = batches[r]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, s)| s.decoding())
+                        .map(|(i, s)| {
+                            let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                            (
+                                i,
+                                costed_view(
+                                    s,
+                                    &mut self.replicas[r],
+                                    model,
+                                    headroom,
+                                    kv_blocks,
+                                    readmit_delay,
+                                ),
+                            )
+                        })
+                        .collect();
+                    let victim = select_min(
+                        &views,
+                        |t| t.1,
+                        |a, b| self.scheduler.eviction.compare(a, b),
+                    );
+                    let Some(vi) = victim.filter(|_| batches[r].len() > 1) else {
+                        // Nothing evictable: tolerate the overcommit
+                        // for this iteration, and record the
+                        // over-capacity footprint so the report cannot
+                        // claim the run fit in memory.
+                        if let Some(ratio) = over {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(ratio);
+                        }
+                        break;
+                    };
+                    let (v, view) = views[vi];
+                    let mut seq = batches[r].remove(v);
+                    seq.preemptions += 1;
+                    swap_count += 1;
+                    seq.swap_epoch = swap_count;
+                    stats.preemptions += 1;
+                    // Only the *unshared* context moves (or drops):
+                    // shared prefix blocks stay resident under the
+                    // cache's reference. Contiguous mode has no shared
+                    // tokens, so this is the whole context there.
+                    let moved = seq.past - seq.shared_tokens;
+                    let bytes = crate::capacity::kv_swap_bytes(model, moved);
+                    let pool_takes = headroom.is_none_or(|h| bytes <= h);
+                    let by_swap = match self.scheduler.mechanism {
+                        EvictionMechanism::Swap => pool_takes,
+                        EvictionMechanism::Recompute => false,
+                        // The one published cost rule
+                        // (`SeqView::eviction_cost_secs`):
+                        // `swap_secs` is already infinite when
+                        // the pool cannot take the bytes, so
+                        // the comparison alone decides. (The
+                        // re-admission delay term is common to
+                        // both mechanisms, so it cancels here.)
+                        EvictionMechanism::Cheapest => 2.0 * view.swap_secs <= view.recompute_secs,
+                    };
+                    if by_swap {
+                        seq.hosted_bytes = bytes;
+                        host_used[r] += bytes;
+                        stats.host_peak_bytes = stats.host_peak_bytes.max(host_used[r]);
+                        if let Some(pool) = pools[r] {
+                            stats.host_peak_occupancy = stats
+                                .host_peak_occupancy
+                                .max(host_used[r] as f64 / pool.max(1) as f64);
+                        }
+                        let swap_out = self.replicas[r].kv_transfer_secs(model, moved);
+                        stats.dma[r] += swap_out;
+                        let start = clock[r].max(dma_free[r]);
+                        let done_at = start + swap_out;
+                        dma_free[r] = done_at;
+                        if overlap {
+                            // Device KV drains in the
+                            // background; freed at completion.
+                            outgoing[r].push((done_at, moved, seq.idx));
+                        } else {
+                            stats.stall[r] += done_at - clock[r];
+                            clock[r] = done_at;
+                            if let Some(p) = paged[r].as_mut() {
+                                p.drop_unshared(seq.idx);
                             }
-                            swapped[r].push(seq);
+                        }
+                    } else {
+                        // Recompute-based eviction (chosen, or
+                        // forced by a full host pool): drop the
+                        // KV now, rebuild the whole context by
+                        // re-prefill on re-admission — from the
+                        // shared prefix up, in paged mode.
+                        stats.recomputes += 1;
+                        seq.recomputes += 1;
+                        seq.prefill_target = seq.past;
+                        seq.prefilled = seq.shared_tokens;
+                        seq.past = seq.shared_tokens;
+                        if let Some(p) = paged[r].as_mut() {
+                            p.drop_unshared(seq.idx);
                         }
                     }
+                    swapped[r].push(seq);
                 }
             }
 
@@ -1186,6 +1536,14 @@ impl ServingSim {
             }
             clock[r] += dt;
             stats.busy[r] += dt;
+            iter_sum[r] += dt;
+            iter_n[r] += 1;
+            if let Some(p) = paged[r].as_ref() {
+                // Fragmentation sampled once per executed iteration:
+                // private-tail slack over allocated block capacity.
+                stats.frag_sum += p.fragmentation();
+                stats.frag_samples += 1;
+            }
             let now = clock[r];
 
             // Advance the prefilling sequence; its first token comes out
@@ -1196,15 +1554,40 @@ impl ServingSim {
                 let seq = &mut batches[r][ci];
                 seq.prefilled += tokens;
                 seq.past = seq.prefilled;
+                if let Some(p) = paged[r].as_mut() {
+                    p.grow(seq.idx, seq.past);
+                    if seq.decoding() {
+                        // The prompt's full prefix blocks are now
+                        // built: publish them to the class's cache
+                        // entry (first completer wins; later ones
+                        // find the entry already present).
+                        if let Some(key) = class_keys[seq.class] {
+                            let prefix = self.cfg.mix[seq.class]
+                                .prefix_tokens
+                                .min(seq.shape.input.saturating_sub(1));
+                            if let Some(shared) = p.register_prefix(seq.idx, key, prefix) {
+                                seq.shared_tokens = seq.shared_tokens.max(shared);
+                            }
+                        }
+                    }
+                }
                 if seq.decoding() {
                     if seq.recomputes == 0 {
                         seq.ttft = now - seq.arrival;
                         stats.ttfts.push(seq.ttft);
+                        if seq.cache_hit {
+                            stats.ttft_hits.push(seq.ttft);
+                        } else {
+                            stats.ttft_colds.push(seq.ttft);
+                        }
                         seq.last_token = now;
                         if seq.remaining == 0 {
                             // Single-token request: the prefill is the
                             // request.
                             let seq = batches[r].remove(ci);
+                            if let Some(p) = paged[r].as_mut() {
+                                p.complete(seq.idx);
+                            }
                             let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
                             stats.complete(
                                 r,
@@ -1250,7 +1633,15 @@ impl ServingSim {
                 seq.last_token = now;
                 seq.past += 1;
                 seq.remaining -= 1;
-                if seq.remaining == 0 {
+                let (idx, finished) = (seq.idx, seq.remaining == 0);
+                if let Some(p) = paged[r].as_mut() {
+                    if finished {
+                        p.complete(idx);
+                    } else {
+                        p.grow(idx, batches[r][i].past);
+                    }
+                }
+                if finished {
                     let seq = batches[r].remove(i);
                     let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
                     stats.complete(
@@ -1275,6 +1666,11 @@ impl ServingSim {
         debug_assert!(swapped.iter().all(Vec::is_empty));
         debug_assert!(incoming.iter().all(Vec::is_empty));
         debug_assert!(host_used.iter().all(|&b| b == 0));
+        // Block conservation: with every sequence completed and the
+        // caches flushed, every block must be back on the free list.
+        for p in paged.iter_mut().flatten() {
+            p.finish();
+        }
         stats
     }
 
@@ -1285,6 +1681,8 @@ impl ServingSim {
         };
         finite_sort(&mut stats.sojourns);
         finite_sort(&mut stats.ttfts);
+        finite_sort(&mut stats.ttft_hits);
+        finite_sort(&mut stats.ttft_colds);
         finite_sort(&mut stats.itls);
         for cs in &mut stats.class_sojourns {
             finite_sort(cs);
@@ -1339,6 +1737,19 @@ impl ServingSim {
             host_kv_peak_occupancy: stats.host_peak_occupancy,
             kv_dma: Duration::from_secs_f64(stats.dma.iter().sum()),
             swap_stall: Duration::from_secs_f64(stats.stall.iter().sum()),
+            fragmentation: if stats.frag_samples > 0 {
+                stats.frag_sum / stats.frag_samples as f64
+            } else {
+                0.0
+            },
+            prefix_share_ratio: if stats.prompt_tokens > 0 {
+                stats.shared_prompt_tokens as f64 / stats.prompt_tokens as f64
+            } else {
+                0.0
+            },
+            prefix_cache_hits: stats.prefix_hits,
+            ttft_cache_hit: LatencyPercentiles::from_sorted(&stats.ttft_hits),
+            ttft_cold: LatencyPercentiles::from_sorted(&stats.ttft_colds),
             slo_attainment: stats.attained as f64 / self.cfg.requests as f64,
             utilization: (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0),
             throughput_rps: self.cfg.requests as f64 / stats.last_finish,
@@ -1484,20 +1895,26 @@ fn earliest<T>(list: &[(f64, T)]) -> Option<f64> {
 /// The policy view of `seq` with its eviction-cost estimates: one-way
 /// swap time (infinite when the replica's host-pool `headroom` cannot
 /// take the sequence's KV bytes) and the grid-estimated re-prefill
-/// cost of its current context.
+/// cost. Both price only the *unshared* context — shared prefix blocks
+/// neither move nor recompute (everything is unshared under contiguous
+/// accounting). `kv_blocks` and `readmit_delay` pass through to the
+/// view for block-aware policies.
 fn costed_view(
     seq: &ActiveSeq,
     replica: &mut Replica,
     model: &ModelConfig,
     headroom: Option<u64>,
+    kv_blocks: u64,
+    readmit_delay: f64,
 ) -> SeqView {
-    let bytes = crate::capacity::kv_swap_bytes(model, seq.past);
+    let moved = seq.past - seq.shared_tokens;
+    let bytes = crate::capacity::kv_swap_bytes(model, moved);
     let swap_secs = match headroom {
         Some(h) if bytes > h => f64::INFINITY,
-        _ => replica.kv_transfer_secs(model, seq.past),
+        _ => replica.kv_transfer_secs(model, moved),
     };
-    let recompute_secs = replica.prefill_est_secs(model, seq.past);
-    seq.view(swap_secs, recompute_secs)
+    let recompute_secs = replica.prefill_est_secs(model, moved);
+    seq.view(swap_secs, recompute_secs, kv_blocks, readmit_delay)
 }
 
 fn argmin<T, K: PartialOrd>(items: &[T], key: impl Fn(&T) -> K) -> usize {

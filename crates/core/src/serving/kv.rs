@@ -1,0 +1,737 @@
+//! Paged KV-cache allocation: a free-list block allocator with
+//! ref-counted **copy-on-write prefix sharing**.
+//!
+//! The contiguous-bytes KV accounting of [`check_batch`] prices a
+//! fiction: real engines carve device memory into fixed-size blocks
+//! (vLLM's pages), pay *fragmentation* in each sequence's
+//! partially-filled tail block, and share the blocks of a common system
+//! prompt across every request that carries it. This module is that
+//! accounting, layered under the iteration-level engine when
+//! [`ServingSim::kv_block`](super::ServingSim::kv_block) is set:
+//!
+//! * [`BlockAllocator`] — the free list + page tracker. Blocks are
+//!   ref-counted; a block is freed only when its last reference is
+//!   released, so eviction can never reclaim a block another sequence
+//!   (or the prefix cache) still maps.
+//! * [`BlockTable`] — one sequence's ordered block mapping: a shared
+//!   prefix of cache-mapped blocks followed by privately allocated
+//!   blocks. Only the private tail can be partially filled — shared
+//!   blocks are always full, which is the copy-on-write rule in block
+//!   form (a partially filled block is never shared, because appending
+//!   to it would mutate another sequence's context).
+//! * [`PrefixCache`] — prompt-prefix hash → the shared blocks of that
+//!   prefix. The cache holds its own reference on every cached block,
+//!   so entries survive their registering sequence; entries whose
+//!   blocks have no other mapper are reclaimed under block pressure.
+//! * [`PagedKv`] — the per-replica bundle the engine drives: admission
+//!   maps cache hits, prefill/decode growth allocates blocks at block
+//!   boundaries, eviction frees only *unshared* blocks, completion
+//!   releases everything.
+//!
+//! The block size is given in tokens; its byte size derives from the
+//! model's per-token KV bytes via
+//! [`kv_swap_bytes`](crate::capacity::kv_swap_bytes), and the block
+//! count from the device's KV budget
+//! ([`Backend::kv_budget_bytes`](crate::backend::Backend::kv_budget_bytes)).
+//!
+//! [`check_batch`]: crate::capacity::check_batch
+//!
+//! # Examples
+//!
+//! Sharing and copy-on-write at the allocator level:
+//!
+//! ```
+//! use ianus_core::serving::kv::{BlockAllocator, BlockTable};
+//!
+//! let mut alloc = BlockAllocator::new(8, 16); // 8 blocks of 16 tokens
+//! let mut system_prompt = BlockTable::new();
+//! system_prompt.grow_to(&mut alloc, 32); // two full blocks
+//! let shared = system_prompt.blocks().to_vec();
+//!
+//! // A second sequence maps the same two blocks and appends privately.
+//! let mut user = BlockTable::new();
+//! user.map_prefix(&mut alloc, &shared, 32);
+//! user.grow_to(&mut alloc, 40); // one private, half-filled block
+//! assert_eq!(alloc.ref_count(shared[0]), 2);
+//! assert_eq!(user.unshared_blocks(), 1);
+//! assert_eq!(alloc.free_blocks(), 5); // 2 shared + 1 private in use
+//!
+//! // Evicting the user frees only its private tail.
+//! user.truncate_to_shared(&mut alloc);
+//! assert_eq!(alloc.ref_count(shared[0]), 2, "shared blocks survive");
+//! assert_eq!(alloc.free_blocks(), 6);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Index of one fixed-size KV block in a replica's device memory.
+pub type BlockId = u32;
+
+/// Free-list + page-tracker over fixed-size KV blocks, with per-block
+/// reference counts for prefix sharing.
+///
+/// Invariants (checked, and exercised by the `paged_kv` proptests):
+///
+/// * a block is either free (refcount 0, on the free list) or
+///   allocated (refcount ≥ 1) — never both;
+/// * [`release`](Self::release) of a free block panics (double free),
+///   and refcounts can never underflow;
+/// * `free + used = total` at all times, unless
+///   [`allocate_overcommit`](Self::allocate_overcommit) minted blocks
+///   beyond the device budget (the engine's tolerated-overcommit path,
+///   mirroring the contiguous engine's behavior when nothing is
+///   evictable).
+#[derive(Debug, Clone)]
+pub struct BlockAllocator {
+    /// Tokens per block.
+    block_tokens: u64,
+    /// Device block budget (minted overcommit blocks may exceed it).
+    total_blocks: u64,
+    /// Per-block reference counts; 0 = free.
+    refcounts: Vec<u32>,
+    /// LIFO free list of block ids.
+    free: Vec<BlockId>,
+    /// Blocks currently allocated (refcount ≥ 1).
+    used: u64,
+}
+
+impl BlockAllocator {
+    /// An allocator over `total_blocks` blocks of `block_tokens` tokens
+    /// each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_tokens` is zero or `total_blocks` exceeds the
+    /// [`BlockId`] range.
+    pub fn new(total_blocks: u64, block_tokens: u64) -> Self {
+        assert!(block_tokens > 0, "KV block size must be positive");
+        assert!(
+            total_blocks <= u64::from(BlockId::MAX),
+            "block count exceeds the BlockId range"
+        );
+        BlockAllocator {
+            block_tokens,
+            total_blocks,
+            refcounts: vec![0; total_blocks as usize],
+            // Pop order is descending ids; any deterministic order works.
+            free: (0..total_blocks as BlockId).collect(),
+            used: 0,
+        }
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u64 {
+        self.block_tokens
+    }
+
+    /// The device block budget this allocator was created with.
+    pub fn total_blocks(&self) -> u64 {
+        self.total_blocks
+    }
+
+    /// Blocks currently on the free list.
+    pub fn free_blocks(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Blocks currently allocated (refcount ≥ 1). May exceed
+    /// [`total_blocks`](Self::total_blocks) after overcommit minting.
+    pub fn used_blocks(&self) -> u64 {
+        self.used
+    }
+
+    /// Current reference count of `block` (0 = free).
+    pub fn ref_count(&self, block: BlockId) -> u32 {
+        self.refcounts[block as usize]
+    }
+
+    /// Blocks needed to hold `tokens` of context (the last one may be
+    /// partially filled — that slack is the fragmentation the report
+    /// measures).
+    pub fn blocks_for(&self, tokens: u64) -> u64 {
+        tokens.div_ceil(self.block_tokens)
+    }
+
+    /// Allocates one block (refcount 1) from the free list, or `None`
+    /// when the device is out of blocks.
+    pub fn allocate(&mut self) -> Option<BlockId> {
+        let block = self.free.pop()?;
+        debug_assert_eq!(self.refcounts[block as usize], 0);
+        self.refcounts[block as usize] = 1;
+        self.used += 1;
+        Some(block)
+    }
+
+    /// Allocates one block, minting a fresh id beyond the device budget
+    /// when the free list is empty — the tolerated-overcommit path the
+    /// engine uses after its pressure check has already decided nothing
+    /// is evictable (occupancy above 1 is recorded, never hidden).
+    pub fn allocate_overcommit(&mut self) -> BlockId {
+        if let Some(block) = self.allocate() {
+            return block;
+        }
+        let block = BlockId::try_from(self.refcounts.len()).expect("block id space exhausted");
+        self.refcounts.push(1);
+        self.used += 1;
+        block
+    }
+
+    /// Adds one reference to an allocated block (prefix sharing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is free — sharing a freed block would be a
+    /// use-after-free.
+    pub fn retain(&mut self, block: BlockId) {
+        let rc = &mut self.refcounts[block as usize];
+        assert!(*rc > 0, "retain of free KV block {block}");
+        *rc += 1;
+    }
+
+    /// Drops one reference; frees the block (returns `true`) when it
+    /// was the last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is already free — the double-free that the
+    /// allocator invariant tests pin down.
+    pub fn release(&mut self, block: BlockId) -> bool {
+        let rc = &mut self.refcounts[block as usize];
+        assert!(*rc > 0, "double free of KV block {block}");
+        *rc -= 1;
+        if *rc == 0 {
+            self.free.push(block);
+            self.used -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// One sequence's ordered KV block mapping: `shared` leading blocks
+/// mapped from a [`PrefixCache`] entry (always full), then privately
+/// allocated blocks (only the last may be partially filled).
+#[derive(Debug, Clone, Default)]
+pub struct BlockTable {
+    blocks: Vec<BlockId>,
+    /// Leading blocks shared with the prefix cache (and possibly other
+    /// sequences).
+    shared: usize,
+    /// Tokens of context stored across the blocks.
+    tokens: u64,
+}
+
+impl BlockTable {
+    /// An empty table (no blocks, no tokens).
+    pub fn new() -> Self {
+        BlockTable::default()
+    }
+
+    /// The mapped blocks, shared prefix first.
+    pub fn blocks(&self) -> &[BlockId] {
+        &self.blocks
+    }
+
+    /// Tokens of context currently stored.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Number of leading blocks shared with the prefix cache.
+    pub fn shared_blocks(&self) -> usize {
+        self.shared
+    }
+
+    /// Number of privately held (unshared) blocks — what an eviction
+    /// actually frees, and what a swap actually moves.
+    pub fn unshared_blocks(&self) -> u64 {
+        (self.blocks.len() - self.shared) as u64
+    }
+
+    /// Maps the cached `prefix` blocks (retaining each) into an empty
+    /// table; the table then stores `tokens` of context. Shared blocks
+    /// are full by construction, so `tokens` must be
+    /// `prefix.len() × block_tokens`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is not empty or `tokens` does not cover the
+    /// mapped blocks exactly.
+    pub fn map_prefix(&mut self, alloc: &mut BlockAllocator, prefix: &[BlockId], tokens: u64) {
+        assert!(self.blocks.is_empty(), "prefix mapped into a live table");
+        assert_eq!(
+            tokens,
+            prefix.len() as u64 * alloc.block_tokens(),
+            "shared prefix blocks must be full"
+        );
+        for &b in prefix {
+            alloc.retain(b);
+        }
+        self.blocks.extend_from_slice(prefix);
+        self.shared = prefix.len();
+        self.tokens = tokens;
+    }
+
+    /// Marks the table's first `blocks` entries as shared — used when a
+    /// cold sequence's freshly prefilled prefix is registered in the
+    /// cache (the cache retains them; this records that eviction must
+    /// not move them).
+    pub fn mark_shared(&mut self, blocks: usize) {
+        debug_assert!(blocks <= self.blocks.len());
+        self.shared = self.shared.max(blocks);
+    }
+
+    /// Grows the stored context to `tokens`, allocating blocks (with
+    /// overcommit minting) as block boundaries are crossed. Shrinking
+    /// is not a growth — use
+    /// [`truncate_to_shared`](Self::truncate_to_shared) for eviction.
+    pub fn grow_to(&mut self, alloc: &mut BlockAllocator, tokens: u64) {
+        debug_assert!(tokens >= self.tokens, "grow_to cannot shrink a table");
+        while (self.blocks.len() as u64) * alloc.block_tokens() < tokens {
+            self.blocks.push(alloc.allocate_overcommit());
+        }
+        self.tokens = self.tokens.max(tokens);
+    }
+
+    /// Releases every private block (eviction: the KV leaves the device
+    /// by swap or drop), keeping the shared prefix mapped — shared
+    /// blocks stay device-resident, which is why paged swaps move (and
+    /// host pools hold) only the unshared bytes.
+    pub fn truncate_to_shared(&mut self, alloc: &mut BlockAllocator) {
+        while self.blocks.len() > self.shared {
+            let b = self.blocks.pop().expect("len > shared ≥ 0");
+            alloc.release(b);
+        }
+        self.tokens = self.shared as u64 * alloc.block_tokens();
+    }
+
+    /// Releases every block (completion).
+    pub fn release_all(&mut self, alloc: &mut BlockAllocator) {
+        for b in self.blocks.drain(..) {
+            alloc.release(b);
+        }
+        self.shared = 0;
+        self.tokens = 0;
+    }
+
+    /// Allocated-but-unused tokens: the slack in the partially filled
+    /// private tail block. Shared blocks are full by construction and
+    /// contribute none.
+    pub fn slack_tokens(&self, block_tokens: u64) -> u64 {
+        let private_capacity = self.unshared_blocks() * block_tokens;
+        let private_tokens = self.tokens - self.shared as u64 * block_tokens;
+        private_capacity - private_tokens
+    }
+}
+
+/// Stable hash of a request class's prompt prefix — the key under which
+/// its shared blocks are cached. Two classes never collide on intent:
+/// the class index is part of the identity (different classes model
+/// different system prompts even at equal length).
+pub fn prefix_key(class: usize, prefix_tokens: u64) -> u64 {
+    // FNV-1a over the two identity words; any stable mix works.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [class as u64, prefix_tokens] {
+        for byte in word.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+/// Prompt-prefix hash → the shared blocks holding that prefix's KV.
+///
+/// The cache holds its **own** reference on every cached block, so an
+/// entry outlives the sequence that registered it; under block pressure
+/// entries whose blocks have no other mapper are reclaimed in
+/// deterministic (key) order.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixCache {
+    entries: BTreeMap<u64, PrefixEntry>,
+}
+
+/// One cached prefix: its (full) blocks and the tokens they hold.
+#[derive(Debug, Clone)]
+struct PrefixEntry {
+    blocks: Vec<BlockId>,
+    tokens: u64,
+}
+
+impl PrefixCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PrefixCache::default()
+    }
+
+    /// Number of cached prefixes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached blocks and tokens under `key`, capped at `max_tokens`
+    /// (a request maps at most the whole-block prefix of its own
+    /// prompt): returns the mappable `(blocks, tokens)`.
+    pub fn lookup(
+        &self,
+        alloc: &BlockAllocator,
+        key: u64,
+        max_tokens: u64,
+    ) -> Option<(&[BlockId], u64)> {
+        let entry = self.entries.get(&key)?;
+        let cap = (max_tokens / alloc.block_tokens()) as usize;
+        let blocks = entry.blocks.len().min(cap);
+        (blocks > 0).then(|| {
+            let tokens = entry.tokens.min(blocks as u64 * alloc.block_tokens());
+            (&entry.blocks[..blocks], tokens)
+        })
+    }
+
+    /// Registers `blocks` (holding `tokens` of prefix KV) under `key`,
+    /// retaining each for the cache's own reference. No-op when the key
+    /// is already cached; returns whether the entry was inserted.
+    pub fn insert(
+        &mut self,
+        alloc: &mut BlockAllocator,
+        key: u64,
+        blocks: &[BlockId],
+        tokens: u64,
+    ) -> bool {
+        if blocks.is_empty() || self.entries.contains_key(&key) {
+            return false;
+        }
+        for &b in blocks {
+            alloc.retain(b);
+        }
+        self.entries.insert(
+            key,
+            PrefixEntry {
+                blocks: blocks.to_vec(),
+                tokens,
+            },
+        );
+        true
+    }
+
+    /// Reclaims idle entries — those whose every block is held only by
+    /// the cache (refcount 1) — in key order until the free list holds
+    /// at least `need` blocks or nothing idle remains. Entries still
+    /// mapped by any sequence are never touched: eviction cannot free a
+    /// block with other references.
+    pub fn reclaim(&mut self, alloc: &mut BlockAllocator, need: u64) {
+        let idle: Vec<u64> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.blocks.iter().all(|&b| alloc.ref_count(b) == 1))
+            .map(|(&k, _)| k)
+            .collect();
+        for key in idle {
+            if alloc.free_blocks() >= need {
+                break;
+            }
+            let entry = self.entries.remove(&key).expect("key came from entries");
+            for b in entry.blocks {
+                alloc.release(b);
+            }
+        }
+    }
+
+    /// Releases every cached reference (end of run).
+    pub fn flush(&mut self, alloc: &mut BlockAllocator) {
+        for (_, entry) in std::mem::take(&mut self.entries) {
+            for b in entry.blocks {
+                alloc.release(b);
+            }
+        }
+    }
+}
+
+/// One replica's paged KV state: the allocator, the prefix cache, and
+/// the per-sequence block tables (keyed by the sequence's global
+/// arrival index). This is the engine-facing bundle — every mutation
+/// the iteration loop needs is one call here.
+#[derive(Debug, Clone)]
+pub struct PagedKv {
+    alloc: BlockAllocator,
+    cache: PrefixCache,
+    tables: HashMap<u64, BlockTable>,
+}
+
+impl PagedKv {
+    /// Paged KV state over `total_blocks` blocks of `block_tokens`
+    /// tokens.
+    pub fn new(total_blocks: u64, block_tokens: u64) -> Self {
+        PagedKv {
+            alloc: BlockAllocator::new(total_blocks, block_tokens),
+            cache: PrefixCache::new(),
+            tables: HashMap::new(),
+        }
+    }
+
+    /// The underlying allocator (read-only; the tables own mutation).
+    pub fn allocator(&self) -> &BlockAllocator {
+        &self.alloc
+    }
+
+    /// Tokens per block.
+    pub fn block_tokens(&self) -> u64 {
+        self.alloc.block_tokens()
+    }
+
+    /// Blocks on the free list.
+    pub fn free_blocks(&self) -> u64 {
+        self.alloc.free_blocks()
+    }
+
+    /// Blocks currently allocated.
+    pub fn used_blocks(&self) -> u64 {
+        self.alloc.used_blocks()
+    }
+
+    /// The device block budget.
+    pub fn total_blocks(&self) -> u64 {
+        self.alloc.total_blocks()
+    }
+
+    /// Blocks needed for `tokens` of context.
+    pub fn blocks_for(&self, tokens: u64) -> u64 {
+        self.alloc.blocks_for(tokens)
+    }
+
+    /// Blocks the sequence `idx` currently maps (0 when unknown).
+    pub fn blocks_of(&self, idx: u64) -> u64 {
+        self.tables.get(&idx).map_or(0, |t| t.blocks.len() as u64)
+    }
+
+    /// Private (unshared) blocks the sequence `idx` currently maps —
+    /// what its eviction would free.
+    pub fn unshared_blocks_of(&self, idx: u64) -> u64 {
+        self.tables.get(&idx).map_or(0, |t| t.unshared_blocks())
+    }
+
+    /// Tokens the cached prefix under `key` could map for a prompt of
+    /// `max_tokens` (0 = cold).
+    pub fn prefix_hit_tokens(&self, key: u64, max_tokens: u64) -> u64 {
+        self.cache
+            .lookup(&self.alloc, key, max_tokens)
+            .map_or(0, |(_, tokens)| tokens)
+    }
+
+    /// Admits sequence `idx`: creates its table and, when `key` names a
+    /// cached prefix, maps up to `max_tokens` of shared blocks. Returns
+    /// the shared tokens mapped (0 = cold admission).
+    pub fn admit(&mut self, idx: u64, key: Option<u64>, max_tokens: u64) -> u64 {
+        let mut table = BlockTable::new();
+        let mut shared = 0;
+        if let Some(key) = key {
+            if let Some((blocks, tokens)) = self.cache.lookup(&self.alloc, key, max_tokens) {
+                let blocks = blocks.to_vec();
+                table.map_prefix(&mut self.alloc, &blocks, tokens);
+                shared = tokens;
+            }
+        }
+        let prev = self.tables.insert(idx, table);
+        debug_assert!(prev.is_none(), "sequence {idx} admitted twice");
+        shared
+    }
+
+    /// Grows sequence `idx`'s stored context to `tokens` (prefill-chunk
+    /// or decode-step advance, or a swap-in restoring its private
+    /// blocks), allocating at block boundaries.
+    pub fn grow(&mut self, idx: u64, tokens: u64) {
+        let table = self.tables.get_mut(&idx).expect("grow of unknown sequence");
+        table.grow_to(&mut self.alloc, tokens);
+    }
+
+    /// Registers sequence `idx`'s first `prefix_tokens` of context as
+    /// the cached prefix under `key`, if absent. The registering
+    /// sequence's own leading blocks become shared (its later eviction
+    /// moves only the suffix). Returns the shared tokens now marked on
+    /// the sequence, or `None` when the key was already cached (or the
+    /// prefix spans no full block).
+    pub fn register_prefix(&mut self, idx: u64, key: u64, prefix_tokens: u64) -> Option<u64> {
+        let blocks = (prefix_tokens / self.alloc.block_tokens()) as usize;
+        let table = self.tables.get_mut(&idx).expect("register of unknown seq");
+        debug_assert!(table.tokens() >= blocks as u64 * self.alloc.block_tokens());
+        let prefix = table.blocks()[..blocks].to_vec();
+        let tokens = blocks as u64 * self.alloc.block_tokens();
+        if !self.cache.insert(&mut self.alloc, key, &prefix, tokens) {
+            return None;
+        }
+        table.mark_shared(blocks);
+        Some(tokens)
+    }
+
+    /// Frees sequence `idx`'s private blocks (eviction by swap or
+    /// recompute — either way only unshared blocks leave the device).
+    pub fn drop_unshared(&mut self, idx: u64) {
+        let table = self.tables.get_mut(&idx).expect("evict of unknown seq");
+        table.truncate_to_shared(&mut self.alloc);
+    }
+
+    /// Releases sequence `idx`'s blocks and forgets it (completion).
+    pub fn complete(&mut self, idx: u64) {
+        let mut table = self.tables.remove(&idx).expect("completion of unknown seq");
+        table.release_all(&mut self.alloc);
+    }
+
+    /// Reclaims idle prefix-cache entries until `need` blocks are free
+    /// (or nothing idle remains).
+    pub fn reclaim(&mut self, need: u64) {
+        self.cache.reclaim(&mut self.alloc, need);
+    }
+
+    /// The allocated-but-unused fraction of all allocated blocks right
+    /// now: each live sequence's partially filled private tail, over
+    /// every allocated block (shared and cache-held blocks are full, so
+    /// they only grow the denominator). 0 when nothing is allocated.
+    pub fn fragmentation(&self) -> f64 {
+        let allocated = self.alloc.used_blocks() * self.alloc.block_tokens();
+        if allocated == 0 {
+            return 0.0;
+        }
+        let slack: u64 = self
+            .tables
+            .values()
+            .map(|t| t.slack_tokens(self.alloc.block_tokens()))
+            .sum();
+        slack as f64 / allocated as f64
+    }
+
+    /// Occupied fraction of the device block budget if `extra` more
+    /// blocks were allocated — the paged analogue of the contiguous
+    /// gate's projected occupancy (may exceed 1 under tolerated
+    /// overcommit).
+    pub fn occupancy_plus(&self, extra: u64) -> f64 {
+        (self.alloc.used_blocks() + extra) as f64 / self.alloc.total_blocks().max(1) as f64
+    }
+
+    /// End-of-run teardown: flushes the cache and asserts nothing
+    /// leaked — every admitted sequence completed and released its
+    /// blocks, so the allocator must be fully free again (the
+    /// conservation invariant of the run as a whole).
+    pub fn finish(&mut self) {
+        debug_assert!(
+            self.tables.is_empty(),
+            "sequences still hold KV tables at end of run"
+        );
+        self.cache.flush(&mut self.alloc);
+        debug_assert_eq!(self.alloc.used_blocks(), 0, "leaked KV blocks");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_release_roundtrip_conserves_blocks() {
+        let mut a = BlockAllocator::new(4, 16);
+        assert_eq!(a.free_blocks() + a.used_blocks(), 4);
+        let b0 = a.allocate().unwrap();
+        let b1 = a.allocate().unwrap();
+        assert_ne!(b0, b1);
+        assert_eq!(a.free_blocks() + a.used_blocks(), 4);
+        assert!(a.release(b0));
+        assert_eq!(a.free_blocks(), 3);
+        // Exhaustion returns None; overcommit mints beyond the budget.
+        while a.allocate().is_some() {}
+        assert_eq!(a.free_blocks(), 0);
+        let minted = a.allocate_overcommit();
+        assert!(u64::from(minted) >= a.total_blocks());
+        assert!(a.used_blocks() > a.total_blocks());
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = BlockAllocator::new(2, 16);
+        let b = a.allocate().unwrap();
+        a.release(b);
+        a.release(b);
+    }
+
+    #[test]
+    #[should_panic(expected = "retain of free")]
+    fn retain_of_free_block_panics() {
+        let mut a = BlockAllocator::new(2, 16);
+        a.retain(0);
+    }
+
+    #[test]
+    fn shared_release_decrements_without_freeing() {
+        let mut a = BlockAllocator::new(2, 16);
+        let b = a.allocate().unwrap();
+        a.retain(b);
+        assert_eq!(a.ref_count(b), 2);
+        assert!(!a.release(b), "one reference remains");
+        assert_eq!(a.used_blocks(), 1);
+        assert!(a.release(b), "last reference frees");
+        assert_eq!(a.used_blocks(), 0);
+    }
+
+    #[test]
+    fn cache_reclaims_only_idle_entries() {
+        let mut alloc = BlockAllocator::new(4, 16);
+        let mut cache = PrefixCache::new();
+        let mut owner = BlockTable::new();
+        owner.grow_to(&mut alloc, 32);
+        cache.insert(&mut alloc, 7, owner.blocks(), 32);
+        // Mapped by `owner` too: reclaim must not touch it.
+        cache.reclaim(&mut alloc, 4);
+        assert_eq!(cache.len(), 1);
+        owner.release_all(&mut alloc);
+        // Now idle (cache-only): reclaimable.
+        cache.reclaim(&mut alloc, 4);
+        assert!(cache.is_empty());
+        assert_eq!(alloc.free_blocks(), 4);
+    }
+
+    #[test]
+    fn paged_kv_cold_then_hit_lifecycle() {
+        let mut p = PagedKv::new(16, 16);
+        let key = prefix_key(0, 32);
+        // Cold admission: no cache entry yet.
+        assert_eq!(p.admit(1, Some(key), 47), 0);
+        p.grow(1, 48); // prefilled prompt: 3 blocks, last one full at 48
+        assert_eq!(p.register_prefix(1, key, 32), Some(32));
+        // A second request of the class maps the two full prefix blocks.
+        assert_eq!(p.admit(2, Some(key), 47), 32);
+        assert_eq!(p.blocks_of(2), 2);
+        p.grow(2, 48);
+        assert_eq!(p.unshared_blocks_of(2), 1);
+        // Evicting #2 frees only its private tail block.
+        let free_before = p.free_blocks();
+        p.drop_unshared(2);
+        assert_eq!(p.free_blocks(), free_before + 1);
+        p.complete(1);
+        p.grow(2, 48);
+        p.complete(2);
+        p.finish();
+    }
+
+    #[test]
+    fn fragmentation_measures_partial_tail_blocks() {
+        let mut p = PagedKv::new(16, 16);
+        p.admit(1, None, 0);
+        p.grow(1, 24); // 2 blocks, 8 tokens slack
+        assert!((p.fragmentation() - 8.0 / 32.0).abs() < 1e-12);
+        p.grow(1, 32); // tail fills: no slack
+        assert_eq!(p.fragmentation(), 0.0);
+        p.complete(1);
+        p.finish();
+    }
+
+    #[test]
+    fn prefix_keys_are_distinct_per_class() {
+        assert_ne!(prefix_key(0, 384), prefix_key(1, 384));
+        assert_ne!(prefix_key(0, 384), prefix_key(0, 256));
+        assert_eq!(prefix_key(3, 128), prefix_key(3, 128));
+    }
+}

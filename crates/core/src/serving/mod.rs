@@ -168,6 +168,7 @@
 
 #![deny(missing_docs)]
 
+pub mod kv;
 pub mod policy;
 
 mod engine;
@@ -238,6 +239,16 @@ pub struct RequestClass {
     /// Latency SLO scored for this class (`None`: the class has no
     /// target, so its requests trivially attain).
     pub slo: Option<Slo>,
+    /// Leading prompt tokens shared by every request of this class (a
+    /// common system prompt / few-shot header). 0 — the default — means
+    /// the class opts out of prefix sharing. Only **paged** KV
+    /// accounting ([`ServingSim::kv_block`] above 0) acts on it: the
+    /// first request to prefill publishes its full prefix *blocks* to a
+    /// per-class prefix cache, and later admissions map those blocks
+    /// copy-on-write and prefill only the suffix (shorter prefill →
+    /// lower TTFT). Sharing is capped below the prompt length so at
+    /// least one token always prefills.
+    pub prefix_tokens: u64,
 }
 
 impl RequestClass {
@@ -249,6 +260,7 @@ impl RequestClass {
             weight,
             priority: Priority::Interactive,
             slo: None,
+            prefix_tokens: 0,
         }
     }
 
@@ -261,6 +273,14 @@ impl RequestClass {
     /// Attaches a latency [`Slo`] (builder style).
     pub fn with_slo(mut self, slo: Slo) -> Self {
         self.slo = Some(slo);
+        self
+    }
+
+    /// Declares the class's first `tokens` prompt tokens shared across
+    /// its requests (builder style; see
+    /// [`prefix_tokens`](Self::prefix_tokens)).
+    pub fn with_shared_prefix(mut self, tokens: u64) -> Self {
+        self.prefix_tokens = tokens;
         self
     }
 }
@@ -346,6 +366,31 @@ impl ServingConfig {
             mix: vec![
                 RequestClass::new(RequestShape::new(128, 32), 0.75),
                 RequestClass::new(RequestShape::new(896, 64), 0.25).with_priority(Priority::Batch),
+            ],
+        }
+    }
+
+    /// A shared-prefix mix: two equal tiers of (512, 512) requests —
+    /// interactive and [`Priority::Batch`] — each carrying a 384-token
+    /// class-wide prompt prefix (a system prompt / few-shot header;
+    /// 75% of every prompt). Under paged KV accounting
+    /// ([`ServingSim::kv_block`]) this is the regime copy-on-write
+    /// prefix sharing exists for: after each tier's first cold prefill,
+    /// admissions map the cached prefix blocks and prefill only the
+    /// 128-token suffix. The heavy (512, 512) shape also keeps KV
+    /// pressure — and therefore preemption, when enabled — alive, so
+    /// shared blocks are exercised by eviction, not just admission.
+    pub fn shared_prefix(arrival_rate_hz: f64, requests: u64) -> Self {
+        let shape = RequestShape::new(512, 512);
+        ServingConfig {
+            arrival_rate_hz,
+            requests,
+            seed: 0x5EED,
+            mix: vec![
+                RequestClass::new(shape, 0.5).with_shared_prefix(384),
+                RequestClass::new(shape, 0.5)
+                    .with_priority(Priority::Batch)
+                    .with_shared_prefix(384),
             ],
         }
     }

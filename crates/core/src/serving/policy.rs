@@ -125,18 +125,49 @@ pub struct SeqView {
     /// Estimated time to rebuild this sequence's current KV by
     /// re-prefilling its whole context, in seconds — the price of
     /// evicting it by recompute (grid-interpolated from the replica's
-    /// prefill costs).
+    /// prefill costs). Under paged KV ([`crate::serving::kv`]) only the
+    /// *unshared* context is priced — shared prefix blocks stay
+    /// device-resident across eviction and are never rebuilt.
     pub recompute_secs: f64,
+    /// KV blocks the sequence currently maps when the replica runs the
+    /// paged allocator ([`crate::serving::kv`]); 0 in contiguous mode.
+    /// Eviction frees the *unshared* part of these.
+    pub kv_blocks: u64,
+    /// Tokens of this sequence's context held in blocks shared with the
+    /// prefix cache (0 in contiguous mode, or when the class has no
+    /// shared prefix). Shared blocks stay device-resident across
+    /// eviction, so evicting this sequence frees only
+    /// `kv_tokens − shared_tokens` worth of blocks — what
+    /// [`CheapestEviction`] normalizes by.
+    pub shared_tokens: u64,
+    /// Expected delay before an evicted sequence would be re-admitted,
+    /// in seconds: the replica's readmission-queue depth times its mean
+    /// iteration time. Part of [`eviction_cost_secs`](Self::eviction_cost_secs),
+    /// so cost-aware policies stop treating a swap behind a deep queue
+    /// as free.
+    pub readmit_delay_secs: f64,
 }
 
 impl SeqView {
-    /// The cheapest way to evict this sequence, in seconds: KV transfer
-    /// both ways, or one re-prefill of the current context — whichever
-    /// is less (a full host pool makes the swap side infinite). This is
-    /// the cost [`CheapestEviction`] normalizes by freed KV, and what
-    /// the engine's `cheapest` eviction *mechanism* picks between.
+    /// The cost of evicting this sequence, in seconds: KV transfer both
+    /// ways, or one re-prefill of the current context — whichever is
+    /// less (a full host pool makes the swap side infinite) — plus the
+    /// expected re-admission delay
+    /// ([`readmit_delay_secs`](Self::readmit_delay_secs)): a victim
+    /// behind a deep swap queue dwells out of the batch for that long
+    /// regardless of how it leaves the device. This is the cost
+    /// [`CheapestEviction`] normalizes by freed KV. (The engine's
+    /// `cheapest` eviction *mechanism* compares the raw
+    /// `2 × swap` vs `recompute` legs — the delay is common to both, so
+    /// it cannot change which mechanism wins.)
     pub fn eviction_cost_secs(&self) -> f64 {
-        (2.0 * self.swap_secs).min(self.recompute_secs)
+        (2.0 * self.swap_secs).min(self.recompute_secs) + self.readmit_delay_secs
+    }
+
+    /// KV tokens an eviction would actually free: the whole context in
+    /// contiguous mode, the unshared part under paged prefix sharing.
+    pub fn freed_tokens(&self) -> u64 {
+        self.kv_tokens.saturating_sub(self.shared_tokens)
     }
 }
 
@@ -309,14 +340,18 @@ impl EvictionPolicy for LeastProgress {
 
 /// Evict the sequence with the lowest *eviction cost per KV token
 /// freed* — [`SeqView::eviction_cost_secs`] (KV transfer both ways, or
-/// one re-prefill of the context, whichever is cheaper — and a full
-/// host pool prices the swap side infinite) divided by
-/// [`kv_tokens`](SeqView::kv_tokens). The ROADMAP's cost-aware victim:
-/// where [`LargestKv`] maximizes freed memory regardless of what the
-/// eviction costs, this pays the least per byte relieved — under a
-/// tight host pool it shifts victims away from huge contexts whose
-/// forced recompute is superlinearly expensive. Ties fall back to the
-/// default order.
+/// one re-prefill of the context, whichever is cheaper — a full host
+/// pool prices the swap side infinite — plus the expected re-admission
+/// delay behind the replica's swap queue) divided by
+/// [`freed_tokens`](SeqView::freed_tokens). The ROADMAP's cost-aware
+/// victim: where [`LargestKv`] maximizes freed memory regardless of
+/// what the eviction costs, this pays the least per byte relieved —
+/// under a tight host pool it shifts victims away from huge contexts
+/// whose forced recompute is superlinearly expensive; under a deep swap
+/// queue the fixed dwell cost amortizes over more freed KV, shifting
+/// victims toward *larger* unshared contexts; and under paged prefix
+/// sharing it knows a mostly-shared sequence frees almost nothing.
+/// Ties fall back to the default order.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CheapestEviction;
 
@@ -326,7 +361,7 @@ impl EvictionPolicy for CheapestEviction {
     }
 
     fn compare(&self, a: &SeqView, b: &SeqView) -> Ordering {
-        let per_token = |s: &SeqView| s.eviction_cost_secs() / s.kv_tokens.max(1) as f64;
+        let per_token = |s: &SeqView| s.eviction_cost_secs() / s.freed_tokens().max(1) as f64;
         per_token(a)
             .total_cmp(&per_token(b))
             .then(LowestPriorityYoungest.compare(a, b))
@@ -533,6 +568,9 @@ mod tests {
             swap_epoch: epoch,
             swap_secs: kv as f64 * 1e-5,
             recompute_secs: kv as f64 * 1e-4,
+            kv_blocks: 0,
+            shared_tokens: 0,
+            readmit_delay_secs: 0.0,
         }
     }
 
@@ -618,5 +656,42 @@ mod tests {
         small.recompute_secs = 0.01; // 1e-4 s/token
         assert_eq!(CheapestEviction.compare(&small, &big), Ordering::Less);
         assert_eq!(big.eviction_cost_secs(), 0.5);
+    }
+
+    #[test]
+    fn readmit_delay_shifts_cheapest_toward_larger_victims() {
+        // The ROADMAP cost-model fix, directionally: with per-token
+        // transfer costs equal (2e-5 s/token for both victims), a swap
+        // behind an *empty* queue ties on cost and the default-order
+        // tiebreak evicts the lower tier / youngest — the small victim.
+        let big = seq(1, Priority::Batch, 600, 40, 0);
+        let small = seq(9, Priority::Batch, 100, 10, 0);
+        assert_eq!(CheapestEviction.compare(&small, &big), Ordering::Less);
+        // Behind a deep readmission queue the dwell is a *fixed* cost
+        // per eviction: amortized over freed KV it favors the victim
+        // that frees more, so the 600-token sequence now goes first —
+        // a swap behind a deep queue is no longer "free".
+        let delay = 0.5; // queue depth × mean iteration time, seconds
+        let mut big_q = big;
+        let mut small_q = small;
+        big_q.readmit_delay_secs = delay;
+        small_q.readmit_delay_secs = delay;
+        assert_eq!(CheapestEviction.compare(&big_q, &small_q), Ordering::Less);
+        assert!(big_q.eviction_cost_secs() > big.eviction_cost_secs());
+    }
+
+    #[test]
+    fn shared_prefix_shrinks_what_eviction_frees() {
+        // Paged prefix sharing: a mostly-shared sequence frees almost
+        // nothing, so CheapestEviction must stop seeing it as a cheap
+        // big win. Same raw KV, same costs — but `shared` keeps only 64
+        // of its 600 tokens evictable.
+        let unshared = seq(1, Priority::Batch, 600, 40, 0);
+        let mut shared = seq(9, Priority::Batch, 600, 40, 0);
+        shared.shared_tokens = 536;
+        shared.kv_blocks = 38;
+        assert_eq!(shared.freed_tokens(), 64);
+        assert_eq!(unshared.freed_tokens(), 600);
+        assert_eq!(CheapestEviction.compare(&unshared, &shared), Ordering::Less);
     }
 }

@@ -174,6 +174,29 @@ pub struct ServingReport {
     /// serving-quality throughput an SLO-aware operator provisions for.
     /// Equals `throughput_rps × slo_attainment`.
     pub goodput_rps: f64,
+    /// Mean allocated-but-unused fraction of the paged KV pool, sampled
+    /// once per executed iteration: each live sequence's partially
+    /// filled private tail block over every allocated block. 0 in
+    /// contiguous mode ([`ServingSim::kv_block`](super::ServingSim::kv_block)
+    /// unset), where per-sequence KV is exact by construction — this is
+    /// the memory the fixed block size wastes to buy O(1) allocation.
+    pub fragmentation: f64,
+    /// Fraction of all admitted prompt tokens served from shared prefix
+    /// blocks instead of being prefilled — the prefill compute the
+    /// prefix cache saved. 0 in contiguous mode or when no class
+    /// declares a [`prefix_tokens`](super::RequestClass::prefix_tokens)
+    /// prefix.
+    pub prefix_share_ratio: f64,
+    /// Admissions that hit the prefix cache (mapped at least one shared
+    /// block, shortening their prefill).
+    pub prefix_cache_hits: u64,
+    /// TTFT percentiles over the requests that hit the prefix cache —
+    /// the headline paged-KV win: their prefill starts past the shared
+    /// prefix. [`LatencyPercentiles::ZERO`] when nothing hit.
+    pub ttft_cache_hit: LatencyPercentiles,
+    /// TTFT percentiles over the requests that prefilled cold (no
+    /// cache hit). Equals [`ttft`](Self::ttft) in contiguous mode.
+    pub ttft_cold: LatencyPercentiles,
     /// Per-class statistics (same order as the config's mix).
     pub per_class: Vec<ClassReport>,
     /// Per-replica load (same order as the replicas were added).
@@ -216,6 +239,11 @@ impl ServingReport {
             utilization: 0.0,
             throughput_rps: 0.0,
             goodput_rps: 0.0,
+            fragmentation: 0.0,
+            prefix_share_ratio: 0.0,
+            prefix_cache_hits: 0,
+            ttft_cache_hit: LatencyPercentiles::ZERO,
+            ttft_cold: LatencyPercentiles::ZERO,
             per_class: mix
                 .iter()
                 .map(|c| ClassReport {
@@ -282,6 +310,20 @@ pub(crate) struct RunStats {
     /// SLO count as attained).
     pub attained: u64,
     pub class_attained: Vec<u64>,
+    /// Paged-KV fragmentation samples (one per executed iteration):
+    /// their sum and count, averaged at assembly.
+    pub frag_sum: f64,
+    pub frag_samples: u64,
+    /// Admissions that mapped shared prefix blocks.
+    pub prefix_hits: u64,
+    /// Prompt tokens served from shared blocks vs all admitted prompt
+    /// tokens (the share ratio's numerator and denominator).
+    pub shared_prompt_tokens: u64,
+    pub prompt_tokens: u64,
+    /// TTFT samples split by prefix-cache outcome (cold = no shared
+    /// blocks mapped; every request is cold in contiguous mode).
+    pub ttft_hits: Vec<f64>,
+    pub ttft_colds: Vec<f64>,
 }
 
 impl RunStats {
@@ -309,6 +351,13 @@ impl RunStats {
             host_peak_occupancy: 0.0,
             attained: 0,
             class_attained: vec![0u64; classes],
+            frag_sum: 0.0,
+            frag_samples: 0,
+            prefix_hits: 0,
+            shared_prompt_tokens: 0,
+            prompt_tokens: 0,
+            ttft_hits: Vec::new(),
+            ttft_colds: Vec::with_capacity(requests as usize),
         }
     }
 

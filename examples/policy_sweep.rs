@@ -8,10 +8,13 @@
 //! re-admission).
 //!
 //! ```text
-//! cargo run --release --example policy_sweep [-- --smoke]
+//! cargo run --release --example policy_sweep [-- --smoke] [-- --bench-json PATH]
 //! ```
 //!
-//! (`--smoke` runs a reduced request count for CI.)
+//! (`--smoke` runs a reduced request count for CI; `--bench-json PATH`
+//! additionally writes the sweep's metrics as a machine-readable JSON
+//! document — CI archives it as `BENCH_serving.json` so serving-layer
+//! regressions show up as artifact diffs.)
 //!
 //! The scenario: a 50/50 mix of interactive and batch-tier (512,512)
 //! drafts at 4 req/s (heavy overload — the device sustains ~0.4), max
@@ -83,8 +86,33 @@ fn bundle(eviction: &str) -> SchedulerPolicy {
     }
 }
 
+/// One sweep row as a JSON object (no serde in-tree; the report is flat
+/// enough to format by hand).
+fn bench_row(label: &str, r: &ServingReport) -> String {
+    format!(
+        "    {{\"policy\": {label:?}, \"preemptions\": {}, \"recomputes\": {}, \
+         \"host_kv_peak_occupancy\": {:.6}, \"ttft_p99_ms\": {:.3}, \"itl_p99_ms\": {:.3}, \
+         \"kv_dma_s\": {:.6}, \"swap_stall_s\": {:.6}, \"slo_attainment\": {:.6}, \
+         \"goodput_rps\": {:.6}}}",
+        r.preemptions,
+        r.recomputes,
+        r.host_kv_peak_occupancy,
+        r.ttft.p99.as_ms_f64(),
+        r.inter_token.p99.as_ms_f64(),
+        r.kv_dma.as_secs_f64(),
+        r.swap_stall.as_secs_f64(),
+        r.slo_attainment,
+        r.goodput_rps,
+    )
+}
+
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let bench_json = args
+        .iter()
+        .position(|a| a == "--bench-json")
+        .map(|i| args.get(i + 1).expect("--bench-json needs a PATH").clone());
     let requests = if smoke { 40 } else { 120 };
     let model = ModelConfig::gpt2_xl();
     println!(
@@ -121,9 +149,11 @@ fn main() {
         .host_kv_pool(Some(1 << 30));
 
     let mut best: Option<(String, f64)> = None;
+    let mut rows = Vec::new();
     for eviction in EVICTIONS {
         sim.set_policy(bundle(eviction));
         let r = sim.run(&model);
+        rows.push(bench_row(eviction, &r));
         assert_eq!(r.completed, requests, "liveness: every request completes");
         assert!(
             r.host_kv_peak_occupancy <= 1.0,
@@ -208,6 +238,7 @@ fn main() {
     ] {
         sim.set_policy(policy);
         let r = sim.run(&model);
+        rows.push(bench_row(&format!("slow-link/{label}"), &r));
         assert_eq!(r.completed, requests);
         println!(
             "{:<34} {:>7} {:>10} {:>11.2} {:>8.1}% {:>8.2}",
@@ -230,4 +261,16 @@ fn main() {
          policy axis, not a tie.",
         (goodput[1] / goodput[0] - 1.0) * 100.0
     );
+
+    if let Some(path) = bench_json {
+        let doc = format!(
+            "{{\n  \"benchmark\": \"policy_sweep\",\n  \"model\": {:?},\n  \
+             \"arrival_rate_hz\": 4.0,\n  \"requests\": {requests},\n  \"smoke\": {smoke},\n  \
+             \"results\": [\n{}\n  ]\n}}\n",
+            model.name,
+            rows.join(",\n"),
+        );
+        std::fs::write(&path, doc).expect("write bench json");
+        println!("\nwrote {} sweep rows to {path}", rows.len());
+    }
 }

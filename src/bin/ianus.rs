@@ -5,9 +5,10 @@
 //!       [--devices D] [--fc adaptive|mu|pim] [--attn mu|pim] [--schedule overlap|naive]
 //!       [--compare]
 //! ianus --serve [--model NAME] [--system ...] [--devices D] [--replicas K]
-//!       [--rate R] [--requests N] [--mix interactive|decode-heavy|long-prompt|custom]
+//!       [--rate R] [--requests N]
+//!       [--mix interactive|decode-heavy|long-prompt|shared-prefix|custom]
 //!       [--scheduling request|iteration] [--max-batch B]
-//!       [--prefill-chunk N] [--preempt]
+//!       [--prefill-chunk N] [--preempt] [--kv-block N]
 //!       [--admission fcfs|priority|shortest-prompt|edf]
 //!       [--eviction lowest-priority|largest-kv|least-progress|cheapest]
 //!       [--readmission fifo|deadline]
@@ -33,6 +34,14 @@
 //! per-replica DMA channel that overlaps decode instead of stalling
 //! the batch.
 //!
+//! `--kv-block N` switches iteration-level KV accounting to **paged
+//! blocks** of N tokens (0, the default, keeps the legacy contiguous
+//! reservations). Paged mode shares class-wide prompt prefixes
+//! copy-on-write — `--mix shared-prefix` is the mix built for it (two
+//! (512, 512) tiers, each with a 384-token common prefix) — and the
+//! report grows prefix-cache hit counts, cache-hit vs cold TTFT, and
+//! block-fragmentation lines.
+//!
 //! Examples:
 //!
 //! ```text
@@ -47,6 +56,9 @@
 //!     --input 512 --output 512 --scheduling iteration --max-batch 32 \
 //!     --prefill-chunk 128 --preempt --slo-ttft-ms 60000 --slo-itl-ms 150 \
 //!     --compare-policies
+//! cargo run --release --bin ianus -- --serve --model gpt2-xl --mix shared-prefix \
+//!     --rate 0.3 --requests 60 --scheduling iteration --max-batch 8 \
+//!     --prefill-chunk 128 --preempt --kv-block 64
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --compare
 //! ```
 
@@ -57,6 +69,10 @@ enum MixKind {
     Interactive,
     DecodeHeavy,
     LongPrompt,
+    /// Two (512, 512) tiers sharing a 384-token class prefix — the mix
+    /// paged KV (`--kv-block`) and its copy-on-write prefix cache are
+    /// built for; heavy enough to preempt under load.
+    SharedPrefix,
     /// A 50/50 interactive/batch-tier mix of one `--input`/`--output`
     /// shape — the way to build KV pressure from the command line
     /// (e.g. `--mix custom --input 512 --output 512` on GPT-2 XL).
@@ -158,6 +174,8 @@ struct ServeArgs {
     /// `Some(Some(b))` a finite one; `None` keeps the backend default.
     host_kv: Option<Option<u64>>,
     overlap_dma: bool,
+    /// `--kv-block`: paged-KV block size in tokens (0 = contiguous).
+    kv_block: u64,
 }
 
 struct Args {
@@ -177,9 +195,9 @@ fn usage() -> ! {
          \x20            [--compare]\n\
          \x20      ianus --serve [--model NAME] [--system ...] [--devices D]\n\
          \x20            [--replicas K] [--rate R] [--requests N]\n\
-         \x20            [--mix interactive|decode-heavy|long-prompt|custom]\n\
+         \x20            [--mix interactive|decode-heavy|long-prompt|shared-prefix|custom]\n\
          \x20            [--scheduling request|iteration] [--max-batch B]\n\
-         \x20            [--prefill-chunk N] [--preempt]\n\
+         \x20            [--prefill-chunk N] [--preempt] [--kv-block N]\n\
          \x20            [--admission fcfs|priority|shortest-prompt|edf]\n\
          \x20            [--eviction lowest-priority|largest-kv|least-progress|cheapest]\n\
          \x20            [--readmission fifo|deadline]\n\
@@ -223,6 +241,7 @@ fn parse() -> Args {
     let mut compare_policies = false;
     let mut host_kv: Option<Option<u64>> = None;
     let mut overlap_dma = false;
+    let mut kv_block = 0u64; // 0 = contiguous KV accounting
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -246,6 +265,7 @@ fn parse() -> Args {
                 host_kv = Some((gb > 0).then_some(bytes));
             }
             "--overlap-dma" => overlap_dma = true,
+            "--kv-block" => kv_block = value().parse().unwrap_or_else(|_| usage()),
             "--slo-ttft-ms" => slo_ttft_ms = value().parse().unwrap_or_else(|_| usage()),
             "--slo-itl-ms" => slo_itl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--compare-policies" => compare_policies = true,
@@ -254,6 +274,7 @@ fn parse() -> Args {
                     "interactive" => MixKind::Interactive,
                     "decode-heavy" => MixKind::DecodeHeavy,
                     "long-prompt" => MixKind::LongPrompt,
+                    "shared-prefix" => MixKind::SharedPrefix,
                     "custom" => MixKind::Custom,
                     _ => usage(),
                 }
@@ -358,6 +379,7 @@ fn parse() -> Args {
             compare_policies,
             host_kv,
             overlap_dma,
+            kv_block,
         }),
     }
 }
@@ -369,6 +391,7 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
         MixKind::Interactive => ServingConfig::interactive(serve.rate, serve.requests),
         MixKind::DecodeHeavy => ServingConfig::decode_heavy(serve.rate, serve.requests),
         MixKind::LongPrompt => ServingConfig::long_prompt(serve.rate, serve.requests),
+        MixKind::SharedPrefix => ServingConfig::shared_prefix(serve.rate, serve.requests),
         MixKind::Custom => ServingConfig {
             arrival_rate_hz: serve.rate,
             requests: serve.requests,
@@ -393,7 +416,8 @@ fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> Serv
     let mut sim = ServingSim::new(serving_config(serve, args.request))
         .scheduling(scheduling)
         .policy(serve.policy.bundle())
-        .overlap_dma(serve.overlap_dma);
+        .overlap_dma(serve.overlap_dma)
+        .kv_block(serve.kv_block);
     if let Some(pool) = serve.host_kv {
         sim = sim.host_kv_pool(pool);
     }
@@ -440,6 +464,21 @@ fn print_serving_report(label: &str, r: &ServingReport, slo: bool) {
             r.slo_attainment * 100.0,
             r.goodput_rps,
             r.throughput_rps,
+        );
+    }
+    if r.prefix_cache_hits > 0 || r.fragmentation > 0.0 {
+        println!(
+            "{:<22} prefix cache {} hit(s) | shared {:>4.1}% of prompt tokens | fragmentation {:>4.1}%",
+            "",
+            r.prefix_cache_hits,
+            r.prefix_share_ratio * 100.0,
+            r.fragmentation * 100.0,
+        );
+        println!(
+            "{:<22} TTFT p50 cache-hit {:>6.0} ms vs cold {:>6.0} ms",
+            "",
+            r.ttft_cache_hit.p50.as_ms_f64(),
+            r.ttft_cold.p50.as_ms_f64(),
         );
     }
     if r.preemptions > 0 {
@@ -572,6 +611,7 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
         MixKind::Interactive => "interactive",
         MixKind::DecodeHeavy => "decode-heavy",
         MixKind::LongPrompt => "long-prompt",
+        MixKind::SharedPrefix => "shared-prefix (384-token class prefix)",
         MixKind::Custom => "custom (50/50 interactive/batch tiers)",
     };
     println!(

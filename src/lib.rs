@@ -98,8 +98,13 @@
 //! the historical scheduler bit-identically), request classes can carry
 //! an [`Slo`](prelude::Slo) scored as `slo_attainment`/`goodput_rps`,
 //! and `examples/policy_sweep.rs` compares the eviction policies under
-//! identical KV pressure — see
-//! [`Scheduling::IterationLevel`](prelude::Scheduling),
+//! identical KV pressure. KV accounting itself is switchable:
+//! [`ServingSim::kv_block`](prelude::ServingSim::kv_block) replaces the
+//! contiguous reservation arithmetic with a **paged block allocator**
+//! ([`serving::kv`](system::serving::kv)) that shares class-wide prompt
+//! prefixes copy-on-write across requests — a cache hit skips the
+//! shared prefill and lowers TTFT, and evictions move only unshared
+//! blocks. See [`Scheduling::IterationLevel`](prelude::Scheduling),
 //! [`serving::policy`](system::serving::policy), and `ARCHITECTURE.md`
 //! at the repo root for the full map.
 
@@ -119,6 +124,7 @@ pub mod prelude {
     pub use ianus_core::capacity::CapacityError;
     pub use ianus_core::multi_device::DeviceGroup;
     pub use ianus_core::pas::{AttnMapping, FcMapping, PasPolicy, Schedule};
+    pub use ianus_core::serving::kv::{BlockAllocator, BlockTable, PagedKv, PrefixCache};
     pub use ianus_core::serving::policy::{
         CheapestEviction, DeadlineAdmission, DeadlineReadmission, FcfsAdmission, FifoReadmission,
         LargestKv, LeastProgress, LowestPriorityYoungest, PriorityAdmission,
