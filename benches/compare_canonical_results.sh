@@ -1,0 +1,37 @@
+#!/usr/bin/env sh
+# CI gate: the serving engine's canonical smoke benchmark must stay
+# bit-identical to the committed baseline.
+#
+# Regenerates `policy_sweep --smoke --bench-json` with the current
+# binary and diffs it against `benches/canonical/BENCH_serving.json`
+# with the machine-dependent `"wall_s"` lines stripped from both
+# sides. Every remaining field (preemption/recompute schedules, DMA
+# seconds, percentile latencies, goodput) is deterministic, so ANY
+# diff means the engine's schedule drifted — the event-driven core is
+# pinned to the historical step-scan schedules and this script is the
+# cheap whole-trajectory check on top of the unit pins.
+#
+# Usage: ./benches/compare_canonical_results.sh
+#   (run from the repo root; builds the example if needed)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+CANONICAL=benches/canonical/BENCH_serving.json
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT" "$CURRENT.strip" "$CANONICAL.strip"' EXIT
+
+cargo build --release --example policy_sweep --quiet
+./target/release/examples/policy_sweep --smoke --bench-json "$CURRENT" >/dev/null
+
+grep -v '"wall_s"' "$CANONICAL" >"$CANONICAL.strip"
+grep -v '"wall_s"' "$CURRENT" >"$CURRENT.strip"
+
+if ! diff -u "$CANONICAL.strip" "$CURRENT.strip"; then
+    echo "FAIL: serving benchmark drifted from benches/canonical/BENCH_serving.json" >&2
+    echo "      (if the change is intentional, regenerate the canonical file with" >&2
+    echo "       ./target/release/examples/policy_sweep --smoke --bench-json $CANONICAL)" >&2
+    exit 1
+fi
+echo "OK: canonical serving benchmark is bit-identical (wall-clock ignored)"

@@ -83,6 +83,10 @@ impl Backend for DfxModel {
         "DFX (4-FPGA)"
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(*self))
+    }
+
     fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
         self.request_latency(model, shape)
     }

@@ -286,6 +286,10 @@ impl Backend for GpuModel {
         self.name
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(*self))
+    }
+
     fn service_time(&mut self, model: &ModelConfig, shape: RequestShape) -> Duration {
         self.request_latency(model, shape)
     }

@@ -1,0 +1,105 @@
+//! Criterion benches for the serving engine's event-driven core: the
+//! cost of pushing a fixed per-replica workload through clusters of
+//! 1 / 16 / 128 replicas. With the heap-scheduled replica index one
+//! step costs `O(log replicas)` and idle replicas cost nothing, so the
+//! per-request wall cost should stay near-flat as the cluster grows —
+//! a regression to the per-step scan shows up as superlinear growth on
+//! the 128-replica point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ianus_core::backend::Backend;
+use ianus_core::capacity::CapacityError;
+use ianus_core::serving::{RequestClass, Scheduling, ServingConfig, ServingSim};
+use ianus_model::{ModelConfig, RequestShape};
+use ianus_sim::Duration;
+use std::hint::black_box;
+
+/// Analytic node (same operating point as `examples/million_requests`):
+/// backend calls are a few float ops, so the bench measures the engine
+/// loop, not a device pipeline.
+#[derive(Debug, Clone, Copy)]
+struct Node;
+
+const PREFILL_PER_TOKEN_US: u64 = 28;
+const DECODE_BASE_US: u64 = 50;
+const DECODE_PER_SEQ_US: u64 = 20;
+
+impl Backend for Node {
+    fn name(&self) -> &str {
+        "analytic node"
+    }
+
+    fn service_time(&mut self, _model: &ModelConfig, shape: RequestShape) -> Duration {
+        Duration::from_us(PREFILL_PER_TOKEN_US) * shape.input
+            + Duration::from_us(DECODE_BASE_US + DECODE_PER_SEQ_US) * shape.output.saturating_sub(1)
+    }
+
+    fn fits(&self, _model: &ModelConfig) -> Result<(), CapacityError> {
+        Ok(())
+    }
+
+    fn prefill_time(&mut self, _model: &ModelConfig, tokens: u64) -> Duration {
+        Duration::from_us(PREFILL_PER_TOKEN_US) * tokens.max(1)
+    }
+
+    fn decode_time(&mut self, _model: &ModelConfig, _past: u64, batch: u32) -> Duration {
+        Duration::from_us(DECODE_BASE_US)
+            + Duration::from_us(DECODE_PER_SEQ_US) * u64::from(batch.max(1))
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(*self))
+    }
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+/// Requests/second one node sustains at steady state (same model as
+/// `examples/million_requests`): a request costs its prompt prefill
+/// plus its share of `output` decode iterations at `batch` tokens
+/// retired per iteration.
+fn node_capacity_rps(shape: RequestShape, batch: u32) -> f64 {
+    let iter_s = (DECODE_BASE_US + DECODE_PER_SEQ_US * u64::from(batch)) as f64 * 1e-6;
+    let prefill_s = (PREFILL_PER_TOKEN_US * shape.input) as f64 * 1e-6;
+    1.0 / (shape.output as f64 * iter_s / batch as f64 + prefill_s)
+}
+
+fn bench_engine_steps(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_xl();
+    let shape = RequestShape::new(128, 32);
+    let max_batch = 32u32;
+    // Constant per-replica load (60% of analytic capacity) and a
+    // constant 2,000-request horizon: run cost per request should stay
+    // near-flat from 1 to 128 replicas.
+    for replicas in [1usize, 16, 128] {
+        let rate = 0.6 * replicas as f64 * node_capacity_rps(shape, max_batch);
+        let mut sim = ServingSim::new(ServingConfig {
+            arrival_rate_hz: rate,
+            requests: 2_000,
+            seed: 0xBE9C,
+            mix: vec![RequestClass::new(shape, 1.0)],
+        })
+        .cluster(replicas, |_| Node)
+        .scheduling(Scheduling::IterationLevel {
+            max_batch,
+            prefill_chunk: None,
+            preempt: false,
+        });
+        sim.run(&model); // warm prefill + decode-grid memos
+        c.bench_function(&format!("serve_2k_requests_{replicas}_replicas"), |b| {
+            b.iter(|| black_box(sim.run(&model)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_engine_steps
+}
+criterion_main!(benches);

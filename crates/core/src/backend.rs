@@ -68,7 +68,11 @@ use ianus_sim::Duration;
 ///   backend's host link; the preemptive scheduler charges it once at
 ///   swap-out and once at swap-in. It grows monotonically with the
 ///   token count and is zero for zero tokens.
-pub trait Backend {
+///
+/// Backends are `Send` (every implementation in this workspace is plain
+/// data) so a cloned [`crate::serving::ServingSim`] can move to a scoped
+/// thread during parallel rate sweeps.
+pub trait Backend: Send {
     /// Human-readable platform name (stable across calls; used as the
     /// replica label in serving reports).
     fn name(&self) -> &str;
@@ -181,6 +185,17 @@ pub trait Backend {
         let _ = (model, widest_input);
         None
     }
+
+    /// A boxed deep copy of this backend, if it supports cloning —
+    /// what [`ServingSim::try_clone`](crate::serving::ServingSim::try_clone)
+    /// uses to stamp out independent engines for parallel rate sweeps.
+    ///
+    /// Default: `None` (backend cannot be cloned; sweeps fall back to
+    /// serial probing on the original engine). Every concrete backend
+    /// in this workspace overrides it.
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        None
+    }
 }
 
 impl Backend for IanusSystem {
@@ -251,6 +266,10 @@ impl Backend for IanusSystem {
             widest_input,
         ))
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 impl Backend for DeviceGroup {
@@ -319,6 +338,10 @@ impl Backend for DeviceGroup {
             model,
             widest_input,
         ))
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(self.clone()))
     }
 }
 

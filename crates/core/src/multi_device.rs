@@ -56,7 +56,7 @@ impl std::error::Error for CapacityError {}
 /// assert!(g.fits(&ModelConfig::gpt_30b()).is_err());
 /// assert_eq!(DeviceGroup::devices_for(&ModelConfig::gpt_30b()), 8);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DeviceGroup {
     system: IanusSystem,
     devices: u32,

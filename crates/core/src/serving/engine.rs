@@ -10,10 +10,10 @@ use super::{
 };
 use crate::backend::Backend;
 use ianus_model::{ModelConfig, RequestShape};
-use ianus_sim::Duration;
+use ianus_sim::{Duration, SlotQueue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Past-lengths below this are always priced exactly; above it, decode
 /// times are sampled on a geometric grid and interpolated.
@@ -30,6 +30,40 @@ fn decode_grid_bracket(past: u64) -> (u64, u64) {
             return (lo, hi);
         }
         lo = hi;
+    }
+}
+
+/// Which core advances the iteration-level loop. Both cores produce
+/// **bit-identical** reports — [`StepScan`](CoreMode::StepScan) is the
+/// reference implementation the event-driven core is differential-tested
+/// against; it exists for auditability, not for use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoreMode {
+    /// Heap-indexed next-actionable-time selection: one step costs
+    /// O(log replicas), idle replicas cost nothing, and DMA retirement
+    /// pops a sorted queue instead of scanning it. The default.
+    #[default]
+    EventDriven,
+    /// The historical linear scan: every step walks all replicas and
+    /// `min_by`s the in-flight DMA lists.
+    StepScan,
+}
+
+/// Total order over engine clocks. Clocks are finite and non-negative,
+/// where `total_cmp` agrees with IEEE `<`, so heap order reproduces the
+/// scan's comparisons exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TimeKey(f64);
+
+impl Eq for TimeKey {}
+impl PartialOrd for TimeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
@@ -340,6 +374,17 @@ pub struct ServingSim {
     /// Paged-KV block size in tokens; 0 (the default) keeps the legacy
     /// contiguous accounting.
     kv_block: u64,
+    /// Which iteration-level core advances the loop (bit-identical
+    /// either way; see [`CoreMode`]).
+    core_mode: CoreMode,
+    /// Divergence-guard override: `None` defers to the context (the
+    /// auto bound during rate probes, off in direct runs);
+    /// `Some(None)` forces the guard off; `Some(Some(d))` aborts a run
+    /// when the arrived-but-unadmitted backlog exceeds `d` requests.
+    divergence: Option<Option<u64>>,
+    /// Set while [`sustainable_rate_where`](Self::sustainable_rate_where)
+    /// probes rates, enabling the automatic divergence bound.
+    probe_divergence: bool,
 }
 
 impl ServingSim {
@@ -355,6 +400,9 @@ impl ServingSim {
             host_kv_override: None,
             overlap_dma: false,
             kv_block: 0,
+            core_mode: CoreMode::default(),
+            divergence: None,
+            probe_divergence: false,
         }
     }
 
@@ -482,6 +530,80 @@ impl ServingSim {
     /// In-place form of [`kv_block`](Self::kv_block) for warm engines.
     pub fn set_kv_block(&mut self, tokens: u64) {
         self.kv_block = tokens;
+    }
+
+    /// Selects the iteration-level engine core (builder style). The
+    /// default [`CoreMode::EventDriven`] and the reference
+    /// [`CoreMode::StepScan`] produce bit-identical reports; the knob
+    /// exists for differential testing and benchmarking the cores
+    /// against each other.
+    pub fn core_mode(mut self, mode: CoreMode) -> Self {
+        self.core_mode = mode;
+        self
+    }
+
+    /// In-place form of [`core_mode`](Self::core_mode) for warm engines.
+    pub fn set_core_mode(&mut self, mode: CoreMode) {
+        self.core_mode = mode;
+    }
+
+    /// Sets the **divergence guard** (builder style): `Some(d)` aborts
+    /// an iteration-level run once more than `d` arrived requests are
+    /// waiting unadmitted — the run is hopelessly overloaded, and its
+    /// report comes back with [`ServingReport::diverged`] set (never
+    /// [`stable`](ServingReport::stable)) covering only the simulated
+    /// prefix. `None` disables the guard everywhere, including inside
+    /// rate probes.
+    ///
+    /// Without this override, the guard is off in direct
+    /// [`run`](Self::run)s (every configured request completes) and an
+    /// automatic bound — generous enough that any run it stops would
+    /// have failed the stability predicate anyway — protects
+    /// [`sustainable_rate_where`](Self::sustainable_rate_where) probes
+    /// from simulating the full horizon of a diverged queue.
+    pub fn divergence_depth(mut self, depth: Option<u64>) -> Self {
+        self.divergence = Some(depth);
+        self
+    }
+
+    /// In-place form of [`divergence_depth`](Self::divergence_depth)
+    /// for warm engines.
+    pub fn set_divergence_depth(&mut self, depth: Option<u64>) {
+        self.divergence = Some(depth);
+    }
+
+    /// A deep copy of this engine — replicas (via
+    /// [`Backend::clone_box`]), their warm service memos, and every
+    /// knob — or `None` if any replica's backend does not support
+    /// cloning. Clones are what [`sweep_rates`](Self::sweep_rates) and
+    /// the parallel [`sustainable_rate_where`](Self::sustainable_rate_where)
+    /// hand to scoped threads; a run on a clone produces exactly the
+    /// report the original would (runs depend only on the config and
+    /// the backends' deterministic costs, never on memo warmth).
+    pub fn try_clone(&self) -> Option<ServingSim> {
+        let mut replicas = Vec::with_capacity(self.replicas.len());
+        for r in &self.replicas {
+            replicas.push(Replica {
+                backend: r.backend.clone_box()?,
+                service: r.service.clone(),
+                prefill: r.prefill.clone(),
+                decode: r.decode.clone(),
+                ideal: r.ideal.clone(),
+            });
+        }
+        Some(ServingSim {
+            cfg: self.cfg.clone(),
+            dispatch: self.dispatch,
+            scheduling: self.scheduling,
+            scheduler: self.scheduler.clone(),
+            replicas,
+            host_kv_override: self.host_kv_override,
+            overlap_dma: self.overlap_dma,
+            kv_block: self.kv_block,
+            core_mode: self.core_mode,
+            divergence: self.divergence,
+            probe_divergence: self.probe_divergence,
+        })
     }
 
     /// Number of replicas added so far.
@@ -715,13 +837,13 @@ impl ServingSim {
             })
             .collect();
         // Arrivals ascending by time (and index). The wait queue is the
-        // arrived, not-yet-admitted slice: `taken` tombstones admitted
-        // requests and `head` skips the taken prefix, so each boundary
-        // scans only the arrived window instead of `Vec::remove`-ing
-        // out of the full trace (which made large sweeps quadratic).
+        // arrived, not-yet-admitted slice: `untaken` holds the pending
+        // indices in order, so each boundary walks exactly the pending
+        // window — no tombstone skipping, and the first element is the
+        // next pending arrival (its time is nondecreasing over the run,
+        // which the idle-replica index below relies on).
         let arrivals: Vec<Arrival> = self.generate_arrivals();
-        let mut taken = vec![false; arrivals.len()];
-        let mut head = 0usize;
+        let mut untaken: BTreeSet<usize> = (0..arrivals.len()).collect();
         let total = self.cfg.requests;
         // Paged-KV state per replica when a block size is set and the
         // backend reports a block budget; `None` keeps the legacy
@@ -786,623 +908,232 @@ impl ServingSim {
         // KV is freed at DMA *completion*, not issue — (completion
         // time, unshared tokens still occupying device memory, victim
         // arrival index — the handle paged mode frees blocks by).
-        let mut outgoing: Vec<Vec<(f64, u64, u64)>> = vec![Vec::new(); n];
+        // Completion times are nondecreasing in push order (each
+        // transfer starts no earlier than `dma_free`, which its own
+        // completion then advances), so the deque is always sorted and
+        // the event-driven core retires/min-selects from the front.
+        let mut outgoing: Vec<VecDeque<(f64, u64, u64)>> = vec![VecDeque::new(); n];
         // In-flight swap-ins under overlapped DMA: the sequence joins
         // the batch when its transfer completes — (ready time,
-        // sequence). Its device KV is reserved from issue.
-        let mut incoming: Vec<Vec<(f64, ActiveSeq)>> = vec![Vec::new(); n];
+        // sequence). Its device KV is reserved from issue. Sorted for
+        // the same reason as `outgoing` (same DMA channel clock).
+        let mut incoming: Vec<VecDeque<(f64, ActiveSeq)>> = vec![VecDeque::new(); n];
         let mut stats = RunStats::new(n, self.cfg.mix.len(), total);
         let mut done = 0u64;
         // Monotone swap-out counter (FIFO re-admission's order).
         let mut swap_count = 0u64;
 
+        // The event-driven next-actionable-time index. A replica is
+        // *busy* (actionable at its own clock) while it holds work —
+        // resident, swapped, or an inbound transfer; an in-flight
+        // swap-out alone does not make it busy (matching the scan's
+        // predicate: contiguous re-admission can strand an `outgoing`
+        // entry on an otherwise empty replica). Idle replicas are
+        // actionable at `max(clock, next pending arrival)`, so they
+        // split on which side of that max binds: `idle_ready` holds
+        // those with clock ≤ the next arrival (all actionable at the
+        // arrival — lowest index wins), `idle_late` those past it
+        // (actionable at their own clock). The next pending arrival
+        // time only moves later, so `idle_late` entries migrate to
+        // `idle_ready` monotonically, and once the queue drains an idle
+        // replica can never act again (only a replica's own turn makes
+        // it busy), so both sets clear.
+        let event_core = self.core_mode == CoreMode::EventDriven;
+        let mut busy_q: SlotQueue<TimeKey> = SlotQueue::new(n);
+        let mut idle_ready: BTreeSet<usize> = BTreeSet::new();
+        let mut idle_late: BTreeSet<(TimeKey, usize)> = BTreeSet::new();
+        if event_core {
+            idle_ready.extend(0..n);
+        }
+        // Which index the selected replica came from (for removal).
+        enum Src {
+            Busy,
+            Ready,
+            Late,
+        }
+
+        // Divergence guard (off unless a bound is configured or this
+        // run is a rate probe): abort once the arrived-but-unadmitted
+        // backlog exceeds the bound. `arrived` advances monotonically
+        // with the selected event time (which never decreases);
+        // `admitted` counts admissions, which can transiently outpace
+        // `arrived` because a replica's clock moves past the event time
+        // within its turn — hence the saturating difference.
+        let divergence_bound: Option<u64> = match self.divergence {
+            Some(depth) => depth,
+            None => self
+                .probe_divergence
+                .then(|| 1024u64.max(32 * u64::from(max_batch) * n as u64)),
+        };
+        let mut arrived = 0usize;
+        let mut admitted = 0u64;
+        let mut aborted = false;
+
         while done < total {
             // The next actionable replica: the earliest iteration
             // boundary among replicas that hold work (resident, swapped
             // or in-flight) or could admit the earliest pending arrival
-            // (idle replicas fast-forward to it).
-            let mut next: Option<(usize, f64)> = None;
-            for (r, batch) in batches.iter().enumerate() {
-                let at = if !batch.is_empty() || !swapped[r].is_empty() || !incoming[r].is_empty() {
-                    clock[r]
-                } else if head < arrivals.len() {
-                    clock[r].max(arrivals[head].at)
-                } else {
-                    continue;
-                };
-                if next.is_none_or(|(_, best)| at < best) {
-                    next = Some((r, at));
+            // (idle replicas fast-forward to it). Ties break to the
+            // lowest replica index in both cores.
+            let head_at = untaken.first().map(|&i| arrivals[i].at);
+            let (r, at, src) = if event_core {
+                let mut next: Option<(f64, usize, Src)> = None;
+                if let Some((TimeKey(t), slot)) = busy_q.peek() {
+                    next = Some((t, slot, Src::Busy));
                 }
-            }
-            let Some((r, at)) = next else {
-                unreachable!("requests outstanding but no replica actionable")
-            };
-            clock[r] = at;
-
-            // Retire DMA that completed by this boundary: finished
-            // swap-outs release their device KV, finished swap-ins join
-            // the batch (releasing their host-pool bytes).
-            let mut i = 0;
-            while i < outgoing[r].len() {
-                if outgoing[r][i].0 <= clock[r] {
-                    let (_, _, oid) = outgoing[r].remove(i);
-                    if let Some(p) = paged[r].as_mut() {
-                        p.drop_unshared(oid);
-                    }
-                } else {
-                    i += 1;
-                }
-            }
-            let mut i = 0;
-            while i < incoming[r].len() {
-                if incoming[r][i].0 <= clock[r] {
-                    let (_, mut seq) = incoming[r].remove(i);
-                    host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
-                    seq.hosted_bytes = 0;
-                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
-                    batches[r].push(seq);
-                } else {
-                    i += 1;
-                }
-            }
-
-            // Swap-ins first: preempted sequences are older than
-            // anything still queued, so they are *offered* freed slots
-            // before new admissions at every boundary (a policy head
-            // that does not yet fit lets newer arrivals pass —
-            // policy-ordered among the swapped, not a hard barrier
-            // against the queue). A swapped sequence re-enters when one
-            // projected iteration of KV growth (its own and the
-            // residents') still fits — checking grown lengths, not
-            // current ones, keeps a re-admission from bouncing straight
-            // back out through the pressure check below, which would
-            // charge both transfer costs for zero progress. When the
-            // replica is empty it re-enters unconditionally, which
-            // guarantees every preempted sequence eventually completes.
-            while batches[r].len() + incoming[r].len() < max_batch as usize
-                && !swapped[r].is_empty()
-            {
-                // What one re-admission-queue slot costs in wall clock
-                // right now (for the cost views; the depth excludes the
-                // candidate itself — it prices the queue it would
-                // re-join on a further eviction).
-                let readmit_delay = if iter_n[r] > 0 {
-                    swapped[r].len().saturating_sub(1) as f64 * iter_sum[r] / iter_n[r] as f64
-                } else {
-                    0.0
-                };
-                let views: Vec<(usize, SeqView)> = swapped[r]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| {
-                        // Credit the candidate's own hosted bytes back:
-                        // its swap-side cost must not read as "pool
-                        // full" when the fullness is the candidate
-                        // itself (swapping *in* frees the pool).
-                        let headroom = pools[r]
-                            .map(|p| p.saturating_sub(host_used[r].saturating_sub(s.hosted_bytes)));
-                        let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
-                        (
-                            i,
-                            costed_view(
-                                s,
-                                &mut self.replicas[r],
-                                model,
-                                headroom,
-                                kv_blocks,
-                                readmit_delay,
-                            ),
-                        )
-                    })
-                    .collect();
-                let Some(vi) = select_min(
-                    &views,
-                    |t| t.1,
-                    |a, b| self.scheduler.readmission.compare(a, b),
-                ) else {
-                    break;
-                };
-                let ci = views[vi].0;
-                let force = batches[r].is_empty() && incoming[r].is_empty();
-                if !force {
-                    let grown_tokens = |s: &ActiveSeq| {
-                        if s.decoding() && s.remaining > 0 {
-                            s.past + 1
-                        } else {
-                            s.past
+                if let Some(h) = head_at {
+                    if let Some(&i) = idle_ready.first() {
+                        if next
+                            .as_ref()
+                            .is_none_or(|&(t, s, _)| h < t || (h == t && i < s))
+                        {
+                            next = Some((h, i, Src::Ready));
                         }
-                    };
-                    let fits = if let Some(p) = paged[r].as_mut() {
-                        // Block arithmetic: residents' one-iteration
-                        // growth plus whatever the candidate must
-                        // reacquire beyond the (shared) blocks it still
-                        // holds — its context for a hosted victim, its
-                        // imminent re-prefill target for a recompute
-                        // victim (gating on the vacuously small current
-                        // cache would invite recompute thrash).
-                        let cand = &swapped[r][ci];
-                        let target = if cand.decoding() {
-                            grown_tokens(cand)
+                    }
+                    if let Some(&(TimeKey(t), i)) = idle_late.first() {
+                        if next
+                            .as_ref()
+                            .is_none_or(|&(nt, ns, _)| t < nt || (t == nt && i < ns))
+                        {
+                            next = Some((t, i, Src::Late));
+                        }
+                    }
+                }
+                let Some((at, r, src)) = next else {
+                    unreachable!("requests outstanding but no replica actionable")
+                };
+                (r, at, src)
+            } else {
+                let mut next: Option<(usize, f64)> = None;
+                for (r, batch) in batches.iter().enumerate() {
+                    let at =
+                        if !batch.is_empty() || !swapped[r].is_empty() || !incoming[r].is_empty() {
+                            clock[r]
+                        } else if let Some(h) = head_at {
+                            clock[r].max(h)
                         } else {
-                            cand.prefill_target.max(1)
+                            continue;
                         };
-                        let mut need = p.blocks_for(target).saturating_sub(p.blocks_of(cand.idx));
-                        for s in batches[r].iter() {
-                            need += p
-                                .blocks_for(grown_tokens(s))
-                                .saturating_sub(p.blocks_of(s.idx));
-                        }
-                        p.reclaim(need);
-                        if need <= p.free_blocks() {
-                            stats.peak_kv_occupancy =
-                                stats.peak_kv_occupancy.max(p.occupancy_plus(need));
-                            true
-                        } else {
-                            false
-                        }
-                    } else {
-                        let grown = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
-                        let mut projected: Vec<RequestShape> =
-                            batches[r].iter().map(grown).collect();
-                        projected
-                            .extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
-                        projected.extend(
-                            outgoing[r]
-                                .iter()
-                                .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
-                        );
-                        let cand = &swapped[r][ci];
-                        if cand.decoding() {
-                            projected.push(grown(cand));
-                        } else {
-                            // A recompute victim holds no KV *yet*, but
-                            // will immediately re-prefill its whole
-                            // context: gate on that imminent footprint
-                            // (like fresh admission does on the prompt),
-                            // not on its vacuously empty cache — otherwise
-                            // it re-enters a full device and the pressure
-                            // check just evicts someone else (recompute
-                            // thrash).
-                            projected.push(RequestShape {
-                                input: cand.prefill_target.max(1),
-                                output: 1,
-                            });
-                        }
-                        match self.replicas[r].backend.batch_fits(model, &projected) {
-                            Ok(occupancy) => {
-                                stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
-                                true
-                            }
-                            Err(_) => false,
-                        }
-                    };
-                    if !fits {
-                        break;
+                    if next.is_none_or(|(_, best)| at < best) {
+                        next = Some((r, at));
                     }
                 }
-                let mut seq = swapped[r].remove(ci);
-                if let Some(p) = paged[r].as_mut() {
-                    // A victim whose swap-out DMA is still draining
-                    // never really left the device: cancel the pending
-                    // retire (which would free blocks now live again)
-                    // and regrow the table to its context — a no-op
-                    // when the blocks were never dropped. Recompute
-                    // victims reacquire blocks lazily, chunk by chunk.
-                    outgoing[r].retain(|&(_, _, oid)| oid != seq.idx);
-                    p.grow(seq.idx, seq.past);
-                }
-                if seq.hosted_bytes == 0 {
-                    // Recompute victim: nothing to restore over the
-                    // link — it rejoins the batch and re-prefills its
-                    // context through the chunk machinery.
-                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
-                    batches[r].push(seq);
-                    continue;
-                }
-                // Restore what the swap-out moved: the unshared
-                // context (everything, under contiguous accounting).
-                let swap_in =
-                    self.replicas[r].kv_transfer_secs(model, seq.past - seq.shared_tokens);
-                stats.dma[r] += swap_in;
-                let start = clock[r].max(dma_free[r]);
-                let ready = start + swap_in;
-                dma_free[r] = ready;
-                if overlap && !force {
-                    // Decode continues around the transfer; the
-                    // sequence re-enters when its DMA completes.
-                    incoming[r].push((ready, seq));
-                } else {
-                    // Serialized (or forced restart of an empty
-                    // replica): the compute clock waits out the DMA.
-                    stats.stall[r] += ready - clock[r];
-                    clock[r] = ready;
-                    host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
-                    seq.hosted_bytes = 0;
-                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
-                    batches[r].push(seq);
+                let Some((r, at)) = next else {
+                    unreachable!("requests outstanding but no replica actionable")
+                };
+                (r, at, Src::Busy)
+            };
+            if event_core {
+                match src {
+                    Src::Busy => {
+                        busy_q.pop();
+                    }
+                    Src::Ready => {
+                        idle_ready.remove(&r);
+                    }
+                    Src::Late => {
+                        idle_late.remove(&(TimeKey(at), r));
+                    }
                 }
             }
-
-            // Admission at the iteration boundary: the admission
-            // policy's order over the already-arrived slice of the
-            // queue, bounded by batch slots and KV residency — the
-            // residents' *final* lengths normally, their *current*
-            // lengths (optimistic overcommit) under preemption.
-            while batches[r].len() + incoming[r].len() < max_batch as usize {
-                let mut window: Vec<(usize, QueuedRequest)> = Vec::new();
-                let mut i = head;
-                while i < arrivals.len() && arrivals[i].at <= clock[r] {
-                    if !taken[i] {
-                        window.push((i, arrivals[i].queued_view()));
-                    }
-                    i += 1;
+            if let Some(bound) = divergence_bound {
+                while arrived < arrivals.len() && arrivals[arrived].at <= at {
+                    arrived += 1;
                 }
-                let Some(wi) = select_min(
-                    &window,
-                    |t| t.1,
-                    |a, b| self.scheduler.admission.compare(a, b),
-                ) else {
-                    break;
-                };
-                let pi = window[wi].0;
-                let cand = &arrivals[pi];
-                // A request that can never be served — its sequence
-                // exceeds the model's positional table, or it does not
-                // fit even an empty replica — must panic rather than
-                // block the queue (non-preempt) or be optimistically
-                // admitted into an eviction storm that no swap can
-                // resolve (preempt gates on current lengths, which
-                // would miss the final-length violation).
-                if let Err(e) = self.replicas[r]
-                    .backend
-                    .batch_fits(model, std::slice::from_ref(&cand.shape))
-                {
-                    assert!(
-                        !(batches[r].is_empty() && swapped[r].is_empty() && incoming[r].is_empty()),
-                        "request {:?} can never be admitted on replica {} ({}): {}",
-                        cand.shape,
-                        r,
-                        self.replicas[r].backend.name(),
-                        e
-                    );
+                if (arrived as u64).saturating_sub(admitted) > bound {
+                    stats.diverged = true;
+                    aborted = true;
                     break;
                 }
-                let fits = if let Some(p) = paged[r].as_mut() {
-                    // Block arithmetic. The candidate's need is its
-                    // footprint minus whatever the prefix cache already
-                    // holds (capped below the whole prompt so at least
-                    // one token always prefills — TTFT stays
-                    // measurable): the imminent prompt under preemptive
-                    // overcommit, the final length otherwise — plus, in
-                    // the final-length mode, every resident's residual
-                    // growth to completion.
-                    let hit_tokens = class_keys[cand.class].map_or(0, |key| {
-                        p.prefix_hit_tokens(key, cand.shape.input.saturating_sub(1))
-                    });
-                    let mut need = if preempt {
-                        p.blocks_for(cand.shape.input)
-                    } else {
-                        p.blocks_for(cand.shape.total_tokens())
-                    }
-                    .saturating_sub(p.blocks_for(hit_tokens));
-                    if !preempt {
-                        for s in batches[r].iter() {
-                            need += p
-                                .blocks_for(s.shape.total_tokens())
-                                .saturating_sub(p.blocks_of(s.idx));
+            }
+            clock[r] = at;
+            // The turn body, in a labeled block so the event-index
+            // reclassification below always runs (the empty-batch
+            // branch breaks out early where the scan core `continue`d).
+            'body: {
+                // Retire DMA that completed by this boundary: finished
+                // swap-outs release their device KV, finished swap-ins join
+                // the batch (releasing their host-pool bytes). The deques
+                // are sorted by completion time, so the completed entries
+                // are exactly a front prefix — the event core pops it; the
+                // scan core keeps the historical index walk (same entries,
+                // same order, since the list is sorted).
+                if event_core {
+                    while outgoing[r].front().is_some_and(|&(t, _, _)| t <= clock[r]) {
+                        let (_, _, oid) = outgoing[r].pop_front().expect("front was checked");
+                        if let Some(p) = paged[r].as_mut() {
+                            p.drop_unshared(oid);
                         }
                     }
-                    p.reclaim(need);
-                    if need <= p.free_blocks() {
-                        stats.peak_kv_occupancy =
-                            stats.peak_kv_occupancy.max(p.occupancy_plus(need));
-                        true
-                    } else {
-                        false
+                    while incoming[r].front().is_some_and(|&(t, _)| t <= clock[r]) {
+                        let (_, mut seq) = incoming[r].pop_front().expect("front was checked");
+                        host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
+                        seq.hosted_bytes = 0;
+                        stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                        batches[r].push(seq);
                     }
                 } else {
-                    let resident: Vec<RequestShape> = if preempt {
-                        let mut v: Vec<RequestShape> = batches[r]
-                            .iter()
-                            .map(|s| ActiveSeq::kv_shape(s.past))
-                            .collect();
-                        // In-flight KV holds device memory too: reserved
-                        // swap-ins, and swap-outs not yet drained.
-                        v.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
-                        v.extend(
-                            outgoing[r]
-                                .iter()
-                                .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
-                        );
-                        // The candidate's imminent footprint: its whole
-                        // prompt's KV, at prefill activation width.
-                        v.push(RequestShape {
-                            input: cand.shape.input.max(1),
-                            output: 1,
-                        });
-                        v
-                    } else {
-                        let mut v: Vec<RequestShape> = batches[r].iter().map(|s| s.shape).collect();
-                        v.push(cand.shape);
-                        v
-                    };
-                    match self.replicas[r].backend.batch_fits(model, &resident) {
-                        Ok(occupancy) => {
-                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
-                            true
-                        }
-                        Err(_) => false,
-                    }
-                };
-                // Head-of-line blocking (in policy order) is faithful
-                // to the policy; the lone-request check above already
-                // ruled out a never-admittable head.
-                if !fits {
-                    break;
-                }
-                taken[pi] = true;
-                while head < arrivals.len() && taken[head] {
-                    head += 1;
-                }
-                let arrival = arrivals[pi];
-                let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
-                // Map the shared prefix (if the class opted in and the
-                // cache holds it): the sequence starts with those
-                // tokens already built and prefills only the suffix.
-                let mut shared_tokens = 0u64;
-                if let Some(p) = paged[r].as_mut() {
-                    shared_tokens = p.admit(
-                        arrival.idx,
-                        class_keys[arrival.class],
-                        arrival.shape.input.saturating_sub(1),
-                    );
-                    stats.prompt_tokens += arrival.shape.input;
-                    if shared_tokens > 0 {
-                        stats.prefix_hits += 1;
-                        stats.shared_prompt_tokens += shared_tokens;
-                    }
-                }
-                stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
-                batches[r].push(ActiveSeq {
-                    shape: arrival.shape,
-                    arrival: arrival.at,
-                    idx: arrival.idx,
-                    service,
-                    class: arrival.class,
-                    priority: arrival.priority,
-                    slo: arrival.slo,
-                    prefilled: shared_tokens,
-                    prefill_target: arrival.shape.input,
-                    past: shared_tokens,
-                    remaining: arrival.shape.generation_steps(),
-                    last_token: clock[r],
-                    ttft: 0.0,
-                    gaps: Vec::new(),
-                    preemptions: 0,
-                    recomputes: 0,
-                    swap_epoch: 0,
-                    hosted_bytes: 0,
-                    just_prefilled: false,
-                    shared_tokens,
-                    cache_hit: shared_tokens > 0,
-                });
-            }
-
-            if batches[r].is_empty() {
-                // Nothing resident but DMA in flight — a swap-in whose
-                // completion gates re-entry, or swap-outs still holding
-                // the device KV an arrival may need. Advance to the
-                // next arrival or the earliest completion on either
-                // list, whichever is sooner: the clock always moves, so
-                // admission can never spin against memory that is
-                // already draining, and idle-waiting on DMA counts as
-                // swap stall. (With nothing in flight the top-of-loop
-                // fast-forward handles the idle replica.) Both lists
-                // were pruned at the boundary, so any event here is
-                // strictly in the future.
-                let out_event = outgoing[r]
-                    .iter()
-                    .map(|&(t, _, _)| t)
-                    .min_by(f64::total_cmp);
-                let event = match (earliest(&incoming[r]), out_event) {
-                    (Some(a), Some(b)) => Some(a.min(b)),
-                    (a, b) => a.or(b),
-                };
-                if let Some(event) = event {
-                    let next_arrival = if head < arrivals.len() {
-                        arrivals[head].at
-                    } else {
-                        f64::INFINITY
-                    };
-                    if next_arrival > clock[r] && next_arrival < event {
-                        clock[r] = next_arrival;
-                    } else {
-                        stats.stall[r] += event - clock[r];
-                        clock[r] = event;
-                        let mut j = 0;
-                        while j < outgoing[r].len() {
-                            if outgoing[r][j].0 <= clock[r] {
-                                let (_, _, oid) = outgoing[r].remove(j);
-                                if let Some(p) = paged[r].as_mut() {
-                                    p.drop_unshared(oid);
-                                }
-                            } else {
-                                j += 1;
-                            }
-                        }
-                    }
-                }
-                continue;
-            }
-
-            // The iteration's prefill share: one chunk of the oldest
-            // still-prefilling sequence (FCFS by arrival index — a
-            // stable id, because evictions below reshuffle positions).
-            let chunk_target: Option<u64> = batches[r]
-                .iter()
-                .filter(|s| !s.decoding())
-                .map(|s| s.idx)
-                .min();
-            let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.prefill_target - s.prefilled);
-
-            // KV-pressure check before executing: project every
-            // sequence's KV one iteration forward (the chunk for the
-            // prefilling sequence, +1 token per decoder) and evict the
-            // eviction policy's victim among the *decoding* sequences
-            // until the projection fits. Prefilling sequences are never
-            // evicted — their partially-built KV would be wasted work —
-            // and a lone sequence is never evicted (it could then never
-            // make progress), so a single oversized request degrades to
-            // the non-preemptive behavior instead of livelocking.
-            //
-            // The victim's KV leaves by the bundle's EvictionMechanism:
-            // swapped to the host pool (falling back to recompute when
-            // the pool is full), dropped for re-prefill, or whichever
-            // is cheaper for this victim. Under overlapped DMA an
-            // eviction frees memory only at transfer completion, so the
-            // fit check runs at two horizons: the *eventual* projection
-            // (in-flight swap-outs excluded — they drain without
-            // further evictions) decides whether more victims are
-            // needed, and the *current* projection (in-flight KV
-            // included) decides how long the iteration must stall for
-            // the DMA to hand the memory back.
-            if preempt {
-                // Outcome of one pressure probe: either the projection
-                // fits (possibly after stalling for in-flight
-                // swap-outs), or a victim must go — carrying the
-                // over-capacity ratio to record if nothing is
-                // evictable.
-                enum Pressure {
-                    Fits,
-                    Evict(Option<f64>),
-                }
-                loop {
-                    let grown_tokens = |s: &ActiveSeq| {
-                        if chunk_target == Some(s.idx) {
-                            s.past + chunk_tokens(s)
-                        } else if s.decoding() && s.remaining > 0 {
-                            s.past + 1
-                        } else {
-                            s.past
-                        }
-                    };
-                    let pressure = if let Some(p) = paged[r].as_mut() {
-                        // Block arithmetic: one iteration of growth
-                        // over the batch, against free blocks plus the
-                        // unshared blocks in-flight swap-outs will hand
-                        // back (they drain without further evictions).
-                        let growth: u64 = batches[r]
-                            .iter()
-                            .map(|s| {
-                                p.blocks_for(grown_tokens(s))
-                                    .saturating_sub(p.blocks_of(s.idx))
-                            })
-                            .sum();
-                        p.reclaim(growth);
-                        let in_flight: u64 = outgoing[r]
-                            .iter()
-                            .map(|&(_, _, oid)| p.unshared_blocks_of(oid))
-                            .sum();
-                        if growth <= p.free_blocks() + in_flight {
-                            // Enough memory once in-flight swap-outs
-                            // drain; stall the iteration until the ones
-                            // it actually needs have completed.
-                            while growth > p.free_blocks() {
-                                let (j, done_at) = outgoing[r]
-                                    .iter()
-                                    .enumerate()
-                                    .map(|(j, &(t, _, _))| (j, t))
-                                    .min_by(|a, b| a.1.total_cmp(&b.1))
-                                    .expect(
-                                        "growth exceeds free blocks only through \
-                                         in-flight swap-outs",
-                                    );
-                                stats.stall[r] += (done_at - clock[r]).max(0.0);
-                                clock[r] = clock[r].max(done_at);
-                                let (_, _, oid) = outgoing[r].remove(j);
+                    let mut i = 0;
+                    while i < outgoing[r].len() {
+                        if outgoing[r][i].0 <= clock[r] {
+                            let (_, _, oid) = outgoing[r].remove(i).expect("index in range");
+                            if let Some(p) = paged[r].as_mut() {
                                 p.drop_unshared(oid);
                             }
-                            stats.peak_kv_occupancy =
-                                stats.peak_kv_occupancy.max(p.occupancy_plus(growth));
-                            Pressure::Fits
                         } else {
-                            Pressure::Evict(Some(p.occupancy_plus(growth)))
+                            i += 1;
                         }
-                    } else {
-                        let grown_shape = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
-                        let mut eventual: Vec<RequestShape> =
-                            batches[r].iter().map(grown_shape).collect();
-                        eventual
-                            .extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
-                        match self.replicas[r].backend.batch_fits(model, &eventual) {
-                            Ok(_) => {
-                                // Enough memory once in-flight swap-outs
-                                // drain; stall the iteration until the ones
-                                // it actually needs have completed.
-                                loop {
-                                    let mut current = eventual.clone();
-                                    current.extend(
-                                        outgoing[r]
-                                            .iter()
-                                            .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
-                                    );
-                                    match self.replicas[r].backend.batch_fits(model, &current) {
-                                        Ok(occupancy) => {
-                                            stats.peak_kv_occupancy =
-                                                stats.peak_kv_occupancy.max(occupancy);
-                                            break;
-                                        }
-                                        Err(_) => {
-                                            let (j, done_at) = outgoing[r]
-                                                .iter()
-                                                .enumerate()
-                                                .map(|(j, &(t, _, _))| (j, t))
-                                                .min_by(|a, b| a.1.total_cmp(&b.1))
-                                                .expect(
-                                                    "current projection exceeds the eventual one \
-                                                     only through in-flight swap-outs",
-                                                );
-                                            stats.stall[r] += (done_at - clock[r]).max(0.0);
-                                            clock[r] = clock[r].max(done_at);
-                                            outgoing[r].remove(j);
-                                        }
-                                    }
-                                }
-                                Pressure::Fits
-                            }
-                            // The final-shape admission check rules out
-                            // SequenceTooLong here, so the error always
-                            // carries a ratio.
-                            Err(e) => Pressure::Evict(
-                                if let crate::capacity::CapacityError::OutOfMemory {
-                                    required,
-                                    available,
-                                } = e
-                                {
-                                    Some(required as f64 / available as f64)
-                                } else {
-                                    None
-                                },
-                            ),
+                    }
+                    let mut i = 0;
+                    while i < incoming[r].len() {
+                        if incoming[r][i].0 <= clock[r] {
+                            let (_, mut seq) = incoming[r].remove(i).expect("index in range");
+                            host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
+                            seq.hosted_bytes = 0;
+                            stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                            batches[r].push(seq);
+                        } else {
+                            i += 1;
                         }
-                    };
-                    let over = match pressure {
-                        Pressure::Fits => break,
-                        Pressure::Evict(over) => over,
-                    };
-                    let headroom = pools[r].map(|p| p.saturating_sub(host_used[r]));
-                    // The queue the victim would join: each slot ahead
-                    // of it costs roughly one mean iteration of wait.
+                    }
+                }
+
+                // Swap-ins first: preempted sequences are older than
+                // anything still queued, so they are *offered* freed slots
+                // before new admissions at every boundary (a policy head
+                // that does not yet fit lets newer arrivals pass —
+                // policy-ordered among the swapped, not a hard barrier
+                // against the queue). A swapped sequence re-enters when one
+                // projected iteration of KV growth (its own and the
+                // residents') still fits — checking grown lengths, not
+                // current ones, keeps a re-admission from bouncing straight
+                // back out through the pressure check below, which would
+                // charge both transfer costs for zero progress. When the
+                // replica is empty it re-enters unconditionally, which
+                // guarantees every preempted sequence eventually completes.
+                while batches[r].len() + incoming[r].len() < max_batch as usize
+                    && !swapped[r].is_empty()
+                {
+                    // What one re-admission-queue slot costs in wall clock
+                    // right now (for the cost views; the depth excludes the
+                    // candidate itself — it prices the queue it would
+                    // re-join on a further eviction).
                     let readmit_delay = if iter_n[r] > 0 {
-                        swapped[r].len() as f64 * iter_sum[r] / iter_n[r] as f64
+                        swapped[r].len().saturating_sub(1) as f64 * iter_sum[r] / iter_n[r] as f64
                     } else {
                         0.0
                     };
-                    let views: Vec<(usize, SeqView)> = batches[r]
+                    let views: Vec<(usize, SeqView)> = swapped[r]
                         .iter()
                         .enumerate()
-                        .filter(|(_, s)| s.decoding())
                         .map(|(i, s)| {
+                            // Credit the candidate's own hosted bytes back:
+                            // its swap-side cost must not read as "pool
+                            // full" when the fullness is the candidate
+                            // itself (swapping *in* frees the pool).
+                            let headroom = pools[r].map(|p| {
+                                p.saturating_sub(host_used[r].saturating_sub(s.hosted_bytes))
+                            });
                             let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
                             (
                                 i,
@@ -1417,259 +1148,881 @@ impl ServingSim {
                             )
                         })
                         .collect();
-                    let victim = select_min(
+                    let Some(vi) = select_min(
                         &views,
                         |t| t.1,
-                        |a, b| self.scheduler.eviction.compare(a, b),
-                    );
-                    let Some(vi) = victim.filter(|_| batches[r].len() > 1) else {
-                        // Nothing evictable: tolerate the overcommit
-                        // for this iteration, and record the
-                        // over-capacity footprint so the report cannot
-                        // claim the run fit in memory.
-                        if let Some(ratio) = over {
-                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(ratio);
-                        }
+                        |a, b| self.scheduler.readmission.compare(a, b),
+                    ) else {
                         break;
                     };
-                    let (v, view) = views[vi];
-                    let mut seq = batches[r].remove(v);
-                    seq.preemptions += 1;
-                    swap_count += 1;
-                    seq.swap_epoch = swap_count;
-                    stats.preemptions += 1;
-                    // Only the *unshared* context moves (or drops):
-                    // shared prefix blocks stay resident under the
-                    // cache's reference. Contiguous mode has no shared
-                    // tokens, so this is the whole context there.
-                    let moved = seq.past - seq.shared_tokens;
-                    let bytes = crate::capacity::kv_swap_bytes(model, moved);
-                    let pool_takes = headroom.is_none_or(|h| bytes <= h);
-                    let by_swap = match self.scheduler.mechanism {
-                        EvictionMechanism::Swap => pool_takes,
-                        EvictionMechanism::Recompute => false,
-                        // The one published cost rule
-                        // (`SeqView::eviction_cost_secs`):
-                        // `swap_secs` is already infinite when
-                        // the pool cannot take the bytes, so
-                        // the comparison alone decides. (The
-                        // re-admission delay term is common to
-                        // both mechanisms, so it cancels here.)
-                        EvictionMechanism::Cheapest => 2.0 * view.swap_secs <= view.recompute_secs,
-                    };
-                    if by_swap {
-                        seq.hosted_bytes = bytes;
-                        host_used[r] += bytes;
-                        stats.host_peak_bytes = stats.host_peak_bytes.max(host_used[r]);
-                        if let Some(pool) = pools[r] {
-                            stats.host_peak_occupancy = stats
-                                .host_peak_occupancy
-                                .max(host_used[r] as f64 / pool.max(1) as f64);
-                        }
-                        let swap_out = self.replicas[r].kv_transfer_secs(model, moved);
-                        stats.dma[r] += swap_out;
-                        let start = clock[r].max(dma_free[r]);
-                        let done_at = start + swap_out;
-                        dma_free[r] = done_at;
-                        if overlap {
-                            // Device KV drains in the
-                            // background; freed at completion.
-                            outgoing[r].push((done_at, moved, seq.idx));
+                    let ci = views[vi].0;
+                    let force = batches[r].is_empty() && incoming[r].is_empty();
+                    if !force {
+                        let grown_tokens = |s: &ActiveSeq| {
+                            if s.decoding() && s.remaining > 0 {
+                                s.past + 1
+                            } else {
+                                s.past
+                            }
+                        };
+                        let fits = if let Some(p) = paged[r].as_mut() {
+                            // Block arithmetic: residents' one-iteration
+                            // growth plus whatever the candidate must
+                            // reacquire beyond the (shared) blocks it still
+                            // holds — its context for a hosted victim, its
+                            // imminent re-prefill target for a recompute
+                            // victim (gating on the vacuously small current
+                            // cache would invite recompute thrash).
+                            let cand = &swapped[r][ci];
+                            let target = if cand.decoding() {
+                                grown_tokens(cand)
+                            } else {
+                                cand.prefill_target.max(1)
+                            };
+                            let mut need =
+                                p.blocks_for(target).saturating_sub(p.blocks_of(cand.idx));
+                            for s in batches[r].iter() {
+                                need += p
+                                    .blocks_for(grown_tokens(s))
+                                    .saturating_sub(p.blocks_of(s.idx));
+                            }
+                            p.reclaim(need);
+                            if need <= p.free_blocks() {
+                                stats.peak_kv_occupancy =
+                                    stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                                true
+                            } else {
+                                false
+                            }
                         } else {
-                            stats.stall[r] += done_at - clock[r];
-                            clock[r] = done_at;
+                            let grown = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
+                            let mut projected: Vec<RequestShape> =
+                                batches[r].iter().map(grown).collect();
+                            projected.extend(
+                                incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)),
+                            );
+                            projected.extend(
+                                outgoing[r]
+                                    .iter()
+                                    .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                            );
+                            let cand = &swapped[r][ci];
+                            if cand.decoding() {
+                                projected.push(grown(cand));
+                            } else {
+                                // A recompute victim holds no KV *yet*, but
+                                // will immediately re-prefill its whole
+                                // context: gate on that imminent footprint
+                                // (like fresh admission does on the prompt),
+                                // not on its vacuously empty cache — otherwise
+                                // it re-enters a full device and the pressure
+                                // check just evicts someone else (recompute
+                                // thrash).
+                                projected.push(RequestShape {
+                                    input: cand.prefill_target.max(1),
+                                    output: 1,
+                                });
+                            }
+                            match self.replicas[r].backend.batch_fits(model, &projected) {
+                                Ok(occupancy) => {
+                                    stats.peak_kv_occupancy =
+                                        stats.peak_kv_occupancy.max(occupancy);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        };
+                        if !fits {
+                            break;
+                        }
+                    }
+                    let mut seq = swapped[r].remove(ci);
+                    if let Some(p) = paged[r].as_mut() {
+                        // A victim whose swap-out DMA is still draining
+                        // never really left the device: cancel the pending
+                        // retire (which would free blocks now live again)
+                        // and regrow the table to its context — a no-op
+                        // when the blocks were never dropped. Recompute
+                        // victims reacquire blocks lazily, chunk by chunk.
+                        outgoing[r].retain(|&(_, _, oid)| oid != seq.idx);
+                        p.grow(seq.idx, seq.past);
+                    }
+                    if seq.hosted_bytes == 0 {
+                        // Recompute victim: nothing to restore over the
+                        // link — it rejoins the batch and re-prefills its
+                        // context through the chunk machinery.
+                        stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                        batches[r].push(seq);
+                        continue;
+                    }
+                    // Restore what the swap-out moved: the unshared
+                    // context (everything, under contiguous accounting).
+                    let swap_in =
+                        self.replicas[r].kv_transfer_secs(model, seq.past - seq.shared_tokens);
+                    stats.dma[r] += swap_in;
+                    let start = clock[r].max(dma_free[r]);
+                    let ready = start + swap_in;
+                    dma_free[r] = ready;
+                    if overlap && !force {
+                        // Decode continues around the transfer; the
+                        // sequence re-enters when its DMA completes.
+                        debug_assert!(incoming[r].back().is_none_or(|&(t, _)| t <= ready));
+                        incoming[r].push_back((ready, seq));
+                    } else {
+                        // Serialized (or forced restart of an empty
+                        // replica): the compute clock waits out the DMA.
+                        stats.stall[r] += ready - clock[r];
+                        clock[r] = ready;
+                        host_used[r] = host_used[r].saturating_sub(seq.hosted_bytes);
+                        seq.hosted_bytes = 0;
+                        stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                        batches[r].push(seq);
+                    }
+                }
+
+                // Admission at the iteration boundary: the admission
+                // policy's order over the already-arrived slice of the
+                // queue, bounded by batch slots and KV residency — the
+                // residents' *final* lengths normally, their *current*
+                // lengths (optimistic overcommit) under preemption.
+                while batches[r].len() + incoming[r].len() < max_batch as usize {
+                    let mut window: Vec<(usize, QueuedRequest)> = Vec::new();
+                    for &i in untaken.iter() {
+                        if arrivals[i].at > clock[r] {
+                            break;
+                        }
+                        window.push((i, arrivals[i].queued_view()));
+                    }
+                    let Some(wi) = select_min(
+                        &window,
+                        |t| t.1,
+                        |a, b| self.scheduler.admission.compare(a, b),
+                    ) else {
+                        break;
+                    };
+                    let pi = window[wi].0;
+                    let cand = &arrivals[pi];
+                    // A request that can never be served — its sequence
+                    // exceeds the model's positional table, or it does not
+                    // fit even an empty replica — must panic rather than
+                    // block the queue (non-preempt) or be optimistically
+                    // admitted into an eviction storm that no swap can
+                    // resolve (preempt gates on current lengths, which
+                    // would miss the final-length violation).
+                    if let Err(e) = self.replicas[r]
+                        .backend
+                        .batch_fits(model, std::slice::from_ref(&cand.shape))
+                    {
+                        assert!(
+                            !(batches[r].is_empty()
+                                && swapped[r].is_empty()
+                                && incoming[r].is_empty()),
+                            "request {:?} can never be admitted on replica {} ({}): {}",
+                            cand.shape,
+                            r,
+                            self.replicas[r].backend.name(),
+                            e
+                        );
+                        break;
+                    }
+                    let fits = if let Some(p) = paged[r].as_mut() {
+                        // Block arithmetic. The candidate's need is its
+                        // footprint minus whatever the prefix cache already
+                        // holds (capped below the whole prompt so at least
+                        // one token always prefills — TTFT stays
+                        // measurable): the imminent prompt under preemptive
+                        // overcommit, the final length otherwise — plus, in
+                        // the final-length mode, every resident's residual
+                        // growth to completion.
+                        let hit_tokens = class_keys[cand.class].map_or(0, |key| {
+                            p.prefix_hit_tokens(key, cand.shape.input.saturating_sub(1))
+                        });
+                        let mut need = if preempt {
+                            p.blocks_for(cand.shape.input)
+                        } else {
+                            p.blocks_for(cand.shape.total_tokens())
+                        }
+                        .saturating_sub(p.blocks_for(hit_tokens));
+                        if !preempt {
+                            for s in batches[r].iter() {
+                                need += p
+                                    .blocks_for(s.shape.total_tokens())
+                                    .saturating_sub(p.blocks_of(s.idx));
+                            }
+                        }
+                        p.reclaim(need);
+                        if need <= p.free_blocks() {
+                            stats.peak_kv_occupancy =
+                                stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                            true
+                        } else {
+                            false
+                        }
+                    } else {
+                        let resident: Vec<RequestShape> = if preempt {
+                            let mut v: Vec<RequestShape> = batches[r]
+                                .iter()
+                                .map(|s| ActiveSeq::kv_shape(s.past))
+                                .collect();
+                            // In-flight KV holds device memory too: reserved
+                            // swap-ins, and swap-outs not yet drained.
+                            v.extend(incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)));
+                            v.extend(
+                                outgoing[r]
+                                    .iter()
+                                    .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                            );
+                            // The candidate's imminent footprint: its whole
+                            // prompt's KV, at prefill activation width.
+                            v.push(RequestShape {
+                                input: cand.shape.input.max(1),
+                                output: 1,
+                            });
+                            v
+                        } else {
+                            let mut v: Vec<RequestShape> =
+                                batches[r].iter().map(|s| s.shape).collect();
+                            v.push(cand.shape);
+                            v
+                        };
+                        match self.replicas[r].backend.batch_fits(model, &resident) {
+                            Ok(occupancy) => {
+                                stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                                true
+                            }
+                            Err(_) => false,
+                        }
+                    };
+                    // Head-of-line blocking (in policy order) is faithful
+                    // to the policy; the lone-request check above already
+                    // ruled out a never-admittable head.
+                    if !fits {
+                        break;
+                    }
+                    untaken.remove(&pi);
+                    admitted += 1;
+                    let arrival = arrivals[pi];
+                    let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
+                    // Map the shared prefix (if the class opted in and the
+                    // cache holds it): the sequence starts with those
+                    // tokens already built and prefills only the suffix.
+                    let mut shared_tokens = 0u64;
+                    if let Some(p) = paged[r].as_mut() {
+                        shared_tokens = p.admit(
+                            arrival.idx,
+                            class_keys[arrival.class],
+                            arrival.shape.input.saturating_sub(1),
+                        );
+                        stats.prompt_tokens += arrival.shape.input;
+                        if shared_tokens > 0 {
+                            stats.prefix_hits += 1;
+                            stats.shared_prompt_tokens += shared_tokens;
+                        }
+                    }
+                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                    batches[r].push(ActiveSeq {
+                        shape: arrival.shape,
+                        arrival: arrival.at,
+                        idx: arrival.idx,
+                        service,
+                        class: arrival.class,
+                        priority: arrival.priority,
+                        slo: arrival.slo,
+                        prefilled: shared_tokens,
+                        prefill_target: arrival.shape.input,
+                        past: shared_tokens,
+                        remaining: arrival.shape.generation_steps(),
+                        last_token: clock[r],
+                        ttft: 0.0,
+                        gaps: Vec::new(),
+                        preemptions: 0,
+                        recomputes: 0,
+                        swap_epoch: 0,
+                        hosted_bytes: 0,
+                        just_prefilled: false,
+                        shared_tokens,
+                        cache_hit: shared_tokens > 0,
+                    });
+                }
+
+                if batches[r].is_empty() {
+                    // Nothing resident but DMA in flight — a swap-in whose
+                    // completion gates re-entry, or swap-outs still holding
+                    // the device KV an arrival may need. Advance to the
+                    // next arrival or the earliest completion on either
+                    // list, whichever is sooner: the clock always moves, so
+                    // admission can never spin against memory that is
+                    // already draining, and idle-waiting on DMA counts as
+                    // swap stall. (With nothing in flight the top-of-loop
+                    // fast-forward handles the idle replica.) Both lists
+                    // were pruned at the boundary, so any event here is
+                    // strictly in the future.
+                    // Both deques are sorted, so their minima sit at the
+                    // front; the scan core keeps the historical min_by.
+                    let (out_event, in_event) = if event_core {
+                        (
+                            outgoing[r].front().map(|&(t, _, _)| t),
+                            incoming[r].front().map(|&(t, _)| t),
+                        )
+                    } else {
+                        (
+                            outgoing[r]
+                                .iter()
+                                .map(|&(t, _, _)| t)
+                                .min_by(f64::total_cmp),
+                            incoming[r].iter().map(|&(t, _)| t).min_by(f64::total_cmp),
+                        )
+                    };
+                    let event = match (in_event, out_event) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    if let Some(event) = event {
+                        let next_arrival =
+                            untaken.first().map_or(f64::INFINITY, |&i| arrivals[i].at);
+                        if next_arrival > clock[r] && next_arrival < event {
+                            clock[r] = next_arrival;
+                        } else {
+                            stats.stall[r] += event - clock[r];
+                            clock[r] = event;
+                            if event_core {
+                                while outgoing[r].front().is_some_and(|&(t, _, _)| t <= clock[r]) {
+                                    let (_, _, oid) =
+                                        outgoing[r].pop_front().expect("front was checked");
+                                    if let Some(p) = paged[r].as_mut() {
+                                        p.drop_unshared(oid);
+                                    }
+                                }
+                            } else {
+                                let mut j = 0;
+                                while j < outgoing[r].len() {
+                                    if outgoing[r][j].0 <= clock[r] {
+                                        let (_, _, oid) =
+                                            outgoing[r].remove(j).expect("index in range");
+                                        if let Some(p) = paged[r].as_mut() {
+                                            p.drop_unshared(oid);
+                                        }
+                                    } else {
+                                        j += 1;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    break 'body;
+                }
+
+                // The iteration's prefill share: one chunk of the oldest
+                // still-prefilling sequence (FCFS by arrival index — a
+                // stable id, because evictions below reshuffle positions).
+                let chunk_target: Option<u64> = batches[r]
+                    .iter()
+                    .filter(|s| !s.decoding())
+                    .map(|s| s.idx)
+                    .min();
+                let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.prefill_target - s.prefilled);
+
+                // KV-pressure check before executing: project every
+                // sequence's KV one iteration forward (the chunk for the
+                // prefilling sequence, +1 token per decoder) and evict the
+                // eviction policy's victim among the *decoding* sequences
+                // until the projection fits. Prefilling sequences are never
+                // evicted — their partially-built KV would be wasted work —
+                // and a lone sequence is never evicted (it could then never
+                // make progress), so a single oversized request degrades to
+                // the non-preemptive behavior instead of livelocking.
+                //
+                // The victim's KV leaves by the bundle's EvictionMechanism:
+                // swapped to the host pool (falling back to recompute when
+                // the pool is full), dropped for re-prefill, or whichever
+                // is cheaper for this victim. Under overlapped DMA an
+                // eviction frees memory only at transfer completion, so the
+                // fit check runs at two horizons: the *eventual* projection
+                // (in-flight swap-outs excluded — they drain without
+                // further evictions) decides whether more victims are
+                // needed, and the *current* projection (in-flight KV
+                // included) decides how long the iteration must stall for
+                // the DMA to hand the memory back.
+                if preempt {
+                    // Outcome of one pressure probe: either the projection
+                    // fits (possibly after stalling for in-flight
+                    // swap-outs), or a victim must go — carrying the
+                    // over-capacity ratio to record if nothing is
+                    // evictable.
+                    enum Pressure {
+                        Fits,
+                        Evict(Option<f64>),
+                    }
+                    loop {
+                        let grown_tokens = |s: &ActiveSeq| {
+                            if chunk_target == Some(s.idx) {
+                                s.past + chunk_tokens(s)
+                            } else if s.decoding() && s.remaining > 0 {
+                                s.past + 1
+                            } else {
+                                s.past
+                            }
+                        };
+                        let pressure = if let Some(p) = paged[r].as_mut() {
+                            // Block arithmetic: one iteration of growth
+                            // over the batch, against free blocks plus the
+                            // unshared blocks in-flight swap-outs will hand
+                            // back (they drain without further evictions).
+                            let growth: u64 = batches[r]
+                                .iter()
+                                .map(|s| {
+                                    p.blocks_for(grown_tokens(s))
+                                        .saturating_sub(p.blocks_of(s.idx))
+                                })
+                                .sum();
+                            p.reclaim(growth);
+                            let in_flight: u64 = outgoing[r]
+                                .iter()
+                                .map(|&(_, _, oid)| p.unshared_blocks_of(oid))
+                                .sum();
+                            if growth <= p.free_blocks() + in_flight {
+                                // Enough memory once in-flight swap-outs
+                                // drain; stall the iteration until the ones
+                                // it actually needs have completed.
+                                while growth > p.free_blocks() {
+                                    let (done_at, oid) = if event_core {
+                                        // The deque is completion-sorted, so
+                                        // the front is the earliest swap-out.
+                                        let (t, _, oid) = outgoing[r].pop_front().expect(
+                                            "growth exceeds free blocks only through \
+                                         in-flight swap-outs",
+                                        );
+                                        (t, oid)
+                                    } else {
+                                        let (j, t) = outgoing[r]
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(j, &(t, _, _))| (j, t))
+                                            .min_by(|a, b| a.1.total_cmp(&b.1))
+                                            .expect(
+                                                "growth exceeds free blocks only through \
+                                             in-flight swap-outs",
+                                            );
+                                        let (_, _, oid) =
+                                            outgoing[r].remove(j).expect("index in range");
+                                        (t, oid)
+                                    };
+                                    stats.stall[r] += (done_at - clock[r]).max(0.0);
+                                    clock[r] = clock[r].max(done_at);
+                                    p.drop_unshared(oid);
+                                }
+                                stats.peak_kv_occupancy =
+                                    stats.peak_kv_occupancy.max(p.occupancy_plus(growth));
+                                Pressure::Fits
+                            } else {
+                                Pressure::Evict(Some(p.occupancy_plus(growth)))
+                            }
+                        } else {
+                            let grown_shape = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
+                            let mut eventual: Vec<RequestShape> =
+                                batches[r].iter().map(grown_shape).collect();
+                            eventual.extend(
+                                incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)),
+                            );
+                            match self.replicas[r].backend.batch_fits(model, &eventual) {
+                                Ok(_) => {
+                                    // Enough memory once in-flight swap-outs
+                                    // drain; stall the iteration until the ones
+                                    // it actually needs have completed.
+                                    loop {
+                                        let mut current = eventual.clone();
+                                        current.extend(
+                                            outgoing[r]
+                                                .iter()
+                                                .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                                        );
+                                        match self.replicas[r].backend.batch_fits(model, &current) {
+                                            Ok(occupancy) => {
+                                                stats.peak_kv_occupancy =
+                                                    stats.peak_kv_occupancy.max(occupancy);
+                                                break;
+                                            }
+                                            Err(_) => {
+                                                let done_at = if event_core {
+                                                    let (t, _, _) = outgoing[r].pop_front().expect(
+                                                        "current projection exceeds the \
+                                                         eventual one only through \
+                                                         in-flight swap-outs",
+                                                    );
+                                                    t
+                                                } else {
+                                                    let (j, t) = outgoing[r]
+                                                        .iter()
+                                                        .enumerate()
+                                                        .map(|(j, &(t, _, _))| (j, t))
+                                                        .min_by(|a, b| a.1.total_cmp(&b.1))
+                                                        .expect(
+                                                            "current projection exceeds the \
+                                                         eventual one only through \
+                                                         in-flight swap-outs",
+                                                        );
+                                                    outgoing[r].remove(j);
+                                                    t
+                                                };
+                                                stats.stall[r] += (done_at - clock[r]).max(0.0);
+                                                clock[r] = clock[r].max(done_at);
+                                            }
+                                        }
+                                    }
+                                    Pressure::Fits
+                                }
+                                // The final-shape admission check rules out
+                                // SequenceTooLong here, so the error always
+                                // carries a ratio.
+                                Err(e) => Pressure::Evict(
+                                    if let crate::capacity::CapacityError::OutOfMemory {
+                                        required,
+                                        available,
+                                    } = e
+                                    {
+                                        Some(required as f64 / available as f64)
+                                    } else {
+                                        None
+                                    },
+                                ),
+                            }
+                        };
+                        let over = match pressure {
+                            Pressure::Fits => break,
+                            Pressure::Evict(over) => over,
+                        };
+                        let headroom = pools[r].map(|p| p.saturating_sub(host_used[r]));
+                        // The queue the victim would join: each slot ahead
+                        // of it costs roughly one mean iteration of wait.
+                        let readmit_delay = if iter_n[r] > 0 {
+                            swapped[r].len() as f64 * iter_sum[r] / iter_n[r] as f64
+                        } else {
+                            0.0
+                        };
+                        let views: Vec<(usize, SeqView)> = batches[r]
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, s)| s.decoding())
+                            .map(|(i, s)| {
+                                let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                                (
+                                    i,
+                                    costed_view(
+                                        s,
+                                        &mut self.replicas[r],
+                                        model,
+                                        headroom,
+                                        kv_blocks,
+                                        readmit_delay,
+                                    ),
+                                )
+                            })
+                            .collect();
+                        let victim = select_min(
+                            &views,
+                            |t| t.1,
+                            |a, b| self.scheduler.eviction.compare(a, b),
+                        );
+                        let Some(vi) = victim.filter(|_| batches[r].len() > 1) else {
+                            // Nothing evictable: tolerate the overcommit
+                            // for this iteration, and record the
+                            // over-capacity footprint so the report cannot
+                            // claim the run fit in memory.
+                            if let Some(ratio) = over {
+                                stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(ratio);
+                            }
+                            break;
+                        };
+                        let (v, view) = views[vi];
+                        let mut seq = batches[r].remove(v);
+                        seq.preemptions += 1;
+                        swap_count += 1;
+                        seq.swap_epoch = swap_count;
+                        stats.preemptions += 1;
+                        // Only the *unshared* context moves (or drops):
+                        // shared prefix blocks stay resident under the
+                        // cache's reference. Contiguous mode has no shared
+                        // tokens, so this is the whole context there.
+                        let moved = seq.past - seq.shared_tokens;
+                        let bytes = crate::capacity::kv_swap_bytes(model, moved);
+                        let pool_takes = headroom.is_none_or(|h| bytes <= h);
+                        let by_swap = match self.scheduler.mechanism {
+                            EvictionMechanism::Swap => pool_takes,
+                            EvictionMechanism::Recompute => false,
+                            // The one published cost rule
+                            // (`SeqView::eviction_cost_secs`):
+                            // `swap_secs` is already infinite when
+                            // the pool cannot take the bytes, so
+                            // the comparison alone decides. (The
+                            // re-admission delay term is common to
+                            // both mechanisms, so it cancels here.)
+                            EvictionMechanism::Cheapest => {
+                                2.0 * view.swap_secs <= view.recompute_secs
+                            }
+                        };
+                        if by_swap {
+                            seq.hosted_bytes = bytes;
+                            host_used[r] += bytes;
+                            stats.host_peak_bytes = stats.host_peak_bytes.max(host_used[r]);
+                            if let Some(pool) = pools[r] {
+                                stats.host_peak_occupancy = stats
+                                    .host_peak_occupancy
+                                    .max(host_used[r] as f64 / pool.max(1) as f64);
+                            }
+                            let swap_out = self.replicas[r].kv_transfer_secs(model, moved);
+                            stats.dma[r] += swap_out;
+                            let start = clock[r].max(dma_free[r]);
+                            let done_at = start + swap_out;
+                            dma_free[r] = done_at;
+                            if overlap {
+                                // Device KV drains in the
+                                // background; freed at completion.
+                                // `dma_free` is monotone, so pushes
+                                // keep the deque completion-sorted.
+                                debug_assert!(outgoing[r]
+                                    .back()
+                                    .is_none_or(|&(t, _, _)| t <= done_at));
+                                outgoing[r].push_back((done_at, moved, seq.idx));
+                            } else {
+                                stats.stall[r] += done_at - clock[r];
+                                clock[r] = done_at;
+                                if let Some(p) = paged[r].as_mut() {
+                                    p.drop_unshared(seq.idx);
+                                }
+                            }
+                        } else {
+                            // Recompute-based eviction (chosen, or
+                            // forced by a full host pool): drop the
+                            // KV now, rebuild the whole context by
+                            // re-prefill on re-admission — from the
+                            // shared prefix up, in paged mode.
+                            stats.recomputes += 1;
+                            seq.recomputes += 1;
+                            seq.prefill_target = seq.past;
+                            seq.prefilled = seq.shared_tokens;
+                            seq.past = seq.shared_tokens;
                             if let Some(p) = paged[r].as_mut() {
                                 p.drop_unshared(seq.idx);
                             }
                         }
-                    } else {
-                        // Recompute-based eviction (chosen, or
-                        // forced by a full host pool): drop the
-                        // KV now, rebuild the whole context by
-                        // re-prefill on re-admission — from the
-                        // shared prefix up, in paged mode.
-                        stats.recomputes += 1;
-                        seq.recomputes += 1;
-                        seq.prefill_target = seq.past;
-                        seq.prefilled = seq.shared_tokens;
-                        seq.past = seq.shared_tokens;
-                        if let Some(p) = paged[r].as_mut() {
-                            p.drop_unshared(seq.idx);
-                        }
+                        swapped[r].push(seq);
                     }
-                    swapped[r].push(seq);
                 }
-            }
 
-            // One mixed iteration: the prefill chunk (if any) plus one
-            // decode step over every fully-prefilled sequence. Both
-            // shares execute in the same iteration, so the chunk
-            // stretches each decoder's token gap by the *chunk* cost.
-            let chunk: Option<(usize, u64)> = chunk_target.map(|idx| {
-                let ci = batches[r]
-                    .iter()
-                    .position(|s| s.idx == idx)
-                    .expect("prefilling sequences are never evicted");
-                (ci, chunk_tokens(&batches[r][ci]))
-            });
-            let (decode_width, mean_past) = {
-                let decoders: Vec<&ActiveSeq> =
-                    batches[r].iter().filter(|s| s.decoding()).collect();
-                let width = decoders.len();
-                let mean = if width > 0 {
-                    // Round the mean in f64: integer division floored
-                    // it, systematically under-pricing decode for
-                    // heterogeneous batches.
-                    let sum = decoders.iter().map(|s| s.past).sum::<u64>();
-                    (sum as f64 / width as f64).round() as u64
-                } else {
-                    0
+                // One mixed iteration: the prefill chunk (if any) plus one
+                // decode step over every fully-prefilled sequence. Both
+                // shares execute in the same iteration, so the chunk
+                // stretches each decoder's token gap by the *chunk* cost.
+                let chunk: Option<(usize, u64)> = chunk_target.map(|idx| {
+                    let ci = batches[r]
+                        .iter()
+                        .position(|s| s.idx == idx)
+                        .expect("prefilling sequences are never evicted");
+                    (ci, chunk_tokens(&batches[r][ci]))
+                });
+                let (decode_width, mean_past) = {
+                    let decoders: Vec<&ActiveSeq> =
+                        batches[r].iter().filter(|s| s.decoding()).collect();
+                    let width = decoders.len();
+                    let mean = if width > 0 {
+                        // Round the mean in f64: integer division floored
+                        // it, systematically under-pricing decode for
+                        // heterogeneous batches.
+                        let sum = decoders.iter().map(|s| s.past).sum::<u64>();
+                        (sum as f64 / width as f64).round() as u64
+                    } else {
+                        0
+                    };
+                    (width as u32, mean)
                 };
-                (width as u32, mean)
-            };
-            let mut dt = 0.0f64;
-            if let Some((_, tokens)) = chunk {
-                dt += self.replicas[r].prefill_secs(model, tokens);
-            }
-            if decode_width > 0 {
-                dt += self.replicas[r].decode_secs(model, mean_past, decode_width);
-            }
-            clock[r] += dt;
-            stats.busy[r] += dt;
-            iter_sum[r] += dt;
-            iter_n[r] += 1;
-            if let Some(p) = paged[r].as_ref() {
-                // Fragmentation sampled once per executed iteration:
-                // private-tail slack over allocated block capacity.
-                stats.frag_sum += p.fragmentation();
-                stats.frag_samples += 1;
-            }
-            let now = clock[r];
+                let mut dt = 0.0f64;
+                if let Some((_, tokens)) = chunk {
+                    dt += self.replicas[r].prefill_secs(model, tokens);
+                }
+                if decode_width > 0 {
+                    dt += self.replicas[r].decode_secs(model, mean_past, decode_width);
+                }
+                clock[r] += dt;
+                stats.busy[r] += dt;
+                iter_sum[r] += dt;
+                iter_n[r] += 1;
+                if let Some(p) = paged[r].as_ref() {
+                    // Fragmentation sampled once per executed iteration:
+                    // private-tail slack over allocated block capacity.
+                    stats.frag_sum += p.fragmentation();
+                    stats.frag_samples += 1;
+                }
+                let now = clock[r];
 
-            // Advance the prefilling sequence; its first token comes out
-            // of the final chunk — unless this was a recompute
-            // re-prefill, which only rebuilds KV the sequence already
-            // produced tokens for.
-            if let Some((ci, tokens)) = chunk {
-                let seq = &mut batches[r][ci];
-                seq.prefilled += tokens;
-                seq.past = seq.prefilled;
-                if let Some(p) = paged[r].as_mut() {
-                    p.grow(seq.idx, seq.past);
+                // Advance the prefilling sequence; its first token comes out
+                // of the final chunk — unless this was a recompute
+                // re-prefill, which only rebuilds KV the sequence already
+                // produced tokens for.
+                if let Some((ci, tokens)) = chunk {
+                    let seq = &mut batches[r][ci];
+                    seq.prefilled += tokens;
+                    seq.past = seq.prefilled;
+                    if let Some(p) = paged[r].as_mut() {
+                        p.grow(seq.idx, seq.past);
+                        if seq.decoding() {
+                            // The prompt's full prefix blocks are now
+                            // built: publish them to the class's cache
+                            // entry (first completer wins; later ones
+                            // find the entry already present).
+                            if let Some(key) = class_keys[seq.class] {
+                                let prefix = self.cfg.mix[seq.class]
+                                    .prefix_tokens
+                                    .min(seq.shape.input.saturating_sub(1));
+                                if let Some(shared) = p.register_prefix(seq.idx, key, prefix) {
+                                    seq.shared_tokens = seq.shared_tokens.max(shared);
+                                }
+                            }
+                        }
+                    }
                     if seq.decoding() {
-                        // The prompt's full prefix blocks are now
-                        // built: publish them to the class's cache
-                        // entry (first completer wins; later ones
-                        // find the entry already present).
-                        if let Some(key) = class_keys[seq.class] {
-                            let prefix = self.cfg.mix[seq.class]
-                                .prefix_tokens
-                                .min(seq.shape.input.saturating_sub(1));
-                            if let Some(shared) = p.register_prefix(seq.idx, key, prefix) {
-                                seq.shared_tokens = seq.shared_tokens.max(shared);
+                        if seq.recomputes == 0 {
+                            seq.ttft = now - seq.arrival;
+                            stats.ttfts.push(seq.ttft);
+                            if seq.cache_hit {
+                                stats.ttft_hits.push(seq.ttft);
+                            } else {
+                                stats.ttft_colds.push(seq.ttft);
                             }
+                            seq.last_token = now;
+                            if seq.remaining == 0 {
+                                // Single-token request: the prefill is the
+                                // request.
+                                let seq = batches[r].remove(ci);
+                                if let Some(p) = paged[r].as_mut() {
+                                    p.complete(seq.idx);
+                                }
+                                let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
+                                stats.complete(
+                                    r,
+                                    seq.class,
+                                    seq.arrival,
+                                    seq.service,
+                                    now,
+                                    seq.preemptions,
+                                    seq.recomputes,
+                                    attained,
+                                );
+                                done += 1;
+                            }
+                        } else {
+                            // No token emitted: skip this sequence's decode
+                            // advance once, keeping `last_token` so the
+                            // whole eviction dwell lands in its next ITL
+                            // gap (as a swap dwell would).
+                            seq.just_prefilled = true;
                         }
                     }
                 }
-                if seq.decoding() {
-                    if seq.recomputes == 0 {
-                        seq.ttft = now - seq.arrival;
-                        stats.ttfts.push(seq.ttft);
-                        if seq.cache_hit {
-                            stats.ttft_hits.push(seq.ttft);
+
+                // Advance the decoders (skipping a sequence whose prefill
+                // completed *this* iteration: its first decode token comes
+                // next iteration).
+                let mut i = 0;
+                while i < batches[r].len() {
+                    let seq = &mut batches[r][i];
+                    if std::mem::take(&mut seq.just_prefilled)
+                        || !seq.decoding()
+                        || seq.last_token >= now
+                    {
+                        i += 1;
+                        continue;
+                    }
+                    // Gap since the sequence's previous token — includes
+                    // co-scheduled prefill chunks and swap traffic that
+                    // stalled the batch, not just this iteration's decode.
+                    let gap = now - seq.last_token;
+                    stats.itls.push(gap);
+                    seq.gaps.push(gap);
+                    seq.last_token = now;
+                    seq.past += 1;
+                    seq.remaining -= 1;
+                    let (idx, finished) = (seq.idx, seq.remaining == 0);
+                    if let Some(p) = paged[r].as_mut() {
+                        if finished {
+                            p.complete(idx);
                         } else {
-                            stats.ttft_colds.push(seq.ttft);
+                            p.grow(idx, batches[r][i].past);
                         }
-                        seq.last_token = now;
-                        if seq.remaining == 0 {
-                            // Single-token request: the prefill is the
-                            // request.
-                            let seq = batches[r].remove(ci);
-                            if let Some(p) = paged[r].as_mut() {
-                                p.complete(seq.idx);
-                            }
-                            let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
-                            stats.complete(
-                                r,
-                                seq.class,
-                                seq.arrival,
-                                seq.service,
-                                now,
-                                seq.preemptions,
-                                seq.recomputes,
-                                attained,
-                            );
-                            done += 1;
-                        }
+                    }
+                    if finished {
+                        let seq = batches[r].remove(i);
+                        let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
+                        stats.complete(
+                            r,
+                            seq.class,
+                            seq.arrival,
+                            seq.service,
+                            now,
+                            seq.preemptions,
+                            seq.recomputes,
+                            attained,
+                        );
+                        done += 1;
                     } else {
-                        // No token emitted: skip this sequence's decode
-                        // advance once, keeping `last_token` so the
-                        // whole eviction dwell lands in its next ITL
-                        // gap (as a swap dwell would).
-                        seq.just_prefilled = true;
+                        i += 1;
                     }
                 }
             }
 
-            // Advance the decoders (skipping a sequence whose prefill
-            // completed *this* iteration: its first decode token comes
-            // next iteration).
-            let mut i = 0;
-            while i < batches[r].len() {
-                let seq = &mut batches[r][i];
-                if std::mem::take(&mut seq.just_prefilled)
-                    || !seq.decoding()
-                    || seq.last_token >= now
-                {
-                    i += 1;
-                    continue;
+            // Re-index the replica for its next turn. A replica holding
+            // work (resident, swapped, or an in-flight swap-in) is busy
+            // at its own clock; one holding at most background swap-outs
+            // is idle — actionable at the pending-arrival head if its
+            // clock has not passed it, at its own clock otherwise. With
+            // no arrivals left an idle replica can never act again, so
+            // the idle sets empty out.
+            if event_core {
+                if untaken.is_empty() {
+                    idle_ready.clear();
+                    idle_late.clear();
                 }
-                // Gap since the sequence's previous token — includes
-                // co-scheduled prefill chunks and swap traffic that
-                // stalled the batch, not just this iteration's decode.
-                let gap = now - seq.last_token;
-                stats.itls.push(gap);
-                seq.gaps.push(gap);
-                seq.last_token = now;
-                seq.past += 1;
-                seq.remaining -= 1;
-                let (idx, finished) = (seq.idx, seq.remaining == 0);
-                if let Some(p) = paged[r].as_mut() {
-                    if finished {
-                        p.complete(idx);
+                let busy =
+                    !batches[r].is_empty() || !swapped[r].is_empty() || !incoming[r].is_empty();
+                if busy {
+                    busy_q.schedule(r, TimeKey(clock[r]));
+                } else if let Some(&i) = untaken.first() {
+                    if clock[r] <= arrivals[i].at {
+                        idle_ready.insert(r);
                     } else {
-                        p.grow(idx, batches[r][i].past);
+                        idle_late.insert((TimeKey(clock[r]), r));
                     }
                 }
-                if finished {
-                    let seq = batches[r].remove(i);
-                    let attained = request_attains(seq.slo, seq.ttft, &seq.gaps);
-                    stats.complete(
-                        r,
-                        seq.class,
-                        seq.arrival,
-                        seq.service,
-                        now,
-                        seq.preemptions,
-                        seq.recomputes,
-                        attained,
-                    );
-                    done += 1;
-                } else {
-                    i += 1;
+                // The arrival head is nondecreasing (admissions only
+                // remove from `untaken`), so replicas that fell behind
+                // it migrate from late to ready monotonically.
+                if let Some(&i) = untaken.first() {
+                    let h = arrivals[i].at;
+                    while let Some(&(t, late_r)) = idle_late.first() {
+                        if t.0 <= h {
+                            idle_late.pop_first();
+                            idle_ready.insert(late_r);
+                        } else {
+                            break;
+                        }
+                    }
                 }
             }
         }
         // Every swap-out must have been paired with a swap-in (and
         // every recompute drop with a re-prefill): nothing may end the
-        // run swapped, in flight, or holding host-pool bytes.
-        debug_assert!(swapped.iter().all(Vec::is_empty));
-        debug_assert!(incoming.iter().all(Vec::is_empty));
-        debug_assert!(host_used.iter().all(|&b| b == 0));
-        // Block conservation: with every sequence completed and the
-        // caches flushed, every block must be back on the free list.
-        for p in paged.iter_mut().flatten() {
-            p.finish();
+        // run swapped, in flight, or holding host-pool bytes. A
+        // divergence abort leaves all of that legitimately in flight,
+        // so the invariants only hold on completed runs.
+        if !aborted {
+            debug_assert!(swapped.iter().all(Vec::is_empty));
+            debug_assert!(incoming.iter().all(VecDeque::is_empty));
+            debug_assert!(host_used.iter().all(|&b| b == 0));
+            // Block conservation: with every sequence completed and the
+            // caches flushed, every block must be back on the free
+            // list.
+            for p in paged.iter_mut().flatten() {
+                p.finish();
+            }
         }
         stats
     }
@@ -1717,13 +2070,22 @@ impl ServingSim {
             .map(|(i, r)| ReplicaReport {
                 name: r.backend.name().to_string(),
                 completed: stats.served[i],
-                utilization: (stats.busy[i] / stats.last_finish).min(1.0),
+                utilization: if stats.last_finish > 0.0 {
+                    (stats.busy[i] / stats.last_finish).min(1.0)
+                } else {
+                    0.0
+                },
                 kv_dma: Duration::from_secs_f64(stats.dma[i]),
             })
             .collect();
+        // On a completed run every configured request finishes, so the
+        // observed count equals `cfg.requests`; a divergence abort
+        // reports the prefix that actually completed. `max(1)` and the
+        // span guards only matter on an abort before any completion.
+        let completions = stats.completions;
         ServingReport {
-            completed: self.cfg.requests,
-            mean_service: Duration::from_secs_f64(stats.service_sum / self.cfg.requests as f64),
+            completed: completions,
+            mean_service: Duration::from_secs_f64(stats.service_sum / completions.max(1) as f64),
             sojourn: LatencyPercentiles::from_sorted(&stats.sojourns),
             ttft: LatencyPercentiles::from_sorted(&stats.ttfts),
             inter_token: LatencyPercentiles::from_sorted(&stats.itls),
@@ -1750,13 +2112,92 @@ impl ServingSim {
             prefix_cache_hits: stats.prefix_hits,
             ttft_cache_hit: LatencyPercentiles::from_sorted(&stats.ttft_hits),
             ttft_cold: LatencyPercentiles::from_sorted(&stats.ttft_colds),
-            slo_attainment: stats.attained as f64 / self.cfg.requests as f64,
-            utilization: (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0),
-            throughput_rps: self.cfg.requests as f64 / stats.last_finish,
-            goodput_rps: stats.attained as f64 / stats.last_finish,
+            slo_attainment: stats.attained as f64 / completions.max(1) as f64,
+            utilization: if stats.last_finish > 0.0 {
+                (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0)
+            } else {
+                0.0
+            },
+            throughput_rps: if stats.last_finish > 0.0 {
+                completions as f64 / stats.last_finish
+            } else {
+                0.0
+            },
+            goodput_rps: if stats.last_finish > 0.0 {
+                stats.attained as f64 / stats.last_finish
+            } else {
+                0.0
+            },
+            diverged: stats.diverged,
             per_class,
             per_replica,
         }
+    }
+
+    /// Runs the simulation once per rate in `rates` and returns the
+    /// reports **in the same order** — probing the rates in parallel
+    /// (one [`try_clone`](Self::try_clone) per extra rate, on
+    /// `std::thread::scope` threads) when every backend supports
+    /// cloning, serially on this engine otherwise. Either path yields
+    /// identical reports: a run is a pure function of the config and
+    /// the backends' deterministic costs. The configured arrival rate
+    /// is restored afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the conditions of [`run`](Self::run), or if a probe
+    /// thread panics.
+    pub fn sweep_rates(&mut self, model: &ModelConfig, rates: &[f64]) -> Vec<ServingReport> {
+        let original = self.cfg.arrival_rate_hz;
+        let reports = self.probe_rates(model, rates);
+        self.cfg.arrival_rate_hz = original;
+        reports
+    }
+
+    /// [`sweep_rates`](Self::sweep_rates) without the rate restore —
+    /// the shared probe core under the public sweep and the bisection.
+    fn probe_rates(&mut self, model: &ModelConfig, rates: &[f64]) -> Vec<ServingReport> {
+        let Some((&first_rate, rest)) = rates.split_first() else {
+            return Vec::new();
+        };
+        let mut clones: Vec<ServingSim> = Vec::with_capacity(rest.len());
+        for _ in rest {
+            match self.try_clone() {
+                Some(c) => clones.push(c),
+                None => {
+                    // A replica backend cannot clone: probe serially on
+                    // this engine. Same reports, just one at a time.
+                    let mut out = Vec::with_capacity(rates.len());
+                    for &rate in rates {
+                        self.cfg.arrival_rate_hz = rate;
+                        out.push(self.run(model));
+                    }
+                    return out;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(rates.len());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = clones
+                .iter_mut()
+                .zip(rest)
+                .map(|(clone, &rate)| {
+                    s.spawn(move || {
+                        clone.cfg.arrival_rate_hz = rate;
+                        clone.run(model)
+                    })
+                })
+                .collect();
+            // The first rate runs on this engine, concurrently with the
+            // spawned probes — and leaves its memos warm for later
+            // rounds.
+            self.cfg.arrival_rate_hz = first_rate;
+            out.push(self.run(model));
+            for h in handles {
+                out.push(h.join().expect("rate-probe thread panicked"));
+            }
+        });
+        out
     }
 
     /// Binary-searches the highest arrival rate in `[lo_hz, hi_hz]` whose
@@ -1764,6 +2205,20 @@ impl ServingSim {
     /// when even `lo_hz` fails. Service memos make each probe a
     /// queueing-only pass (no device simulation), and the configured
     /// arrival rate is restored afterwards.
+    ///
+    /// Probes run **speculatively in parallel** when the backends
+    /// support [`try_clone`](Self::try_clone): each round simulates the
+    /// current midpoint and both possible next midpoints concurrently,
+    /// then consults `ok` serially — `ok` sees exactly the reports, in
+    /// exactly the order, the serial bisection would show it, so the
+    /// returned rate is identical (runs are deterministic, and the
+    /// bracket arithmetic is reproduced bit-for-bit). Probes also run
+    /// under the automatic divergence guard
+    /// ([`divergence_depth`](Self::divergence_depth)): a probe whose
+    /// backlog diverges is cut short and counted as failing — which it
+    /// would, since [`stable`](ServingReport::stable) rejects diverged
+    /// reports — instead of simulating the whole horizon of an
+    /// overloaded queue.
     ///
     /// This is the generic form behind
     /// [`sustainable_rate`](Self::sustainable_rate) (stability) and
@@ -1784,29 +2239,49 @@ impl ServingSim {
     ) -> f64 {
         assert!(lo_hz > 0.0 && hi_hz > lo_hz, "need 0 < lo_hz < hi_hz");
         let original = self.cfg.arrival_rate_hz;
-        let mut ok_at = |sim: &mut Self, rate: f64| {
-            sim.cfg.arrival_rate_hz = rate;
-            let report = sim.run(model);
-            ok(&report)
-        };
+        let was_probing = self.probe_divergence;
+        self.probe_divergence = true;
+        // A diverged probe fails regardless of `ok`: its report covers
+        // only a prefix of the horizon, and a backlog past the auto
+        // bound is the definition of "hopelessly unstable".
+        let mut pass = |report: &ServingReport| !report.diverged && ok(report);
         let mut best = 0.0f64;
         let (mut lo, mut hi) = (lo_hz, hi_hz);
-        if ok_at(self, lo) {
+        let ends = self.probe_rates(model, &[lo, hi]);
+        if pass(&ends[0]) {
             best = lo;
-            if ok_at(self, hi) {
+            if pass(&ends[1]) {
                 best = hi;
                 lo = hi;
             }
             while hi / lo > 1.01 {
+                // The serial step would probe mid = √(lo·hi), then —
+                // depending on the verdict — √(mid·hi) or √(lo·mid)
+                // next. Simulate all three now, consult `ok` in the
+                // serial order on the two the serial search would see.
                 let mid = (lo * hi).sqrt();
-                if ok_at(self, mid) {
+                let on_fail = (lo * mid).sqrt();
+                let on_pass = (mid * hi).sqrt();
+                let probes = self.probe_rates(model, &[mid, on_fail, on_pass]);
+                let (child, child_report) = if pass(&probes[0]) {
                     best = mid;
                     lo = mid;
+                    (on_pass, &probes[2])
                 } else {
                     hi = mid;
+                    (on_fail, &probes[1])
+                };
+                if hi / lo > 1.01 {
+                    if pass(child_report) {
+                        best = child;
+                        lo = child;
+                    } else {
+                        hi = child;
+                    }
                 }
             }
         }
+        self.probe_divergence = was_probing;
         self.cfg.arrival_rate_hz = original;
         best
     }
@@ -1884,12 +2359,6 @@ fn select_min<T, V>(
         };
     }
     best.map(|(i, _)| i)
-}
-
-/// Earliest scheduled time in an in-flight DMA list (`None` when
-/// empty).
-fn earliest<T>(list: &[(f64, T)]) -> Option<f64> {
-    list.iter().map(|&(t, _)| t).min_by(f64::total_cmp)
 }
 
 /// The policy view of `seq` with its eviction-cost estimates: one-way

@@ -176,7 +176,7 @@ mod report;
 #[cfg(test)]
 mod tests;
 
-pub use engine::ServingSim;
+pub use engine::{CoreMode, ServingSim};
 pub use policy::{
     AdmissionPolicy, EvictionMechanism, EvictionPolicy, ReadmissionPolicy, SchedulerPolicy,
 };

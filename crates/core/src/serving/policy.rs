@@ -463,13 +463,19 @@ impl EvictionMechanism {
 /// re-admission, swap-based eviction — and reproduces its schedules
 /// bit-identically, so installing a bundle is never a silent behavior
 /// change unless a non-default member is chosen.
+///
+/// Members are shared [`Arc`](std::sync::Arc)s (policies are stateless
+/// comparators), so a bundle clones cheaply — which is what lets
+/// [`ServingSim::try_clone`](super::ServingSim::try_clone) stamp out
+/// engines for parallel rate sweeps.
+#[derive(Clone)]
 pub struct SchedulerPolicy {
     /// Wait-queue order.
-    pub admission: Box<dyn AdmissionPolicy>,
+    pub admission: std::sync::Arc<dyn AdmissionPolicy + Send + Sync>,
     /// Victim selection under KV pressure.
-    pub eviction: Box<dyn EvictionPolicy>,
+    pub eviction: std::sync::Arc<dyn EvictionPolicy + Send + Sync>,
     /// Swap-queue order.
-    pub readmission: Box<dyn ReadmissionPolicy>,
+    pub readmission: std::sync::Arc<dyn ReadmissionPolicy + Send + Sync>,
     /// How a victim's KV leaves the device (swap vs recompute).
     pub mechanism: EvictionMechanism,
 }
@@ -477,9 +483,9 @@ pub struct SchedulerPolicy {
 impl Default for SchedulerPolicy {
     fn default() -> Self {
         SchedulerPolicy {
-            admission: Box::new(FcfsAdmission),
-            eviction: Box::new(LowestPriorityYoungest),
-            readmission: Box::new(FifoReadmission),
+            admission: std::sync::Arc::new(FcfsAdmission),
+            eviction: std::sync::Arc::new(LowestPriorityYoungest),
+            readmission: std::sync::Arc::new(FifoReadmission),
             mechanism: EvictionMechanism::Swap,
         }
     }
@@ -487,20 +493,26 @@ impl Default for SchedulerPolicy {
 
 impl SchedulerPolicy {
     /// Replaces the admission policy (builder style).
-    pub fn with_admission(mut self, admission: impl AdmissionPolicy + 'static) -> Self {
-        self.admission = Box::new(admission);
+    pub fn with_admission(
+        mut self,
+        admission: impl AdmissionPolicy + Send + Sync + 'static,
+    ) -> Self {
+        self.admission = std::sync::Arc::new(admission);
         self
     }
 
     /// Replaces the eviction policy (builder style).
-    pub fn with_eviction(mut self, eviction: impl EvictionPolicy + 'static) -> Self {
-        self.eviction = Box::new(eviction);
+    pub fn with_eviction(mut self, eviction: impl EvictionPolicy + Send + Sync + 'static) -> Self {
+        self.eviction = std::sync::Arc::new(eviction);
         self
     }
 
     /// Replaces the re-admission policy (builder style).
-    pub fn with_readmission(mut self, readmission: impl ReadmissionPolicy + 'static) -> Self {
-        self.readmission = Box::new(readmission);
+    pub fn with_readmission(
+        mut self,
+        readmission: impl ReadmissionPolicy + Send + Sync + 'static,
+    ) -> Self {
+        self.readmission = std::sync::Arc::new(readmission);
         self
     }
 

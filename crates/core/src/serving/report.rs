@@ -201,6 +201,14 @@ pub struct ServingReport {
     pub per_class: Vec<ClassReport>,
     /// Per-replica load (same order as the replicas were added).
     pub per_replica: Vec<ReplicaReport>,
+    /// Whether the run was cut short by the divergence guard
+    /// ([`ServingSim::divergence_depth`](super::ServingSim::divergence_depth)):
+    /// the backlog of arrived-but-unadmitted requests exceeded the
+    /// bound, so the engine stopped simulating a hopelessly overloaded
+    /// horizon. A diverged report covers only the simulated prefix —
+    /// its counters are lower bounds — and never counts as
+    /// [`stable`](Self::stable).
+    pub diverged: bool,
 }
 
 impl ServingReport {
@@ -213,7 +221,8 @@ impl ServingReport {
     /// while p99 sojourn has already blown out to dozens of service
     /// times.
     pub fn stable(&self) -> bool {
-        self.utilization < 0.95
+        !self.diverged
+            && self.utilization < 0.95
             && self.sojourn.p99.as_ns_f64() < 20.0 * self.mean_service.as_ns_f64()
     }
 
@@ -264,6 +273,7 @@ impl ServingReport {
                     kv_dma: Duration::ZERO,
                 })
                 .collect(),
+            diverged: false,
         }
     }
 }
@@ -324,6 +334,13 @@ pub(crate) struct RunStats {
     /// blocks mapped; every request is cold in contiguous mode).
     pub ttft_hits: Vec<f64>,
     pub ttft_colds: Vec<f64>,
+    /// Requests actually completed ([`complete`](Self::complete) calls)
+    /// — equals the configured request count except when the divergence
+    /// guard cut the run short.
+    pub completions: u64,
+    /// Whether the divergence guard fired (see
+    /// [`ServingReport::diverged`]).
+    pub diverged: bool,
 }
 
 impl RunStats {
@@ -358,6 +375,8 @@ impl RunStats {
             prompt_tokens: 0,
             ttft_hits: Vec::new(),
             ttft_colds: Vec::with_capacity(requests as usize),
+            completions: 0,
+            diverged: false,
         }
     }
 
@@ -376,6 +395,7 @@ impl RunStats {
         recomputes: u32,
         attained: bool,
     ) {
+        self.completions += 1;
         self.sojourns.push(finish - arrival);
         self.class_sojourns[class].push(finish - arrival);
         self.service_sum += service;

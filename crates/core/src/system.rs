@@ -31,7 +31,7 @@ const SAMPLE_POINTS: u64 = 25;
 /// let stage = sys.run_stage(&ModelConfig::gpt2_m(), &Stage::Generation { past_tokens: 64 });
 /// assert!(stage.latency.as_us_f64() > 10.0);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct IanusSystem {
     cfg: SystemConfig,
     energy_model: EnergyModel,

@@ -30,7 +30,7 @@ mod resource;
 mod stats;
 mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, SlotQueue};
 pub use resource::Resource;
 pub use stats::Stats;
 pub use time::{Duration, Frequency, Time};

@@ -87,13 +87,16 @@ fn bundle(eviction: &str) -> SchedulerPolicy {
 }
 
 /// One sweep row as a JSON object (no serde in-tree; the report is flat
-/// enough to format by hand).
-fn bench_row(label: &str, r: &ServingReport) -> String {
+/// enough to format by hand). `wall_s` is the engine's wall-clock for
+/// the run — machine-dependent by nature, so the canonical compare
+/// (`benches/compare_canonical_results.sh`) strips it; the archived
+/// trajectory keeps it.
+fn bench_row(label: &str, r: &ServingReport, wall_s: f64) -> String {
     format!(
         "    {{\"policy\": {label:?}, \"preemptions\": {}, \"recomputes\": {}, \
          \"host_kv_peak_occupancy\": {:.6}, \"ttft_p99_ms\": {:.3}, \"itl_p99_ms\": {:.3}, \
          \"kv_dma_s\": {:.6}, \"swap_stall_s\": {:.6}, \"slo_attainment\": {:.6}, \
-         \"goodput_rps\": {:.6}}}",
+         \"goodput_rps\": {:.6},\n     \"wall_s\": {wall_s:.6}}}",
         r.preemptions,
         r.recomputes,
         r.host_kv_peak_occupancy,
@@ -104,6 +107,13 @@ fn bench_row(label: &str, r: &ServingReport) -> String {
         r.slo_attainment,
         r.goodput_rps,
     )
+}
+
+/// Runs the engine and returns the report with its wall-clock seconds.
+fn timed_run(sim: &mut ServingSim, model: &ModelConfig) -> (ServingReport, f64) {
+    let t0 = std::time::Instant::now();
+    let r = sim.run(model);
+    (r, t0.elapsed().as_secs_f64())
 }
 
 fn main() {
@@ -152,8 +162,8 @@ fn main() {
     let mut rows = Vec::new();
     for eviction in EVICTIONS {
         sim.set_policy(bundle(eviction));
-        let r = sim.run(&model);
-        rows.push(bench_row(eviction, &r));
+        let (r, wall_s) = timed_run(&mut sim, &model);
+        rows.push(bench_row(eviction, &r, wall_s));
         assert_eq!(r.completed, requests, "liveness: every request completes");
         assert!(
             r.host_kv_peak_occupancy <= 1.0,
@@ -237,8 +247,8 @@ fn main() {
         ),
     ] {
         sim.set_policy(policy);
-        let r = sim.run(&model);
-        rows.push(bench_row(&format!("slow-link/{label}"), &r));
+        let (r, wall_s) = timed_run(&mut sim, &model);
+        rows.push(bench_row(&format!("slow-link/{label}"), &r, wall_s));
         assert_eq!(r.completed, requests);
         println!(
             "{:<34} {:>7} {:>10} {:>11.2} {:>8.1}% {:>8.2}",
@@ -261,6 +271,38 @@ fn main() {
          policy axis, not a tie.",
         (goodput[1] / goodput[0] - 1.0) * 100.0
     );
+
+    // Parallel rate sweep over the cost-aware bundle: one probe per
+    // rate on `std::thread::scope` threads (cloned engines), results in
+    // rate order — the same reports a serial loop would produce, in a
+    // fraction of the wall-clock.
+    let sweep: Vec<f64> = [0.25, 0.5, 1.0, 2.0].to_vec();
+    let t0 = std::time::Instant::now();
+    let reports = sim.sweep_rates(&model, &sweep);
+    let sweep_wall = t0.elapsed().as_secs_f64();
+    println!(
+        "\n--- rate sweep (cost-aware bundle, {} parallel probes) ---",
+        sweep.len()
+    );
+    println!(
+        "{:>10} {:>10} {:>9} {:>8}",
+        "req/s", "goodput", "SLO att.", "stable"
+    );
+    for (rate, r) in sweep.iter().zip(&reports) {
+        assert_eq!(r.completed, requests, "probes run the full horizon");
+        println!(
+            "{:>10.2} {:>10.2} {:>8.1}% {:>8}",
+            rate,
+            r.goodput_rps,
+            r.slo_attainment * 100.0,
+            r.stable(),
+        );
+        rows.push(bench_row(
+            &format!("rate-sweep/{rate}"),
+            r,
+            sweep_wall / sweep.len() as f64,
+        ));
+    }
 
     if let Some(path) = bench_json {
         let doc = format!(

@@ -59,6 +59,7 @@ fn main() {
         // behind least-loaded dispatch. How much traffic does each
         // cluster size sustain?
         print!("sustained (256,64) req/s:");
+        let mut last: Option<(ServingSim, f64)> = None;
         for replicas in [1usize, 2, 4] {
             let mut sim = ServingSim::new(ServingConfig {
                 arrival_rate_hz: 0.1,
@@ -70,8 +71,24 @@ fn main() {
                 DeviceGroup::new(SystemConfig::ianus(), min_devices)
             })
             .dispatch(DispatchPolicy::LeastLoaded);
+            // The bisection probes run on cloned engines across scoped
+            // threads (DeviceGroup is cloneable), so each search costs
+            // roughly its longest single probe of wall-clock.
             let rate = sim.sustainable_rate(&model, 0.05, 64.0);
             print!("  {replicas} x {min_devices}-device group: {rate:.1}");
+            last = Some((sim, rate));
+        }
+        println!();
+
+        // Bracket the 4-replica operating point with one parallel
+        // sweep: all four probes replay the horizon concurrently and
+        // come back in rate order.
+        let (mut sim, rate) = last.expect("three cluster sizes ran");
+        let grid: Vec<f64> = [0.5, 0.75, 1.0, 1.25].iter().map(|m| m * rate).collect();
+        let reports = sim.sweep_rates(&model, &grid);
+        print!("4-group rate sweep (req/s: p50 sojourn):");
+        for (g, r) in grid.iter().zip(&reports) {
+            print!("  {g:.1}: {:.2}s", r.sojourn.p50.as_secs_f64());
         }
         println!("\n");
     }

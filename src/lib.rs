@@ -131,9 +131,9 @@ pub mod prelude {
         ShortestPromptAdmission,
     };
     pub use ianus_core::serving::{
-        AdmissionPolicy, DispatchPolicy, EvictionMechanism, EvictionPolicy, LatencyPercentiles,
-        Priority, ReadmissionPolicy, RequestClass, SchedulerPolicy, Scheduling, ServingConfig,
-        ServingReport, ServingSim, Slo,
+        AdmissionPolicy, CoreMode, DispatchPolicy, EvictionMechanism, EvictionPolicy,
+        LatencyPercentiles, Priority, ReadmissionPolicy, RequestClass, SchedulerPolicy, Scheduling,
+        ServingConfig, ServingReport, ServingSim, Slo,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,
