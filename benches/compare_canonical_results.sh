@@ -1,37 +1,50 @@
 #!/usr/bin/env sh
-# CI gate: the serving engine's canonical smoke benchmark must stay
-# bit-identical to the committed baseline.
+# CI gate: the serving engine's canonical smoke benchmarks must stay
+# bit-identical to the committed baselines.
 #
-# Regenerates `policy_sweep --smoke --bench-json` with the current
-# binary and diffs it against `benches/canonical/BENCH_serving.json`
-# with the machine-dependent `"wall_s"` lines stripped from both
-# sides. Every remaining field (preemption/recompute schedules, DMA
-# seconds, percentile latencies, goodput) is deterministic, so ANY
-# diff means the engine's schedule drifted — the event-driven core is
-# pinned to the historical step-scan schedules and this script is the
-# cheap whole-trajectory check on top of the unit pins.
+# Regenerates each example's `--smoke --bench-json` output with the
+# current binary and diffs it against the committed file under
+# `benches/canonical/`, with the machine-dependent `"wall_s"` lines
+# stripped from both sides. Every remaining field (preemption and
+# recompute schedules, DMA seconds, percentile latencies, goodput,
+# migration counts, bisected sustainable rates) is deterministic, so
+# ANY diff means the engine's schedule drifted — the event-driven core
+# is pinned to the historical step-scan schedules and this script is
+# the cheap whole-trajectory check on top of the unit pins.
 #
 # Usage: ./benches/compare_canonical_results.sh
-#   (run from the repo root; builds the example if needed)
+#   (run from the repo root; builds the examples if needed)
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-CANONICAL=benches/canonical/BENCH_serving.json
-CURRENT=$(mktemp)
-trap 'rm -f "$CURRENT" "$CURRENT.strip" "$CANONICAL.strip"' EXIT
+fail=0
 
-cargo build --release --example policy_sweep --quiet
-./target/release/examples/policy_sweep --smoke --bench-json "$CURRENT" >/dev/null
+# compare <example> <canonical-json>
+compare() {
+    example=$1
+    canonical=$2
+    current=$(mktemp)
 
-grep -v '"wall_s"' "$CANONICAL" >"$CANONICAL.strip"
-grep -v '"wall_s"' "$CURRENT" >"$CURRENT.strip"
+    cargo build --release --example "$example" --quiet
+    "./target/release/examples/$example" --smoke --bench-json "$current" >/dev/null
 
-if ! diff -u "$CANONICAL.strip" "$CURRENT.strip"; then
-    echo "FAIL: serving benchmark drifted from benches/canonical/BENCH_serving.json" >&2
-    echo "      (if the change is intentional, regenerate the canonical file with" >&2
-    echo "       ./target/release/examples/policy_sweep --smoke --bench-json $CANONICAL)" >&2
-    exit 1
-fi
-echo "OK: canonical serving benchmark is bit-identical (wall-clock ignored)"
+    grep -v '"wall_s"' "$canonical" >"$canonical.strip"
+    grep -v '"wall_s"' "$current" >"$current.strip"
+
+    if ! diff -u "$canonical.strip" "$current.strip"; then
+        echo "FAIL: $example benchmark drifted from $canonical" >&2
+        echo "      (if the change is intentional, regenerate the canonical file with" >&2
+        echo "       ./target/release/examples/$example --smoke --bench-json $canonical)" >&2
+        fail=1
+    else
+        echo "OK: canonical $example benchmark is bit-identical (wall-clock ignored)"
+    fi
+    rm -f "$current" "$current.strip" "$canonical.strip"
+}
+
+compare policy_sweep benches/canonical/BENCH_serving.json
+compare disaggregated benches/canonical/BENCH_disaggregated.json
+
+exit "$fail"

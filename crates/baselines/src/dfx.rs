@@ -63,6 +63,14 @@ impl DfxModel {
         }
     }
 
+    /// Relative acquisition cost in the abstract units of
+    /// [`device_cost_units`](ianus_core::capacity::device_cost_units):
+    /// aggregate HBM capacity plus a bandwidth premium. Used to size
+    /// equal-cost pools against other device classes.
+    pub fn cost_units(&self) -> f64 {
+        ianus_core::capacity::device_cost_units(DFX_HBM_BYTES, self.mem_gbps)
+    }
+
     /// Time to process one token (either stage).
     pub fn per_token_latency(&self, model: &ModelConfig) -> Duration {
         let bytes = model.fc_param_count() * 2 + model.block_ops().lm_head_fc().weight_bytes();

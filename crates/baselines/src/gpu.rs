@@ -133,6 +133,15 @@ impl GpuModel {
         }
     }
 
+    /// Relative acquisition cost in the abstract units of
+    /// [`device_cost_units`](ianus_core::capacity::device_cost_units):
+    /// HBM capacity plus a bandwidth premium. Used to size equal-cost
+    /// pools against other device classes (e.g. a GPU-prefill /
+    /// PIM-decode disaggregated cluster).
+    pub fn cost_units(&self) -> f64 {
+        ianus_core::capacity::device_cost_units(A100_HBM_BYTES, self.mem_gbps)
+    }
+
     /// Roofline time of a GEMM: `flops` against dense-GEMM efficiency,
     /// `bytes` against streaming bandwidth — whichever binds.
     fn roofline(&self, flops: u64, bytes: u64, gemv: bool) -> Duration {

@@ -1,0 +1,115 @@
+//! Criterion bench for the prefill→decode migration path: a
+//! disaggregated cluster pushes every request through role dispatch,
+//! a migration-policy argmin, a two-leg (D2H + H2D) lane-clock DMA,
+//! and the decode replica's migrant admission gate — none of which
+//! exist on the unified fast path. The paired unified run is the
+//! baseline: the gap between the two is the per-request cost of the
+//! migration machinery itself, and a regression here (e.g. a scan
+//! sneaking back into the handoff argmin) shows up directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ianus_core::backend::Backend;
+use ianus_core::capacity::CapacityError;
+use ianus_core::serving::{
+    DisaggregationConfig, RequestClass, Scheduling, ServingConfig, ServingSim,
+};
+use ianus_model::{ModelConfig, RequestShape};
+use ianus_sim::Duration;
+use std::hint::black_box;
+
+/// Analytic node (same operating point as `serving_engine.rs`), plus a
+/// cheap KV-transfer price so migrations exercise the DMA lane clocks.
+#[derive(Debug, Clone, Copy)]
+struct Node;
+
+const PREFILL_PER_TOKEN_US: u64 = 28;
+const DECODE_BASE_US: u64 = 50;
+const DECODE_PER_SEQ_US: u64 = 20;
+const LINK_GBPS: f64 = 64.0;
+
+impl Backend for Node {
+    fn name(&self) -> &str {
+        "analytic node"
+    }
+
+    fn service_time(&mut self, _model: &ModelConfig, shape: RequestShape) -> Duration {
+        Duration::from_us(PREFILL_PER_TOKEN_US) * shape.input
+            + Duration::from_us(DECODE_BASE_US + DECODE_PER_SEQ_US) * shape.output.saturating_sub(1)
+    }
+
+    fn fits(&self, _model: &ModelConfig) -> Result<(), CapacityError> {
+        Ok(())
+    }
+
+    fn prefill_time(&mut self, _model: &ModelConfig, tokens: u64) -> Duration {
+        Duration::from_us(PREFILL_PER_TOKEN_US) * tokens.max(1)
+    }
+
+    fn decode_time(&mut self, _model: &ModelConfig, _past: u64, batch: u32) -> Duration {
+        Duration::from_us(DECODE_BASE_US)
+            + Duration::from_us(DECODE_PER_SEQ_US) * u64::from(batch.max(1))
+    }
+
+    fn kv_transfer_time(&mut self, model: &ModelConfig, tokens: u64) -> Duration {
+        let bytes = ianus_core::capacity::kv_swap_bytes(model, tokens);
+        Duration::from_ns_f64(bytes as f64 / LINK_GBPS)
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(*self))
+    }
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn bench_migration_path(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_xl();
+    let shape = RequestShape::new(128, 32);
+    let max_batch = 32u32;
+    // The lone prefill replica bounds the cluster: load it to 60% of
+    // its analytic prompt capacity (the three decode replicas idle).
+    let prefill_s = (PREFILL_PER_TOKEN_US * shape.input) as f64 * 1e-6;
+    let rate = 0.6 / prefill_s;
+    let cfg = ServingConfig {
+        arrival_rate_hz: rate,
+        requests: 2_000,
+        seed: 0xBE9C,
+        mix: vec![RequestClass::new(shape, 1.0)],
+    };
+    let sched = Scheduling::IterationLevel {
+        max_batch,
+        prefill_chunk: None,
+        preempt: false,
+    };
+
+    let mut disagg = ServingSim::new(cfg.clone())
+        .disaggregated(DisaggregationConfig::by_count(1, 3), |_| Node, |_| Node)
+        .scheduling(sched)
+        .overlap_dma(true);
+    let warm = disagg.run(&model); // warm prefill + decode-grid memos
+    assert_eq!(warm.migrations, 2_000, "every request takes the path");
+    c.bench_function("migrate_2k_requests_1p_3d", |b| {
+        b.iter(|| black_box(disagg.run(&model)))
+    });
+
+    let mut unified = ServingSim::new(cfg)
+        .cluster(4, |_| Node)
+        .scheduling(sched)
+        .overlap_dma(true);
+    unified.run(&model);
+    c.bench_function("serve_2k_requests_4_unified_baseline", |b| {
+        b.iter(|| black_box(unified.run(&model)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_migration_path
+}
+criterion_main!(benches);

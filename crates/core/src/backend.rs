@@ -67,7 +67,11 @@ use ianus_sim::Duration;
 ///   [`kv_swap_bytes`](crate::capacity::kv_swap_bytes) over the
 ///   backend's host link; the preemptive scheduler charges it once at
 ///   swap-out and once at swap-in. It grows monotonically with the
-///   token count and is zero for zero tokens.
+///   token count and is zero for zero tokens. The same price covers KV
+///   *migration* between replicas of a disaggregated cluster
+///   ([`crate::serving#disaggregated-prefilldecode`]): the prefill
+///   replica pays `kv_transfer_time` on its D2H lane and the decode
+///   replica pays its own on its H2D lane, back to back.
 ///
 /// Backends are `Send` (every implementation in this workspace is plain
 /// data) so a cloned [`crate::serving::ServingSim`] can move to a scoped

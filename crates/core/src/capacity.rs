@@ -6,7 +6,7 @@
 //! organization), the KV cache the request will grow to, activation
 //! buffers, and the device count needed when one device is not enough.
 
-use crate::SystemConfig;
+use crate::{EnergyModel, SystemConfig};
 use ianus_model::{ModelConfig, RequestShape};
 use std::fmt;
 
@@ -115,6 +115,34 @@ pub fn nominal_footprint_bytes(model: &ModelConfig) -> u64 {
 /// ```
 pub fn kv_swap_bytes(model: &ModelConfig, tokens: u64) -> u64 {
     model.kv_bytes_per_token() * tokens
+}
+
+/// Relative acquisition-cost figure for one device, in abstract "cost
+/// units": its memory capacity in GiB plus a bandwidth premium —
+/// 0.2 units per GB/s of sustained memory bandwidth, weighted by the
+/// default [`EnergyModel`]'s DRAM I/O energy (`dram_per_byte`, pJ/B) as
+/// a stand-in for interface cost. Memory capacity and memory bandwidth
+/// dominate what LLM-serving accelerators are priced on, so this single
+/// figure is enough to size *equal-cost* device pools when comparing
+/// cluster organizations
+/// ([`DisaggregationConfig::equal_cost`](crate::serving::DisaggregationConfig::equal_cost)).
+/// The absolute scale is arbitrary; only ratios between devices matter.
+///
+/// # Examples
+///
+/// ```
+/// use ianus_core::capacity::device_cost_units;
+///
+/// // An 80 GiB, 2039 GB/s device (A100-class) costs ~102.8 units;
+/// // an 8 GiB, 256 GB/s GDDR6 device costs ~10.9 — roughly 9.5×
+/// // cheaper, so an equal-cost pool holds ~9.5 of them per A100.
+/// let a100 = device_cost_units(80 << 30, 2039.0);
+/// let pim = device_cost_units(8 << 30, 256.0);
+/// assert!((a100 / pim) > 9.0 && (a100 / pim) < 10.0);
+/// ```
+pub fn device_cost_units(hbm_bytes: u64, mem_gbps: f64) -> f64 {
+    let gib = hbm_bytes as f64 / (1u64 << 30) as f64;
+    gib + 0.2 * (EnergyModel::default().dram_per_byte * mem_gbps * 1e-3)
 }
 
 /// Device bytes available to hold KV cache on `cfg` once `model`'s
@@ -385,6 +413,16 @@ mod tests {
             assert!(admitted < 1000, "memory wall never reached");
         }
         assert!(admitted > 1, "a single long request should fit");
+    }
+
+    #[test]
+    fn cost_units_scale_with_capacity_and_bandwidth() {
+        let base = device_cost_units(8 << 30, 256.0);
+        assert!(device_cost_units(16 << 30, 256.0) > base);
+        assert!(device_cost_units(8 << 30, 512.0) > base);
+        // Capacity term is exact GiB; bandwidth premium is positive.
+        assert!(base > 8.0);
+        assert!((device_cost_units(8 << 30, 0.0) - 8.0).abs() < 1e-12);
     }
 
     #[test]

@@ -227,6 +227,16 @@ impl SystemConfig {
         self.transfer_model().effective_bandwidth_gbps(ch)
     }
 
+    /// Relative acquisition cost of this configuration in the abstract
+    /// units of [`device_cost_units`](crate::capacity::device_cost_units):
+    /// one device's memory capacity + sustained-bandwidth premium,
+    /// scaled by the ganged device count. Used to size equal-cost pools
+    /// when comparing cluster organizations.
+    pub fn cost_units(&self) -> f64 {
+        crate::capacity::device_cost_units(self.org.capacity, self.striped_bandwidth_gbps())
+            * f64::from(self.devices)
+    }
+
     /// Device memory capacity in bytes available to model weights.
     pub fn weight_capacity_bytes(&self) -> u64 {
         match self.memory {

@@ -1,12 +1,16 @@
 //! The cluster engine: replica memoization, both scheduling loops, and
 //! the rate-search helpers.
 
+use super::dma::{DmaChannels, DmaLane};
 use super::kv::{prefix_key, PagedKv};
-use super::policy::{EvictionMechanism, QueuedRequest, SchedulerPolicy, SeqView};
+use super::policy::{
+    EvictionMechanism, LeastLoadedMigration, MigrationPolicy, MigrationTarget, QueuedRequest,
+    SchedulerPolicy, SeqView,
+};
 use super::report::{request_attains, LatencyPercentiles, RunStats};
 use super::{
-    pick_class, ClassReport, DispatchPolicy, Priority, ReplicaReport, Scheduling, ServingConfig,
-    ServingReport, Slo,
+    pick_class, ClassReport, DisaggregationConfig, DispatchPolicy, Priority, ReplicaReport,
+    ReplicaRole, Scheduling, ServingConfig, ServingReport, Slo,
 };
 use crate::backend::Backend;
 use ianus_model::{ModelConfig, RequestShape};
@@ -385,6 +389,15 @@ pub struct ServingSim {
     /// Set while [`sustainable_rate_where`](Self::sustainable_rate_where)
     /// probes rates, enabling the automatic divergence bound.
     probe_divergence: bool,
+    /// Per-replica [`ReplicaRole`]s, aligned with `replicas`
+    /// (all-`Unified` outside disaggregated runs).
+    roles: Vec<ReplicaRole>,
+    /// Destination choice for prefill→decode KV migrations.
+    migration: std::sync::Arc<dyn MigrationPolicy + Send + Sync>,
+    /// Whether swap/migration DMA runs on split H2D/D2H lanes even in
+    /// all-`Unified` clusters (disaggregated runs always split). Off by
+    /// default — the single-channel model every pin was captured on.
+    two_channel: bool,
 }
 
 impl ServingSim {
@@ -403,12 +416,24 @@ impl ServingSim {
             core_mode: CoreMode::default(),
             divergence: None,
             probe_divergence: false,
+            roles: Vec::new(),
+            migration: std::sync::Arc::new(LeastLoadedMigration),
+            two_channel: false,
         }
     }
 
     /// Adds one replica backend.
     pub fn replica(self, backend: impl Backend + 'static) -> Self {
         self.boxed_replica(Box::new(backend))
+    }
+
+    /// Adds one replica backend with an explicit [`ReplicaRole`]
+    /// (iteration-level scheduling only; see the
+    /// [module docs](super#disaggregated-prefilldecode)).
+    pub fn replica_with_role(self, backend: impl Backend + 'static, role: ReplicaRole) -> Self {
+        let mut s = self.boxed_replica(Box::new(backend));
+        *s.roles.last_mut().expect("boxed_replica pushed a role") = role;
+        s
     }
 
     /// Adds an already-boxed replica (for heterogeneous `dyn` lists).
@@ -420,6 +445,7 @@ impl ServingSim {
             decode: HashMap::new(),
             ideal: HashMap::new(),
         });
+        self.roles.push(ReplicaRole::Unified);
         self
     }
 
@@ -433,6 +459,62 @@ impl ServingSim {
             self = self.replica(make(i));
         }
         self
+    }
+
+    /// Adds a disaggregated cluster per `cfg`: `cfg.prefill`
+    /// [`ReplicaRole::PrefillOnly`] replicas built by `prefill(index)`,
+    /// then `cfg.decode` [`ReplicaRole::DecodeOnly`] replicas built by
+    /// `decode(index)` (each index counts within its own pool).
+    /// Requires iteration-level scheduling at [`run`](Self::run) time.
+    pub fn disaggregated<P: Backend + 'static, D: Backend + 'static>(
+        mut self,
+        cfg: DisaggregationConfig,
+        mut prefill: impl FnMut(usize) -> P,
+        mut decode: impl FnMut(usize) -> D,
+    ) -> Self {
+        for i in 0..cfg.prefill {
+            self = self.replica_with_role(prefill(i), ReplicaRole::PrefillOnly);
+        }
+        for i in 0..cfg.decode {
+            self = self.replica_with_role(decode(i), ReplicaRole::DecodeOnly);
+        }
+        self
+    }
+
+    /// The per-replica roles, in replica order.
+    pub fn roles(&self) -> &[ReplicaRole] {
+        &self.roles
+    }
+
+    /// Installs the [`MigrationPolicy`] choosing which decode replica
+    /// receives each prefill→decode handoff
+    /// ([`LeastLoadedMigration`] by default). Only consulted when the
+    /// cluster has [`ReplicaRole::PrefillOnly`] replicas.
+    pub fn migration(mut self, policy: impl MigrationPolicy + Send + Sync + 'static) -> Self {
+        self.migration = std::sync::Arc::new(policy);
+        self
+    }
+
+    /// In-place form of [`migration`](Self::migration) for warm engines.
+    pub fn set_migration(&mut self, policy: impl MigrationPolicy + Send + Sync + 'static) {
+        self.migration = std::sync::Arc::new(policy);
+    }
+
+    /// Forces **two-channel DMA** (split H2D/D2H lanes — swap-ins never
+    /// queue behind swap-outs; see [`super::dma`]) even in
+    /// all-`Unified` clusters. Disaggregated clusters always run split
+    /// lanes; off by default otherwise, where both directions share one
+    /// channel clock (the historical single-channel model, preserved
+    /// bit-identically).
+    pub fn two_channel_dma(mut self, split: bool) -> Self {
+        self.two_channel = split;
+        self
+    }
+
+    /// In-place form of [`two_channel_dma`](Self::two_channel_dma) for
+    /// warm engines.
+    pub fn set_two_channel_dma(&mut self, split: bool) {
+        self.two_channel = split;
     }
 
     /// Sets the dispatch policy (request-level scheduling only).
@@ -603,6 +685,9 @@ impl ServingSim {
             core_mode: self.core_mode,
             divergence: self.divergence,
             probe_divergence: self.probe_divergence,
+            roles: self.roles.clone(),
+            migration: self.migration.clone(),
+            two_channel: self.two_channel,
         })
     }
 
@@ -687,13 +772,20 @@ impl ServingSim {
             return ServingReport::empty(
                 self.replicas
                     .iter()
-                    .map(|r| r.backend.name().to_string())
+                    .zip(&self.roles)
+                    .map(|(r, &role)| (r.backend.name().to_string(), role))
                     .collect(),
                 &self.cfg.mix,
             );
         }
         let stats = match self.scheduling {
-            Scheduling::RequestLevel => self.run_request_level(model),
+            Scheduling::RequestLevel => {
+                assert!(
+                    self.roles.iter().all(|&ro| ro == ReplicaRole::Unified),
+                    "replica roles (disaggregation) require iteration-level scheduling"
+                );
+                self.run_request_level(model)
+            }
             Scheduling::IterationLevel {
                 max_batch,
                 prefill_chunk,
@@ -701,6 +793,10 @@ impl ServingSim {
             } => {
                 assert!(max_batch >= 1, "max_batch must be at least 1");
                 assert!(prefill_chunk != Some(0), "prefill chunk must be positive");
+                assert!(
+                    self.roles.iter().any(|&ro| ro != ReplicaRole::DecodeOnly),
+                    "every replica is decode-only: arrivals could never be admitted"
+                );
                 self.run_iteration_level(model, max_batch, prefill_chunk, preempt)
             }
         };
@@ -752,6 +848,20 @@ impl ServingSim {
                                         // front is always the earliest) — LeastLoaded's queue lengths.
         let mut outstanding: Vec<std::collections::VecDeque<f64>> =
             vec![std::collections::VecDeque::new(); n];
+        // FCFS dispatch is argmin over next-free times with
+        // lowest-index tie-breaks — exactly the lexicographic (time,
+        // index) heap minimum, so a heap with one entry per replica
+        // replaces the O(n) scan per arrival: only the dispatched
+        // replica's key changes, and it is re-pushed right where it
+        // changes. LeastLoaded/SEJ keep the scan — their keys change
+        // for replicas that were *not* dispatched.
+        let mut fcfs_heap: std::collections::BinaryHeap<std::cmp::Reverse<(TimeKey, usize)>> =
+            match self.dispatch {
+                DispatchPolicy::FcfsSingleQueue => (0..n)
+                    .map(|i| std::cmp::Reverse((TimeKey(0.0), i)))
+                    .collect(),
+                _ => std::collections::BinaryHeap::new(),
+            };
         let mut stats = RunStats::new(n, self.cfg.mix.len(), self.cfg.requests);
         stats.peak_batch = 1;
 
@@ -766,7 +876,15 @@ impl ServingSim {
             }
 
             let replica = match self.dispatch {
-                DispatchPolicy::FcfsSingleQueue => argmin(&free, |&f| f),
+                DispatchPolicy::FcfsSingleQueue => {
+                    let std::cmp::Reverse((TimeKey(t), i)) =
+                        fcfs_heap.pop().expect("one entry per replica");
+                    // Comparing a *stored* f64 against itself: the heap
+                    // mirrors `free` exactly (the popped entry is
+                    // re-pushed with its new key after dispatch below).
+                    debug_assert_eq!(t, free[i]);
+                    i
+                }
                 DispatchPolicy::LeastLoaded => argmin(&outstanding, |q| q.len()),
                 DispatchPolicy::ShortestExpectedJob => {
                     let mut best = 0usize;
@@ -787,6 +905,9 @@ impl ServingSim {
             let start = now.max(free[replica]);
             let finish = start + s;
             free[replica] = finish;
+            if self.dispatch == DispatchPolicy::FcfsSingleQueue {
+                fcfs_heap.push(std::cmp::Reverse((TimeKey(finish), replica)));
+            }
             outstanding[replica].push_back(finish);
             stats.busy[replica] += s;
             let ttft = start - now + prefill;
@@ -897,7 +1018,24 @@ impl ServingSim {
                                          // re-admission delay term of `SeqView::eviction_cost_secs`.
         let mut iter_sum = vec![0.0f64; n];
         let mut iter_n = vec![0u64; n];
-        let mut dma_free = vec![0.0f64; n]; // per-replica DMA-channel clock
+        // Per-replica DMA channel clocks. Disaggregated clusters always
+        // run split H2D/D2H lanes (migration traffic must not reorder
+        // against swap traffic on one clock); all-`Unified` clusters
+        // share one clock per replica unless `two_channel_dma` forces
+        // the split — the unsplit arithmetic is bit-identical to the
+        // historical single `dma_free` scalar.
+        let split_dma = self.two_channel || self.roles.iter().any(|&ro| ro != ReplicaRole::Unified);
+        let mut dma: Vec<DmaChannels> = (0..n).map(|_| DmaChannels::new(split_dma)).collect();
+        // Decode pool for prefill→decode migrations (empty outside
+        // disaggregated runs — prefill replicas then decode locally).
+        let decode_pool: Vec<usize> = (0..n)
+            .filter(|&i| self.roles[i] == ReplicaRole::DecodeOnly)
+            .collect();
+        // In-flight migrations per *destination*: (H2D-completion time,
+        // sequence). Pushes go through the destination's monotone H2D
+        // lane in the deterministic global turn order both cores share,
+        // so the deque is sorted by completion time like `incoming`.
+        let mut migrating: Vec<VecDeque<(f64, ActiveSeq)>> = vec![VecDeque::new(); n];
         let mut host_used = vec![0u64; n]; // bytes of swapped KV host-side
         let mut batches: Vec<Vec<ActiveSeq>> = vec![Vec::new(); n];
         // Swapped-out sequences per replica (their KV lives host-side —
@@ -943,7 +1081,10 @@ impl ServingSim {
         let mut idle_ready: BTreeSet<usize> = BTreeSet::new();
         let mut idle_late: BTreeSet<(TimeKey, usize)> = BTreeSet::new();
         if event_core {
-            idle_ready.extend(0..n);
+            // Decode-only replicas never admit arrivals: they start
+            // parked (in no idle set) and are woken by the turn that
+            // issues a migration toward them.
+            idle_ready.extend((0..n).filter(|&i| self.roles[i] != ReplicaRole::DecodeOnly));
         }
         // Which index the selected replica came from (for removal).
         enum Src {
@@ -1006,14 +1147,21 @@ impl ServingSim {
             } else {
                 let mut next: Option<(usize, f64)> = None;
                 for (r, batch) in batches.iter().enumerate() {
-                    let at =
-                        if !batch.is_empty() || !swapped[r].is_empty() || !incoming[r].is_empty() {
-                            clock[r]
-                        } else if let Some(h) = head_at {
-                            clock[r].max(h)
-                        } else {
-                            continue;
-                        };
+                    let at = if !batch.is_empty()
+                        || !swapped[r].is_empty()
+                        || !incoming[r].is_empty()
+                        || !migrating[r].is_empty()
+                    {
+                        clock[r]
+                    } else if self.roles[r] == ReplicaRole::DecodeOnly {
+                        // Empty decode-only replica: nothing to do until
+                        // a migration arrives (arrivals never route here).
+                        continue;
+                    } else if let Some(h) = head_at {
+                        clock[r].max(h)
+                    } else {
+                        continue;
+                    };
                     if next.is_none_or(|(_, best)| at < best) {
                         next = Some((r, at));
                     }
@@ -1260,9 +1408,7 @@ impl ServingSim {
                     let swap_in =
                         self.replicas[r].kv_transfer_secs(model, seq.past - seq.shared_tokens);
                     stats.dma[r] += swap_in;
-                    let start = clock[r].max(dma_free[r]);
-                    let ready = start + swap_in;
-                    dma_free[r] = ready;
+                    let ready = dma[r].issue(DmaLane::H2D, clock[r], swap_in);
                     if overlap && !force {
                         // Decode continues around the transfer; the
                         // sequence re-enters when its DMA completes.
@@ -1280,12 +1426,108 @@ impl ServingSim {
                     }
                 }
 
+                // Migrant admission: sequences whose inbound migration
+                // DMA has landed join the batch next — after this
+                // replica's own swapped sequences (they are older work)
+                // but ahead of new arrivals, FIFO by DMA-completion
+                // time. Migrants arrive fully prefilled, so the gate is
+                // the destination's residency check over their current
+                // context; like swap-ins, an empty replica admits its
+                // head unconditionally (liveness: a migrant too big for
+                // a busy replica is guaranteed a slot once the batch
+                // drains, so migrated sequences always complete). A
+                // no-op in all-`Unified` clusters (the deque is never
+                // pushed).
+                while batches[r].len() + incoming[r].len() < max_batch as usize
+                    && migrating[r].front().is_some_and(|&(t, _)| t <= clock[r])
+                {
+                    let force = batches[r].is_empty() && incoming[r].is_empty();
+                    if !force {
+                        let cand = &migrating[r].front().expect("front was checked").1;
+                        let fits = if let Some(p) = paged[r].as_mut() {
+                            let hit_tokens = class_keys[cand.class].map_or(0, |key| {
+                                p.prefix_hit_tokens(key, cand.shape.input.saturating_sub(1))
+                            });
+                            let need = p
+                                .blocks_for(cand.past)
+                                .saturating_sub(p.blocks_for(hit_tokens));
+                            p.reclaim(need);
+                            if need <= p.free_blocks() {
+                                stats.peak_kv_occupancy =
+                                    stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            let mut resident: Vec<RequestShape> = batches[r]
+                                .iter()
+                                .map(|s| ActiveSeq::kv_shape(s.past))
+                                .collect();
+                            resident.extend(
+                                incoming[r].iter().map(|(_, s)| ActiveSeq::kv_shape(s.past)),
+                            );
+                            resident.extend(
+                                outgoing[r]
+                                    .iter()
+                                    .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                            );
+                            resident.push(ActiveSeq::kv_shape(cand.past));
+                            match self.replicas[r].backend.batch_fits(model, &resident) {
+                                Ok(occupancy) => {
+                                    stats.peak_kv_occupancy =
+                                        stats.peak_kv_occupancy.max(occupancy);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        };
+                        if !fits {
+                            break;
+                        }
+                    }
+                    let (ready, mut seq) = migrating[r].pop_front().expect("front was checked");
+                    // DMA landed at `ready`; the batch had no slot (or
+                    // the replica no turn) until now.
+                    stats.migration_stall += clock[r] - ready;
+                    if let Some(p) = paged[r].as_mut() {
+                        // Fresh block accounting on the destination: map
+                        // the class prefix from the local cache if this
+                        // replica holds it, acquire the rest, and
+                        // publish the prefix for later admissions (the
+                        // migrant arrives fully prefilled, so its blocks
+                        // are publishable immediately).
+                        let shared = p.admit(
+                            seq.idx,
+                            class_keys[seq.class],
+                            seq.shape.input.saturating_sub(1),
+                        );
+                        seq.shared_tokens = shared;
+                        p.grow(seq.idx, seq.past);
+                        if let Some(key) = class_keys[seq.class] {
+                            let prefix = self.cfg.mix[seq.class]
+                                .prefix_tokens
+                                .min(seq.shape.input.saturating_sub(1));
+                            if let Some(s2) = p.register_prefix(seq.idx, key, prefix) {
+                                seq.shared_tokens = seq.shared_tokens.max(s2);
+                            }
+                        }
+                    } else {
+                        seq.shared_tokens = 0;
+                    }
+                    stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
+                    batches[r].push(seq);
+                }
+
                 // Admission at the iteration boundary: the admission
                 // policy's order over the already-arrived slice of the
                 // queue, bounded by batch slots and KV residency — the
                 // residents' *final* lengths normally, their *current*
                 // lengths (optimistic overcommit) under preemption.
-                while batches[r].len() + incoming[r].len() < max_batch as usize {
+                // Decode-only replicas never admit arrivals.
+                while self.roles[r] != ReplicaRole::DecodeOnly
+                    && batches[r].len() + incoming[r].len() < max_batch as usize
+                {
                     let mut window: Vec<(usize, QueuedRequest)> = Vec::new();
                     for &i in untaken.iter() {
                         if arrivals[i].at > clock[r] {
@@ -1459,10 +1701,11 @@ impl ServingSim {
                     // strictly in the future.
                     // Both deques are sorted, so their minima sit at the
                     // front; the scan core keeps the historical min_by.
-                    let (out_event, in_event) = if event_core {
+                    let (out_event, in_event, mig_event) = if event_core {
                         (
                             outgoing[r].front().map(|&(t, _, _)| t),
                             incoming[r].front().map(|&(t, _)| t),
+                            migrating[r].front().map(|&(t, _)| t),
                         )
                     } else {
                         (
@@ -1471,19 +1714,37 @@ impl ServingSim {
                                 .map(|&(t, _, _)| t)
                                 .min_by(f64::total_cmp),
                             incoming[r].iter().map(|&(t, _)| t).min_by(f64::total_cmp),
+                            migrating[r].iter().map(|&(t, _)| t).min_by(f64::total_cmp),
                         )
                     };
-                    let event = match (in_event, out_event) {
+                    let swap_event = match (in_event, out_event) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                    let event = match (swap_event, mig_event) {
                         (Some(a), Some(b)) => Some(a.min(b)),
                         (a, b) => a.or(b),
                     };
                     if let Some(event) = event {
-                        let next_arrival =
-                            untaken.first().map_or(f64::INFINITY, |&i| arrivals[i].at);
+                        // A decode-only replica never admits arrivals,
+                        // so the pending head is not an event for it.
+                        let next_arrival = if self.roles[r] == ReplicaRole::DecodeOnly {
+                            f64::INFINITY
+                        } else {
+                            untaken.first().map_or(f64::INFINITY, |&i| arrivals[i].at)
+                        };
                         if next_arrival > clock[r] && next_arrival < event {
                             clock[r] = next_arrival;
                         } else {
-                            stats.stall[r] += event - clock[r];
+                            // Idle-waiting on an inbound migration is
+                            // migration stall; waiting on swap DMA is
+                            // swap stall (a tie goes to the swap side —
+                            // both transfers are then due at once).
+                            if swap_event.is_none_or(|s| event < s) {
+                                stats.migration_stall += event - clock[r];
+                            } else {
+                                stats.stall[r] += event - clock[r];
+                            }
                             clock[r] = event;
                             if event_core {
                                 while outgoing[r].front().is_some_and(|&(t, _, _)| t <= clock[r]) {
@@ -1771,13 +2032,11 @@ impl ServingSim {
                             }
                             let swap_out = self.replicas[r].kv_transfer_secs(model, moved);
                             stats.dma[r] += swap_out;
-                            let start = clock[r].max(dma_free[r]);
-                            let done_at = start + swap_out;
-                            dma_free[r] = done_at;
+                            let done_at = dma[r].issue(DmaLane::D2H, clock[r], swap_out);
                             if overlap {
                                 // Device KV drains in the
                                 // background; freed at completion.
-                                // `dma_free` is monotone, so pushes
+                                // The D2H lane is monotone, so pushes
                                 // keep the deque completion-sorted.
                                 debug_assert!(outgoing[r]
                                     .back()
@@ -1908,6 +2167,77 @@ impl ServingSim {
                                     attained,
                                 );
                                 done += 1;
+                            } else if self.roles[r] == ReplicaRole::PrefillOnly
+                                && !decode_pool.is_empty()
+                            {
+                                // Prefill→decode handoff: the sequence
+                                // leaves this replica the iteration its
+                                // prefill completes. Its KV moves over
+                                // both host links — a D2H leg on the
+                                // source, then an H2D leg on the
+                                // destination — each priced by the
+                                // owning side's `kv_transfer_time`.
+                                // Like swap pricing, only the unshared
+                                // context moves (a class prefix is
+                                // assumed replicated to the decode pool
+                                // once, amortized across its requests).
+                                // The handoff is fire-and-forget: it
+                                // never stalls source compute
+                                // (`overlap_dma` governs swap traffic
+                                // only), and the source's device KV is
+                                // freed at issue — prefill admission
+                                // capacity, not migration drain, is
+                                // what gates this replica.
+                                let seq = batches[r].remove(ci);
+                                let moved = seq.past - seq.shared_tokens;
+                                // No decoders ever reside here (every
+                                // one migrates the turn it appears), so
+                                // nothing was ever evicted or hosted.
+                                debug_assert_eq!(seq.hosted_bytes, 0);
+                                if let Some(p) = paged[r].as_mut() {
+                                    p.complete(seq.idx);
+                                }
+                                let targets: Vec<MigrationTarget> = decode_pool
+                                    .iter()
+                                    .map(|&d| MigrationTarget {
+                                        replica: d,
+                                        batch_len: batches[d].len() + incoming[d].len(),
+                                        inbound: migrating[d].len(),
+                                        lane_busy_secs: (dma[d].free_at(DmaLane::H2D) - now)
+                                            .max(0.0),
+                                        kv_free_blocks: paged[d].as_ref().map(PagedKv::free_blocks),
+                                    })
+                                    .collect();
+                                let ti = select_min(
+                                    &targets,
+                                    |t| *t,
+                                    |a, b| self.migration.compare(a, b),
+                                )
+                                .expect("decode pool is non-empty");
+                                let dst = targets[ti].replica;
+                                let out_secs = self.replicas[r].kv_transfer_secs(model, moved);
+                                let in_secs = self.replicas[dst].kv_transfer_secs(model, moved);
+                                stats.dma[r] += out_secs;
+                                stats.dma[dst] += in_secs;
+                                let out_done = dma[r].issue(DmaLane::D2H, now, out_secs);
+                                let ready = dma[dst].issue(DmaLane::H2D, out_done, in_secs);
+                                stats.migrations += 1;
+                                stats.migrated_out[r] += 1;
+                                stats.migrated_in[dst] += 1;
+                                // Pushes ride the destination's monotone
+                                // H2D lane in the global turn order both
+                                // cores share, keeping the deque sorted.
+                                debug_assert!(migrating[dst]
+                                    .back()
+                                    .is_none_or(|&(t, _)| t <= ready));
+                                migrating[dst].push_back((ready, seq));
+                                if event_core {
+                                    // Wake the destination (a parked
+                                    // decode-only replica is in no
+                                    // queue; `schedule` upserts, so a
+                                    // busy one keeps its key).
+                                    busy_q.schedule(dst, TimeKey(clock[dst]));
+                                }
                             }
                         } else {
                             // No token emitted: skip this sequence's decode
@@ -1981,10 +2311,15 @@ impl ServingSim {
                     idle_ready.clear();
                     idle_late.clear();
                 }
-                let busy =
-                    !batches[r].is_empty() || !swapped[r].is_empty() || !incoming[r].is_empty();
+                let busy = !batches[r].is_empty()
+                    || !swapped[r].is_empty()
+                    || !incoming[r].is_empty()
+                    || !migrating[r].is_empty();
                 if busy {
                     busy_q.schedule(r, TimeKey(clock[r]));
+                } else if self.roles[r] == ReplicaRole::DecodeOnly {
+                    // Parked: arrivals never route here, so the replica
+                    // next acts when a migration push wakes it.
                 } else if let Some(&i) = untaken.first() {
                     if clock[r] <= arrivals[i].at {
                         idle_ready.insert(r);
@@ -2016,6 +2351,7 @@ impl ServingSim {
         if !aborted {
             debug_assert!(swapped.iter().all(Vec::is_empty));
             debug_assert!(incoming.iter().all(VecDeque::is_empty));
+            debug_assert!(migrating.iter().all(VecDeque::is_empty));
             debug_assert!(host_used.iter().all(|&b| b == 0));
             // Block conservation: with every sequence completed and the
             // caches flushed, every block must be back on the free
@@ -2069,6 +2405,7 @@ impl ServingSim {
             .enumerate()
             .map(|(i, r)| ReplicaReport {
                 name: r.backend.name().to_string(),
+                role: self.roles[i],
                 completed: stats.served[i],
                 utilization: if stats.last_finish > 0.0 {
                     (stats.busy[i] / stats.last_finish).min(1.0)
@@ -2076,6 +2413,8 @@ impl ServingSim {
                     0.0
                 },
                 kv_dma: Duration::from_secs_f64(stats.dma[i]),
+                migrations_in: stats.migrated_in[i],
+                migrations_out: stats.migrated_out[i],
             })
             .collect();
         // On a completed run every configured request finishes, so the
@@ -2099,6 +2438,8 @@ impl ServingSim {
             host_kv_peak_occupancy: stats.host_peak_occupancy,
             kv_dma: Duration::from_secs_f64(stats.dma.iter().sum()),
             swap_stall: Duration::from_secs_f64(stats.stall.iter().sum()),
+            migrations: stats.migrations,
+            migration_stall: Duration::from_secs_f64(stats.migration_stall),
             fragmentation: if stats.frag_samples > 0 {
                 stats.frag_sum / stats.frag_samples as f64
             } else {

@@ -34,6 +34,19 @@
 //! count from the device's KV budget
 //! ([`Backend::kv_budget_bytes`](crate::backend::Backend::kv_budget_bytes)).
 //!
+//! **KV migration** (disaggregated clusters,
+//! [`crate::serving#disaggregated-prefilldecode`]) moves a sequence
+//! between two *independent* allocators, so the block lifecycle is a
+//! release-and-readmit: the source replica releases every block the
+//! sequence mapped (`complete`) the moment the migration is issued —
+//! its pages are free for new prefills while the KV bytes are still in
+//! flight — and the destination admits the migrant against its own
+//! allocator on arrival (`admit` + `grow` to the sequence's current
+//! context, re-mapping any locally cached prompt prefix via
+//! `register_prefix` first, so a shared system prompt is *not*
+//! re-transferred into private blocks). Block identities do not survive
+//! the move; only token counts do.
+//!
 //! [`check_batch`]: crate::capacity::check_batch
 //!
 //! # Examples

@@ -63,6 +63,29 @@
 //! [`swap_stall`](ServingReport::swap_stall) —
 //! [`utilization`](ServingReport::utilization) always means compute.
 //!
+//! # Disaggregated prefill/decode
+//!
+//! Iteration-level replicas can further take a [`ReplicaRole`]: a
+//! [`PrefillOnly`](ReplicaRole::PrefillOnly) replica admits arrivals,
+//! runs their prefill, then hands each sequence off to a
+//! [`DecodeOnly`](ReplicaRole::DecodeOnly) replica — the KV migrates
+//! over a two-channel DMA link (see [`dma`]) priced by
+//! [`Backend::kv_transfer_time`](crate::backend::Backend::kv_transfer_time)
+//! on both legs, and the destination applies its own admission gate
+//! and paged-KV block accounting on arrival. The destination is chosen
+//! by the installed [`MigrationPolicy`]
+//! ([`ServingSim::migration`]; least-loaded by default), pools are
+//! sized by [`DisaggregationConfig`] (by count or at equal hardware
+//! cost via [`capacity::device_cost_units`](crate::capacity::device_cost_units)),
+//! and the report grows [`migrations`](ServingReport::migrations),
+//! [`migration_stall`](ServingReport::migration_stall), and per-role
+//! replica rows. This is the paper's cluster-level claim made
+//! runnable: GPUs win compute-dense prefill, PIM wins token-serial
+//! decode, and `examples/disaggregated.rs` measures when the split
+//! beats the best equal-cost homogeneous pool. All-`Unified` clusters
+//! take none of these paths and stay bit-identical to the
+//! pre-disaggregation engine.
+//!
 //! # Scheduler policies
 //!
 //! *Which* request is admitted next, *which* sequence is evicted under
@@ -168,6 +191,7 @@
 
 #![deny(missing_docs)]
 
+pub mod dma;
 pub mod kv;
 pub mod policy;
 
@@ -178,7 +202,8 @@ mod tests;
 
 pub use engine::{CoreMode, ServingSim};
 pub use policy::{
-    AdmissionPolicy, EvictionMechanism, EvictionPolicy, ReadmissionPolicy, SchedulerPolicy,
+    AdmissionPolicy, EvictionMechanism, EvictionPolicy, MigrationPolicy, ReadmissionPolicy,
+    SchedulerPolicy,
 };
 pub use report::{ClassReport, LatencyPercentiles, ReplicaReport, ServingReport};
 
@@ -469,6 +494,118 @@ pub enum DispatchPolicy {
     /// memoized service time on that replica. On heterogeneous clusters
     /// this steers work toward faster replicas.
     ShortestExpectedJob,
+}
+
+/// What work a replica accepts in a disaggregated cluster
+/// (iteration-level scheduling only).
+///
+/// Roles express the paper's heterogeneous-cluster claim: compute-dense
+/// prefill goes to GPU-class replicas, token-serial decode to PIM-class
+/// replicas, with the KV migrating between them (see the
+/// [module docs](self#disaggregated-prefilldecode)). The default
+/// [`Unified`](ReplicaRole::Unified) role does both, and an
+/// all-`Unified` cluster behaves bit-identically to the
+/// pre-disaggregation engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplicaRole {
+    /// Admits arrivals and serves them start to finish (the default).
+    #[default]
+    Unified,
+    /// Admits arrivals and runs prefill, then migrates each sequence's
+    /// KV to a decode replica the moment its prefill completes. If the
+    /// cluster has no decode replicas, decodes locally as a fallback.
+    PrefillOnly,
+    /// Never admits arrivals; serves only sequences migrated in from
+    /// prefill replicas, decoding them to completion.
+    DecodeOnly,
+}
+
+impl ReplicaRole {
+    /// Short lowercase label ("unified" / "prefill" / "decode").
+    pub fn name(self) -> &'static str {
+        match self {
+            ReplicaRole::Unified => "unified",
+            ReplicaRole::PrefillOnly => "prefill",
+            ReplicaRole::DecodeOnly => "decode",
+        }
+    }
+}
+
+/// Sizing of a disaggregated cluster's prefill and decode pools.
+///
+/// Build one [`by_count`](Self::by_count) when the pool sizes are
+/// given, or [`equal_cost`](Self::equal_cost) to split a hardware
+/// budget (in the cost units of
+/// [`capacity::device_cost_units`](crate::capacity::device_cost_units))
+/// between heterogeneous prefill and decode devices — the form the
+/// paper's equal-cost comparisons need. Feed it to
+/// [`ServingSim::disaggregated`], which instantiates
+/// `prefill + decode` replicas with the matching [`ReplicaRole`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisaggregationConfig {
+    /// Number of [`ReplicaRole::PrefillOnly`] replicas (≥ 1).
+    pub prefill: usize,
+    /// Number of [`ReplicaRole::DecodeOnly`] replicas (≥ 1).
+    pub decode: usize,
+}
+
+impl DisaggregationConfig {
+    /// Explicit pool sizes. Panics unless both are at least 1.
+    pub fn by_count(prefill: usize, decode: usize) -> Self {
+        assert!(
+            prefill >= 1 && decode >= 1,
+            "a disaggregated cluster needs at least one replica per pool"
+        );
+        DisaggregationConfig { prefill, decode }
+    }
+
+    /// Splits `budget_units` of hardware budget between the pools:
+    /// `prefill_share` (in `[0, 1]`) of the budget buys prefill
+    /// devices costing `prefill_unit_cost` each, the rest buys decode
+    /// devices costing `decode_unit_cost` each. Each pool gets
+    /// `floor(share / unit_cost)` devices, but at least one — so the
+    /// realized cost ([`cost_units`](Self::cost_units)) can exceed the
+    /// budget only when the budget cannot afford one device per pool.
+    pub fn equal_cost(
+        budget_units: f64,
+        prefill_unit_cost: f64,
+        decode_unit_cost: f64,
+        prefill_share: f64,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&prefill_share),
+            "prefill_share must be in [0, 1]"
+        );
+        assert!(
+            prefill_unit_cost > 0.0 && decode_unit_cost > 0.0,
+            "device unit costs must be positive"
+        );
+        let prefill = ((budget_units * prefill_share) / prefill_unit_cost).floor() as usize;
+        let decode = ((budget_units * (1.0 - prefill_share)) / decode_unit_cost).floor() as usize;
+        DisaggregationConfig {
+            prefill: prefill.max(1),
+            decode: decode.max(1),
+        }
+    }
+
+    /// Total replica count across both pools.
+    pub fn total(self) -> usize {
+        self.prefill + self.decode
+    }
+
+    /// The role vector this config instantiates: `prefill` leading
+    /// [`ReplicaRole::PrefillOnly`] entries, then `decode`
+    /// [`ReplicaRole::DecodeOnly`] entries.
+    pub fn roles(self) -> Vec<ReplicaRole> {
+        let mut v = vec![ReplicaRole::PrefillOnly; self.prefill];
+        v.resize(self.total(), ReplicaRole::DecodeOnly);
+        v
+    }
+
+    /// Realized hardware cost of the cluster given per-device costs.
+    pub fn cost_units(self, prefill_unit_cost: f64, decode_unit_cost: f64) -> f64 {
+        self.prefill as f64 * prefill_unit_cost + self.decode as f64 * decode_unit_cost
+    }
 }
 
 /// Picks the mix class for a uniform draw in `[0, total_weight)`.

@@ -12,6 +12,11 @@
 //!   [`LeastProgress`]).
 //! * [`ReadmissionPolicy`] — in what order swapped sequences re-enter
 //!   ([`FifoReadmission`], [`DeadlineReadmission`]).
+//! * [`MigrationPolicy`] — which decode replica receives a sequence
+//!   migrating off a prefill replica in a disaggregated cluster
+//!   ([`LeastLoadedMigration`], [`FreestKvMigration`]); installed with
+//!   [`ServingSim::migration`](super::ServingSim::migration) rather
+//!   than on the bundle, since it only exists once roles do.
 //!
 //! A [`SchedulerPolicy`] bundles one of each and is installed with
 //! [`ServingSim::policy`](super::ServingSim::policy). Policies are
@@ -417,6 +422,88 @@ impl ReadmissionPolicy for DeadlineReadmission {
     }
 }
 
+/// A candidate decode replica for a prefill→decode KV migration, as
+/// the [`MigrationPolicy`] sees it at handoff time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationTarget {
+    /// Cluster index of the candidate decode replica.
+    pub replica: usize,
+    /// Sequences currently resident (running batch plus swap-ins in
+    /// flight) on the candidate.
+    pub batch_len: usize,
+    /// Migrations already in flight toward the candidate.
+    pub inbound: usize,
+    /// How long the candidate's inbound (H2D) DMA lane stays busy from
+    /// the source's *now*, in seconds (0 when the lane is free) — the
+    /// queueing delay a migration issued now would see before its
+    /// inbound leg starts.
+    pub lane_busy_secs: f64,
+    /// Free KV blocks on the candidate when it runs the paged
+    /// allocator ([`crate::serving::kv`]); `None` in contiguous mode.
+    pub kv_free_blocks: Option<u64>,
+}
+
+/// Which decode replica receives a sequence when its prefill completes
+/// on a [`ReplicaRole::PrefillOnly`](super::ReplicaRole::PrefillOnly)
+/// replica.
+///
+/// Like the other policy traits, a migration policy is a pure
+/// comparator over candidate views: the engine offers every
+/// [`ReplicaRole::DecodeOnly`](super::ReplicaRole::DecodeOnly) replica
+/// as a [`MigrationTarget`] and takes the policy-minimal one. Ties
+/// break toward the lower replica index, and comparators must be
+/// deterministic (seeded simulations, and the event-driven and
+/// step-scan cores must pick identical destinations).
+pub trait MigrationPolicy {
+    /// Short stable identifier (report/CLI label).
+    fn name(&self) -> &'static str;
+    /// Total-order comparison: `Less` means `a` is the better
+    /// destination.
+    fn compare(&self, a: &MigrationTarget, b: &MigrationTarget) -> Ordering;
+}
+
+/// Default migration policy: the decode replica with the fewest
+/// resident-plus-inbound sequences wins; among equals, the one whose
+/// inbound DMA lane frees earliest, then the lowest index.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LeastLoadedMigration;
+
+impl MigrationPolicy for LeastLoadedMigration {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn compare(&self, a: &MigrationTarget, b: &MigrationTarget) -> Ordering {
+        (a.batch_len + a.inbound)
+            .cmp(&(b.batch_len + b.inbound))
+            .then(a.lane_busy_secs.total_cmp(&b.lane_busy_secs))
+            .then(a.replica.cmp(&b.replica))
+    }
+}
+
+/// KV-headroom migration: the decode replica with the most free paged
+/// KV blocks wins (replicas running contiguous accounting report
+/// `None` and go last), falling back to [`LeastLoadedMigration`] order
+/// among equals. Useful when decode replicas differ in memory, not
+/// speed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FreestKvMigration;
+
+impl MigrationPolicy for FreestKvMigration {
+    fn name(&self) -> &'static str {
+        "freest-kv"
+    }
+
+    fn compare(&self, a: &MigrationTarget, b: &MigrationTarget) -> Ordering {
+        // Most free blocks first; None (contiguous mode) last. Option's
+        // derived order puts None below every Some, so comparing b's
+        // key against a's yields exactly that descending order.
+        b.kv_free_blocks
+            .cmp(&a.kv_free_blocks)
+            .then(LeastLoadedMigration.compare(a, b))
+    }
+}
+
 /// *How* a chosen victim's KV leaves the device — the mechanism the
 /// engine applies after the [`EvictionPolicy`] has picked *who* pays.
 ///
@@ -705,5 +792,52 @@ mod tests {
         assert_eq!(shared.freed_tokens(), 64);
         assert_eq!(unshared.freed_tokens(), 600);
         assert_eq!(CheapestEviction.compare(&unshared, &shared), Ordering::Less);
+    }
+
+    fn target(replica: usize, batch: usize, inbound: usize, lane: f64) -> MigrationTarget {
+        MigrationTarget {
+            replica,
+            batch_len: batch,
+            inbound,
+            lane_busy_secs: lane,
+            kv_free_blocks: None,
+        }
+    }
+
+    #[test]
+    fn migration_orders() {
+        // Least-loaded counts in-flight migrations as load.
+        let idle = target(2, 1, 0, 0.0);
+        let loaded = target(0, 1, 3, 0.0);
+        assert_eq!(LeastLoadedMigration.compare(&idle, &loaded), Ordering::Less);
+        // Equal load: the freer inbound lane wins, then the lower index.
+        let lane_free = target(1, 2, 0, 0.0);
+        let lane_busy = target(0, 2, 0, 0.5);
+        assert_eq!(
+            LeastLoadedMigration.compare(&lane_free, &lane_busy),
+            Ordering::Less
+        );
+        assert_eq!(
+            LeastLoadedMigration.compare(&target(0, 2, 0, 0.5), &target(1, 2, 0, 0.5)),
+            Ordering::Less
+        );
+        // Freest-KV: most free blocks first, contiguous (None) last.
+        let mut roomy = target(1, 5, 0, 0.0);
+        roomy.kv_free_blocks = Some(100);
+        let mut tight = target(0, 0, 0, 0.0);
+        tight.kv_free_blocks = Some(2);
+        let contiguous = target(2, 0, 0, 0.0);
+        assert_eq!(FreestKvMigration.compare(&roomy, &tight), Ordering::Less);
+        assert_eq!(
+            FreestKvMigration.compare(&tight, &contiguous),
+            Ordering::Less
+        );
+        // Among equals it falls back to least-loaded order.
+        let mut tight2 = tight;
+        tight2.replica = 1;
+        tight2.batch_len = 4;
+        assert_eq!(FreestKvMigration.compare(&tight, &tight2), Ordering::Less);
+        assert_eq!(LeastLoadedMigration.name(), "least-loaded");
+        assert_eq!(FreestKvMigration.name(), "freest-kv");
     }
 }

@@ -1,6 +1,6 @@
 //! Serving-report types and the raw-sample assembly behind them.
 
-use super::RequestClass;
+use super::{ReplicaRole, RequestClass};
 use ianus_sim::Duration;
 
 /// p50/p95/p99 and worst-case of one latency distribution.
@@ -77,6 +77,13 @@ pub struct ReplicaReport {
     /// the part that stalled compute is the report-level
     /// [`swap_stall`](ServingReport::swap_stall).
     pub kv_dma: Duration,
+    /// The replica's [`ReplicaRole`] in the cluster
+    /// ([`Unified`](ReplicaRole::Unified) outside disaggregated runs).
+    pub role: ReplicaRole,
+    /// Sequences migrated *onto* this replica (decode-side arrivals).
+    pub migrations_in: u64,
+    /// Sequences migrated *off* this replica after prefill completed.
+    pub migrations_out: u64,
 }
 
 /// Result of a serving simulation.
@@ -157,6 +164,22 @@ pub struct ServingReport {
     /// shrinks to the transfers whose data was needed before the DMA
     /// finished.
     pub swap_stall: Duration,
+    /// Prefill→decode KV migrations across the run: sequences handed
+    /// off a [`ReplicaRole::PrefillOnly`] replica the iteration their
+    /// prefill completed, transferred over both ends' host links
+    /// (priced by
+    /// [`Backend::kv_transfer_time`](crate::backend::Backend::kv_transfer_time)
+    /// on each leg, charged to each side's
+    /// [`kv_dma`](ReplicaReport::kv_dma)), and re-admitted on a
+    /// [`ReplicaRole::DecodeOnly`] replica. 0 in all-`Unified`
+    /// clusters. Migrated sequences always complete.
+    pub migrations: u64,
+    /// Total decode-side wall-clock lost to migration: idle time a
+    /// decode replica spent waiting for an inbound migration's DMA to
+    /// land, plus time DMA-complete migrants waited for a batch slot.
+    /// The two parts are non-overlapping by construction (the wait for
+    /// DMA ends exactly where slot-waiting can begin).
+    pub migration_stall: Duration,
     /// Fraction of completed requests that met their class
     /// [`Slo`](super::Slo). Requests whose class has no SLO trivially
     /// attain, so a mix without SLOs reports 1.0 and
@@ -227,7 +250,7 @@ impl ServingReport {
     }
 
     /// The all-zero report of an empty (zero-request) simulation.
-    pub(crate) fn empty(replica_names: Vec<String>, mix: &[RequestClass]) -> Self {
+    pub(crate) fn empty(replicas: Vec<(String, ReplicaRole)>, mix: &[RequestClass]) -> Self {
         ServingReport {
             completed: 0,
             mean_service: Duration::ZERO,
@@ -244,6 +267,8 @@ impl ServingReport {
             host_kv_peak_occupancy: 0.0,
             kv_dma: Duration::ZERO,
             swap_stall: Duration::ZERO,
+            migrations: 0,
+            migration_stall: Duration::ZERO,
             slo_attainment: 1.0,
             utilization: 0.0,
             throughput_rps: 0.0,
@@ -264,13 +289,16 @@ impl ServingReport {
                     slo_attainment: 1.0,
                 })
                 .collect(),
-            per_replica: replica_names
+            per_replica: replicas
                 .into_iter()
-                .map(|name| ReplicaReport {
+                .map(|(name, role)| ReplicaReport {
                     name,
                     completed: 0,
                     utilization: 0.0,
                     kv_dma: Duration::ZERO,
+                    role,
+                    migrations_in: 0,
+                    migrations_out: 0,
                 })
                 .collect(),
             diverged: false,
@@ -293,6 +321,14 @@ pub(crate) struct RunStats {
     pub dma: Vec<f64>,
     /// Per-replica compute-clock time stalled on swap DMA.
     pub stall: Vec<f64>,
+    /// Prefill→decode migration counters: total handoffs, decode-side
+    /// wall-clock lost to them (see
+    /// [`ServingReport::migration_stall`]), and per-replica in/out
+    /// counts (recorded at handoff time).
+    pub migrations: u64,
+    pub migration_stall: f64,
+    pub migrated_in: Vec<u64>,
+    pub migrated_out: Vec<u64>,
     pub served: Vec<u64>,
     /// Sum of per-request *unloaded* service times: the whole-request
     /// device time under request-level scheduling, and the memoized
@@ -353,6 +389,10 @@ impl RunStats {
             busy: vec![0.0; replicas],
             dma: vec![0.0; replicas],
             stall: vec![0.0; replicas],
+            migrations: 0,
+            migration_stall: 0.0,
+            migrated_in: vec![0u64; replicas],
+            migrated_out: vec![0u64; replicas],
             served: vec![0u64; replicas],
             service_sum: 0.0,
             last_finish: 0.0,

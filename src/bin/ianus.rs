@@ -14,6 +14,8 @@
 //!       [--readmission fifo|deadline]
 //!       [--eviction-mechanism swap|recompute|cheapest]
 //!       [--host-kv-gb G] [--overlap-dma]
+//!       [--disaggregate P:D] [--prefill-system ianus|npu-mem|partitioned|a100|dfx]
+//!       [--migration least-loaded|freest-kv]
 //!       [--slo-ttft-ms MS] [--slo-itl-ms MS]
 //!       [--compare] [--compare-policies]
 //! ```
@@ -33,6 +35,18 @@
 //! per-victim cheapest), and `--overlap-dma` runs swap traffic on a
 //! per-replica DMA channel that overlaps decode instead of stalling
 //! the batch.
+//!
+//! `--disaggregate P:D` replaces `--replicas` with a disaggregated
+//! cluster: P prefill-only replicas hand every sequence off to one of
+//! D decode-only replicas the moment its prefill completes, the KV
+//! moving over the replicas' DMA lanes at each side's
+//! `kv_transfer_time` price. The prefill side defaults to the
+//! configured `--system`; `--prefill-system` swaps in a different
+//! backend (e.g. `a100` for the paper's GPU-prefill/PIM-decode
+//! split), and `--migration` picks the decode-replica selection
+//! policy. Disaggregation requires iteration-level scheduling and
+//! forces it on when needed; the report grows migration counts, the
+//! migration stall, and a per-replica role breakdown.
 //!
 //! `--kv-block N` switches iteration-level KV accounting to **paged
 //! blocks** of N tokens (0, the default, keeps the legacy contiguous
@@ -59,6 +73,9 @@
 //! cargo run --release --bin ianus -- --serve --model gpt2-xl --mix shared-prefix \
 //!     --rate 0.3 --requests 60 --scheduling iteration --max-batch 8 \
 //!     --prefill-chunk 128 --preempt --kv-block 64
+//! cargo run --release --bin ianus -- --serve --model gpt2-xl --mix custom \
+//!     --input 896 --output 128 --rate 8 --disaggregate 1:6 --prefill-system a100 \
+//!     --max-batch 8 --overlap-dma --slo-ttft-ms 100 --slo-itl-ms 50
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --compare
 //! ```
 
@@ -88,6 +105,8 @@ const EVICTIONS: [&str; 4] = [
 ];
 const READMISSIONS: [&str; 2] = ["fifo", "deadline"];
 const MECHANISMS: [&str; 3] = ["swap", "recompute", "cheapest"];
+const MIGRATIONS: [&str; 2] = ["least-loaded", "freest-kv"];
+const PREFILL_SYSTEMS: [&str; 5] = ["ianus", "npu-mem", "partitioned", "a100", "dfx"];
 
 /// Resolves a flag value against its name table (the single source of
 /// the valid policy names), rejecting unknown names at parse time.
@@ -176,6 +195,14 @@ struct ServeArgs {
     overlap_dma: bool,
     /// `--kv-block`: paged-KV block size in tokens (0 = contiguous).
     kv_block: u64,
+    /// `--disaggregate P:D`: prefill/decode pool sizes (replaces
+    /// `--replicas`).
+    disaggregate: Option<(usize, usize)>,
+    /// `--prefill-system`: backend of the prefill pool (`None` = the
+    /// configured `--system`).
+    prefill_system: Option<&'static str>,
+    /// `--migration`: decode-replica selection policy at handoff.
+    migration: &'static str,
 }
 
 struct Args {
@@ -203,6 +230,8 @@ fn usage() -> ! {
          \x20            [--readmission fifo|deadline]\n\
          \x20            [--eviction-mechanism swap|recompute|cheapest]\n\
          \x20            [--host-kv-gb G] [--overlap-dma]\n\
+         \x20            [--disaggregate P:D] [--prefill-system ianus|npu-mem|partitioned|a100|dfx]\n\
+         \x20            [--migration least-loaded|freest-kv]\n\
          \x20            [--slo-ttft-ms MS] [--slo-itl-ms MS]\n\
          \x20            [--compare] [--compare-policies]\n\
          models: {}",
@@ -242,6 +271,9 @@ fn parse() -> Args {
     let mut host_kv: Option<Option<u64>> = None;
     let mut overlap_dma = false;
     let mut kv_block = 0u64; // 0 = contiguous KV accounting
+    let mut disaggregate: Option<(usize, usize)> = None;
+    let mut prefill_system: Option<&'static str> = None;
+    let mut migration = "least-loaded";
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -266,6 +298,18 @@ fn parse() -> Args {
             }
             "--overlap-dma" => overlap_dma = true,
             "--kv-block" => kv_block = value().parse().unwrap_or_else(|_| usage()),
+            "--disaggregate" => {
+                let v = value();
+                let (p, d) = v.split_once(':').unwrap_or_else(|| usage());
+                let p: usize = p.parse().unwrap_or_else(|_| usage());
+                let d: usize = d.parse().unwrap_or_else(|_| usage());
+                if p == 0 || d == 0 {
+                    usage();
+                }
+                disaggregate = Some((p, d));
+            }
+            "--prefill-system" => prefill_system = Some(intern(value(), &PREFILL_SYSTEMS)),
+            "--migration" => migration = intern(value(), &MIGRATIONS),
             "--slo-ttft-ms" => slo_ttft_ms = value().parse().unwrap_or_else(|_| usage()),
             "--slo-itl-ms" => slo_itl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--compare-policies" => compare_policies = true,
@@ -380,6 +424,9 @@ fn parse() -> Args {
             host_kv,
             overlap_dma,
             kv_block,
+            disaggregate,
+            prefill_system,
+            migration,
         }),
     }
 }
@@ -412,6 +459,16 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
     cfg
 }
 
+/// One replica of the configured `--system`/`--devices`, carrying the
+/// given role.
+fn system_replica(sim: ServingSim, args: &Args, role: ReplicaRole) -> ServingSim {
+    if args.devices > 1 {
+        sim.replica_with_role(DeviceGroup::new(args.system, args.devices), role)
+    } else {
+        sim.replica_with_role(IanusSystem::new(args.system), role)
+    }
+}
+
 fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> ServingSim {
     let mut sim = ServingSim::new(serving_config(serve, args.request))
         .scheduling(scheduling)
@@ -421,11 +478,36 @@ fn build_cluster(args: &Args, serve: &ServeArgs, scheduling: Scheduling) -> Serv
     if let Some(pool) = serve.host_kv {
         sim = sim.host_kv_pool(pool);
     }
-    for _ in 0..serve.replicas.max(1) {
-        if args.devices > 1 {
-            sim = sim.replica(DeviceGroup::new(args.system, args.devices));
-        } else {
-            sim = sim.replica(IanusSystem::new(args.system));
+    if let Some((prefill, decode)) = serve.disaggregate {
+        for _ in 0..prefill {
+            sim = match serve.prefill_system {
+                None => system_replica(sim, args, ReplicaRole::PrefillOnly),
+                Some("a100") => sim.replica_with_role(GpuModel::a100(), ReplicaRole::PrefillOnly),
+                Some("dfx") => {
+                    sim.replica_with_role(DfxModel::four_fpga(), ReplicaRole::PrefillOnly)
+                }
+                Some(name) => {
+                    let system = match name {
+                        "ianus" => SystemConfig::ianus(),
+                        "npu-mem" => SystemConfig::npu_mem(),
+                        "partitioned" => SystemConfig::partitioned(),
+                        _ => unreachable!("interned prefill-system name"),
+                    };
+                    sim.replica_with_role(IanusSystem::new(system), ReplicaRole::PrefillOnly)
+                }
+            };
+        }
+        for _ in 0..decode {
+            sim = system_replica(sim, args, ReplicaRole::DecodeOnly);
+        }
+        sim = match serve.migration {
+            "least-loaded" => sim.migration(LeastLoadedMigration),
+            "freest-kv" => sim.migration(FreestKvMigration),
+            _ => unreachable!("interned migration name"),
+        };
+    } else {
+        for _ in 0..serve.replicas.max(1) {
+            sim = system_replica(sim, args, ReplicaRole::Unified);
         }
     }
     sim
@@ -480,6 +562,26 @@ fn print_serving_report(label: &str, r: &ServingReport, slo: bool) {
             r.ttft_cache_hit.p50.as_ms_f64(),
             r.ttft_cold.p50.as_ms_f64(),
         );
+    }
+    if r.migrations > 0 {
+        println!(
+            "{:<22} {} prefill->decode migration(s) | migration stall {:.2} s",
+            "",
+            r.migrations,
+            r.migration_stall.as_secs_f64(),
+        );
+        for p in &r.per_replica {
+            println!(
+                "{:<22}   {:<16} {:<8} completed {:>6} | in/out {:>5}/{:>5} | util {:>5.1}%",
+                "",
+                p.name,
+                p.role.name(),
+                p.completed,
+                p.migrations_in,
+                p.migrations_out,
+                p.utilization * 100.0,
+            );
+        }
     }
     if r.preemptions > 0 {
         println!(
@@ -614,15 +716,37 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
         MixKind::SharedPrefix => "shared-prefix (384-token class prefix)",
         MixKind::Custom => "custom (50/50 interactive/batch tiers)",
     };
+    let cluster_label = match serve.disaggregate {
+        Some((p, d)) => format!(
+            "{p} prefill ({}) + {d} decode, {} migration",
+            serve.prefill_system.unwrap_or("same system"),
+            serve.migration,
+        ),
+        None => format!("{} replica(s)", serve.replicas),
+    };
     println!(
-        "serving {} | {mix_name} mix | {} replica(s) x {} device(s) | {} req at {} req/s\n",
-        args.model.name, serve.replicas, args.devices, serve.requests, serve.rate
+        "serving {} | {mix_name} mix | {cluster_label} x {} device(s) | {} req at {} req/s\n",
+        args.model.name, args.devices, serve.requests, serve.rate
     );
     if serve.compare_policies {
         compare_policies_main(args, serve);
         return;
     }
-    let modes: Vec<Scheduling> = if args.compare {
+    let modes: Vec<Scheduling> = if serve.disaggregate.is_some() {
+        // Role dispatch lives in the iteration-level loop; coerce and
+        // say so rather than assert deep in the engine.
+        match serve.scheduling {
+            it @ Scheduling::IterationLevel { .. } => vec![it],
+            Scheduling::RequestLevel => {
+                println!("(--disaggregate forces iteration-level scheduling)\n");
+                vec![Scheduling::IterationLevel {
+                    max_batch: serve.max_batch,
+                    prefill_chunk: serve.prefill_chunk,
+                    preempt: false,
+                }]
+            }
+        }
+    } else if args.compare {
         // --compare contrasts request-level with the *configured*
         // iteration-level form (keeping any chunking/preemption knobs).
         let iteration = match serve.scheduling {

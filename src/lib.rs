@@ -127,13 +127,14 @@ pub mod prelude {
     pub use ianus_core::serving::kv::{BlockAllocator, BlockTable, PagedKv, PrefixCache};
     pub use ianus_core::serving::policy::{
         CheapestEviction, DeadlineAdmission, DeadlineReadmission, FcfsAdmission, FifoReadmission,
-        LargestKv, LeastProgress, LowestPriorityYoungest, PriorityAdmission,
-        ShortestPromptAdmission,
+        FreestKvMigration, LargestKv, LeastLoadedMigration, LeastProgress, LowestPriorityYoungest,
+        PriorityAdmission, ShortestPromptAdmission,
     };
     pub use ianus_core::serving::{
-        AdmissionPolicy, CoreMode, DispatchPolicy, EvictionMechanism, EvictionPolicy,
-        LatencyPercentiles, Priority, ReadmissionPolicy, RequestClass, SchedulerPolicy, Scheduling,
-        ServingConfig, ServingReport, ServingSim, Slo,
+        AdmissionPolicy, CoreMode, DisaggregationConfig, DispatchPolicy, EvictionMechanism,
+        EvictionPolicy, LatencyPercentiles, MigrationPolicy, Priority, ReadmissionPolicy,
+        ReplicaRole, RequestClass, SchedulerPolicy, Scheduling, ServingConfig, ServingReport,
+        ServingSim, Slo,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

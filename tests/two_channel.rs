@@ -1,0 +1,156 @@
+//! Two-channel DMA semantics: lane discipline at the unit level
+//! (`serving::dma`) and its report-level consequences on the swap
+//! path.
+//!
+//! The channel pair models a full-duplex host link: one H2D lane
+//! (swap-ins, inbound migrations) and one D2H lane (swap-outs,
+//! outbound migration legs). "Swap-in priority" is structural — H2D
+//! traffic never queues behind D2H writebacks — and within a lane
+//! transfers never reorder. Unsplit channels collapse to the single
+//! shared clock every pre-PR 8 report was pinned against.
+
+use ianus::prelude::*;
+use ianus::system::serving::dma::{DmaChannels, DmaLane};
+
+// ---------------------------------------------------------------------
+// Lane discipline (unit level, public API)
+// ---------------------------------------------------------------------
+
+/// Swap-in priority: with split lanes, an H2D transfer issued while
+/// the D2H lane is saturated starts immediately.
+#[test]
+fn swap_in_priority_h2d_never_queues_behind_d2h() {
+    let mut ch = DmaChannels::new(true);
+    assert!(ch.split());
+    // Saturate the D2H lane with writebacks.
+    let mut d2h_done = 0.0;
+    for _ in 0..4 {
+        d2h_done = ch.issue(DmaLane::D2H, 0.0, 2.5);
+    }
+    assert_eq!(d2h_done, 10.0);
+    // A swap-in issued at t=1 is untouched by all of it.
+    assert_eq!(ch.issue(DmaLane::H2D, 1.0, 0.5), 1.5);
+    assert_eq!(ch.free_at(DmaLane::D2H), 10.0);
+    assert_eq!(ch.free_at(DmaLane::H2D), 1.5);
+}
+
+/// The same pattern on an unsplit channel pair queues: both directions
+/// share one clock, reproducing the legacy single-channel model.
+#[test]
+fn unsplit_lanes_share_one_clock() {
+    let mut ch = DmaChannels::new(false);
+    assert!(!ch.split());
+    ch.issue(DmaLane::D2H, 0.0, 2.5);
+    // The "H2D" transfer waits for the writeback on the shared clock.
+    assert_eq!(ch.issue(DmaLane::H2D, 1.0, 0.5), 3.0);
+    assert_eq!(ch.free_at(DmaLane::H2D), ch.free_at(DmaLane::D2H));
+}
+
+/// Within a lane, completion times are non-decreasing no matter how
+/// `now` jitters — the invariant the engine's sorted DMA retirement
+/// deques rely on.
+#[test]
+fn intra_lane_completions_never_reorder() {
+    for split in [false, true] {
+        let mut ch = DmaChannels::new(split);
+        // Issue times deliberately go backwards and leapfrog.
+        let issues = [
+            (0.9, 1.0),
+            (0.1, 0.2),
+            (5.0, 0.5),
+            (2.0, 3.0),
+            (4.0, 0.0),
+            (0.0, 7.0),
+        ];
+        for lane in [DmaLane::H2D, DmaLane::D2H] {
+            let mut last = 0.0;
+            for (now, secs) in issues {
+                let done = ch.issue(lane, now, secs);
+                assert!(
+                    done >= last,
+                    "{lane:?} completions reordered (split={split}): {done} < {last}"
+                );
+                last = done;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Report-level consequences on the swap path
+// ---------------------------------------------------------------------
+
+/// The PR 3/4 pinned preemption scenario: heavy KV overload on one
+/// 8 GB IANUS device, the same workload `tests/host_pool.rs` pins its
+/// swap accounting against.
+fn swap_heavy() -> ServingConfig {
+    let shape = RequestShape::new(512, 512);
+    ServingConfig {
+        arrival_rate_hz: 4.0,
+        requests: 120,
+        seed: 0x5EED,
+        mix: vec![
+            RequestClass::new(shape, 0.5),
+            RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
+        ],
+    }
+}
+
+fn run(overlap: bool, two_channel: bool) -> ServingReport {
+    ServingSim::new(swap_heavy())
+        .replica(IanusSystem::new(SystemConfig::ianus()))
+        .scheduling(Scheduling::IterationLevel {
+            max_batch: 32,
+            prefill_chunk: Some(128),
+            preempt: true,
+        })
+        .overlap_dma(overlap)
+        .two_channel_dma(two_channel)
+        .run(&ModelConfig::gpt2_xl())
+}
+
+/// Serialized (non-overlapped) DMA stalls compute for every transfer
+/// regardless of how many lanes the link has: splitting the channel
+/// changes nothing — the whole report is bit-identical to the
+/// single-channel run, including the `swap_stall == kv_dma` equality
+/// `tests/host_pool.rs` pins.
+#[test]
+fn serialized_two_channel_is_bit_identical_to_single() {
+    let single = run(false, false);
+    let split = run(false, true);
+    assert_eq!(single.completed, 120);
+    assert_eq!(
+        single.swap_stall, single.kv_dma,
+        "serialized: all DMA stalls"
+    );
+    assert_eq!(split.swap_stall, split.kv_dma);
+    assert_eq!(single, split, "lanes can only matter when DMA overlaps");
+}
+
+/// Overlapped DMA is where the second lane pays: swap-ins stop
+/// queueing behind writebacks, so compute stall can only shrink. The
+/// bytes moved are identical — `kv_dma` sums transfer times, not
+/// queueing — and liveness and throughput hold.
+#[test]
+fn overlapped_two_channel_reduces_stall_at_same_dma() {
+    let single = run(true, false);
+    let split = run(true, true);
+    assert_eq!(single.completed, 120);
+    assert_eq!(split.completed, 120);
+    assert_eq!(
+        split.kv_dma, single.kv_dma,
+        "same transfers, same total DMA time"
+    );
+    assert!(
+        split.swap_stall <= single.swap_stall,
+        "swap-in priority must not add stall: {} vs {}",
+        split.swap_stall,
+        single.swap_stall
+    );
+    assert!(
+        split.throughput_rps >= single.throughput_rps * 0.999,
+        "a second lane must not cost throughput: {} vs {}",
+        split.throughput_rps,
+        single.throughput_rps
+    );
+}
