@@ -46,5 +46,6 @@ compare() {
 
 compare policy_sweep benches/canonical/BENCH_serving.json
 compare disaggregated benches/canonical/BENCH_disaggregated.json
+compare agentic_workflows benches/canonical/BENCH_workflows.json
 
 exit "$fail"

@@ -109,6 +109,7 @@ fn bench_serving_chunked_preemptive(c: &mut Criterion) {
         requests: 120,
         seed: 0x5EED,
         mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
+        workflows: vec![],
     })
     .replica(IanusSystem::new(SystemConfig::ianus()))
     .scheduling(Scheduling::IterationLevel {
@@ -137,6 +138,7 @@ fn bench_serving_policy_sweep(c: &mut Criterion) {
         requests: 120,
         seed: 0x5EED,
         mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
+        workflows: vec![],
     })
     .replica(IanusSystem::new(SystemConfig::ianus()))
     .scheduling(Scheduling::IterationLevel {

@@ -80,6 +80,7 @@ fn bench_migration_path(c: &mut Criterion) {
         requests: 2_000,
         seed: 0xBE9C,
         mix: vec![RequestClass::new(shape, 1.0)],
+        workflows: vec![],
     };
     let sched = Scheduling::IterationLevel {
         max_batch,

@@ -83,6 +83,7 @@ fn bench_engine_steps(c: &mut Criterion) {
             requests: 2_000,
             seed: 0xBE9C,
             mix: vec![RequestClass::new(shape, 1.0)],
+            workflows: vec![],
         })
         .cluster(replicas, |_| Node)
         .scheduling(Scheduling::IterationLevel {

@@ -1,0 +1,135 @@
+//! Criterion benches for the agentic-workflow layer (PR 9): the engine
+//! overhead of DAG bookkeeping on top of flat continuous batching. A
+//! workflow run adds per-completion fan-out (released children are
+//! spliced into the time-ordered wait queue), speculative-group
+//! settlement, and prefix-key registration/consumption — all O(log n)
+//! or O(children) per event, so pushing the same number of *node
+//! executions* through the engine as workflow instances should cost
+//! close to the flat-mix baseline. A regression in the wait-queue
+//! splice or the cancellation walk shows up here directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ianus_core::backend::Backend;
+use ianus_core::capacity::CapacityError;
+use ianus_core::serving::{RequestClass, Scheduling, ServingConfig, ServingSim, WorkflowTemplate};
+use ianus_model::{ModelConfig, RequestShape};
+use ianus_sim::Duration;
+use std::hint::black_box;
+
+/// Analytic node (same operating point as `benches/serving_engine.rs`):
+/// backend calls are a few float ops, so the bench measures workflow
+/// bookkeeping, not a device pipeline.
+#[derive(Debug, Clone, Copy)]
+struct Node;
+
+const PREFILL_PER_TOKEN_US: u64 = 28;
+const DECODE_BASE_US: u64 = 50;
+const DECODE_PER_SEQ_US: u64 = 20;
+
+impl Backend for Node {
+    fn name(&self) -> &str {
+        "analytic node"
+    }
+
+    fn service_time(&mut self, _model: &ModelConfig, shape: RequestShape) -> Duration {
+        Duration::from_us(PREFILL_PER_TOKEN_US) * shape.input
+            + Duration::from_us(DECODE_BASE_US + DECODE_PER_SEQ_US) * shape.output.saturating_sub(1)
+    }
+
+    fn fits(&self, _model: &ModelConfig) -> Result<(), CapacityError> {
+        Ok(())
+    }
+
+    fn prefill_time(&mut self, _model: &ModelConfig, tokens: u64) -> Duration {
+        Duration::from_us(PREFILL_PER_TOKEN_US) * tokens.max(1)
+    }
+
+    fn decode_time(&mut self, _model: &ModelConfig, _past: u64, batch: u32) -> Duration {
+        Duration::from_us(DECODE_BASE_US)
+            + Duration::from_us(DECODE_PER_SEQ_US) * u64::from(batch.max(1))
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Backend>> {
+        Some(Box::new(*self))
+    }
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(6))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+fn sim(cfg: ServingConfig, paged: bool) -> ServingSim {
+    let s = ServingSim::new(cfg)
+        .cluster(4, |_| Node)
+        .scheduling(Scheduling::IterationLevel {
+            max_batch: 16,
+            prefill_chunk: Some(64),
+            preempt: paged,
+        });
+    if paged {
+        s.kv_block(64)
+    } else {
+        s
+    }
+}
+
+/// Flat baseline vs the three built-in DAGs, normalized to comparable
+/// node-execution counts (a chain instance is 4 nodes, a fan-out 6, a
+/// race 5 — the flat run issues 5 independent requests per "instance").
+fn bench_workflow_overhead(c: &mut Criterion) {
+    let model = ModelConfig::gpt2_xl();
+    let instances = 400u64;
+    let rate = 40.0;
+
+    let flat_cfg = ServingConfig {
+        arrival_rate_hz: rate * 5.0,
+        requests: instances * 5,
+        seed: 0x5EED,
+        mix: vec![RequestClass::new(RequestShape::new(128, 64), 1.0)],
+        workflows: vec![],
+    };
+    let mut flat = sim(flat_cfg, false);
+    flat.run(&model); // warm prefill + decode-grid memos
+    c.bench_function("flat_2k_nodes_baseline", |b| {
+        b.iter(|| black_box(flat.run(&model)))
+    });
+
+    for (name, tpl) in [
+        ("agent_chain", WorkflowTemplate::agent_chain()),
+        ("tool_fanout", WorkflowTemplate::tool_fanout()),
+        ("speculative", WorkflowTemplate::speculative()),
+    ] {
+        let cfg = ServingConfig::workflow_mix(rate, instances, vec![tpl]);
+        let mut wf = sim(cfg, false);
+        wf.run(&model);
+        c.bench_function(&format!("workflow_400_instances_{name}"), |b| {
+            b.iter(|| black_box(wf.run(&model)))
+        });
+    }
+
+    // Paged + preemption: adds prefix registration, copy-on-write
+    // inheritance, and refcounted release on the cancellation path.
+    let cfg = ServingConfig::workflow_mix(
+        rate,
+        instances,
+        vec![
+            WorkflowTemplate::agent_chain(),
+            WorkflowTemplate::speculative(),
+        ],
+    );
+    let mut paged = sim(cfg, true);
+    paged.run(&model);
+    c.bench_function("workflow_400_instances_paged_inherit", |b| {
+        b.iter(|| black_box(paged.run(&model)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_workflow_overhead
+}
+criterion_main!(benches);

@@ -8,9 +8,10 @@ use super::policy::{
     SchedulerPolicy, SeqView,
 };
 use super::report::{request_attains, LatencyPercentiles, RunStats};
+use super::workflow::{workflow_prefix_key, NodeState, WorkflowRun, WorkflowTemplate};
 use super::{
     pick_class, ClassReport, DisaggregationConfig, DispatchPolicy, Priority, ReplicaReport,
-    ReplicaRole, Scheduling, ServingConfig, ServingReport, Slo,
+    ReplicaRole, RequestClass, Scheduling, ServingConfig, ServingReport, Slo,
 };
 use crate::backend::Backend;
 use ianus_model::{ModelConfig, RequestShape};
@@ -194,6 +195,179 @@ impl Replica {
     }
 }
 
+/// Workflow identity of an arrival / active sequence: which node of
+/// which instance it serves, plus the denormalized workflow context the
+/// policies and completion fan-out need. `None` on every flat-mix
+/// request.
+#[derive(Debug, Clone, Copy)]
+struct WfTag {
+    /// Workflow instance index (into the engine's run table).
+    inst: usize,
+    /// Node index inside the instance's template.
+    node: usize,
+    /// Prefix-cache key of the lowest-index parent's published KV —
+    /// what this node admits with under paged accounting. `None` for
+    /// root nodes.
+    inherit: Option<u64>,
+    /// Absolute end-to-end deadline of the instance.
+    deadline: Option<f64>,
+    /// Transitive descendant count of the node (admission width).
+    blocked_descendants: u32,
+}
+
+/// Immutable per-template tables the workflow hooks index at runtime:
+/// the templates themselves, each template's first synthetic class
+/// index (node `n` of template `t` is class `base[t] + n`), per-node
+/// effective shapes, and per-node transitive descendant counts.
+struct WfCtx {
+    templates: Vec<WorkflowTemplate>,
+    base: Vec<usize>,
+    shapes: Vec<Vec<RequestShape>>,
+    blocked: Vec<Vec<u32>>,
+}
+
+/// Everything one workflow-node completion touches outside the
+/// completing replica: the instance's run state, the arrival vector and
+/// wait queue (released children are appended as new arrivals), the
+/// paged pools (prefix registration and expired-key drops), the
+/// key→replica home table, and the run counters.
+struct WfWorld<'a> {
+    ctx: &'a WfCtx,
+    runs: &'a mut [WorkflowRun],
+    arrivals: &'a mut Vec<Arrival>,
+    untaken: &'a mut BTreeSet<(TimeKey, usize)>,
+    paged: &'a mut [Option<PagedKv>],
+    /// Which replica holds each live workflow prefix key's blocks.
+    key_homes: &'a mut HashMap<u64, usize>,
+    /// Whether children admit with inherited parent KV (the engine's
+    /// `workflow_inheritance` knob gated on paged mode).
+    inheritance: bool,
+}
+
+impl WfWorld<'_> {
+    /// Drops `parent`'s published prefix (instance `inst`) from
+    /// whichever replica holds it, if it was ever registered.
+    fn drop_expired(&mut self, inst: usize, parent: usize) {
+        let key = workflow_prefix_key(inst as u64, parent);
+        if let Some(home) = self.key_homes.remove(&key) {
+            if let Some(p) = self.paged[home].as_mut() {
+                p.drop_prefix(key);
+            }
+        }
+    }
+
+    /// Fans out one completed workflow node: publishes its KV for
+    /// inheriting children (must run *before* the caller completes the
+    /// sequence in the paged pool, while its table is still live),
+    /// settles speculative cancellations, appends newly released
+    /// children to the arrival vector at `now`, and records finished
+    /// instances. Returns `true` if new arrivals were appended (the
+    /// event core then repairs its idle-replica sets against the new
+    /// wait-queue head).
+    fn on_node_complete(
+        &mut self,
+        tag: WfTag,
+        seq_idx: u64,
+        replica: usize,
+        now: f64,
+        stats: &mut RunStats,
+        done: &mut u64,
+    ) -> bool {
+        let ctx = self.ctx;
+        let t = self.runs[tag.inst].template;
+        let tpl = &ctx.templates[t];
+        // Publish this node's output KV under its per-(instance, node)
+        // key while the sequence's block table is still alive. Only
+        // nodes with *live* consumers publish — a speculative loser
+        // whose children were all cancelled before it finished has
+        // nothing left to feed.
+        if self.inheritance && self.runs[tag.inst].live_consumers(tag.node) > 0 {
+            if let Some(p) = self.paged[replica].as_mut() {
+                let key = workflow_prefix_key(tag.inst as u64, tag.node);
+                if p.register_prefix(seq_idx, key, tpl.nodes[tag.node].shape.output)
+                    .is_some()
+                {
+                    self.key_homes.insert(key, replica);
+                }
+            }
+        }
+        let mut out = self.runs[tag.inst].on_complete(tpl, tag.node);
+        let mut settled = out.workflow_done;
+        // Waiting nodes cancelled outright never reach the engine; they
+        // settle here.
+        stats.cancelled_nodes += out.cancelled.len() as u64;
+        *done += out.cancelled.len() as u64;
+        // Released speculative losers: still queued → cancel in place;
+        // already admitted → run to completion (their children are
+        // cancelled, so the late completion fans out to nothing).
+        for i in 0..out.cancel_released.len() {
+            let n = out.cancel_released[i];
+            let run = &mut self.runs[tag.inst];
+            let ai = run.node_arrival[n].expect("released node has an arrival slot");
+            if self.untaken.remove(&(TimeKey(self.arrivals[ai].at), ai)) {
+                stats.cancelled_nodes += 1;
+                *done += 1;
+                settled |= run.confirm_cancel(tpl, n, &mut out);
+            } else {
+                run.keep_running(n);
+            }
+        }
+        for i in 0..out.expired_keys.len() {
+            self.drop_expired(tag.inst, out.expired_keys[i]);
+        }
+        // Release ready children as fresh arrivals at the completion
+        // instant.
+        let mut pushed = false;
+        for &c in &out.released {
+            let run = &mut self.runs[tag.inst];
+            let inherit = if self.inheritance {
+                tpl.nodes[c]
+                    .parents
+                    .iter()
+                    .min()
+                    .map(|&p| workflow_prefix_key(tag.inst as u64, p))
+            } else {
+                None
+            };
+            let ai = self.arrivals.len();
+            run.node_arrival[c] = Some(ai);
+            let deadline = run.deadline;
+            self.arrivals.push(Arrival {
+                at: now,
+                idx: ai as u64,
+                class: ctx.base[t] + c,
+                shape: ctx.shapes[t][c],
+                priority: tpl.priority,
+                slo: None,
+                wf: Some(WfTag {
+                    inst: tag.inst,
+                    node: c,
+                    inherit,
+                    deadline,
+                    blocked_descendants: ctx.blocked[t][c],
+                }),
+            });
+            self.untaken.insert((TimeKey(now), ai));
+            pushed = true;
+        }
+        debug_assert!(
+            out.released
+                .iter()
+                .all(|&c| self.runs[tag.inst].state(c) == NodeState::Released),
+            "fan-out queued a node that is not in the Released state"
+        );
+        if settled {
+            let run = &self.runs[tag.inst];
+            debug_assert!(run.done(), "a settled instance owes no node an outcome");
+            stats.workflow_latencies.push(now - run.start);
+            if run.deadline.is_none_or(|d| now <= d) {
+                stats.workflow_attained += 1;
+            }
+        }
+        pushed
+    }
+}
+
 /// One generated arrival of the Poisson trace.
 #[derive(Debug, Clone, Copy)]
 struct Arrival {
@@ -210,12 +384,18 @@ struct Arrival {
     priority: Priority,
     /// The class SLO (denormalized from the class).
     slo: Option<Slo>,
+    /// Workflow identity (`None` for flat-mix arrivals).
+    wf: Option<WfTag>,
 }
 
 impl Arrival {
-    /// TTFT deadline in seconds, when the class carries an SLO.
+    /// TTFT deadline in seconds: the class SLO's `arrival + ttft`, or —
+    /// for workflow nodes without one — the instance deadline, so
+    /// deadline-ordered policies stay meaningful in workflow mode.
     fn deadline(&self) -> Option<f64> {
-        self.slo.map(|s| self.at + s.ttft.as_secs_f64())
+        self.slo
+            .map(|s| self.at + s.ttft.as_secs_f64())
+            .or(self.wf.and_then(|w| w.deadline))
     }
 
     /// The admission-policy view of this waiting request.
@@ -226,6 +406,8 @@ impl Arrival {
             arrival_idx: self.idx,
             priority: self.priority,
             deadline: self.deadline(),
+            workflow_deadline: self.wf.and_then(|w| w.deadline),
+            blocked_descendants: self.wf.map_or(0, |w| w.blocked_descendants),
         }
     }
 }
@@ -297,6 +479,9 @@ struct ActiveSeq {
     /// Whether admission hit the prefix cache (routes the TTFT sample
     /// into the cache-hit pool instead of the cold one).
     cache_hit: bool,
+    /// Workflow identity (`None` for flat-mix sequences). Completion
+    /// fans out through this to release children and decide races.
+    wf: Option<WfTag>,
 }
 
 impl ActiveSeq {
@@ -305,9 +490,12 @@ impl ActiveSeq {
         self.prefilled >= self.prefill_target
     }
 
-    /// TTFT deadline in seconds, when the class carries an SLO.
+    /// TTFT deadline in seconds: the class SLO's `arrival + ttft`, or —
+    /// for workflow nodes without one — the instance deadline.
     fn deadline(&self) -> Option<f64> {
-        self.slo.map(|s| self.arrival + s.ttft.as_secs_f64())
+        self.slo
+            .map(|s| self.arrival + s.ttft.as_secs_f64())
+            .or(self.wf.and_then(|w| w.deadline))
     }
 
     /// The eviction/re-admission policy view of this sequence, with
@@ -336,6 +524,8 @@ impl ActiveSeq {
             kv_blocks,
             shared_tokens: self.shared_tokens,
             readmit_delay_secs,
+            workflow_deadline: self.wf.and_then(|w| w.deadline),
+            blocked_descendants: self.wf.map_or(0, |w| w.blocked_descendants),
         }
     }
 
@@ -398,6 +588,11 @@ pub struct ServingSim {
     /// all-`Unified` clusters (disaggregated runs always split). Off by
     /// default — the single-channel model every pin was captured on.
     two_channel: bool,
+    /// Whether workflow children inherit their parent's registered KV
+    /// blocks as a shared prefix in paged mode (on by default; the
+    /// off switch exists so experiments can measure the cold
+    /// re-prefill baseline on the same trace).
+    workflow_inheritance: bool,
 }
 
 impl ServingSim {
@@ -419,6 +614,7 @@ impl ServingSim {
             roles: Vec::new(),
             migration: std::sync::Arc::new(LeastLoadedMigration),
             two_channel: false,
+            workflow_inheritance: true,
         }
     }
 
@@ -515,6 +711,29 @@ impl ServingSim {
     /// warm engines.
     pub fn set_two_channel_dma(&mut self, split: bool) {
         self.two_channel = split;
+    }
+
+    /// Enables (the default) or disables **workflow KV inheritance**:
+    /// in paged mode ([`kv_block`](Self::kv_block)), a completing
+    /// workflow node registers its KV under a per-(instance, node)
+    /// prefix key, and each child admits with its lowest-index
+    /// parent's blocks mapped copy-on-write as a shared prefix —
+    /// skipping the re-prefill of context the cluster already holds.
+    /// Cross-replica admissions miss and prefill cold (KV does not
+    /// teleport between replicas). Off, every node prefills its full
+    /// effective prompt from scratch — the control arm for measuring
+    /// the inheritance win. No effect on flat (non-workflow) runs or
+    /// in contiguous mode.
+    pub fn workflow_inheritance(mut self, inherit: bool) -> Self {
+        self.workflow_inheritance = inherit;
+        self
+    }
+
+    /// In-place form of
+    /// [`workflow_inheritance`](Self::workflow_inheritance) for warm
+    /// engines.
+    pub fn set_workflow_inheritance(&mut self, inherit: bool) {
+        self.workflow_inheritance = inherit;
     }
 
     /// Sets the dispatch policy (request-level scheduling only).
@@ -688,6 +907,7 @@ impl ServingSim {
             roles: self.roles.clone(),
             migration: self.migration.clone(),
             two_channel: self.two_channel,
+            workflow_inheritance: self.workflow_inheritance,
         })
     }
 
@@ -759,14 +979,31 @@ impl ServingSim {
     /// replica even with an empty batch.
     pub fn run(&mut self, model: &ModelConfig) -> ServingReport {
         assert!(!self.replicas.is_empty(), "serving cluster has no replicas");
-        assert!(!self.cfg.mix.is_empty(), "request mix must be non-empty");
+        let workflow_mode = !self.cfg.workflows.is_empty();
+        if workflow_mode {
+            assert!(
+                self.cfg.mix.is_empty(),
+                "a config drives either a flat mix or workflows, not both"
+            );
+            assert!(
+                self.cfg.workflows.iter().all(|t| t.weight > 0.0),
+                "workflow weights must be positive"
+            );
+            for (i, t) in self.cfg.workflows.iter().enumerate() {
+                if let Err(e) = t.validate() {
+                    panic!("workflow template {i} is invalid: {e}");
+                }
+            }
+        } else {
+            assert!(!self.cfg.mix.is_empty(), "request mix must be non-empty");
+            assert!(
+                self.cfg.mix.iter().all(|c| c.weight > 0.0),
+                "weights must be positive"
+            );
+        }
         assert!(
             self.cfg.arrival_rate_hz > 0.0,
             "arrival rate must be positive"
-        );
-        assert!(
-            self.cfg.mix.iter().all(|c| c.weight > 0.0),
-            "weights must be positive"
         );
         if self.cfg.requests == 0 {
             return ServingReport::empty(
@@ -775,7 +1012,7 @@ impl ServingSim {
                     .zip(&self.roles)
                     .map(|(r, &role)| (r.backend.name().to_string(), role))
                     .collect(),
-                &self.cfg.mix,
+                &self.effective_mix(),
             );
         }
         let stats = match self.scheduling {
@@ -783,6 +1020,10 @@ impl ServingSim {
                 assert!(
                     self.roles.iter().all(|&ro| ro == ReplicaRole::Unified),
                     "replica roles (disaggregation) require iteration-level scheduling"
+                );
+                assert!(
+                    !workflow_mode,
+                    "workflow mixes require iteration-level scheduling"
                 );
                 self.run_request_level(model)
             }
@@ -823,9 +1064,130 @@ impl ServingSim {
                     shape: self.cfg.mix[class].shape,
                     priority: self.cfg.mix[class].priority,
                     slo: self.cfg.mix[class].slo,
+                    wf: None,
                 }
             })
             .collect()
+    }
+
+    /// The request-class list the run's per-class accounting is keyed
+    /// by: the flat mix verbatim, or — under a workflow mix — one
+    /// synthetic class per (template, node) in template order, shaped
+    /// by the node's *effective* prompt (own prompt plus every
+    /// parent's output). Synthetic classes carry the template's
+    /// priority, no SLO (workflow deadlines are whole-instance, not
+    /// per-node), and no class-level prefix (workflow nodes share KV
+    /// through per-instance inheritance keys instead).
+    fn effective_mix(&self) -> Vec<RequestClass> {
+        if self.cfg.workflows.is_empty() {
+            return self.cfg.mix.clone();
+        }
+        let mut mix = Vec::new();
+        for tpl in &self.cfg.workflows {
+            for (node, eff) in tpl.effective_inputs().into_iter().enumerate() {
+                mix.push(RequestClass {
+                    shape: RequestShape {
+                        input: eff,
+                        output: tpl.nodes[node].shape.output,
+                    },
+                    weight: tpl.weight,
+                    priority: tpl.priority,
+                    slo: None,
+                    prefix_tokens: 0,
+                });
+            }
+        }
+        mix
+    }
+
+    /// Per-template tables the workflow hooks index at runtime, all
+    /// derived once from the validated templates.
+    fn workflow_ctx(&self) -> WfCtx {
+        let templates = self.cfg.workflows.clone();
+        let mut base = Vec::with_capacity(templates.len());
+        let mut next = 0usize;
+        for tpl in &templates {
+            base.push(next);
+            next += tpl.node_count();
+        }
+        let shapes = templates
+            .iter()
+            .map(|tpl| {
+                tpl.effective_inputs()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(node, eff)| RequestShape {
+                        input: eff,
+                        output: tpl.nodes[node].shape.output,
+                    })
+                    .collect()
+            })
+            .collect();
+        let blocked = templates.iter().map(|t| t.blocked_descendants()).collect();
+        WfCtx {
+            templates,
+            base,
+            shapes,
+            blocked,
+        }
+    }
+
+    /// Seeded Poisson arrivals of the weighted *workflow* mix: one
+    /// inter-arrival draw, then one template draw, per instance —
+    /// mirroring [`generate_arrivals`](Self::generate_arrivals)'s draw
+    /// order exactly, so a single-node workflow mix denotes the same
+    /// trace as the equivalent flat mix under the same seed. Only each
+    /// instance's *root* nodes arrive here; children are released by
+    /// the engine as their last parent completes. Returns the root
+    /// arrivals, one [`WorkflowRun`] per instance, and the total node
+    /// count the run must settle.
+    fn generate_workflow_arrivals(&self, ctx: &WfCtx) -> (Vec<Arrival>, Vec<WorkflowRun>, u64) {
+        let total_weight: f64 = ctx.templates.iter().map(|t| t.weight).sum();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut now = 0.0f64;
+        let mut arrivals = Vec::new();
+        let mut runs = Vec::with_capacity(self.cfg.requests as usize);
+        let mut total = 0u64;
+        for inst in 0..self.cfg.requests as usize {
+            // Exponential inter-arrival.
+            let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+            now += -u.ln() / self.cfg.arrival_rate_hz;
+            // Weighted template pick, same fallback semantics as
+            // `pick_class`.
+            let draw = rng.gen_range(0.0..total_weight);
+            let mut acc = 0.0;
+            let mut t = ctx.templates.len() - 1;
+            for (i, tpl) in ctx.templates.iter().enumerate() {
+                acc += tpl.weight;
+                if draw < acc {
+                    t = i;
+                    break;
+                }
+            }
+            let tpl = &ctx.templates[t];
+            let mut run = WorkflowRun::new(t, tpl, now);
+            total += tpl.node_count() as u64;
+            for node in run.release_roots() {
+                run.node_arrival[node] = Some(arrivals.len());
+                arrivals.push(Arrival {
+                    at: now,
+                    idx: arrivals.len() as u64,
+                    class: ctx.base[t] + node,
+                    shape: ctx.shapes[t][node],
+                    priority: tpl.priority,
+                    slo: None,
+                    wf: Some(WfTag {
+                        inst,
+                        node,
+                        inherit: None,
+                        deadline: run.deadline,
+                        blocked_descendants: ctx.blocked[t][node],
+                    }),
+                });
+            }
+            runs.push(run);
+        }
+        (arrivals, runs, total)
     }
 
     /// Classic M/G/k: whole requests routed at arrival by the dispatch
@@ -957,28 +1319,45 @@ impl ServingSim {
                     .unwrap_or_else(|| r.backend.host_kv_bytes())
             })
             .collect();
+        // The run's effective class list: the flat mix, or one
+        // synthetic class per (template, node) under a workflow mix.
+        let mix = self.effective_mix();
+        let wf_mode = !self.cfg.workflows.is_empty();
         // Arrivals ascending by time (and index). The wait queue is the
         // arrived, not-yet-admitted slice: `untaken` holds the pending
         // indices in order, so each boundary walks exactly the pending
         // window — no tombstone skipping, and the first element is the
         // next pending arrival (its time is nondecreasing over the run,
-        // which the idle-replica index below relies on).
-        let arrivals: Vec<Arrival> = self.generate_arrivals();
-        let mut untaken: BTreeSet<usize> = (0..arrivals.len()).collect();
-        let total = self.cfg.requests;
+        // which the idle-replica index below relies on). Workflow mode
+        // appends *child* arrivals mid-run as their parents complete;
+        // an append can move the wait-queue head backward in time, so
+        // there the idle index is repaired after each fan-out instead
+        // of trusting the nondecreasing-head invariant.
+        let wf_ctx = self.workflow_ctx();
+        let (arrivals, runs, total) = if wf_mode {
+            self.generate_workflow_arrivals(&wf_ctx)
+        } else {
+            (self.generate_arrivals(), Vec::new(), self.cfg.requests)
+        };
+        let mut arrivals = arrivals;
+        let mut wf_runs = runs;
+        // The wait queue, ordered by (time, index). On the initial trace
+        // the two orders coincide; workflow children appended mid-run
+        // keep the set time-sorted so the head and the admission window
+        // stay correct.
+        let mut untaken: BTreeSet<(TimeKey, usize)> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (TimeKey(a.at), i))
+            .collect();
+        // Which replica holds each live workflow prefix key's blocks.
+        let mut wf_key_homes: HashMap<u64, usize> = HashMap::new();
+        let wf_inherit = self.workflow_inheritance;
         // Paged-KV state per replica when a block size is set and the
         // backend reports a block budget; `None` keeps the legacy
         // contiguous accounting (bit-identical) on that replica.
-        let widest_input = self
-            .cfg
-            .mix
-            .iter()
-            .map(|c| c.shape.input)
-            .max()
-            .unwrap_or(1);
-        let class_keys: Vec<Option<u64>> = self
-            .cfg
-            .mix
+        let widest_input = mix.iter().map(|c| c.shape.input).max().unwrap_or(1);
+        let class_keys: Vec<Option<u64>> = mix
             .iter()
             .enumerate()
             .map(|(i, c)| (c.prefix_tokens > 0).then(|| prefix_key(i, c.prefix_tokens)))
@@ -994,9 +1373,7 @@ impl ServingSim {
                     // The paged analogue of the never-admittable
                     // admission guard: every mix shape must fit an
                     // empty replica, or the run could only livelock.
-                    let need = self
-                        .cfg
-                        .mix
+                    let need = mix
                         .iter()
                         .map(|c| c.shape.total_tokens().div_ceil(self.kv_block))
                         .max()
@@ -1056,7 +1433,7 @@ impl ServingSim {
         // sequence). Its device KV is reserved from issue. Sorted for
         // the same reason as `outgoing` (same DMA channel clock).
         let mut incoming: Vec<VecDeque<(f64, ActiveSeq)>> = vec![VecDeque::new(); n];
-        let mut stats = RunStats::new(n, self.cfg.mix.len(), total);
+        let mut stats = RunStats::new(n, mix.len(), total);
         let mut done = 0u64;
         // Monotone swap-out counter (FIFO re-admission's order).
         let mut swap_count = 0u64;
@@ -1080,6 +1457,11 @@ impl ServingSim {
         let mut busy_q: SlotQueue<TimeKey> = SlotQueue::new(n);
         let mut idle_ready: BTreeSet<usize> = BTreeSet::new();
         let mut idle_late: BTreeSet<(TimeKey, usize)> = BTreeSet::new();
+        // Workflow mode only: idle non-decode replicas that found the
+        // wait queue empty. They are in no idle set (there is no head
+        // to classify them against) and are woken by the turn whose
+        // completion fan-out refills the queue.
+        let mut parked: BTreeSet<usize> = BTreeSet::new();
         if event_core {
             // Decode-only replicas never admit arrivals: they start
             // parked (in no idle set) and are woken by the turn that
@@ -1111,12 +1493,16 @@ impl ServingSim {
         let mut aborted = false;
 
         while done < total {
+            // Whether a workflow completion appended arrivals this turn
+            // (the event core must then repair its idle sets against
+            // the possibly-earlier wait-queue head).
+            let mut wf_pushed = false;
             // The next actionable replica: the earliest iteration
             // boundary among replicas that hold work (resident, swapped
             // or in-flight) or could admit the earliest pending arrival
             // (idle replicas fast-forward to it). Ties break to the
             // lowest replica index in both cores.
-            let head_at = untaken.first().map(|&i| arrivals[i].at);
+            let head_at = untaken.first().map(|&(t, _)| t.0);
             let (r, at, src) = if event_core {
                 let mut next: Option<(f64, usize, Src)> = None;
                 if let Some((TimeKey(t), slot)) = busy_q.peek() {
@@ -1283,6 +1669,7 @@ impl ServingSim {
                                 p.saturating_sub(host_used[r].saturating_sub(s.hosted_bytes))
                             });
                             let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                            let block_tokens = paged[r].as_ref().map_or(0, |p| p.block_tokens());
                             (
                                 i,
                                 costed_view(
@@ -1290,6 +1677,7 @@ impl ServingSim {
                                     &mut self.replicas[r],
                                     model,
                                     headroom,
+                                    block_tokens,
                                     kv_blocks,
                                     readmit_delay,
                                 ),
@@ -1505,7 +1893,7 @@ impl ServingSim {
                         seq.shared_tokens = shared;
                         p.grow(seq.idx, seq.past);
                         if let Some(key) = class_keys[seq.class] {
-                            let prefix = self.cfg.mix[seq.class]
+                            let prefix = mix[seq.class]
                                 .prefix_tokens
                                 .min(seq.shape.input.saturating_sub(1));
                             if let Some(s2) = p.register_prefix(seq.idx, key, prefix) {
@@ -1529,7 +1917,7 @@ impl ServingSim {
                     && batches[r].len() + incoming[r].len() < max_batch as usize
                 {
                     let mut window: Vec<(usize, QueuedRequest)> = Vec::new();
-                    for &i in untaken.iter() {
+                    for &(_, i) in untaken.iter() {
                         if arrivals[i].at > clock[r] {
                             break;
                         }
@@ -1576,7 +1964,12 @@ impl ServingSim {
                         // overcommit, the final length otherwise — plus, in
                         // the final-length mode, every resident's residual
                         // growth to completion.
-                        let hit_tokens = class_keys[cand.class].map_or(0, |key| {
+                        // Workflow children gate on their inherited
+                        // parent prefix; flat classes on their class
+                        // prefix (a workflow node's synthetic class
+                        // never declares one).
+                        let cand_key = cand.wf.and_then(|w| w.inherit).or(class_keys[cand.class]);
+                        let hit_tokens = cand_key.map_or(0, |key| {
                             p.prefix_hit_tokens(key, cand.shape.input.saturating_sub(1))
                         });
                         let mut need = if preempt {
@@ -1641,7 +2034,7 @@ impl ServingSim {
                     if !fits {
                         break;
                     }
-                    untaken.remove(&pi);
+                    untaken.remove(&(TimeKey(arrivals[pi].at), pi));
                     admitted += 1;
                     let arrival = arrivals[pi];
                     let service = self.replicas[r].ideal_service_secs(model, arrival.shape);
@@ -1650,15 +2043,38 @@ impl ServingSim {
                     // tokens already built and prefills only the suffix.
                     let mut shared_tokens = 0u64;
                     if let Some(p) = paged[r].as_mut() {
+                        let inherit_key = arrival.wf.and_then(|w| w.inherit);
                         shared_tokens = p.admit(
                             arrival.idx,
-                            class_keys[arrival.class],
+                            inherit_key.or(class_keys[arrival.class]),
                             arrival.shape.input.saturating_sub(1),
                         );
                         stats.prompt_tokens += arrival.shape.input;
                         if shared_tokens > 0 {
                             stats.prefix_hits += 1;
                             stats.shared_prompt_tokens += shared_tokens;
+                        }
+                        if inherit_key.is_some() {
+                            // Cross-node inheritance accounting: how much
+                            // of this child's prompt its parent's KV
+                            // covered (0 on a cross-replica miss).
+                            stats.inheritable_tokens += arrival.shape.input;
+                            stats.inherited_tokens += shared_tokens;
+                        }
+                    }
+                    // The child has claimed (or forfeited, on a miss) its
+                    // slot on the parent's published prefix; drop the
+                    // parent's cache entry once its last consumer is in.
+                    if let Some(w) = arrival.wf {
+                        let run = &mut wf_runs[w.inst];
+                        let tpl = &wf_ctx.templates[run.template];
+                        if let Some(parent) = run.consume_key(tpl, w.node) {
+                            let key = workflow_prefix_key(w.inst as u64, parent);
+                            if let Some(home) = wf_key_homes.remove(&key) {
+                                if let Some(p) = paged[home].as_mut() {
+                                    p.drop_prefix(key);
+                                }
+                            }
                         }
                     }
                     stats.peak_batch = stats.peak_batch.max(batches[r].len() as u32 + 1);
@@ -1684,6 +2100,7 @@ impl ServingSim {
                         just_prefilled: false,
                         shared_tokens,
                         cache_hit: shared_tokens > 0,
+                        wf: arrival.wf,
                     });
                 }
 
@@ -1731,7 +2148,7 @@ impl ServingSim {
                         let next_arrival = if self.roles[r] == ReplicaRole::DecodeOnly {
                             f64::INFINITY
                         } else {
-                            untaken.first().map_or(f64::INFINITY, |&i| arrivals[i].at)
+                            untaken.first().map_or(f64::INFINITY, |&(t, _)| t.0)
                         };
                         if next_arrival > clock[r] && next_arrival < event {
                             clock[r] = next_arrival;
@@ -1966,6 +2383,8 @@ impl ServingSim {
                             .filter(|(_, s)| s.decoding())
                             .map(|(i, s)| {
                                 let kv_blocks = paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                                let block_tokens =
+                                    paged[r].as_ref().map_or(0, |p| p.block_tokens());
                                 (
                                     i,
                                     costed_view(
@@ -1973,6 +2392,7 @@ impl ServingSim {
                                         &mut self.replicas[r],
                                         model,
                                         headroom,
+                                        block_tokens,
                                         kv_blocks,
                                         readmit_delay,
                                     ),
@@ -2005,7 +2425,17 @@ impl ServingSim {
                         // cache's reference. Contiguous mode has no shared
                         // tokens, so this is the whole context there.
                         let moved = seq.past - seq.shared_tokens;
-                        let bytes = crate::capacity::kv_swap_bytes(model, moved);
+                        // The host pool parks whole blocks in paged mode
+                        // — a partially filled tail block occupies a full
+                        // block host-side too — so the pool debit rounds
+                        // `moved` up to the block size. The DMA transfer
+                        // below still prices the actual tokens moved;
+                        // contiguous mode stays exact (and bit-identical).
+                        let pool_tokens = match paged[r].as_ref() {
+                            Some(p) => moved.div_ceil(p.block_tokens()) * p.block_tokens(),
+                            None => moved,
+                        };
+                        let bytes = crate::capacity::kv_swap_bytes(model, pool_tokens);
                         let pool_takes = headroom.is_none_or(|h| bytes <= h);
                         let by_swap = match self.scheduler.mechanism {
                             EvictionMechanism::Swap => pool_takes,
@@ -2129,7 +2559,7 @@ impl ServingSim {
                             // entry (first completer wins; later ones
                             // find the entry already present).
                             if let Some(key) = class_keys[seq.class] {
-                                let prefix = self.cfg.mix[seq.class]
+                                let prefix = mix[seq.class]
                                     .prefix_tokens
                                     .min(seq.shape.input.saturating_sub(1));
                                 if let Some(shared) = p.register_prefix(seq.idx, key, prefix) {
@@ -2152,6 +2582,21 @@ impl ServingSim {
                                 // Single-token request: the prefill is the
                                 // request.
                                 let seq = batches[r].remove(ci);
+                                if let Some(tag) = seq.wf {
+                                    // Fan out before `complete` frees the
+                                    // block table: children inherit this
+                                    // node's KV as a shared prefix.
+                                    wf_pushed |= WfWorld {
+                                        ctx: &wf_ctx,
+                                        runs: &mut wf_runs,
+                                        arrivals: &mut arrivals,
+                                        untaken: &mut untaken,
+                                        paged: &mut paged,
+                                        key_homes: &mut wf_key_homes,
+                                        inheritance: wf_inherit,
+                                    }
+                                    .on_node_complete(tag, seq.idx, r, now, &mut stats, &mut done);
+                                }
                                 if let Some(p) = paged[r].as_mut() {
                                     p.complete(seq.idx);
                                 }
@@ -2272,6 +2717,24 @@ impl ServingSim {
                     seq.past += 1;
                     seq.remaining -= 1;
                     let (idx, finished) = (seq.idx, seq.remaining == 0);
+                    let wf_tag = seq.wf;
+                    if finished {
+                        if let Some(tag) = wf_tag {
+                            // Fan out before `complete` frees the block
+                            // table: children inherit this node's KV as
+                            // a shared prefix.
+                            wf_pushed |= WfWorld {
+                                ctx: &wf_ctx,
+                                runs: &mut wf_runs,
+                                arrivals: &mut arrivals,
+                                untaken: &mut untaken,
+                                paged: &mut paged,
+                                key_homes: &mut wf_key_homes,
+                                inheritance: wf_inherit,
+                            }
+                            .on_node_complete(tag, idx, r, now, &mut stats, &mut done);
+                        }
+                    }
                     if let Some(p) = paged[r].as_mut() {
                         if finished {
                             p.complete(idx);
@@ -2307,7 +2770,12 @@ impl ServingSim {
             // no arrivals left an idle replica can never act again, so
             // the idle sets empty out.
             if event_core {
-                if untaken.is_empty() {
+                if untaken.is_empty() && !wf_mode {
+                    // With no arrivals left an idle replica can never
+                    // act again. (Workflow mode keeps the sets: a
+                    // running node's completion can refill the queue,
+                    // and selection already ignores idle replicas
+                    // while it is empty.)
                     idle_ready.clear();
                     idle_late.clear();
                 }
@@ -2320,18 +2788,51 @@ impl ServingSim {
                 } else if self.roles[r] == ReplicaRole::DecodeOnly {
                     // Parked: arrivals never route here, so the replica
                     // next acts when a migration push wakes it.
-                } else if let Some(&i) = untaken.first() {
-                    if clock[r] <= arrivals[i].at {
+                } else if let Some(&(t, _)) = untaken.first() {
+                    if clock[r] <= t.0 {
                         idle_ready.insert(r);
                     } else {
                         idle_late.insert((TimeKey(clock[r]), r));
                     }
+                } else if wf_mode {
+                    // Queue empty but running nodes may still release
+                    // children: park until a fan-out turn wakes us.
+                    parked.insert(r);
                 }
-                // The arrival head is nondecreasing (admissions only
-                // remove from `untaken`), so replicas that fell behind
-                // it migrate from late to ready monotonically.
-                if let Some(&i) = untaken.first() {
-                    let h = arrivals[i].at;
+                if wf_pushed {
+                    // A completion fan-out appended arrivals at `now`,
+                    // which can move the wait-queue head *backward*
+                    // (`now` precedes leftover root arrivals). Wake
+                    // every parked replica against the new head, and
+                    // demote ready replicas whose clock now exceeds it
+                    // — they act at their own clock, not the head's.
+                    let h = untaken
+                        .first()
+                        .map(|&(t, _)| t.0)
+                        .expect("fan-out left the wait queue non-empty");
+                    for pr in std::mem::take(&mut parked) {
+                        if clock[pr] <= h {
+                            idle_ready.insert(pr);
+                        } else {
+                            idle_late.insert((TimeKey(clock[pr]), pr));
+                        }
+                    }
+                    let demote: Vec<usize> = idle_ready
+                        .iter()
+                        .copied()
+                        .filter(|&ir| clock[ir] > h)
+                        .collect();
+                    for ir in demote {
+                        idle_ready.remove(&ir);
+                        idle_late.insert((TimeKey(clock[ir]), ir));
+                    }
+                }
+                // The arrival head is nondecreasing between fan-outs
+                // (admissions only remove from `untaken`), so replicas
+                // that fell behind it migrate from late to ready
+                // monotonically.
+                if let Some(&(t, _)) = untaken.first() {
+                    let h = t.0;
                     while let Some(&(t, late_r)) = idle_late.first() {
                         if t.0 <= h {
                             idle_late.pop_first();
@@ -2376,10 +2877,10 @@ impl ServingSim {
         for cs in &mut stats.class_sojourns {
             finite_sort(cs);
         }
+        finite_sort(&mut stats.workflow_latencies);
         let n = self.replicas.len();
         let per_class = self
-            .cfg
-            .mix
+            .effective_mix()
             .iter()
             .enumerate()
             .map(|(i, c)| {
@@ -2454,6 +2955,19 @@ impl ServingSim {
             ttft_cache_hit: LatencyPercentiles::from_sorted(&stats.ttft_hits),
             ttft_cold: LatencyPercentiles::from_sorted(&stats.ttft_colds),
             slo_attainment: stats.attained as f64 / completions.max(1) as f64,
+            workflow_latency: LatencyPercentiles::from_sorted(&stats.workflow_latencies),
+            workflow_slo_attainment: if stats.workflow_latencies.is_empty() {
+                1.0
+            } else {
+                stats.workflow_attained as f64 / stats.workflow_latencies.len() as f64
+            },
+            completed_workflows: stats.workflow_latencies.len() as u64,
+            cancelled_nodes: stats.cancelled_nodes,
+            inherited_prefix_ratio: if stats.inheritable_tokens > 0 {
+                stats.inherited_tokens as f64 / stats.inheritable_tokens as f64
+            } else {
+                0.0
+            },
             utilization: if stats.last_finish > 0.0 {
                 (stats.busy.iter().sum::<f64>() / (n as f64 * stats.last_finish)).min(1.0)
             } else {
@@ -2707,18 +3221,27 @@ fn select_min<T, V>(
 /// take the sequence's KV bytes) and the grid-estimated re-prefill
 /// cost. Both price only the *unshared* context — shared prefix blocks
 /// neither move nor recompute (everything is unshared under contiguous
-/// accounting). `kv_blocks` and `readmit_delay` pass through to the
-/// view for block-aware policies.
+/// accounting). The headroom check charges whole blocks when
+/// `block_tokens` is nonzero (paged mode), matching the engine's
+/// block-granular pool debit; 0 keeps the exact contiguous charge.
+/// `kv_blocks` and `readmit_delay` pass through to the view for
+/// block-aware policies.
 fn costed_view(
     seq: &ActiveSeq,
     replica: &mut Replica,
     model: &ModelConfig,
     headroom: Option<u64>,
+    block_tokens: u64,
     kv_blocks: u64,
     readmit_delay: f64,
 ) -> SeqView {
     let moved = seq.past - seq.shared_tokens;
-    let bytes = crate::capacity::kv_swap_bytes(model, moved);
+    let pool_tokens = if block_tokens > 0 {
+        moved.div_ceil(block_tokens) * block_tokens
+    } else {
+        moved
+    };
+    let bytes = crate::capacity::kv_swap_bytes(model, pool_tokens);
     let swap_secs = match headroom {
         Some(h) if bytes > h => f64::INFINITY,
         _ => replica.kv_transfer_secs(model, moved),

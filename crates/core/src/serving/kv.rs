@@ -455,6 +455,22 @@ impl PrefixCache {
         }
     }
 
+    /// Removes the entry under `key` (if cached), releasing the cache's
+    /// reference on each of its blocks — the eager drop a workflow
+    /// parent's prefix gets once its last consumer has admitted or been
+    /// cancelled. Blocks still mapped by live sequences survive (their
+    /// refcounts stay above zero); only the cache's hold is released.
+    /// Returns whether an entry was removed.
+    pub fn remove(&mut self, alloc: &mut BlockAllocator, key: u64) -> bool {
+        let Some(entry) = self.entries.remove(&key) else {
+            return false;
+        };
+        for b in entry.blocks {
+            alloc.release(b);
+        }
+        true
+    }
+
     /// Releases every cached reference (end of run).
     pub fn flush(&mut self, alloc: &mut BlockAllocator) {
         for (_, entry) in std::mem::take(&mut self.entries) {
@@ -598,6 +614,13 @@ impl PagedKv {
     /// (or nothing idle remains).
     pub fn reclaim(&mut self, need: u64) {
         self.cache.reclaim(&mut self.alloc, need);
+    }
+
+    /// Eagerly drops the cached prefix under `key` (no-op when absent),
+    /// releasing the cache's block references; blocks other sequences
+    /// still map stay allocated. Returns whether an entry was dropped.
+    pub fn drop_prefix(&mut self, key: u64) -> bool {
+        self.cache.remove(&mut self.alloc, key)
     }
 
     /// The allocated-but-unused fraction of all allocated blocks right

@@ -194,6 +194,7 @@
 pub mod dma;
 pub mod kv;
 pub mod policy;
+pub mod workflow;
 
 mod engine;
 mod report;
@@ -206,6 +207,7 @@ pub use policy::{
     SchedulerPolicy,
 };
 pub use report::{ClassReport, LatencyPercentiles, ReplicaReport, ServingReport};
+pub use workflow::{WorkflowError, WorkflowNode, WorkflowTemplate};
 
 use ianus_model::RequestShape;
 use ianus_sim::Duration;
@@ -322,6 +324,15 @@ pub struct ServingConfig {
     pub seed: u64,
     /// Request-shape mix (weights need not sum to one).
     pub mix: Vec<RequestClass>,
+    /// Agentic workflow mix (see [`workflow`]). When non-empty the
+    /// engine runs in *workflow mode*: [`requests`](Self::requests)
+    /// counts workflow **instances** (each Poisson arrival draws one
+    /// weighted [`WorkflowTemplate`] and releases its root nodes; child
+    /// nodes queue when their last parent completes), `mix` must be
+    /// empty, and scheduling must be iteration-level. A single-node
+    /// template behaves bit-identically to the equivalent flat
+    /// [`RequestClass`] mix.
+    pub workflows: Vec<WorkflowTemplate>,
 }
 
 impl ServingConfig {
@@ -337,6 +348,7 @@ impl ServingConfig {
                 RequestClass::new(RequestShape::new(256, 64), 0.3),
                 RequestClass::new(RequestShape::new(512, 256), 0.1),
             ],
+            workflows: vec![],
         }
     }
 
@@ -372,6 +384,7 @@ impl ServingConfig {
                 RequestClass::new(RequestShape::new(64, 256), 0.35),
                 RequestClass::new(RequestShape::new(128, 512), 0.15),
             ],
+            workflows: vec![],
         }
     }
 
@@ -392,6 +405,7 @@ impl ServingConfig {
                 RequestClass::new(RequestShape::new(128, 32), 0.75),
                 RequestClass::new(RequestShape::new(896, 64), 0.25).with_priority(Priority::Batch),
             ],
+            workflows: vec![],
         }
     }
 
@@ -417,6 +431,32 @@ impl ServingConfig {
                     .with_priority(Priority::Batch)
                     .with_shared_prefix(384),
             ],
+            workflows: vec![],
+        }
+    }
+
+    /// An agentic workflow mix: `requests` workflow *instances* drawn
+    /// from `workflows` by weight (templates are
+    /// [validated](WorkflowTemplate::validate) up front — panics on a
+    /// cyclic, dangling, or empty graph). Requires iteration-level
+    /// scheduling at run time; the flat `mix` stays empty.
+    pub fn workflow_mix(
+        arrival_rate_hz: f64,
+        requests: u64,
+        workflows: Vec<WorkflowTemplate>,
+    ) -> Self {
+        assert!(!workflows.is_empty(), "workflow mix must be non-empty");
+        for (i, tpl) in workflows.iter().enumerate() {
+            if let Err(e) = tpl.validate() {
+                panic!("workflow template {i} is invalid: {e}");
+            }
+        }
+        ServingConfig {
+            arrival_rate_hz,
+            requests,
+            seed: 0x5EED,
+            mix: vec![],
+            workflows,
         }
     }
 }

@@ -6,7 +6,8 @@
 //!
 //! * [`AdmissionPolicy`] — in what order the global wait queue is
 //!   admitted ([`FcfsAdmission`], [`PriorityAdmission`],
-//!   [`ShortestPromptAdmission`], [`DeadlineAdmission`]).
+//!   [`ShortestPromptAdmission`], [`DeadlineAdmission`],
+//!   [`WidestSubtreeAdmission`]).
 //! * [`EvictionPolicy`] — which resident sequence is swapped out under
 //!   KV pressure ([`LowestPriorityYoungest`], [`LargestKv`],
 //!   [`LeastProgress`]).
@@ -86,8 +87,19 @@ pub struct QueuedRequest {
     /// Scheduling tier of the request's class.
     pub priority: Priority,
     /// TTFT deadline in seconds (`arrival + slo.ttft`), when the
-    /// request's class carries an [`Slo`](super::Slo).
+    /// request's class carries an [`Slo`](super::Slo). For a workflow
+    /// node with no per-request SLO this is the workflow deadline, so
+    /// [`DeadlineAdmission`] is deadline-aware in workflow mode too.
     pub deadline: Option<f64>,
+    /// End-to-end deadline of the workflow instance this request
+    /// belongs to, in absolute seconds (`None` for flat-mix requests
+    /// and deadline-free workflows). See
+    /// [`workflow`](super::workflow).
+    pub workflow_deadline: Option<f64>,
+    /// How many downstream workflow nodes this request (transitively)
+    /// unblocks — 0 for flat-mix requests and leaf nodes.
+    /// [`WidestSubtreeAdmission`] orders by this.
+    pub blocked_descendants: u32,
 }
 
 /// A resident or swapped sequence, as the [`EvictionPolicy`] and
@@ -151,6 +163,14 @@ pub struct SeqView {
     /// so cost-aware policies stop treating a swap behind a deep queue
     /// as free.
     pub readmit_delay_secs: f64,
+    /// End-to-end deadline of the workflow instance this sequence
+    /// belongs to, in absolute seconds (`None` for flat-mix requests
+    /// and deadline-free workflows).
+    pub workflow_deadline: Option<f64>,
+    /// How many downstream workflow nodes this sequence (transitively)
+    /// unblocks — 0 for flat-mix requests and leaf nodes. Eviction
+    /// policies can use it to keep wide-subtree sequences resident.
+    pub blocked_descendants: u32,
 }
 
 impl SeqView {
@@ -266,6 +286,33 @@ impl AdmissionPolicy for DeadlineAdmission {
 
     fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering {
         deadline_cmp(a.deadline, b.deadline).then(a.arrival_idx.cmp(&b.arrival_idx))
+    }
+}
+
+/// Workflow-aware admission: drain in-flight DAGs before opening new
+/// ones, and within an instance admit the node that (transitively)
+/// unblocks the most downstream workflow nodes
+/// ([`QueuedRequest::blocked_descendants`]) first. Instances are
+/// ordered by workflow deadline (a proxy for instance age under a
+/// uniform template; `None` sorts last), so a freshly arrived root —
+/// whose subtree is always widest — cannot starve an older instance's
+/// tools and join out of the batch. A *width-primary* order inverts
+/// under backlog: it keeps admitting new planners while released
+/// children rot at the tail, which is exactly the p99 regression this
+/// key order avoids. Degrades to exact FCFS on flat mixes (every flat
+/// request has zero descendants and no workflow deadline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WidestSubtreeAdmission;
+
+impl AdmissionPolicy for WidestSubtreeAdmission {
+    fn name(&self) -> &'static str {
+        "widest-subtree"
+    }
+
+    fn compare(&self, a: &QueuedRequest, b: &QueuedRequest) -> Ordering {
+        deadline_cmp(a.workflow_deadline, b.workflow_deadline)
+            .then(b.blocked_descendants.cmp(&a.blocked_descendants))
+            .then(a.arrival_idx.cmp(&b.arrival_idx))
     }
 }
 
@@ -649,6 +696,8 @@ mod tests {
             arrival_idx: idx,
             priority,
             deadline,
+            workflow_deadline: None,
+            blocked_descendants: 0,
         }
     }
 
@@ -670,6 +719,8 @@ mod tests {
             kv_blocks: 0,
             shared_tokens: 0,
             readmit_delay_secs: 0.0,
+            workflow_deadline: None,
+            blocked_descendants: 0,
         }
     }
 
@@ -685,6 +736,36 @@ mod tests {
         assert_eq!(DeadlineAdmission.compare(&b, &a), Ordering::Less);
         // No deadline sorts last.
         assert_eq!(DeadlineAdmission.compare(&a, &c), Ordering::Less);
+    }
+
+    #[test]
+    fn widest_subtree_order() {
+        // Same instance (same workflow deadline): width decides.
+        let mut narrow = req(0, 64, Priority::Interactive, None);
+        let mut wide = req(1, 64, Priority::Interactive, None);
+        wide.blocked_descendants = 4;
+        narrow.blocked_descendants = 1;
+        assert_eq!(
+            WidestSubtreeAdmission.compare(&wide, &narrow),
+            Ordering::Less
+        );
+        // The older instance (earlier workflow deadline) wins even
+        // against a wider node of a younger one: in-flight DAGs drain
+        // before new roots open.
+        narrow.blocked_descendants = 1;
+        narrow.workflow_deadline = Some(5.0);
+        wide.workflow_deadline = Some(9.0);
+        assert_eq!(
+            WidestSubtreeAdmission.compare(&narrow, &wide),
+            Ordering::Less
+        );
+        // Flat requests (zero width, no workflow deadline) are FCFS.
+        let flat_a = req(0, 64, Priority::Interactive, None);
+        let flat_b = req(1, 64, Priority::Interactive, None);
+        assert_eq!(
+            WidestSubtreeAdmission.compare(&flat_a, &flat_b),
+            FcfsAdmission.compare(&flat_a, &flat_b)
+        );
     }
 
     #[test]

@@ -220,7 +220,33 @@ pub struct ServingReport {
     /// TTFT percentiles over the requests that prefilled cold (no
     /// cache hit). Equals [`ttft`](Self::ttft) in contiguous mode.
     pub ttft_cold: LatencyPercentiles,
-    /// Per-class statistics (same order as the config's mix).
+    /// Whole-workflow latency percentiles: first root arrival to the
+    /// last node's completion (or final cancellation settling), over
+    /// finished workflow instances. [`LatencyPercentiles::ZERO`] on
+    /// flat (non-workflow) runs.
+    pub workflow_latency: LatencyPercentiles,
+    /// Fraction of finished workflow instances whose whole-workflow
+    /// latency met their template deadline
+    /// ([`WorkflowTemplate::with_deadline`](super::WorkflowTemplate::with_deadline)).
+    /// 1.0 when no workflows ran or no template declares a deadline.
+    pub workflow_slo_attainment: f64,
+    /// Workflow instances that finished (every node completed or was
+    /// cancelled). 0 on flat runs.
+    pub completed_workflows: u64,
+    /// Workflow nodes cancelled by speculative-group arbitration: the
+    /// losing sibling subtrees released or retired without running to
+    /// a counted completion. 0 on flat runs and non-speculative
+    /// templates.
+    pub cancelled_nodes: u64,
+    /// Fraction of non-root workflow nodes' prompt tokens inherited
+    /// from a parent's registered KV instead of re-prefilled — the
+    /// cross-node analogue of
+    /// [`prefix_share_ratio`](Self::prefix_share_ratio). 0 on flat
+    /// runs, in contiguous mode, or with inheritance disabled.
+    pub inherited_prefix_ratio: f64,
+    /// Per-class statistics (same order as the config's mix; under a
+    /// workflow mix, one synthetic class per template node in template
+    /// order).
     pub per_class: Vec<ClassReport>,
     /// Per-replica load (same order as the replicas were added).
     pub per_replica: Vec<ReplicaReport>,
@@ -278,6 +304,11 @@ impl ServingReport {
             prefix_cache_hits: 0,
             ttft_cache_hit: LatencyPercentiles::ZERO,
             ttft_cold: LatencyPercentiles::ZERO,
+            workflow_latency: LatencyPercentiles::ZERO,
+            workflow_slo_attainment: 1.0,
+            completed_workflows: 0,
+            cancelled_nodes: 0,
+            inherited_prefix_ratio: 0.0,
             per_class: mix
                 .iter()
                 .map(|c| ClassReport {
@@ -374,6 +405,18 @@ pub(crate) struct RunStats {
     /// — equals the configured request count except when the divergence
     /// guard cut the run short.
     pub completions: u64,
+    /// Whole-workflow latency samples (root arrival → instance
+    /// settled) and how many of those met their template deadline.
+    /// Empty on flat runs.
+    pub workflow_latencies: Vec<f64>,
+    pub workflow_attained: u64,
+    /// Nodes retired by speculative-group cancellation.
+    pub cancelled_nodes: u64,
+    /// Inherited-prefix ratio's numerator and denominator: prompt
+    /// tokens non-root workflow nodes mapped from a parent's
+    /// registered KV, over all their prompt tokens.
+    pub inherited_tokens: u64,
+    pub inheritable_tokens: u64,
     /// Whether the divergence guard fired (see
     /// [`ServingReport::diverged`]).
     pub diverged: bool,
@@ -416,6 +459,11 @@ impl RunStats {
             ttft_hits: Vec::new(),
             ttft_colds: Vec::with_capacity(requests as usize),
             completions: 0,
+            workflow_latencies: Vec::new(),
+            workflow_attained: 0,
+            cancelled_nodes: 0,
+            inherited_tokens: 0,
+            inheritable_tokens: 0,
             diverged: false,
         }
     }

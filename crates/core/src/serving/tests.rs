@@ -97,6 +97,7 @@ fn second_replica_improves_tail_latency_and_halves_utilization() {
         requests: 400,
         seed: 5,
         mix: mix_one(RequestShape::new(128, 16)),
+        workflows: vec![],
     };
     let one = ServingSim::new(cfg.clone())
         .replica(fixed("a", 500))
@@ -122,6 +123,7 @@ fn sej_beats_least_loaded_on_heterogeneous_cluster() {
         requests: 300,
         seed: 11,
         mix: mix_one(RequestShape::new(64, 16)),
+        workflows: vec![],
     };
     let hetero = |policy| {
         ServingSim::new(cfg.clone())
@@ -153,6 +155,7 @@ fn least_loaded_differs_from_fcfs_on_heterogeneous_cluster() {
         requests: 400,
         seed: 13,
         mix: mix_one(RequestShape::new(64, 16)),
+        workflows: vec![],
     };
     let run = |policy| {
         ServingSim::new(cfg.clone())
@@ -177,6 +180,7 @@ fn memo_is_model_aware_across_runs() {
         requests: 50,
         seed: 4,
         mix: mix_one(RequestShape::new(128, 8)),
+        workflows: vec![],
     };
     let mut sim = ServingSim::new(cfg.clone()).replica(IanusSystem::new(SystemConfig::ianus()));
     let small = sim.run(&ModelConfig::gpt2_m());
@@ -199,6 +203,7 @@ fn per_class_percentiles_order_by_request_weight() {
         requests: 400,
         seed: 3,
         mix: vec![RequestClass::new(light, 0.5), RequestClass::new(heavy, 0.5)],
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg).replica(fixed("a", 100)).run(&model);
     assert_eq!(r.per_class.len(), 2);
@@ -216,6 +221,7 @@ fn zero_requests_yield_empty_report() {
         requests: 0,
         seed: 0,
         mix: mix_one(RequestShape::new(128, 8)),
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(fixed("a", 100))
@@ -258,6 +264,7 @@ fn cluster_of_device_groups_serves_large_model() {
         requests: 60,
         seed: 9,
         mix: mix_one(RequestShape::new(128, 4)),
+        workflows: vec![],
     };
     let mut sim = ServingSim::new(cfg)
         .cluster(2, |_| DeviceGroup::new(SystemConfig::ianus(), 2))
@@ -277,6 +284,7 @@ fn sustainable_rate_brackets_service_rate() {
         requests: 500,
         seed: 21,
         mix: mix_one(RequestShape::new(99, 1)),
+        workflows: vec![],
     };
     let mut sim = ServingSim::new(cfg)
         .replica(fixed("a", 100))
@@ -301,6 +309,7 @@ fn light_load_has_no_queueing() {
         requests: 64,
         seed: 1,
         mix: mix_one(RequestShape::new(128, 8)),
+        workflows: vec![],
     };
     let r = single_ianus(SystemConfig::ianus(), cfg).run(&ModelConfig::gpt2_m());
     // Sojourn ~ service at low utilization.
@@ -323,6 +332,7 @@ fn overload_grows_tail_latency() {
         requests: 200,
         seed: 2,
         mix: mix_one(shape),
+        workflows: vec![],
     };
     let r = single_ianus(SystemConfig::ianus(), cfg).run(&ModelConfig::gpt2_m());
     assert!(r.utilization > 0.95, "{}", r.utilization);
@@ -338,6 +348,7 @@ fn faster_device_serves_higher_rate() {
         requests: 150,
         seed: 3,
         mix: mix_one(shape),
+        workflows: vec![],
     };
     let ianus = single_ianus(SystemConfig::ianus(), cfg.clone()).run(&ModelConfig::gpt2_m());
     let npu_mem = single_ianus(SystemConfig::npu_mem(), cfg).run(&ModelConfig::gpt2_m());
@@ -353,6 +364,7 @@ fn empty_mix_rejected() {
         requests: 1,
         seed: 0,
         mix: Vec::new(),
+        workflows: vec![],
     };
     let _ = single_ianus(SystemConfig::ianus(), cfg).run(&ModelConfig::gpt2_m());
 }
@@ -446,6 +458,7 @@ fn kv_gate_bounds_batch_on_tight_memory() {
         requests: 40,
         seed: 11,
         mix: mix_one(RequestShape::new(512, 512)),
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -695,6 +708,7 @@ fn mixed_batch_decode_mean_rounds_not_floors() {
         requests: 2,
         seed: 1,
         mix: mix_one(RequestShape::new(4, 3)),
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(LinearSteps)
@@ -719,6 +733,7 @@ fn preemption_triggers_and_all_requests_complete() {
         requests: 40,
         seed: 11,
         mix: mix_one(RequestShape::new(512, 512)),
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -751,6 +766,7 @@ fn preemption_triggers_and_all_requests_complete() {
         requests: 40,
         seed: 11,
         mix: mix_one(RequestShape::new(512, 512)),
+        workflows: vec![],
     })
     .replica(IanusSystem::new(SystemConfig::ianus()))
     .scheduling(Scheduling::iteration(32))
@@ -778,6 +794,7 @@ fn eviction_prefers_batch_tier() {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -848,6 +865,7 @@ fn preempt_rejects_sequence_exceeding_max_seq() {
         requests: 1,
         seed: 0,
         mix: mix_one(RequestShape::new(512, 600)),
+        workflows: vec![],
     };
     let _ = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -895,6 +913,7 @@ fn sustainable_rate_works_under_iteration_scheduling() {
         requests: 300,
         seed: 21,
         mix: mix_one(RequestShape::new(99, 17)),
+        workflows: vec![],
     })
     .replica(fixed("a", 100))
     .scheduling(Scheduling::iteration(4));
@@ -1039,6 +1058,7 @@ fn eviction_policies_complete_and_differ() {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     let run = |policy: SchedulerPolicy| {
         ServingSim::new(build_cfg())
@@ -1094,6 +1114,7 @@ fn deadline_readmission_is_live_and_seed_stable() {
                 RequestClass::new(shape, 0.5).with_slo(slo),
                 RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
             ],
+            workflows: vec![],
         };
         ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -1182,6 +1203,7 @@ fn sustainable_goodput_rate_bounded_by_stability_rate() {
         requests: 300,
         seed: 21,
         mix: mix_one(RequestShape::new(99, 17)),
+        workflows: vec![],
     };
     cfg.mix[0] = cfg.mix[0].with_slo(slo);
     let mut sim = ServingSim::new(cfg)
@@ -1200,6 +1222,7 @@ fn sustainable_goodput_rate_bounded_by_stability_rate() {
         requests: 300,
         seed: 21,
         mix: mix_one(RequestShape::new(99, 17)),
+        workflows: vec![],
     })
     .replica(fixed("a", 100))
     .scheduling(Scheduling::iteration(4));

@@ -126,6 +126,7 @@ fn main() {
         requests,
         seed: 0x1A45,
         mix: vec![RequestClass::new(shape, 1.0)],
+        workflows: vec![],
     })
     .cluster(replicas, |_| node)
     .scheduling(Scheduling::IterationLevel {

@@ -64,6 +64,7 @@ fn scenario(requests: u64) -> ServingConfig {
             RequestClass::new(shape, 0.5).with_slo(slo),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     }
 }
 

@@ -66,6 +66,7 @@ fn main() {
                 requests: 200,
                 seed: 0x5CA1E,
                 mix: vec![RequestClass::new(req, 1.0)],
+                workflows: vec![],
             })
             .cluster(replicas, |_| {
                 DeviceGroup::new(SystemConfig::ianus(), min_devices)

@@ -167,6 +167,7 @@ fn main() {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))

@@ -6,10 +6,11 @@
 //!       [--compare]
 //! ianus --serve [--model NAME] [--system ...] [--devices D] [--replicas K]
 //!       [--rate R] [--requests N]
-//!       [--mix interactive|decode-heavy|long-prompt|shared-prefix|custom]
+//!       [--mix interactive|decode-heavy|long-prompt|shared-prefix|custom
+//!             |agent-chain|tool-fanout|speculative]
 //!       [--scheduling request|iteration] [--max-batch B]
 //!       [--prefill-chunk N] [--preempt] [--kv-block N]
-//!       [--admission fcfs|priority|shortest-prompt|edf]
+//!       [--admission fcfs|priority|shortest-prompt|edf|widest-subtree]
 //!       [--eviction lowest-priority|largest-kv|least-progress|cheapest]
 //!       [--readmission fifo|deadline]
 //!       [--eviction-mechanism swap|recompute|cheapest]
@@ -56,6 +57,16 @@
 //! report grows prefix-cache hit counts, cache-hit vs cold TTFT, and
 //! block-fragmentation lines.
 //!
+//! The workflow mixes (`agent-chain`, `tool-fanout`, `speculative`)
+//! serve DAGs of requests instead of independent ones: each "request"
+//! is a workflow *instance*, a node becomes eligible when its last
+//! parent completes, and under `--kv-block` children admit directly on
+//! their parents' published KV blocks. They require (and force)
+//! iteration-level scheduling; `--admission widest-subtree` prioritizes
+//! nodes gating the most downstream work. The report grows workflow
+//! latency percentiles, deadline attainment, cancelled-node counts
+//! (speculative races), and the inherited-prefix ratio.
+//!
 //! Examples:
 //!
 //! ```text
@@ -76,6 +87,9 @@
 //! cargo run --release --bin ianus -- --serve --model gpt2-xl --mix custom \
 //!     --input 896 --output 128 --rate 8 --disaggregate 1:6 --prefill-system a100 \
 //!     --max-batch 8 --overlap-dma --slo-ttft-ms 100 --slo-itl-ms 50
+//! cargo run --release --bin ianus -- --serve --model gpt2-xl --mix agent-chain \
+//!     --rate 2 --requests 50 --max-batch 8 --prefill-chunk 128 --preempt \
+//!     --kv-block 64 --admission widest-subtree
 //! cargo run --release --bin ianus -- --serve --model gpt2-m --compare
 //! ```
 
@@ -94,9 +108,57 @@ enum MixKind {
     /// shape — the way to build KV pressure from the command line
     /// (e.g. `--mix custom --input 512 --output 512` on GPT-2 XL).
     Custom,
+    /// Agentic workflow mixes (PR 9): each "request" is a DAG instance
+    /// of the named built-in template; children admit on their parents'
+    /// published KV under `--kv-block`. Forces iteration-level
+    /// scheduling.
+    AgentChain,
+    ToolFanout,
+    Speculative,
 }
 
-const ADMISSIONS: [&str; 4] = ["fcfs", "priority", "shortest-prompt", "edf"];
+impl MixKind {
+    fn by_name(name: &str) -> Option<MixKind> {
+        Some(match name {
+            "interactive" => MixKind::Interactive,
+            "decode-heavy" => MixKind::DecodeHeavy,
+            "long-prompt" => MixKind::LongPrompt,
+            "shared-prefix" => MixKind::SharedPrefix,
+            "custom" => MixKind::Custom,
+            "agent-chain" => MixKind::AgentChain,
+            "tool-fanout" => MixKind::ToolFanout,
+            "speculative" => MixKind::Speculative,
+            _ => return None,
+        })
+    }
+
+    /// A workflow mix drives the engine's DAG layer instead of a flat
+    /// class mix (and requires iteration-level scheduling).
+    fn is_workflow(self) -> bool {
+        matches!(
+            self,
+            MixKind::AgentChain | MixKind::ToolFanout | MixKind::Speculative
+        )
+    }
+}
+
+const MIXES: [&str; 8] = [
+    "interactive",
+    "decode-heavy",
+    "long-prompt",
+    "shared-prefix",
+    "custom",
+    "agent-chain",
+    "tool-fanout",
+    "speculative",
+];
+const ADMISSIONS: [&str; 5] = [
+    "fcfs",
+    "priority",
+    "shortest-prompt",
+    "edf",
+    "widest-subtree",
+];
 const EVICTIONS: [&str; 4] = [
     "lowest-priority",
     "largest-kv",
@@ -109,13 +171,21 @@ const MIGRATIONS: [&str; 2] = ["least-loaded", "freest-kv"];
 const PREFILL_SYSTEMS: [&str; 5] = ["ianus", "npu-mem", "partitioned", "a100", "dfx"];
 
 /// Resolves a flag value against its name table (the single source of
-/// the valid policy names), rejecting unknown names at parse time.
-fn intern(value: String, table: &'static [&'static str]) -> &'static str {
-    table
-        .iter()
-        .find(|n| **n == value)
-        .copied()
-        .unwrap_or_else(|| usage())
+/// the valid policy names). Pure, so the parser tests can exercise it.
+fn resolve(value: &str, table: &'static [&'static str]) -> Option<&'static str> {
+    table.iter().find(|n| **n == value).copied()
+}
+
+/// [`resolve`], rejecting unknown names at parse time with an error
+/// that lists the valid options for the offending flag.
+fn intern(flag: &str, value: String, table: &'static [&'static str]) -> &'static str {
+    resolve(&value, table).unwrap_or_else(|| {
+        eprintln!(
+            "unknown {flag} value {value:?}; valid options: {}",
+            table.join(", ")
+        );
+        usage()
+    })
 }
 
 /// Policy flags as parsed names; `SchedulerPolicy` is not `Clone`, so
@@ -152,6 +222,7 @@ fn bundle_of(
         "priority" => p.with_admission(PriorityAdmission),
         "shortest-prompt" => p.with_admission(ShortestPromptAdmission),
         "edf" => p.with_admission(DeadlineAdmission),
+        "widest-subtree" => p.with_admission(WidestSubtreeAdmission),
         _ => unreachable!("interned admission name"),
     };
     p = match eviction {
@@ -222,10 +293,11 @@ fn usage() -> ! {
          \x20            [--compare]\n\
          \x20      ianus --serve [--model NAME] [--system ...] [--devices D]\n\
          \x20            [--replicas K] [--rate R] [--requests N]\n\
-         \x20            [--mix interactive|decode-heavy|long-prompt|shared-prefix|custom]\n\
+         \x20            [--mix interactive|decode-heavy|long-prompt|shared-prefix|custom\n\
+         \x20                  |agent-chain|tool-fanout|speculative]\n\
          \x20            [--scheduling request|iteration] [--max-batch B]\n\
          \x20            [--prefill-chunk N] [--preempt] [--kv-block N]\n\
-         \x20            [--admission fcfs|priority|shortest-prompt|edf]\n\
+         \x20            [--admission fcfs|priority|shortest-prompt|edf|widest-subtree]\n\
          \x20            [--eviction lowest-priority|largest-kv|least-progress|cheapest]\n\
          \x20            [--readmission fifo|deadline]\n\
          \x20            [--eviction-mechanism swap|recompute|cheapest]\n\
@@ -285,10 +357,12 @@ fn parse() -> Args {
             "--max-batch" => max_batch = value().parse().unwrap_or_else(|_| usage()),
             "--prefill-chunk" => prefill_chunk = value().parse().unwrap_or_else(|_| usage()),
             "--preempt" => preempt = true,
-            "--admission" => admission = intern(value(), &ADMISSIONS),
-            "--eviction" => eviction = intern(value(), &EVICTIONS),
-            "--readmission" => readmission = intern(value(), &READMISSIONS),
-            "--eviction-mechanism" => mechanism = intern(value(), &MECHANISMS),
+            "--admission" => admission = intern("--admission", value(), &ADMISSIONS),
+            "--eviction" => eviction = intern("--eviction", value(), &EVICTIONS),
+            "--readmission" => readmission = intern("--readmission", value(), &READMISSIONS),
+            "--eviction-mechanism" => {
+                mechanism = intern("--eviction-mechanism", value(), &MECHANISMS)
+            }
             "--host-kv-gb" => {
                 let gb: u64 = value().parse().unwrap_or_else(|_| usage());
                 // Checked: `gb << 30` would silently wrap absurd
@@ -308,20 +382,18 @@ fn parse() -> Args {
                 }
                 disaggregate = Some((p, d));
             }
-            "--prefill-system" => prefill_system = Some(intern(value(), &PREFILL_SYSTEMS)),
-            "--migration" => migration = intern(value(), &MIGRATIONS),
+            "--prefill-system" => {
+                prefill_system = Some(intern("--prefill-system", value(), &PREFILL_SYSTEMS))
+            }
+            "--migration" => migration = intern("--migration", value(), &MIGRATIONS),
             "--slo-ttft-ms" => slo_ttft_ms = value().parse().unwrap_or_else(|_| usage()),
             "--slo-itl-ms" => slo_itl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--compare-policies" => compare_policies = true,
             "--mix" => {
-                mix = match value().as_str() {
-                    "interactive" => MixKind::Interactive,
-                    "decode-heavy" => MixKind::DecodeHeavy,
-                    "long-prompt" => MixKind::LongPrompt,
-                    "shared-prefix" => MixKind::SharedPrefix,
-                    "custom" => MixKind::Custom,
-                    _ => usage(),
-                }
+                // Interned against MIXES for the same unknown-value
+                // error the policy flags give.
+                mix = MixKind::by_name(intern("--mix", value(), &MIXES))
+                    .expect("MIXES and MixKind::by_name cover the same names");
             }
             "--scheduling" => {
                 iteration = match value().as_str() {
@@ -439,6 +511,21 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
         MixKind::DecodeHeavy => ServingConfig::decode_heavy(serve.rate, serve.requests),
         MixKind::LongPrompt => ServingConfig::long_prompt(serve.rate, serve.requests),
         MixKind::SharedPrefix => ServingConfig::shared_prefix(serve.rate, serve.requests),
+        MixKind::AgentChain => ServingConfig::workflow_mix(
+            serve.rate,
+            serve.requests,
+            vec![WorkflowTemplate::agent_chain()],
+        ),
+        MixKind::ToolFanout => ServingConfig::workflow_mix(
+            serve.rate,
+            serve.requests,
+            vec![WorkflowTemplate::tool_fanout()],
+        ),
+        MixKind::Speculative => ServingConfig::workflow_mix(
+            serve.rate,
+            serve.requests,
+            vec![WorkflowTemplate::speculative()],
+        ),
         MixKind::Custom => ServingConfig {
             arrival_rate_hz: serve.rate,
             requests: serve.requests,
@@ -447,6 +534,7 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
                 RequestClass::new(shape, 0.5),
                 RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
             ],
+            workflows: vec![],
         },
     };
     if let Some(slo) = serve.slo {
@@ -583,6 +671,23 @@ fn print_serving_report(label: &str, r: &ServingReport, slo: bool) {
             );
         }
     }
+    if r.completed_workflows > 0 {
+        println!(
+            "{:<22} workflows {} completed | latency p50/p99/max {:>7.0}/{:>7.0}/{:>7.0} ms | deadline attain {:>5.1}%",
+            "",
+            r.completed_workflows,
+            r.workflow_latency.p50.as_ms_f64(),
+            r.workflow_latency.p99.as_ms_f64(),
+            r.workflow_latency.max.as_ms_f64(),
+            r.workflow_slo_attainment * 100.0,
+        );
+        println!(
+            "{:<22} cancelled nodes {} | inherited prefix {:>4.1}% of child prompt tokens",
+            "",
+            r.cancelled_nodes,
+            r.inherited_prefix_ratio * 100.0,
+        );
+    }
     if r.preemptions > 0 {
         println!(
             "{:<22} preempted {} request(s) {} time(s) (max {} per request; {} by recompute)",
@@ -714,6 +819,9 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
         MixKind::DecodeHeavy => "decode-heavy",
         MixKind::LongPrompt => "long-prompt",
         MixKind::SharedPrefix => "shared-prefix (384-token class prefix)",
+        MixKind::AgentChain => "agent-chain workflow (4-node chain)",
+        MixKind::ToolFanout => "tool-fanout workflow (plan, 4 tools, join)",
+        MixKind::Speculative => "speculative workflow (racing branches)",
         MixKind::Custom => "custom (50/50 interactive/batch tiers)",
     };
     let cluster_label = match serve.disaggregate {
@@ -732,13 +840,18 @@ fn serve_main(args: &Args, serve: &ServeArgs) {
         compare_policies_main(args, serve);
         return;
     }
-    let modes: Vec<Scheduling> = if serve.disaggregate.is_some() {
-        // Role dispatch lives in the iteration-level loop; coerce and
-        // say so rather than assert deep in the engine.
+    let modes: Vec<Scheduling> = if serve.disaggregate.is_some() || serve.mix.is_workflow() {
+        // Role dispatch and the workflow DAG layer live in the
+        // iteration-level loop; coerce and say so rather than assert
+        // deep in the engine.
         match serve.scheduling {
             it @ Scheduling::IterationLevel { .. } => vec![it],
             Scheduling::RequestLevel => {
-                println!("(--disaggregate forces iteration-level scheduling)\n");
+                if serve.disaggregate.is_some() {
+                    println!("(--disaggregate forces iteration-level scheduling)\n");
+                } else {
+                    println!("(workflow mixes force iteration-level scheduling)\n");
+                }
                 vec![Scheduling::IterationLevel {
                     max_batch: serve.max_batch,
                     prefill_chunk: serve.prefill_chunk,
@@ -841,5 +954,93 @@ fn main() {
         println!("{:<12} total {:>10.2} ms", "a100 (hf)", gpu.as_ms_f64());
         let dfx = DfxModel::four_fpga().request_latency(&args.model, args.request);
         println!("{:<12} total {:>10.2} ms", "dfx x4", dfx.as_ms_f64());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every advertised name resolves to itself; `resolve` is the
+    /// single gate between flag values and the policy/mix matches, so
+    /// this pins the tables and those matches in sync (an accepted name
+    /// that later hit an `unreachable!` would be a parser bug).
+    #[test]
+    fn known_names_resolve_and_build() {
+        for a in ADMISSIONS {
+            let _ = bundle_of(
+                resolve(a, &ADMISSIONS).expect("admission"),
+                resolve(EVICTIONS[0], &EVICTIONS).expect("eviction"),
+                resolve(READMISSIONS[0], &READMISSIONS).expect("readmission"),
+                resolve(MECHANISMS[0], &MECHANISMS).expect("mechanism"),
+            );
+        }
+        for e in EVICTIONS {
+            let _ = bundle_of("fcfs", e, "fifo", "swap");
+        }
+        for name in MIXES {
+            assert_eq!(resolve(name, &MIXES), Some(name));
+            assert!(MixKind::by_name(name).is_some(), "MIXES entry {name:?}");
+        }
+    }
+
+    /// Unknown values never resolve — the parse loop then reports the
+    /// flag's valid options instead of silently defaulting.
+    #[test]
+    fn unknown_names_are_rejected() {
+        assert_eq!(resolve("fifo-lifo", &ADMISSIONS), None);
+        assert_eq!(resolve("widest", &ADMISSIONS), None);
+        assert_eq!(resolve("biggest-kv", &EVICTIONS), None);
+        assert_eq!(resolve("agentchain", &MIXES), None);
+        assert_eq!(resolve("", &MIXES), None);
+        assert!(MixKind::by_name("agent_chain").is_none());
+    }
+
+    /// The workflow mixes build validated workflow configs (DAG
+    /// preflight runs at construction) that drive the engine's
+    /// workflow layer, and the flat mixes keep `workflows` empty.
+    #[test]
+    fn workflow_mixes_build_workflow_configs() {
+        for (name, nodes) in [("agent-chain", 4), ("tool-fanout", 6), ("speculative", 5)] {
+            let mix = MixKind::by_name(name).expect("workflow mix name");
+            assert!(mix.is_workflow());
+            let serve = test_serve_args(mix);
+            let cfg = serving_config(&serve, RequestShape::new(128, 64));
+            assert!(cfg.mix.is_empty());
+            assert_eq!(cfg.workflows.len(), 1);
+            assert_eq!(cfg.workflows[0].node_count(), nodes);
+        }
+        let flat = serving_config(
+            &test_serve_args(MixKind::Interactive),
+            RequestShape::new(128, 64),
+        );
+        assert!(flat.workflows.is_empty());
+        assert!(!flat.mix.is_empty());
+    }
+
+    fn test_serve_args(mix: MixKind) -> ServeArgs {
+        ServeArgs {
+            replicas: 1,
+            rate: 4.0,
+            requests: 10,
+            mix,
+            scheduling: Scheduling::iteration(8),
+            max_batch: 8,
+            prefill_chunk: None,
+            policy: PolicyNames {
+                admission: "fcfs",
+                eviction: "lowest-priority",
+                readmission: "fifo",
+                mechanism: "swap",
+            },
+            slo: None,
+            compare_policies: false,
+            host_kv: None,
+            overlap_dma: false,
+            kv_block: 0,
+            disaggregate: None,
+            prefill_system: None,
+            migration: "least-loaded",
+        }
     }
 }

@@ -128,13 +128,13 @@ pub mod prelude {
     pub use ianus_core::serving::policy::{
         CheapestEviction, DeadlineAdmission, DeadlineReadmission, FcfsAdmission, FifoReadmission,
         FreestKvMigration, LargestKv, LeastLoadedMigration, LeastProgress, LowestPriorityYoungest,
-        PriorityAdmission, ShortestPromptAdmission,
+        PriorityAdmission, ShortestPromptAdmission, WidestSubtreeAdmission,
     };
     pub use ianus_core::serving::{
         AdmissionPolicy, CoreMode, DisaggregationConfig, DispatchPolicy, EvictionMechanism,
         EvictionPolicy, LatencyPercentiles, MigrationPolicy, Priority, ReadmissionPolicy,
         ReplicaRole, RequestClass, SchedulerPolicy, Scheduling, ServingConfig, ServingReport,
-        ServingSim, Slo,
+        ServingSim, Slo, WorkflowError, WorkflowNode, WorkflowTemplate,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

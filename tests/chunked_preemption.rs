@@ -28,6 +28,7 @@ proptest! {
             requests: 24,
             seed,
             mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
+            workflows: vec![],
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -70,6 +71,7 @@ proptest! {
             requests: 24,
             seed,
             mix: vec![RequestClass::new(shape, 1.0)],
+            workflows: vec![],
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -104,6 +106,7 @@ proptest! {
             requests: 40,
             seed,
             mix: vec![RequestClass::new(RequestShape::new(128, 16), 1.0)],
+            workflows: vec![],
         };
         let run = |prefill_chunk| {
             ServingSim::new(cfg.clone())
@@ -172,6 +175,7 @@ fn preemption_runs_on_gpu_baseline_with_priorities() {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     // GPT-2 XL KV on 80 GB HBM is roomy; shrink the pressure window by
     // packing many sequences (A100 fits ~250 of these at final length,

@@ -160,7 +160,12 @@ const PIN_A: &str = r#"400 Duration(13660400000) LatencyPercentiles { p50: Durat
 
 const PIN_B: &str = r#"300 Duration(676369495501) LatencyPercentiles { p50: Duration(7776766426654), p95: Duration(17528467160973), p99: Duration(19270075281971), max: Duration(21179772426384) } LatencyPercentiles { p50: Duration(7044192104269), p95: Duration(17318857563276), p99: Duration(18280700328498), max: Duration(19449573207143) } LatencyPercentiles { p50: Duration(4348129827), p95: Duration(28289755363), p99: Duration(28289755363), max: Duration(28289755363) } 1 0.0 0 0 0 0 0 0.0 Duration(0) Duration(0) 1.0 0.9457017295652793 4.194608431585195 4.194608431585195 0.0 0.0 0 LatencyPercentiles { p50: Duration(0), p95: Duration(0), p99: Duration(0), max: Duration(0) } LatencyPercentiles { p50: Duration(7044192104269), p95: Duration(17318857563276), p99: Duration(18280700328498), max: Duration(19449573207143) } [ClassReport { shape: RequestShape { input: 128, output: 32 }, completed: 180, sojourn: LatencyPercentiles { p50: Duration(6440967311708), p95: Duration(17460829164002), p99: Duration(18393139298714), max: Duration(18470211739710) }, preemptions: 0, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 256, output: 64 }, completed: 86, sojourn: LatencyPercentiles { p50: Duration(8399953012486), p95: Duration(17533687660215), p99: Duration(19470345062061), max: Duration(19886610176078) }, preemptions: 0, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 512, output: 256 }, completed: 34, sojourn: LatencyPercentiles { p50: Duration(9923659535475), p95: Duration(18308052173794), p99: Duration(21179772426384), max: Duration(21179772426384) }, preemptions: 0, recomputes: 0, slo_attainment: 1.0 }] ["{\"IANUS\" 231 0.9154203078082104 Duration(0)}", "{\"A100 (eager)\" 34 0.9597889002081184 Duration(0)}", "{\"DFX (4-FPGA)\" 35 0.9618959806795089 Duration(0)}"] false"#;
 
-const PIN_C: &str = r#"150 Duration(12426284667) LatencyPercentiles { p50: Duration(6129650000), p95: Duration(46667796394), p99: Duration(61080658000), max: Duration(61307184634) } LatencyPercentiles { p50: Duration(2560000000), p95: Duration(10240000000), p99: Duration(10980546394), max: Duration(13522454372) } LatencyPercentiles { p50: Duration(123700000), p95: Duration(145200000), p99: Duration(754650000), max: Duration(47211666000) } 3 1.0 3 0 3 1 80216064 0.59765625 Duration(48439296000) Duration(41365596000) 1.0 0.20373942594967082 33.34035055353948 33.34035055353948 0.11973341815078062 0.0 0 LatencyPercentiles { p50: Duration(0), p95: Duration(0), p99: Duration(0), max: Duration(0) } LatencyPercentiles { p50: Duration(2560000000), p95: Duration(10240000000), p99: Duration(10980546394), max: Duration(13522454372) } [ClassReport { shape: RequestShape { input: 128, output: 32 }, completed: 93, sojourn: LatencyPercentiles { p50: Duration(6129650000), p95: Duration(9405932788), p99: Duration(11423250000), max: Duration(25433577376) }, preemptions: 1, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 256, output: 64 }, completed: 40, sojourn: LatencyPercentiles { p50: Duration(12828050000), p95: Duration(24562196345), p99: Duration(61307184634), max: Duration(61307184634) }, preemptions: 2, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 512, output: 256 }, completed: 17, sojourn: LatencyPercentiles { p50: Duration(45927250000), p95: Duration(53410734000), p99: Duration(61080658000), max: Duration(61080658000) }, preemptions: 0, recomputes: 0, slo_attainment: 1.0 }] ["{\"mem node\" 111 0.29925615179670445 Duration(0)}", "{\"mem node\" 39 0.10822270010263718 Duration(48439296000)}"] false"#;
+// PIN_C regenerated in PR 9: swap-outs now debit the host pool in
+// whole `kv_block` units (block-granular accounting), raising
+// host_kv_peak_bytes 80216064 -> 94371840 and host_kv_peak_occupancy
+// 0.59765625 -> 0.703125. Every other field is bit-identical to the
+// PR 7 capture; swap *timing* still prices raw moved tokens.
+const PIN_C: &str = r#"150 Duration(12426284667) LatencyPercentiles { p50: Duration(6129650000), p95: Duration(46667796394), p99: Duration(61080658000), max: Duration(61307184634) } LatencyPercentiles { p50: Duration(2560000000), p95: Duration(10240000000), p99: Duration(10980546394), max: Duration(13522454372) } LatencyPercentiles { p50: Duration(123700000), p95: Duration(145200000), p99: Duration(754650000), max: Duration(47211666000) } 3 1.0 3 0 3 1 94371840 0.703125 Duration(48439296000) Duration(41365596000) 1.0 0.20373942594967082 33.34035055353948 33.34035055353948 0.11973341815078062 0.0 0 LatencyPercentiles { p50: Duration(0), p95: Duration(0), p99: Duration(0), max: Duration(0) } LatencyPercentiles { p50: Duration(2560000000), p95: Duration(10240000000), p99: Duration(10980546394), max: Duration(13522454372) } [ClassReport { shape: RequestShape { input: 128, output: 32 }, completed: 93, sojourn: LatencyPercentiles { p50: Duration(6129650000), p95: Duration(9405932788), p99: Duration(11423250000), max: Duration(25433577376) }, preemptions: 1, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 256, output: 64 }, completed: 40, sojourn: LatencyPercentiles { p50: Duration(12828050000), p95: Duration(24562196345), p99: Duration(61307184634), max: Duration(61307184634) }, preemptions: 2, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 512, output: 256 }, completed: 17, sojourn: LatencyPercentiles { p50: Duration(45927250000), p95: Duration(53410734000), p99: Duration(61080658000), max: Duration(61080658000) }, preemptions: 0, recomputes: 0, slo_attainment: 1.0 }] ["{\"mem node\" 111 0.29925615179670445 Duration(0)}", "{\"mem node\" 39 0.10822270010263718 Duration(48439296000)}"] false"#;
 
 const PIN_D: &str = r#"120 Duration(11328963333) LatencyPercentiles { p50: Duration(6129650000), p95: Duration(31949885640), p99: Duration(67802203257), max: Duration(73213516350) } LatencyPercentiles { p50: Duration(2560000000), p95: Duration(17920000000), p99: Duration(30012803257), max: Duration(33786966350) } LatencyPercentiles { p50: Duration(122900000), p95: Duration(155650000), p99: Duration(161150000), max: Duration(29855300000) } 3 0.99920654296875 3 3 3 1 0 0.0 Duration(0) Duration(0) 1.0 0.14884919911898253 13.095185136010945 13.095185136010945 0.0 0.0 0 LatencyPercentiles { p50: Duration(0), p95: Duration(0), p99: Duration(0), max: Duration(0) } LatencyPercentiles { p50: Duration(2560000000), p95: Duration(17920000000), p99: Duration(30012803257), max: Duration(33786966350) } [ClassReport { shape: RequestShape { input: 128, output: 32 }, completed: 91, sojourn: LatencyPercentiles { p50: Duration(6129650000), p95: Duration(15119346873), p99: Duration(23644308683), max: Duration(31949885640) }, preemptions: 0, recomputes: 0, slo_attainment: 1.0 }, ClassReport { shape: RequestShape { input: 896, output: 64 }, completed: 29, sojourn: LatencyPercentiles { p50: Duration(27644050000), p95: Duration(67802203257), p99: Duration(73213516350), max: Duration(73213516350) }, preemptions: 3, recomputes: 3, slo_attainment: 1.0 }] ["{\"mem node\" 120 0.14884919911898253 Duration(0)}"] false"#;
 
@@ -263,6 +268,7 @@ fn pinned_preemption_scenario_still_166() {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     let run = |mode| {
         ServingSim::new(cfg.clone())
@@ -375,6 +381,7 @@ proptest! {
             requests: 40,
             seed,
             mix: mixes()[mix_i].clone(),
+            workflows: vec![],
         };
         let model = ModelConfig::gpt2_xl();
         let event = build_disagg(&cfg, prefill, decode, chunk, preempt, overlap, kv_block,
@@ -433,6 +440,7 @@ fn migration_policies_preserve_liveness() {
         requests: 80,
         seed: 0xD15A,
         mix: vec![RequestClass::new(RequestShape::new(128, 64), 1.0)],
+        workflows: vec![],
     };
     // Decode replica 1 has twice the KV of replica 2: under paged
     // accounting (Freest sees free *blocks*; in contiguous mode it

@@ -219,6 +219,7 @@ proptest! {
             requests: 40,
             seed,
             mix: mixes()[mix_i].clone(),
+            workflows: vec![],
         };
         let model = ModelConfig::gpt2_xl();
         let event = build(&cfg, replicas, max_batch, chunk, preempt, overlap, kv_block,
@@ -243,6 +244,7 @@ fn pinned_preemption_scenario_identical_on_both_cores() {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     let run = |mode| {
         ServingSim::new(cfg.clone())
@@ -296,6 +298,7 @@ fn sweep_cfg() -> ServingConfig {
             RequestClass::new(RequestShape::new(64, 32), 0.6),
             RequestClass::new(RequestShape::new(128, 64), 0.4),
         ],
+        workflows: vec![],
     }
 }
 
@@ -380,6 +383,7 @@ fn divergence_guard_aborts_hopeless_overload() {
         requests: 400,
         seed: 7,
         mix: vec![RequestClass::new(RequestShape::new(128, 64), 1.0)],
+        workflows: vec![],
     };
     let full = ServingSim::new(cfg.clone())
         .replica(MemNode::tight())
@@ -418,6 +422,7 @@ fn sustainable_rate_unchanged_by_divergence_guard() {
             requests: 80,
             seed: 0xBEEF,
             mix: vec![RequestClass::new(RequestShape::new(64, 32), 1.0)],
+            workflows: vec![],
         })
         .replica(MemNode::tight())
         .scheduling(Scheduling::IterationLevel {

@@ -24,6 +24,7 @@ fn scenario(slo: Option<Slo>) -> ServingConfig {
             interactive,
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     }
 }
 
@@ -171,6 +172,43 @@ fn cost_aware_beats_largest_kv_on_slow_host_link() {
     assert_eq!(largest.recomputes, 0, "32 GiB pool: largest-KV all-swap");
 }
 
+/// PR 9 host-pool accounting fix: under paged KV a swap-out debits the
+/// pool in whole `kv_block` blocks (the pool holds block-granular
+/// pages, not loose tokens), so the peak is a block-byte multiple and
+/// at least what raw-token accounting would charge. The contiguous
+/// path is untouched — same scenario without `kv_block` reproduces the
+/// raw-token peak exactly. Swap *timing* still prices the raw moved
+/// tokens in both modes (`kv_dma` is unchanged by the debit fix).
+#[test]
+fn paged_swap_debits_whole_blocks_contiguous_unchanged() {
+    let model = ModelConfig::gpt2_xl();
+    let run = |block: u64| {
+        ServingSim::new(scenario(None))
+            .replica(IanusSystem::new(SystemConfig::ianus()))
+            .scheduling(preemptive())
+            .host_kv_pool(Some(4 << 30))
+            .kv_block(block)
+            .run(&model)
+    };
+    let contiguous = run(0);
+    assert!(contiguous.preemptions > 0, "scenario must swap");
+    // Raw-token debit: peak is a multiple of per-token swap bytes but
+    // (overwhelmingly) not of whole 64-token blocks.
+    let token_bytes = ianus::system::capacity::kv_swap_bytes(&model, 1);
+    assert_eq!(contiguous.host_kv_peak_bytes % token_bytes, 0);
+
+    let paged = run(64);
+    assert!(paged.preemptions > 0, "paged scenario must swap");
+    let block_bytes = ianus::system::capacity::kv_swap_bytes(&model, 64);
+    assert_eq!(
+        paged.host_kv_peak_bytes % block_bytes,
+        0,
+        "paged pool debit must be block-granular: peak {} vs block {}",
+        paged.host_kv_peak_bytes,
+        block_bytes
+    );
+}
+
 fn mechanism_by_index(i: usize) -> EvictionMechanism {
     match i {
         0 => EvictionMechanism::Swap,
@@ -206,6 +244,7 @@ proptest! {
                 RequestClass::new(RequestShape::new(512, 512), 0.5)
                     .with_priority(Priority::Batch),
             ],
+            workflows: vec![],
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -261,6 +300,7 @@ proptest! {
             requests: 12,
             seed,
             mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
+            workflows: vec![],
         };
         let run = || {
             ServingSim::new(cfg.clone())

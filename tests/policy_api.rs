@@ -22,6 +22,7 @@ fn pr3_scenario() -> ServingConfig {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     }
 }
 
@@ -222,6 +223,7 @@ fn deadline_policies_run_on_gpu_baseline() {
             RequestClass::new(shape, 0.5).with_slo(slo),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     };
     let r = ServingSim::new(cfg)
         .replica(GpuModel::a100())
@@ -278,6 +280,7 @@ proptest! {
                 RequestClass::new(RequestShape::new(512, 512), 0.5)
                     .with_priority(Priority::Batch),
             ],
+            workflows: vec![],
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -321,6 +324,7 @@ proptest! {
                 RequestClass::new(RequestShape::new(512, 512), 0.5)
                     .with_priority(Priority::Batch),
             ],
+            workflows: vec![],
         };
         let run = || {
             ServingSim::new(cfg.clone())

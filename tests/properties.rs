@@ -134,6 +134,7 @@ proptest! {
             requests: 30,
             seed,
             mix: vec![RequestClass::new(shape, 1.0)],
+            workflows: vec![],
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))

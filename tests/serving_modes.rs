@@ -14,6 +14,7 @@ fn small_mix(rate: f64, requests: u64) -> ServingConfig {
             RequestClass::new(RequestShape::new(64, 8), 0.7),
             RequestClass::new(RequestShape::new(128, 16), 0.3),
         ],
+        workflows: vec![],
     }
 }
 

@@ -93,6 +93,7 @@ fn swap_heavy() -> ServingConfig {
             RequestClass::new(shape, 0.5),
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
+        workflows: vec![],
     }
 }
 
