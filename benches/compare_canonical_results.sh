@@ -47,5 +47,6 @@ compare() {
 compare policy_sweep benches/canonical/BENCH_serving.json
 compare disaggregated benches/canonical/BENCH_disaggregated.json
 compare agentic_workflows benches/canonical/BENCH_workflows.json
+compare traffic_shapes benches/canonical/BENCH_traffic.json
 
 exit "$fail"

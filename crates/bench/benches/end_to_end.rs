@@ -110,6 +110,7 @@ fn bench_serving_chunked_preemptive(c: &mut Criterion) {
         seed: 0x5EED,
         mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     })
     .replica(IanusSystem::new(SystemConfig::ianus()))
     .scheduling(Scheduling::IterationLevel {
@@ -139,6 +140,7 @@ fn bench_serving_policy_sweep(c: &mut Criterion) {
         seed: 0x5EED,
         mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     })
     .replica(IanusSystem::new(SystemConfig::ianus()))
     .scheduling(Scheduling::IterationLevel {

@@ -81,6 +81,7 @@ fn bench_migration_path(c: &mut Criterion) {
         seed: 0xBE9C,
         mix: vec![RequestClass::new(shape, 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let sched = Scheduling::IterationLevel {
         max_batch,

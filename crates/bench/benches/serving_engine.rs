@@ -84,6 +84,7 @@ fn bench_engine_steps(c: &mut Criterion) {
             seed: 0xBE9C,
             mix: vec![RequestClass::new(shape, 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         })
         .cluster(replicas, |_| Node)
         .scheduling(Scheduling::IterationLevel {

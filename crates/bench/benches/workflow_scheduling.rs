@@ -90,6 +90,7 @@ fn bench_workflow_overhead(c: &mut Criterion) {
         seed: 0x5EED,
         mix: vec![RequestClass::new(RequestShape::new(128, 64), 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let mut flat = sim(flat_cfg, false);
     flat.run(&model); // warm prefill + decode-grid memos

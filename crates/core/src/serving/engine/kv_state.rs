@@ -1,0 +1,612 @@
+//! KV-state layer: paged/contiguous KV accounting, swapped-sequence
+//! re-admission, and the pressure/eviction loop.
+//!
+//! This layer owns everything about *where KV lives*: the per-replica
+//! paged pools (or contiguous accounting when `kv_block` is 0), the
+//! swapped-out queues, the host-pool byte ledger, and the monotone
+//! swap-epoch counter. Its two phase entry points are called by the
+//! engine core each turn: [`EngineCore::readmit_swapped`] offers freed
+//! slots to preempted sequences before new admissions, and
+//! [`EngineCore::relieve_pressure`] projects one iteration of KV
+//! growth and evicts the eviction policy's victims until it fits.
+
+use super::batch::ActiveSeq;
+use super::core::EngineCore;
+use super::replica::Replica;
+use crate::serving::dma::DmaLane;
+use crate::serving::kv::PagedKv;
+use crate::serving::policy::{EvictionMechanism, SeqView};
+use crate::serving::RequestClass;
+use ianus_model::{ModelConfig, RequestShape};
+
+/// The KV ledger: every byte/block of KV the cluster holds outside the
+/// compute path — paged pools, swapped-out sequences, host-pool usage —
+/// plus the per-class prefix keys and the swap-epoch counter.
+pub(super) struct KvLedger {
+    /// Paged-KV state per replica when a block size is set and the
+    /// backend reports a block budget; `None` keeps the legacy
+    /// contiguous accounting (bit-identical) on that replica.
+    pub(super) paged: Vec<Option<PagedKv>>,
+    /// Swapped-out sequences per replica (their KV lives host-side —
+    /// or nowhere, for recompute evictions; re-admission order is
+    /// the readmission policy's, ahead of new arrivals).
+    pub(super) swapped: Vec<Vec<ActiveSeq>>,
+    /// Bytes of swapped KV host-side, per replica.
+    pub(super) host_used: Vec<u64>,
+    /// Effective per-replica host KV pool (`None` = unbounded).
+    pub(super) pools: Vec<Option<u64>>,
+    /// Per-class prefix-cache keys (`None` when the class opted out).
+    pub(super) class_keys: Vec<Option<u64>>,
+    /// Monotone swap-out counter (FIFO re-admission's order).
+    pub(super) swap_count: u64,
+}
+
+/// Builds the per-replica paged pools for one run: `Some` where a block
+/// size is set and the backend reports a block budget, `None` keeps
+/// contiguous accounting on that replica. Panics when a mix shape
+/// could never fit an empty replica's block budget (the paged analogue
+/// of the never-admittable admission guard).
+pub(super) fn build_paged_pools(
+    replicas: &[Replica],
+    kv_block: u64,
+    model: &ModelConfig,
+    mix: &[RequestClass],
+) -> Vec<Option<PagedKv>> {
+    let widest_input = mix.iter().map(|c| c.shape.input).max().unwrap_or(1);
+    let mut paged: Vec<Option<PagedKv>> = Vec::with_capacity(replicas.len());
+    for (i, rep) in replicas.iter().enumerate() {
+        let p = (kv_block > 0)
+            .then(|| rep.backend.kv_budget_bytes(model, widest_input))
+            .flatten()
+            .map(|budget| {
+                let block_bytes = crate::capacity::kv_swap_bytes(model, kv_block).max(1);
+                let total_blocks = budget / block_bytes;
+                // The paged analogue of the never-admittable
+                // admission guard: every mix shape must fit an
+                // empty replica, or the run could only livelock.
+                let need = mix
+                    .iter()
+                    .map(|c| c.shape.total_tokens().div_ceil(kv_block))
+                    .max()
+                    .unwrap_or(1);
+                assert!(
+                    total_blocks >= need,
+                    "kv_block {kv_block}: replica {i} ({}) holds {total_blocks} KV blocks but the \
+                     largest mix sequence needs {need} — shrink the block size or the shapes",
+                    rep.backend.name(),
+                );
+                PagedKv::new(total_blocks, kv_block)
+            });
+        paged.push(p);
+    }
+    paged
+}
+
+/// The policy view of `seq` with its eviction-cost estimates: one-way
+/// swap time (infinite when the replica's host-pool `headroom` cannot
+/// take the sequence's KV bytes) and the grid-estimated re-prefill
+/// cost. Both price only the *unshared* context — shared prefix blocks
+/// neither move nor recompute (everything is unshared under contiguous
+/// accounting). The headroom check charges whole blocks when
+/// `block_tokens` is nonzero (paged mode), matching the engine's
+/// block-granular pool debit; 0 keeps the exact contiguous charge.
+/// `kv_blocks` and `readmit_delay` pass through to the view for
+/// block-aware policies.
+pub(super) fn costed_view(
+    seq: &ActiveSeq,
+    replica: &mut Replica,
+    model: &ModelConfig,
+    headroom: Option<u64>,
+    block_tokens: u64,
+    kv_blocks: u64,
+    readmit_delay: f64,
+) -> SeqView {
+    let moved = seq.past - seq.shared_tokens;
+    let pool_tokens = if block_tokens > 0 {
+        moved.div_ceil(block_tokens) * block_tokens
+    } else {
+        moved
+    };
+    let bytes = crate::capacity::kv_swap_bytes(model, pool_tokens);
+    let swap_secs = match headroom {
+        Some(h) if bytes > h => f64::INFINITY,
+        _ => replica.kv_transfer_secs(model, moved),
+    };
+    let recompute_secs = replica.prefill_est_secs(model, moved);
+    seq.view(swap_secs, recompute_secs, kv_blocks, readmit_delay)
+}
+
+impl EngineCore<'_> {
+    /// Swap-ins first: preempted sequences are older than
+    /// anything still queued, so they are *offered* freed slots
+    /// before new admissions at every boundary (a policy head
+    /// that does not yet fit lets newer arrivals pass —
+    /// policy-ordered among the swapped, not a hard barrier
+    /// against the queue). A swapped sequence re-enters when one
+    /// projected iteration of KV growth (its own and the
+    /// residents') still fits — checking grown lengths, not
+    /// current ones, keeps a re-admission from bouncing straight
+    /// back out through the pressure check below, which would
+    /// charge both transfer costs for zero progress. When the
+    /// replica is empty it re-enters unconditionally, which
+    /// guarantees every preempted sequence eventually completes.
+    pub(super) fn readmit_swapped(&mut self, r: usize) {
+        let model = self.model;
+        let max_batch = self.max_batch;
+        let overlap = self.overlap;
+        let scheduler = self.scheduler;
+        let replicas = &mut *self.replicas;
+        let kv = &mut self.kv;
+        let lanes = &mut self.lanes;
+        let batch = &mut self.batch;
+        let stats = &mut self.stats;
+        while batch.batches[r].len() + lanes.incoming[r].len() < max_batch as usize
+            && !kv.swapped[r].is_empty()
+        {
+            // What one re-admission-queue slot costs in wall clock
+            // right now (for the cost views; the depth excludes the
+            // candidate itself — it prices the queue it would
+            // re-join on a further eviction).
+            let readmit_delay = if batch.iter_n[r] > 0 {
+                kv.swapped[r].len().saturating_sub(1) as f64 * batch.iter_sum[r]
+                    / batch.iter_n[r] as f64
+            } else {
+                0.0
+            };
+            let views: Vec<(usize, SeqView)> = kv.swapped[r]
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    // Credit the candidate's own hosted bytes back:
+                    // its swap-side cost must not read as "pool
+                    // full" when the fullness is the candidate
+                    // itself (swapping *in* frees the pool).
+                    let headroom = kv.pools[r]
+                        .map(|p| p.saturating_sub(kv.host_used[r].saturating_sub(s.hosted_bytes)));
+                    let kv_blocks = kv.paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                    let block_tokens = kv.paged[r].as_ref().map_or(0, |p| p.block_tokens());
+                    (
+                        i,
+                        costed_view(
+                            s,
+                            &mut replicas[r],
+                            model,
+                            headroom,
+                            block_tokens,
+                            kv_blocks,
+                            readmit_delay,
+                        ),
+                    )
+                })
+                .collect();
+            let Some(vi) =
+                super::select_min(&views, |t| t.1, |a, b| scheduler.readmission.compare(a, b))
+            else {
+                break;
+            };
+            let ci = views[vi].0;
+            let force = batch.batches[r].is_empty() && lanes.incoming[r].is_empty();
+            if !force {
+                let grown_tokens = |s: &ActiveSeq| {
+                    if s.decoding() && s.remaining > 0 {
+                        s.past + 1
+                    } else {
+                        s.past
+                    }
+                };
+                let fits = if let Some(p) = kv.paged[r].as_mut() {
+                    // Block arithmetic: residents' one-iteration
+                    // growth plus whatever the candidate must
+                    // reacquire beyond the (shared) blocks it still
+                    // holds — its context for a hosted victim, its
+                    // imminent re-prefill target for a recompute
+                    // victim (gating on the vacuously small current
+                    // cache would invite recompute thrash).
+                    let cand = &kv.swapped[r][ci];
+                    let target = if cand.decoding() {
+                        grown_tokens(cand)
+                    } else {
+                        cand.prefill_target.max(1)
+                    };
+                    let mut need = p.blocks_for(target).saturating_sub(p.blocks_of(cand.idx));
+                    for s in batch.batches[r].iter() {
+                        need += p
+                            .blocks_for(grown_tokens(s))
+                            .saturating_sub(p.blocks_of(s.idx));
+                    }
+                    p.reclaim(need);
+                    if need <= p.free_blocks() {
+                        stats.peak_kv_occupancy =
+                            stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    let grown = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
+                    let mut projected: Vec<RequestShape> =
+                        batch.batches[r].iter().map(grown).collect();
+                    projected.extend(
+                        lanes.incoming[r]
+                            .iter()
+                            .map(|(_, s)| ActiveSeq::kv_shape(s.past)),
+                    );
+                    projected.extend(
+                        lanes.outgoing[r]
+                            .iter()
+                            .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                    );
+                    let cand = &kv.swapped[r][ci];
+                    if cand.decoding() {
+                        projected.push(grown(cand));
+                    } else {
+                        // A recompute victim holds no KV *yet*, but
+                        // will immediately re-prefill its whole
+                        // context: gate on that imminent footprint
+                        // (like fresh admission does on the prompt),
+                        // not on its vacuously empty cache — otherwise
+                        // it re-enters a full device and the pressure
+                        // check just evicts someone else (recompute
+                        // thrash).
+                        projected.push(RequestShape {
+                            input: cand.prefill_target.max(1),
+                            output: 1,
+                        });
+                    }
+                    match replicas[r].backend.batch_fits(model, &projected) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                };
+                if !fits {
+                    break;
+                }
+            }
+            let mut seq = kv.swapped[r].remove(ci);
+            if let Some(p) = kv.paged[r].as_mut() {
+                // A victim whose swap-out DMA is still draining
+                // never really left the device: cancel the pending
+                // retire (which would free blocks now live again)
+                // and regrow the table to its context — a no-op
+                // when the blocks were never dropped. Recompute
+                // victims reacquire blocks lazily, chunk by chunk.
+                lanes.outgoing[r].retain(|&(_, _, oid)| oid != seq.idx);
+                p.grow(seq.idx, seq.past);
+            }
+            if seq.hosted_bytes == 0 {
+                // Recompute victim: nothing to restore over the
+                // link — it rejoins the batch and re-prefills its
+                // context through the chunk machinery.
+                stats.peak_batch = stats.peak_batch.max(batch.batches[r].len() as u32 + 1);
+                batch.batches[r].push(seq);
+                continue;
+            }
+            // Restore what the swap-out moved: the unshared
+            // context (everything, under contiguous accounting).
+            let swap_in = replicas[r].kv_transfer_secs(model, seq.past - seq.shared_tokens);
+            stats.dma[r] += swap_in;
+            let ready = lanes.dma[r].issue(DmaLane::H2D, batch.clock[r], swap_in);
+            if overlap && !force {
+                // Decode continues around the transfer; the
+                // sequence re-enters when its DMA completes.
+                debug_assert!(lanes.incoming[r].back().is_none_or(|&(t, _)| t <= ready));
+                lanes.incoming[r].push_back((ready, seq));
+            } else {
+                // Serialized (or forced restart of an empty
+                // replica): the compute clock waits out the DMA.
+                stats.stall[r] += ready - batch.clock[r];
+                batch.clock[r] = ready;
+                kv.host_used[r] = kv.host_used[r].saturating_sub(seq.hosted_bytes);
+                seq.hosted_bytes = 0;
+                stats.peak_batch = stats.peak_batch.max(batch.batches[r].len() as u32 + 1);
+                batch.batches[r].push(seq);
+            }
+        }
+    }
+
+    /// KV-pressure check before executing: project every
+    /// sequence's KV one iteration forward (the chunk for the
+    /// prefilling sequence, +1 token per decoder) and evict the
+    /// eviction policy's victim among the *decoding* sequences
+    /// until the projection fits. Prefilling sequences are never
+    /// evicted — their partially-built KV would be wasted work —
+    /// and a lone sequence is never evicted (it could then never
+    /// make progress), so a single oversized request degrades to
+    /// the non-preemptive behavior instead of livelocking.
+    ///
+    /// The victim's KV leaves by the bundle's `EvictionMechanism`:
+    /// swapped to the host pool (falling back to recompute when
+    /// the pool is full), dropped for re-prefill, or whichever
+    /// is cheaper for this victim. Under overlapped DMA an
+    /// eviction frees memory only at transfer completion, so the
+    /// fit check runs at two horizons: the *eventual* projection
+    /// (in-flight swap-outs excluded — they drain without
+    /// further evictions) decides whether more victims are
+    /// needed, and the *current* projection (in-flight KV
+    /// included) decides how long the iteration must stall for
+    /// the DMA to hand the memory back.
+    pub(super) fn relieve_pressure(&mut self, r: usize, chunk_target: Option<u64>) {
+        let model = self.model;
+        let chunk_size = self.chunk_size;
+        let overlap = self.overlap;
+        let event_core = self.event_core;
+        let scheduler = self.scheduler;
+        let replicas = &mut *self.replicas;
+        let kv = &mut self.kv;
+        let lanes = &mut self.lanes;
+        let batch = &mut self.batch;
+        let stats = &mut self.stats;
+        let chunk_tokens = |s: &ActiveSeq| chunk_size.min(s.prefill_target - s.prefilled);
+        // Outcome of one pressure probe: either the projection
+        // fits (possibly after stalling for in-flight
+        // swap-outs), or a victim must go — carrying the
+        // over-capacity ratio to record if nothing is
+        // evictable.
+        enum Pressure {
+            Fits,
+            Evict(Option<f64>),
+        }
+        loop {
+            let grown_tokens = |s: &ActiveSeq| {
+                if chunk_target == Some(s.idx) {
+                    s.past + chunk_tokens(s)
+                } else if s.decoding() && s.remaining > 0 {
+                    s.past + 1
+                } else {
+                    s.past
+                }
+            };
+            let pressure = if let Some(p) = kv.paged[r].as_mut() {
+                // Block arithmetic: one iteration of growth
+                // over the batch, against free blocks plus the
+                // unshared blocks in-flight swap-outs will hand
+                // back (they drain without further evictions).
+                let growth: u64 = batch.batches[r]
+                    .iter()
+                    .map(|s| {
+                        p.blocks_for(grown_tokens(s))
+                            .saturating_sub(p.blocks_of(s.idx))
+                    })
+                    .sum();
+                p.reclaim(growth);
+                let in_flight: u64 = lanes.outgoing[r]
+                    .iter()
+                    .map(|&(_, _, oid)| p.unshared_blocks_of(oid))
+                    .sum();
+                if growth <= p.free_blocks() + in_flight {
+                    // Enough memory once in-flight swap-outs
+                    // drain; stall the iteration until the ones
+                    // it actually needs have completed.
+                    while growth > p.free_blocks() {
+                        let (done_at, oid) = if event_core {
+                            // The deque is completion-sorted, so
+                            // the front is the earliest swap-out.
+                            let (t, _, oid) = lanes.outgoing[r].pop_front().expect(
+                                "growth exceeds free blocks only through \
+                                 in-flight swap-outs",
+                            );
+                            (t, oid)
+                        } else {
+                            let (j, t) = lanes.outgoing[r]
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &(t, _, _))| (j, t))
+                                .min_by(|a, b| a.1.total_cmp(&b.1))
+                                .expect(
+                                    "growth exceeds free blocks only through \
+                                     in-flight swap-outs",
+                                );
+                            let (_, _, oid) = lanes.outgoing[r].remove(j).expect("index in range");
+                            (t, oid)
+                        };
+                        stats.stall[r] += (done_at - batch.clock[r]).max(0.0);
+                        batch.clock[r] = batch.clock[r].max(done_at);
+                        p.drop_unshared(oid);
+                    }
+                    stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(p.occupancy_plus(growth));
+                    Pressure::Fits
+                } else {
+                    Pressure::Evict(Some(p.occupancy_plus(growth)))
+                }
+            } else {
+                let grown_shape = |s: &ActiveSeq| ActiveSeq::kv_shape(grown_tokens(s));
+                let mut eventual: Vec<RequestShape> =
+                    batch.batches[r].iter().map(grown_shape).collect();
+                eventual.extend(
+                    lanes.incoming[r]
+                        .iter()
+                        .map(|(_, s)| ActiveSeq::kv_shape(s.past)),
+                );
+                match replicas[r].backend.batch_fits(model, &eventual) {
+                    Ok(_) => {
+                        // Enough memory once in-flight swap-outs
+                        // drain; stall the iteration until the ones
+                        // it actually needs have completed.
+                        loop {
+                            let mut current = eventual.clone();
+                            current.extend(
+                                lanes.outgoing[r]
+                                    .iter()
+                                    .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                            );
+                            match replicas[r].backend.batch_fits(model, &current) {
+                                Ok(occupancy) => {
+                                    stats.peak_kv_occupancy =
+                                        stats.peak_kv_occupancy.max(occupancy);
+                                    break;
+                                }
+                                Err(_) => {
+                                    let done_at = if event_core {
+                                        let (t, _, _) = lanes.outgoing[r].pop_front().expect(
+                                            "current projection exceeds the \
+                                             eventual one only through \
+                                             in-flight swap-outs",
+                                        );
+                                        t
+                                    } else {
+                                        let (j, t) = lanes.outgoing[r]
+                                            .iter()
+                                            .enumerate()
+                                            .map(|(j, &(t, _, _))| (j, t))
+                                            .min_by(|a, b| a.1.total_cmp(&b.1))
+                                            .expect(
+                                                "current projection exceeds the \
+                                                 eventual one only through \
+                                                 in-flight swap-outs",
+                                            );
+                                        lanes.outgoing[r].remove(j);
+                                        t
+                                    };
+                                    stats.stall[r] += (done_at - batch.clock[r]).max(0.0);
+                                    batch.clock[r] = batch.clock[r].max(done_at);
+                                }
+                            }
+                        }
+                        Pressure::Fits
+                    }
+                    // The final-shape admission check rules out
+                    // SequenceTooLong here, so the error always
+                    // carries a ratio.
+                    Err(e) => Pressure::Evict(
+                        if let crate::capacity::CapacityError::OutOfMemory {
+                            required,
+                            available,
+                        } = e
+                        {
+                            Some(required as f64 / available as f64)
+                        } else {
+                            None
+                        },
+                    ),
+                }
+            };
+            let over = match pressure {
+                Pressure::Fits => break,
+                Pressure::Evict(over) => over,
+            };
+            let headroom = kv.pools[r].map(|p| p.saturating_sub(kv.host_used[r]));
+            // The queue the victim would join: each slot ahead
+            // of it costs roughly one mean iteration of wait.
+            let readmit_delay = if batch.iter_n[r] > 0 {
+                kv.swapped[r].len() as f64 * batch.iter_sum[r] / batch.iter_n[r] as f64
+            } else {
+                0.0
+            };
+            let views: Vec<(usize, SeqView)> = batch.batches[r]
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.decoding())
+                .map(|(i, s)| {
+                    let kv_blocks = kv.paged[r].as_ref().map_or(0, |p| p.blocks_of(s.idx));
+                    let block_tokens = kv.paged[r].as_ref().map_or(0, |p| p.block_tokens());
+                    (
+                        i,
+                        costed_view(
+                            s,
+                            &mut replicas[r],
+                            model,
+                            headroom,
+                            block_tokens,
+                            kv_blocks,
+                            readmit_delay,
+                        ),
+                    )
+                })
+                .collect();
+            let victim =
+                super::select_min(&views, |t| t.1, |a, b| scheduler.eviction.compare(a, b));
+            let Some(vi) = victim.filter(|_| batch.batches[r].len() > 1) else {
+                // Nothing evictable: tolerate the overcommit
+                // for this iteration, and record the
+                // over-capacity footprint so the report cannot
+                // claim the run fit in memory.
+                if let Some(ratio) = over {
+                    stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(ratio);
+                }
+                break;
+            };
+            let (v, view) = views[vi];
+            let mut seq = batch.batches[r].remove(v);
+            seq.preemptions += 1;
+            kv.swap_count += 1;
+            seq.swap_epoch = kv.swap_count;
+            stats.preemptions += 1;
+            // Only the *unshared* context moves (or drops):
+            // shared prefix blocks stay resident under the
+            // cache's reference. Contiguous mode has no shared
+            // tokens, so this is the whole context there.
+            let moved = seq.past - seq.shared_tokens;
+            // The host pool parks whole blocks in paged mode
+            // — a partially filled tail block occupies a full
+            // block host-side too — so the pool debit rounds
+            // `moved` up to the block size. The DMA transfer
+            // below still prices the actual tokens moved;
+            // contiguous mode stays exact (and bit-identical).
+            let pool_tokens = match kv.paged[r].as_ref() {
+                Some(p) => moved.div_ceil(p.block_tokens()) * p.block_tokens(),
+                None => moved,
+            };
+            let bytes = crate::capacity::kv_swap_bytes(model, pool_tokens);
+            let pool_takes = headroom.is_none_or(|h| bytes <= h);
+            let by_swap = match scheduler.mechanism {
+                EvictionMechanism::Swap => pool_takes,
+                EvictionMechanism::Recompute => false,
+                // The one published cost rule
+                // (`SeqView::eviction_cost_secs`):
+                // `swap_secs` is already infinite when
+                // the pool cannot take the bytes, so
+                // the comparison alone decides. (The
+                // re-admission delay term is common to
+                // both mechanisms, so it cancels here.)
+                EvictionMechanism::Cheapest => 2.0 * view.swap_secs <= view.recompute_secs,
+            };
+            if by_swap {
+                seq.hosted_bytes = bytes;
+                kv.host_used[r] += bytes;
+                stats.host_peak_bytes = stats.host_peak_bytes.max(kv.host_used[r]);
+                if let Some(pool) = kv.pools[r] {
+                    stats.host_peak_occupancy = stats
+                        .host_peak_occupancy
+                        .max(kv.host_used[r] as f64 / pool.max(1) as f64);
+                }
+                let swap_out = replicas[r].kv_transfer_secs(model, moved);
+                stats.dma[r] += swap_out;
+                let done_at = lanes.dma[r].issue(DmaLane::D2H, batch.clock[r], swap_out);
+                if overlap {
+                    // Device KV drains in the
+                    // background; freed at completion.
+                    // The D2H lane is monotone, so pushes
+                    // keep the deque completion-sorted.
+                    debug_assert!(lanes.outgoing[r]
+                        .back()
+                        .is_none_or(|&(t, _, _)| t <= done_at));
+                    lanes.outgoing[r].push_back((done_at, moved, seq.idx));
+                } else {
+                    stats.stall[r] += done_at - batch.clock[r];
+                    batch.clock[r] = done_at;
+                    if let Some(p) = kv.paged[r].as_mut() {
+                        p.drop_unshared(seq.idx);
+                    }
+                }
+            } else {
+                // Recompute-based eviction (chosen, or
+                // forced by a full host pool): drop the
+                // KV now, rebuild the whole context by
+                // re-prefill on re-admission — from the
+                // shared prefix up, in paged mode.
+                stats.recomputes += 1;
+                seq.recomputes += 1;
+                seq.prefill_target = seq.past;
+                seq.prefilled = seq.shared_tokens;
+                seq.past = seq.shared_tokens;
+                if let Some(p) = kv.paged[r].as_mut() {
+                    p.drop_unshared(seq.idx);
+                }
+            }
+            kv.swapped[r].push(seq);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Migration layer: prefill→decode handoff and migrant admission.
+//!
+//! In a disaggregated cluster, a sequence whose prefill completes on a
+//! `PrefillOnly` replica leaves for a decode replica the same
+//! iteration, its KV crossing both host links. This layer owns the
+//! decode-pool route table and the per-replica inbound deques, and the
+//! two phase entry points around them: [`EngineCore::admit_migrants`]
+//! lands arrived migrants into the destination batch, and
+//! [`EngineCore::migrate_after_prefill`] prices and launches the
+//! two-leg transfer when the batch layer hands it a finished prefill.
+
+use super::batch::ActiveSeq;
+use super::core::EngineCore;
+use super::TimeKey;
+use crate::serving::dma::DmaLane;
+use crate::serving::kv::PagedKv;
+use crate::serving::policy::MigrationTarget;
+use ianus_model::RequestShape;
+use std::collections::VecDeque;
+
+/// The migration layer's state: which replicas decode, and what is in
+/// flight toward each.
+pub(super) struct MigrationState {
+    /// Replica indices that accept migrations (`DecodeOnly` plus
+    /// `Unified` in mixed clusters; empty in all-`Unified` clusters,
+    /// which short-circuits every migration hook).
+    pub(super) decode_pool: Vec<usize>,
+    /// In-flight inbound migrations per replica: `(dma_ready_at, seq)`,
+    /// completion-sorted (pushes ride the destination's monotone H2D
+    /// lane in the global turn order both cores share).
+    pub(super) migrating: Vec<VecDeque<(f64, ActiveSeq)>>,
+}
+
+impl EngineCore<'_> {
+    /// Migrant admission: sequences whose inbound migration
+    /// DMA has landed join the batch next — after this
+    /// replica's own swapped sequences (they are older work)
+    /// but ahead of new arrivals, FIFO by DMA-completion
+    /// time. Migrants arrive fully prefilled, so the gate is
+    /// the destination's residency check over their current
+    /// context; like swap-ins, an empty replica admits its
+    /// head unconditionally (liveness: a migrant too big for
+    /// a busy replica is guaranteed a slot once the batch
+    /// drains, so migrated sequences always complete). A
+    /// no-op in all-`Unified` clusters (the deque is never
+    /// pushed).
+    pub(super) fn admit_migrants(&mut self, r: usize) {
+        let model = self.model;
+        let max_batch = self.max_batch;
+        let mix = &self.mix;
+        let replicas = &mut *self.replicas;
+        let kv = &mut self.kv;
+        let lanes = &mut self.lanes;
+        let mig = &mut self.mig;
+        let batch = &mut self.batch;
+        let stats = &mut self.stats;
+        while batch.batches[r].len() + lanes.incoming[r].len() < max_batch as usize
+            && mig.migrating[r]
+                .front()
+                .is_some_and(|&(t, _)| t <= batch.clock[r])
+        {
+            let force = batch.batches[r].is_empty() && lanes.incoming[r].is_empty();
+            if !force {
+                let cand = &mig.migrating[r].front().expect("front was checked").1;
+                let fits = if let Some(p) = kv.paged[r].as_mut() {
+                    let hit_tokens = kv.class_keys[cand.class].map_or(0, |key| {
+                        p.prefix_hit_tokens(key, cand.shape.input.saturating_sub(1))
+                    });
+                    let need = p
+                        .blocks_for(cand.past)
+                        .saturating_sub(p.blocks_for(hit_tokens));
+                    p.reclaim(need);
+                    if need <= p.free_blocks() {
+                        stats.peak_kv_occupancy =
+                            stats.peak_kv_occupancy.max(p.occupancy_plus(need));
+                        true
+                    } else {
+                        false
+                    }
+                } else {
+                    let mut resident: Vec<RequestShape> = batch.batches[r]
+                        .iter()
+                        .map(|s| ActiveSeq::kv_shape(s.past))
+                        .collect();
+                    resident.extend(
+                        lanes.incoming[r]
+                            .iter()
+                            .map(|(_, s)| ActiveSeq::kv_shape(s.past)),
+                    );
+                    resident.extend(
+                        lanes.outgoing[r]
+                            .iter()
+                            .map(|&(_, tok, _)| ActiveSeq::kv_shape(tok)),
+                    );
+                    resident.push(ActiveSeq::kv_shape(cand.past));
+                    match replicas[r].backend.batch_fits(model, &resident) {
+                        Ok(occupancy) => {
+                            stats.peak_kv_occupancy = stats.peak_kv_occupancy.max(occupancy);
+                            true
+                        }
+                        Err(_) => false,
+                    }
+                };
+                if !fits {
+                    break;
+                }
+            }
+            let (ready, mut seq) = mig.migrating[r].pop_front().expect("front was checked");
+            // DMA landed at `ready`; the batch had no slot (or
+            // the replica no turn) until now.
+            stats.migration_stall += batch.clock[r] - ready;
+            if let Some(p) = kv.paged[r].as_mut() {
+                // Fresh block accounting on the destination: map
+                // the class prefix from the local cache if this
+                // replica holds it, acquire the rest, and
+                // publish the prefix for later admissions (the
+                // migrant arrives fully prefilled, so its blocks
+                // are publishable immediately).
+                let shared = p.admit(
+                    seq.idx,
+                    kv.class_keys[seq.class],
+                    seq.shape.input.saturating_sub(1),
+                );
+                seq.shared_tokens = shared;
+                p.grow(seq.idx, seq.past);
+                if let Some(key) = kv.class_keys[seq.class] {
+                    let prefix = mix[seq.class]
+                        .prefix_tokens
+                        .min(seq.shape.input.saturating_sub(1));
+                    if let Some(s2) = p.register_prefix(seq.idx, key, prefix) {
+                        seq.shared_tokens = seq.shared_tokens.max(s2);
+                    }
+                }
+            } else {
+                seq.shared_tokens = 0;
+            }
+            stats.peak_batch = stats.peak_batch.max(batch.batches[r].len() as u32 + 1);
+            batch.batches[r].push(seq);
+        }
+    }
+
+    /// Prefill→decode handoff: the sequence leaves this
+    /// replica (`r`) the iteration its prefill completes. Its
+    /// KV moves over both host links — a D2H leg on the
+    /// source, then an H2D leg on the destination — each
+    /// priced by the owning side's `kv_transfer_time`. Like
+    /// swap pricing, only the unshared context moves (a class
+    /// prefix is assumed replicated to the decode pool once,
+    /// amortized across its requests). The handoff is
+    /// fire-and-forget: it never stalls source compute
+    /// (`overlap_dma` governs swap traffic only), and the
+    /// source's device KV is freed at issue — prefill
+    /// admission capacity, not migration drain, is what gates
+    /// this replica. Called by the batch layer with the
+    /// just-completed sequence already removed from the
+    /// batch; requires a non-empty decode pool.
+    pub(super) fn migrate_after_prefill(&mut self, r: usize, seq: ActiveSeq, now: f64) {
+        let model = self.model;
+        let moved = seq.past - seq.shared_tokens;
+        // No decoders ever reside here (every
+        // one migrates the turn it appears), so
+        // nothing was ever evicted or hosted.
+        debug_assert_eq!(seq.hosted_bytes, 0);
+        if let Some(p) = self.kv.paged[r].as_mut() {
+            p.complete(seq.idx);
+        }
+        let targets: Vec<MigrationTarget> = self
+            .mig
+            .decode_pool
+            .iter()
+            .map(|&d| MigrationTarget {
+                replica: d,
+                batch_len: self.batch.batches[d].len() + self.lanes.incoming[d].len(),
+                inbound: self.mig.migrating[d].len(),
+                lane_busy_secs: (self.lanes.dma[d].free_at(DmaLane::H2D) - now).max(0.0),
+                kv_free_blocks: self.kv.paged[d].as_ref().map(PagedKv::free_blocks),
+            })
+            .collect();
+        let ti = super::select_min(&targets, |t| *t, |a, b| self.migration.compare(a, b))
+            .expect("decode pool is non-empty");
+        let dst = targets[ti].replica;
+        let out_secs = self.replicas[r].kv_transfer_secs(model, moved);
+        let in_secs = self.replicas[dst].kv_transfer_secs(model, moved);
+        self.stats.dma[r] += out_secs;
+        self.stats.dma[dst] += in_secs;
+        let out_done = self.lanes.dma[r].issue(DmaLane::D2H, now, out_secs);
+        let ready = self.lanes.dma[dst].issue(DmaLane::H2D, out_done, in_secs);
+        self.stats.migrations += 1;
+        self.stats.migrated_out[r] += 1;
+        self.stats.migrated_in[dst] += 1;
+        // Pushes ride the destination's monotone
+        // H2D lane in the global turn order both
+        // cores share, keeping the deque sorted.
+        debug_assert!(self.mig.migrating[dst]
+            .back()
+            .is_none_or(|&(t, _)| t <= ready));
+        self.mig.migrating[dst].push_back((ready, seq));
+        if self.event_core {
+            // Wake the destination (a parked
+            // decode-only replica is in no
+            // queue; `schedule` upserts, so a
+            // busy one keeps its key).
+            self.turns
+                .busy_q
+                .schedule(dst, TimeKey(self.batch.clock[dst]));
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Workflow runtime layer: per-instance run state and the completion
+//! fan-out.
+//!
+//! A workflow mix replaces the flat request mix with DAG instances.
+//! This layer owns the immutable per-template tables ([`WfCtx`]), the
+//! per-arrival workflow identity ([`WfTag`]), and the cross-layer
+//! fan-out contract ([`WfWorld`]): when a node completes, the batch
+//! layer hands this layer mutable views of the wait queue and the paged
+//! pools, and gets back newly released child arrivals, settled
+//! cancellations, and published prefix keys. No other layer inspects
+//! workflow state.
+
+use super::arrivals::Arrival;
+use super::TimeKey;
+use crate::serving::kv::PagedKv;
+use crate::serving::report::RunStats;
+use crate::serving::workflow::{workflow_prefix_key, NodeState, WorkflowRun, WorkflowTemplate};
+use crate::serving::{RequestClass, ServingConfig};
+use ianus_model::RequestShape;
+use std::collections::{BTreeSet, HashMap};
+
+/// Workflow identity of an arrival / active sequence: which node of
+/// which instance it serves, plus the denormalized workflow context the
+/// policies and completion fan-out need. `None` on every flat-mix
+/// request.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct WfTag {
+    /// Workflow instance index (into the engine's run table).
+    pub(super) inst: usize,
+    /// Node index inside the instance's template.
+    pub(super) node: usize,
+    /// Prefix-cache key of the lowest-index parent's published KV —
+    /// what this node admits with under paged accounting. `None` for
+    /// root nodes.
+    pub(super) inherit: Option<u64>,
+    /// Absolute end-to-end deadline of the instance.
+    pub(super) deadline: Option<f64>,
+    /// Transitive descendant count of the node (admission width).
+    pub(super) blocked_descendants: u32,
+    /// Tenant owning the instance (children inherit the root's tenant).
+    pub(super) tenant: u32,
+    /// Whether the *instance* arrived inside a burst window (children
+    /// inherit the attribution — burst accounting follows the load that
+    /// launched the workflow, not the fan-out instants).
+    pub(super) in_burst: bool,
+}
+
+/// Immutable per-template tables the workflow hooks index at runtime:
+/// the templates themselves, each template's first synthetic class
+/// index (node `n` of template `t` is class `base[t] + n`), per-node
+/// effective shapes, and per-node transitive descendant counts.
+pub(super) struct WfCtx {
+    pub(super) templates: Vec<WorkflowTemplate>,
+    pub(super) base: Vec<usize>,
+    pub(super) shapes: Vec<Vec<RequestShape>>,
+    pub(super) blocked: Vec<Vec<u32>>,
+}
+
+/// The workflow runtime's mutable state, owned by the engine core for
+/// the duration of one run: the per-instance run table, the
+/// key→replica home map for published prefixes, and the inheritance
+/// knob.
+pub(super) struct WorkflowRt {
+    /// Immutable per-template tables.
+    pub(super) ctx: WfCtx,
+    /// Per-instance run state, indexed by [`WfTag::inst`].
+    pub(super) runs: Vec<WorkflowRun>,
+    /// Which replica holds each live workflow prefix key's blocks.
+    pub(super) key_homes: HashMap<u64, usize>,
+    /// Whether children admit with inherited parent KV (the engine's
+    /// `workflow_inheritance` knob gated on paged mode).
+    pub(super) inheritance: bool,
+    /// Whether this run is a workflow run at all (`false` on a flat
+    /// mix; every workflow hook is skipped).
+    pub(super) mode: bool,
+}
+
+/// Everything one workflow-node completion touches outside the
+/// completing replica: the instance's run state, the arrival vector and
+/// wait queue (released children are appended as new arrivals), the
+/// paged pools (prefix registration and expired-key drops), the
+/// key→replica home table, and the run counters.
+pub(super) struct WfWorld<'a> {
+    pub(super) ctx: &'a WfCtx,
+    pub(super) runs: &'a mut [WorkflowRun],
+    pub(super) arrivals: &'a mut Vec<Arrival>,
+    pub(super) untaken: &'a mut BTreeSet<(TimeKey, usize)>,
+    pub(super) paged: &'a mut [Option<PagedKv>],
+    /// Which replica holds each live workflow prefix key's blocks.
+    pub(super) key_homes: &'a mut HashMap<u64, usize>,
+    /// Whether children admit with inherited parent KV (the engine's
+    /// `workflow_inheritance` knob gated on paged mode).
+    pub(super) inheritance: bool,
+}
+
+impl WfWorld<'_> {
+    /// Drops `parent`'s published prefix (instance `inst`) from
+    /// whichever replica holds it, if it was ever registered.
+    fn drop_expired(&mut self, inst: usize, parent: usize) {
+        let key = workflow_prefix_key(inst as u64, parent);
+        if let Some(home) = self.key_homes.remove(&key) {
+            if let Some(p) = self.paged[home].as_mut() {
+                p.drop_prefix(key);
+            }
+        }
+    }
+
+    /// Fans out one completed workflow node: publishes its KV for
+    /// inheriting children (must run *before* the caller completes the
+    /// sequence in the paged pool, while its table is still live),
+    /// settles speculative cancellations, appends newly released
+    /// children to the arrival vector at `now`, and records finished
+    /// instances. Returns `true` if new arrivals were appended (the
+    /// event core then repairs its idle-replica sets against the new
+    /// wait-queue head).
+    pub(super) fn on_node_complete(
+        &mut self,
+        tag: WfTag,
+        seq_idx: u64,
+        replica: usize,
+        now: f64,
+        stats: &mut RunStats,
+        done: &mut u64,
+    ) -> bool {
+        let ctx = self.ctx;
+        let t = self.runs[tag.inst].template;
+        let tpl = &ctx.templates[t];
+        // Publish this node's output KV under its per-(instance, node)
+        // key while the sequence's block table is still alive. Only
+        // nodes with *live* consumers publish — a speculative loser
+        // whose children were all cancelled before it finished has
+        // nothing left to feed.
+        if self.inheritance && self.runs[tag.inst].live_consumers(tag.node) > 0 {
+            if let Some(p) = self.paged[replica].as_mut() {
+                let key = workflow_prefix_key(tag.inst as u64, tag.node);
+                if p.register_prefix(seq_idx, key, tpl.nodes[tag.node].shape.output)
+                    .is_some()
+                {
+                    self.key_homes.insert(key, replica);
+                }
+            }
+        }
+        let mut out = self.runs[tag.inst].on_complete(tpl, tag.node);
+        let mut settled = out.workflow_done;
+        // Waiting nodes cancelled outright never reach the engine; they
+        // settle here.
+        stats.cancelled_nodes += out.cancelled.len() as u64;
+        *done += out.cancelled.len() as u64;
+        // Released speculative losers: still queued → cancel in place;
+        // already admitted → run to completion (their children are
+        // cancelled, so the late completion fans out to nothing).
+        for i in 0..out.cancel_released.len() {
+            let n = out.cancel_released[i];
+            let run = &mut self.runs[tag.inst];
+            let ai = run.node_arrival[n].expect("released node has an arrival slot");
+            if self.untaken.remove(&(TimeKey(self.arrivals[ai].at), ai)) {
+                stats.cancelled_nodes += 1;
+                *done += 1;
+                settled |= run.confirm_cancel(tpl, n, &mut out);
+            } else {
+                run.keep_running(n);
+            }
+        }
+        for i in 0..out.expired_keys.len() {
+            self.drop_expired(tag.inst, out.expired_keys[i]);
+        }
+        // Release ready children as fresh arrivals at the completion
+        // instant.
+        let mut pushed = false;
+        for &c in &out.released {
+            let run = &mut self.runs[tag.inst];
+            let inherit = if self.inheritance {
+                tpl.nodes[c]
+                    .parents
+                    .iter()
+                    .min()
+                    .map(|&p| workflow_prefix_key(tag.inst as u64, p))
+            } else {
+                None
+            };
+            let ai = self.arrivals.len();
+            run.node_arrival[c] = Some(ai);
+            let deadline = run.deadline;
+            self.arrivals.push(Arrival {
+                at: now,
+                idx: ai as u64,
+                class: ctx.base[t] + c,
+                shape: ctx.shapes[t][c],
+                priority: tpl.priority,
+                slo: None,
+                tenant: tag.tenant,
+                in_burst: tag.in_burst,
+                wf: Some(WfTag {
+                    inst: tag.inst,
+                    node: c,
+                    inherit,
+                    deadline,
+                    blocked_descendants: ctx.blocked[t][c],
+                    tenant: tag.tenant,
+                    in_burst: tag.in_burst,
+                }),
+            });
+            self.untaken.insert((TimeKey(now), ai));
+            pushed = true;
+        }
+        debug_assert!(
+            out.released
+                .iter()
+                .all(|&c| self.runs[tag.inst].state(c) == NodeState::Released),
+            "fan-out queued a node that is not in the Released state"
+        );
+        if settled {
+            let run = &self.runs[tag.inst];
+            debug_assert!(run.done(), "a settled instance owes no node an outcome");
+            stats.workflow_latencies.push(now - run.start);
+            if run.deadline.is_none_or(|d| now <= d) {
+                stats.workflow_attained += 1;
+            }
+        }
+        pushed
+    }
+}
+
+/// Derives the run's per-class accounting mix from a config: the flat
+/// mix verbatim, or — under a workflow mix — one synthetic class per
+/// (template, node) in template order, shaped by the node's *effective*
+/// prompt (own prompt plus every parent's output). Synthetic classes
+/// carry the template's priority, no SLO (workflow deadlines are
+/// whole-instance, not per-node), and no class-level prefix (workflow
+/// nodes share KV through per-instance inheritance keys instead).
+pub(super) fn effective_mix(cfg: &ServingConfig) -> Vec<RequestClass> {
+    if cfg.workflows.is_empty() {
+        return cfg.mix.clone();
+    }
+    let mut mix = Vec::new();
+    for tpl in &cfg.workflows {
+        for (node, eff) in tpl.effective_inputs().into_iter().enumerate() {
+            mix.push(RequestClass {
+                shape: RequestShape {
+                    input: eff,
+                    output: tpl.nodes[node].shape.output,
+                },
+                weight: tpl.weight,
+                priority: tpl.priority,
+                slo: None,
+                prefix_tokens: 0,
+            });
+        }
+    }
+    mix
+}
+
+/// Per-template tables the workflow hooks index at runtime, all
+/// derived once from the validated templates.
+pub(super) fn workflow_ctx(cfg: &ServingConfig) -> WfCtx {
+    let templates = cfg.workflows.clone();
+    let mut base = Vec::with_capacity(templates.len());
+    let mut next = 0usize;
+    for tpl in &templates {
+        base.push(next);
+        next += tpl.node_count();
+    }
+    let shapes = templates
+        .iter()
+        .map(|tpl| {
+            tpl.effective_inputs()
+                .into_iter()
+                .enumerate()
+                .map(|(node, eff)| RequestShape {
+                    input: eff,
+                    output: tpl.nodes[node].shape.output,
+                })
+                .collect()
+        })
+        .collect();
+    let blocked = templates.iter().map(|t| t.blocked_descendants()).collect();
+    WfCtx {
+        templates,
+        base,
+        shapes,
+        blocked,
+    }
+}

@@ -201,12 +201,15 @@ mod report;
 #[cfg(test)]
 mod tests;
 
-pub use engine::{CoreMode, ServingSim};
+pub use engine::{
+    ArrivalDraw, ArrivalProcess, ArrivalSpec, CoreMode, DiurnalArrivals, MmppArrivals,
+    MultiTenantArrivals, PoissonArrivals, ServingSim, TenantSpec,
+};
 pub use policy::{
     AdmissionPolicy, EvictionMechanism, EvictionPolicy, MigrationPolicy, ReadmissionPolicy,
     SchedulerPolicy,
 };
-pub use report::{ClassReport, LatencyPercentiles, ReplicaReport, ServingReport};
+pub use report::{ClassReport, LatencyPercentiles, ReplicaReport, ServingReport, TenantReport};
 pub use workflow::{WorkflowError, WorkflowNode, WorkflowTemplate};
 
 use ianus_model::RequestShape;
@@ -333,6 +336,14 @@ pub struct ServingConfig {
     /// template behaves bit-identically to the equivalent flat
     /// [`RequestClass`] mix.
     pub workflows: Vec<WorkflowTemplate>,
+    /// The shape of the arrival process (see [`ArrivalSpec`]). The
+    /// default [`ArrivalSpec::Poisson`] reproduces the historical
+    /// seeded Poisson trace byte-for-byte; the alternatives modulate
+    /// the *timing* of the same mean rate — sinusoidal diurnal cycles,
+    /// two-state Markov-modulated bursts, or K merged per-tenant
+    /// processes — while keeping [`arrival_rate_hz`](Self::arrival_rate_hz)
+    /// the long-run mean.
+    pub arrivals: ArrivalSpec,
 }
 
 impl ServingConfig {
@@ -349,6 +360,7 @@ impl ServingConfig {
                 RequestClass::new(RequestShape::new(512, 256), 0.1),
             ],
             workflows: vec![],
+            arrivals: ArrivalSpec::Poisson,
         }
     }
 
@@ -369,6 +381,17 @@ impl ServingConfig {
         self
     }
 
+    /// Replaces the arrival-process shape (builder style; see
+    /// [`ArrivalSpec`]). Panics if `spec` is invalid — a malformed
+    /// spec would otherwise only surface at [`ServingSim::run`] time.
+    pub fn arrivals(mut self, spec: ArrivalSpec) -> Self {
+        if let Err(e) = spec.validate() {
+            panic!("invalid arrival spec: {e}");
+        }
+        self.arrivals = spec;
+        self
+    }
+
     /// A decode-heavy mix: short prompts, long generations. This is the
     /// regime where iteration-level batching pays on weight-streaming
     /// backends (decode dominates, and batched decode amortizes weight
@@ -385,6 +408,7 @@ impl ServingConfig {
                 RequestClass::new(RequestShape::new(128, 512), 0.15),
             ],
             workflows: vec![],
+            arrivals: ArrivalSpec::Poisson,
         }
     }
 
@@ -406,6 +430,7 @@ impl ServingConfig {
                 RequestClass::new(RequestShape::new(896, 64), 0.25).with_priority(Priority::Batch),
             ],
             workflows: vec![],
+            arrivals: ArrivalSpec::Poisson,
         }
     }
 
@@ -432,6 +457,7 @@ impl ServingConfig {
                     .with_shared_prefix(384),
             ],
             workflows: vec![],
+            arrivals: ArrivalSpec::Poisson,
         }
     }
 
@@ -457,6 +483,7 @@ impl ServingConfig {
             seed: 0x5EED,
             mix: vec![],
             workflows,
+            arrivals: ArrivalSpec::Poisson,
         }
     }
 }

@@ -100,6 +100,11 @@ pub struct QueuedRequest {
     /// unblocks — 0 for flat-mix requests and leaf nodes.
     /// [`WidestSubtreeAdmission`] orders by this.
     pub blocked_descendants: u32,
+    /// Tenant index under multi-tenant arrivals
+    /// ([`ArrivalSpec::MultiTenant`](super::ArrivalSpec)) — 0 for every
+    /// single-tenant process. Policies may use it for per-tenant
+    /// ordering; the built-in bundles ignore it.
+    pub tenant: u32,
 }
 
 /// A resident or swapped sequence, as the [`EvictionPolicy`] and
@@ -698,6 +703,7 @@ mod tests {
             deadline,
             workflow_deadline: None,
             blocked_descendants: 0,
+            tenant: 0,
         }
     }
 

@@ -61,6 +61,28 @@ pub struct ClassReport {
     pub slo_attainment: f64,
 }
 
+/// Sojourn/goodput statistics of one tenant under multi-tenant
+/// arrivals ([`ArrivalSpec::MultiTenant`](super::ArrivalSpec)). Every
+/// other arrival process reports a single row for tenant 0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant index (position in the spec's tenant list).
+    pub tenant: u32,
+    /// Requests of this tenant completed.
+    pub completed: u64,
+    /// Sojourn (queueing + service) percentiles over this tenant's
+    /// completions; [`LatencyPercentiles::ZERO`] when none completed.
+    pub sojourn: LatencyPercentiles,
+    /// Fraction of this tenant's completed requests that met their
+    /// class [`Slo`](super::Slo); 1.0 when nothing completed.
+    pub slo_attainment: f64,
+    /// This tenant's completions *within SLO* per second of simulated
+    /// time — the per-tenant slice of
+    /// [`goodput_rps`](ServingReport::goodput_rps), and what
+    /// [`tenant_fairness`](ServingReport::tenant_fairness) compares.
+    pub goodput_rps: f64,
+}
+
 /// Utilization statistics of one replica.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReplicaReport {
@@ -244,6 +266,29 @@ pub struct ServingReport {
     /// [`prefix_share_ratio`](Self::prefix_share_ratio). 0 on flat
     /// runs, in contiguous mode, or with inheritance disabled.
     pub inherited_prefix_ratio: f64,
+    /// Inter-token-latency percentiles over only the tokens emitted by
+    /// requests that **arrived inside a burst window** (an MMPP burst
+    /// phase, or a diurnal instant above the mean rate).
+    /// [`LatencyPercentiles::ZERO`] under burst-free processes
+    /// (Poisson, multi-tenant without bursty tenants) — compare against
+    /// [`inter_token`](Self::inter_token) to read the burst tax.
+    pub burst_inter_token: LatencyPercentiles,
+    /// SLO attainment scored over only the completions that arrived
+    /// inside a burst window. 1.0 when no completion arrived in a
+    /// burst (in particular under Poisson arrivals), so burst-free
+    /// runs stay trivially clean rather than reporting NaN.
+    pub burst_slo_attainment: f64,
+    /// Max/min ratio of per-tenant goodput across tenants **with at
+    /// least one completion** (zero-completion tenants are excluded —
+    /// they would otherwise turn the ratio into 0/0). 1.0 when fewer
+    /// than two tenants completed anything, or when every counted
+    /// tenant's goodput is zero; infinite when some counted tenant
+    /// attained nothing while another did. 1.0 is perfect fairness.
+    pub tenant_fairness: f64,
+    /// Per-tenant statistics, one row per tenant in the
+    /// [`ArrivalSpec`](super::ArrivalSpec)'s tenant order (a single
+    /// tenant-0 row under single-tenant processes).
+    pub per_tenant: Vec<TenantReport>,
     /// Per-class statistics (same order as the config's mix; under a
     /// workflow mix, one synthetic class per template node in template
     /// order).
@@ -275,8 +320,13 @@ impl ServingReport {
             && self.sojourn.p99.as_ns_f64() < 20.0 * self.mean_service.as_ns_f64()
     }
 
-    /// The all-zero report of an empty (zero-request) simulation.
-    pub(crate) fn empty(replicas: Vec<(String, ReplicaRole)>, mix: &[RequestClass]) -> Self {
+    /// The all-zero report of an empty (zero-request) simulation, with
+    /// `tenants` zeroed per-tenant rows.
+    pub(crate) fn empty(
+        replicas: Vec<(String, ReplicaRole)>,
+        mix: &[RequestClass],
+        tenants: u32,
+    ) -> Self {
         ServingReport {
             completed: 0,
             mean_service: Duration::ZERO,
@@ -309,6 +359,18 @@ impl ServingReport {
             completed_workflows: 0,
             cancelled_nodes: 0,
             inherited_prefix_ratio: 0.0,
+            burst_inter_token: LatencyPercentiles::ZERO,
+            burst_slo_attainment: 1.0,
+            tenant_fairness: 1.0,
+            per_tenant: (0..tenants)
+                .map(|t| TenantReport {
+                    tenant: t,
+                    completed: 0,
+                    sojourn: LatencyPercentiles::ZERO,
+                    slo_attainment: 1.0,
+                    goodput_rps: 0.0,
+                })
+                .collect(),
             per_class: mix
                 .iter()
                 .map(|c| ClassReport {
@@ -417,13 +479,26 @@ pub(crate) struct RunStats {
     /// registered KV, over all their prompt tokens.
     pub inherited_tokens: u64,
     pub inheritable_tokens: u64,
+    /// Per-tenant sojourn samples and SLO-attained counts, indexed by
+    /// tenant (length = the arrival spec's tenant count).
+    pub tenant_sojourns: Vec<Vec<f64>>,
+    pub tenant_attained: Vec<u64>,
+    /// ITL samples of tokens emitted by requests that arrived inside a
+    /// burst window — a *separate* vector pushed alongside
+    /// [`itls`](Self::itls), so burst accounting never perturbs the
+    /// existing sample order.
+    pub burst_itls: Vec<f64>,
+    /// Completions (and SLO-attained completions) of requests that
+    /// arrived inside a burst window.
+    pub burst_completed: u64,
+    pub burst_attained: u64,
     /// Whether the divergence guard fired (see
     /// [`ServingReport::diverged`]).
     pub diverged: bool,
 }
 
 impl RunStats {
-    pub fn new(replicas: usize, classes: usize, requests: u64) -> Self {
+    pub fn new(replicas: usize, classes: usize, requests: u64, tenants: u32) -> Self {
         RunStats {
             sojourns: Vec::with_capacity(requests as usize),
             class_sojourns: vec![Vec::new(); classes],
@@ -464,13 +539,19 @@ impl RunStats {
             cancelled_nodes: 0,
             inherited_tokens: 0,
             inheritable_tokens: 0,
+            tenant_sojourns: vec![Vec::new(); tenants.max(1) as usize],
+            tenant_attained: vec![0u64; tenants.max(1) as usize],
+            burst_itls: Vec::new(),
+            burst_completed: 0,
+            burst_attained: 0,
             diverged: false,
         }
     }
 
     /// Records one completed request: its unloaded service time, how
     /// often it was preempted (and recompute-preempted) along the way,
-    /// and whether it met its class SLO.
+    /// whether it met its class SLO, which tenant submitted it, and
+    /// whether it arrived inside a burst window.
     #[allow(clippy::too_many_arguments)]
     pub fn complete(
         &mut self,
@@ -482,10 +563,13 @@ impl RunStats {
         preemptions: u32,
         recomputes: u32,
         attained: bool,
+        tenant: u32,
+        in_burst: bool,
     ) {
         self.completions += 1;
         self.sojourns.push(finish - arrival);
         self.class_sojourns[class].push(finish - arrival);
+        self.tenant_sojourns[tenant as usize].push(finish - arrival);
         self.service_sum += service;
         self.served[replica] += 1;
         self.last_finish = self.last_finish.max(finish);
@@ -495,9 +579,204 @@ impl RunStats {
             self.preempted_requests += 1;
             self.max_preemptions = self.max_preemptions.max(preemptions);
         }
+        if in_burst {
+            self.burst_completed += 1;
+        }
         if attained {
             self.attained += 1;
             self.class_attained[class] += 1;
+            self.tenant_attained[tenant as usize] += 1;
+            if in_burst {
+                self.burst_attained += 1;
+            }
+        }
+    }
+
+    /// Builds the report from either engine's raw samples. `mix` is the
+    /// run's effective request-class list and `replicas` the
+    /// (name, role) rows in replica order.
+    pub fn into_report(
+        mut self,
+        mix: &[RequestClass],
+        replicas: Vec<(String, ReplicaRole)>,
+    ) -> ServingReport {
+        let finite_sort = |v: &mut Vec<f64>| {
+            v.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        };
+        finite_sort(&mut self.sojourns);
+        finite_sort(&mut self.ttfts);
+        finite_sort(&mut self.ttft_hits);
+        finite_sort(&mut self.ttft_colds);
+        finite_sort(&mut self.itls);
+        finite_sort(&mut self.burst_itls);
+        for cs in &mut self.class_sojourns {
+            finite_sort(cs);
+        }
+        for ts in &mut self.tenant_sojourns {
+            finite_sort(ts);
+        }
+        finite_sort(&mut self.workflow_latencies);
+        let n = replicas.len();
+        let per_class = mix
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let cs = &self.class_sojourns[i];
+                let completed = cs.len() as u64;
+                ClassReport {
+                    shape: c.shape,
+                    completed,
+                    sojourn: LatencyPercentiles::from_sorted(cs),
+                    preemptions: self.class_preemptions[i],
+                    recomputes: self.class_recomputes[i],
+                    slo_attainment: if completed == 0 {
+                        1.0
+                    } else {
+                        self.class_attained[i] as f64 / completed as f64
+                    },
+                }
+            })
+            .collect();
+        let per_replica = replicas
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, role))| ReplicaReport {
+                name,
+                role,
+                completed: self.served[i],
+                utilization: if self.last_finish > 0.0 {
+                    (self.busy[i] / self.last_finish).min(1.0)
+                } else {
+                    0.0
+                },
+                kv_dma: Duration::from_secs_f64(self.dma[i]),
+                migrations_in: self.migrated_in[i],
+                migrations_out: self.migrated_out[i],
+            })
+            .collect();
+        // A tenant with zero completions gets a zeroed row and is
+        // excluded from the fairness ratio — it contributes no goodput
+        // evidence, and including it would make every partial run
+        // (or the divergence-guard prefix) read as infinitely unfair.
+        let per_tenant: Vec<TenantReport> = self
+            .tenant_sojourns
+            .iter()
+            .enumerate()
+            .map(|(t, ts)| {
+                let completed = ts.len() as u64;
+                TenantReport {
+                    tenant: t as u32,
+                    completed,
+                    sojourn: LatencyPercentiles::from_sorted(ts),
+                    slo_attainment: if completed == 0 {
+                        1.0
+                    } else {
+                        self.tenant_attained[t] as f64 / completed as f64
+                    },
+                    goodput_rps: if self.last_finish > 0.0 {
+                        self.tenant_attained[t] as f64 / self.last_finish
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        let counted: Vec<f64> = per_tenant
+            .iter()
+            .filter(|t| t.completed > 0)
+            .map(|t| t.goodput_rps)
+            .collect();
+        let tenant_fairness = if counted.len() < 2 {
+            1.0
+        } else {
+            let max = counted.iter().cloned().fold(f64::MIN, f64::max);
+            let min = counted.iter().cloned().fold(f64::MAX, f64::min);
+            if max == 0.0 {
+                // Every counted tenant attained nothing: equally
+                // (un)served is still fair.
+                1.0
+            } else if min == 0.0 {
+                f64::INFINITY
+            } else {
+                max / min
+            }
+        };
+        // On a completed run every configured request finishes, so the
+        // observed count equals `cfg.requests`; a divergence abort
+        // reports the prefix that actually completed. `max(1)` and the
+        // span guards only matter on an abort before any completion.
+        let completions = self.completions;
+        ServingReport {
+            completed: completions,
+            mean_service: Duration::from_secs_f64(self.service_sum / completions.max(1) as f64),
+            sojourn: LatencyPercentiles::from_sorted(&self.sojourns),
+            ttft: LatencyPercentiles::from_sorted(&self.ttfts),
+            inter_token: LatencyPercentiles::from_sorted(&self.itls),
+            peak_batch: self.peak_batch,
+            peak_kv_occupancy: self.peak_kv_occupancy,
+            preemptions: self.preemptions,
+            recomputes: self.recomputes,
+            preempted_requests: self.preempted_requests,
+            max_preemptions: self.max_preemptions,
+            host_kv_peak_bytes: self.host_peak_bytes,
+            host_kv_peak_occupancy: self.host_peak_occupancy,
+            kv_dma: Duration::from_secs_f64(self.dma.iter().sum()),
+            swap_stall: Duration::from_secs_f64(self.stall.iter().sum()),
+            migrations: self.migrations,
+            migration_stall: Duration::from_secs_f64(self.migration_stall),
+            fragmentation: if self.frag_samples > 0 {
+                self.frag_sum / self.frag_samples as f64
+            } else {
+                0.0
+            },
+            prefix_share_ratio: if self.prompt_tokens > 0 {
+                self.shared_prompt_tokens as f64 / self.prompt_tokens as f64
+            } else {
+                0.0
+            },
+            prefix_cache_hits: self.prefix_hits,
+            ttft_cache_hit: LatencyPercentiles::from_sorted(&self.ttft_hits),
+            ttft_cold: LatencyPercentiles::from_sorted(&self.ttft_colds),
+            slo_attainment: self.attained as f64 / completions.max(1) as f64,
+            workflow_latency: LatencyPercentiles::from_sorted(&self.workflow_latencies),
+            workflow_slo_attainment: if self.workflow_latencies.is_empty() {
+                1.0
+            } else {
+                self.workflow_attained as f64 / self.workflow_latencies.len() as f64
+            },
+            completed_workflows: self.workflow_latencies.len() as u64,
+            cancelled_nodes: self.cancelled_nodes,
+            inherited_prefix_ratio: if self.inheritable_tokens > 0 {
+                self.inherited_tokens as f64 / self.inheritable_tokens as f64
+            } else {
+                0.0
+            },
+            burst_inter_token: LatencyPercentiles::from_sorted(&self.burst_itls),
+            burst_slo_attainment: if self.burst_completed == 0 {
+                1.0
+            } else {
+                self.burst_attained as f64 / self.burst_completed as f64
+            },
+            tenant_fairness,
+            per_tenant,
+            utilization: if self.last_finish > 0.0 {
+                (self.busy.iter().sum::<f64>() / (n as f64 * self.last_finish)).min(1.0)
+            } else {
+                0.0
+            },
+            throughput_rps: if self.last_finish > 0.0 {
+                completions as f64 / self.last_finish
+            } else {
+                0.0
+            },
+            goodput_rps: if self.last_finish > 0.0 {
+                self.attained as f64 / self.last_finish
+            } else {
+                0.0
+            },
+            diverged: self.diverged,
+            per_class,
+            per_replica,
         }
     }
 }

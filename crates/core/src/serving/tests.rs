@@ -98,6 +98,7 @@ fn second_replica_improves_tail_latency_and_halves_utilization() {
         seed: 5,
         mix: mix_one(RequestShape::new(128, 16)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let one = ServingSim::new(cfg.clone())
         .replica(fixed("a", 500))
@@ -124,6 +125,7 @@ fn sej_beats_least_loaded_on_heterogeneous_cluster() {
         seed: 11,
         mix: mix_one(RequestShape::new(64, 16)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let hetero = |policy| {
         ServingSim::new(cfg.clone())
@@ -156,6 +158,7 @@ fn least_loaded_differs_from_fcfs_on_heterogeneous_cluster() {
         seed: 13,
         mix: mix_one(RequestShape::new(64, 16)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let run = |policy| {
         ServingSim::new(cfg.clone())
@@ -181,6 +184,7 @@ fn memo_is_model_aware_across_runs() {
         seed: 4,
         mix: mix_one(RequestShape::new(128, 8)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let mut sim = ServingSim::new(cfg.clone()).replica(IanusSystem::new(SystemConfig::ianus()));
     let small = sim.run(&ModelConfig::gpt2_m());
@@ -204,6 +208,7 @@ fn per_class_percentiles_order_by_request_weight() {
         seed: 3,
         mix: vec![RequestClass::new(light, 0.5), RequestClass::new(heavy, 0.5)],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg).replica(fixed("a", 100)).run(&model);
     assert_eq!(r.per_class.len(), 2);
@@ -222,6 +227,7 @@ fn zero_requests_yield_empty_report() {
         seed: 0,
         mix: mix_one(RequestShape::new(128, 8)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(fixed("a", 100))
@@ -265,6 +271,7 @@ fn cluster_of_device_groups_serves_large_model() {
         seed: 9,
         mix: mix_one(RequestShape::new(128, 4)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let mut sim = ServingSim::new(cfg)
         .cluster(2, |_| DeviceGroup::new(SystemConfig::ianus(), 2))
@@ -285,6 +292,7 @@ fn sustainable_rate_brackets_service_rate() {
         seed: 21,
         mix: mix_one(RequestShape::new(99, 1)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let mut sim = ServingSim::new(cfg)
         .replica(fixed("a", 100))
@@ -310,6 +318,7 @@ fn light_load_has_no_queueing() {
         seed: 1,
         mix: mix_one(RequestShape::new(128, 8)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = single_ianus(SystemConfig::ianus(), cfg).run(&ModelConfig::gpt2_m());
     // Sojourn ~ service at low utilization.
@@ -333,6 +342,7 @@ fn overload_grows_tail_latency() {
         seed: 2,
         mix: mix_one(shape),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = single_ianus(SystemConfig::ianus(), cfg).run(&ModelConfig::gpt2_m());
     assert!(r.utilization > 0.95, "{}", r.utilization);
@@ -349,6 +359,7 @@ fn faster_device_serves_higher_rate() {
         seed: 3,
         mix: mix_one(shape),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let ianus = single_ianus(SystemConfig::ianus(), cfg.clone()).run(&ModelConfig::gpt2_m());
     let npu_mem = single_ianus(SystemConfig::npu_mem(), cfg).run(&ModelConfig::gpt2_m());
@@ -365,6 +376,7 @@ fn empty_mix_rejected() {
         seed: 0,
         mix: Vec::new(),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let _ = single_ianus(SystemConfig::ianus(), cfg).run(&ModelConfig::gpt2_m());
 }
@@ -459,6 +471,7 @@ fn kv_gate_bounds_batch_on_tight_memory() {
         seed: 11,
         mix: mix_one(RequestShape::new(512, 512)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -709,6 +722,7 @@ fn mixed_batch_decode_mean_rounds_not_floors() {
         seed: 1,
         mix: mix_one(RequestShape::new(4, 3)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(LinearSteps)
@@ -734,6 +748,7 @@ fn preemption_triggers_and_all_requests_complete() {
         seed: 11,
         mix: mix_one(RequestShape::new(512, 512)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -767,6 +782,7 @@ fn preemption_triggers_and_all_requests_complete() {
         seed: 11,
         mix: mix_one(RequestShape::new(512, 512)),
         workflows: vec![],
+        arrivals: Default::default(),
     })
     .replica(IanusSystem::new(SystemConfig::ianus()))
     .scheduling(Scheduling::iteration(32))
@@ -795,6 +811,7 @@ fn eviction_prefers_batch_tier() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -866,6 +883,7 @@ fn preempt_rejects_sequence_exceeding_max_seq() {
         seed: 0,
         mix: mix_one(RequestShape::new(512, 600)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let _ = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -914,6 +932,7 @@ fn sustainable_rate_works_under_iteration_scheduling() {
         seed: 21,
         mix: mix_one(RequestShape::new(99, 17)),
         workflows: vec![],
+        arrivals: Default::default(),
     })
     .replica(fixed("a", 100))
     .scheduling(Scheduling::iteration(4));
@@ -1059,6 +1078,7 @@ fn eviction_policies_complete_and_differ() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let run = |policy: SchedulerPolicy| {
         ServingSim::new(build_cfg())
@@ -1115,6 +1135,7 @@ fn deadline_readmission_is_live_and_seed_stable() {
                 RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
             ],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -1204,6 +1225,7 @@ fn sustainable_goodput_rate_bounded_by_stability_rate() {
         seed: 21,
         mix: mix_one(RequestShape::new(99, 17)),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     cfg.mix[0] = cfg.mix[0].with_slo(slo);
     let mut sim = ServingSim::new(cfg)
@@ -1223,10 +1245,118 @@ fn sustainable_goodput_rate_bounded_by_stability_rate() {
         seed: 21,
         mix: mix_one(RequestShape::new(99, 17)),
         workflows: vec![],
+        arrivals: Default::default(),
     })
     .replica(fixed("a", 100))
     .scheduling(Scheduling::iteration(4));
     let a = plain.sustainable_rate(&model, 1.0, 1000.0);
     let b = plain.sustainable_goodput_rate(&model, 1.0, 1000.0, 0.999);
     assert_eq!(a, b);
+}
+
+// ---------------------------------------------------------------------
+// Arrival processes
+// ---------------------------------------------------------------------
+
+#[test]
+fn poisson_process_matches_legacy_inline_recipe() {
+    // The lifted `PoissonArrivals` must reproduce the engine's
+    // historical inline trace bit for bit: one exponential wait from
+    // `gen_range(EPSILON..1.0)` then one class draw from
+    // `gen_range(0.0..Σweights)` per arrival, off one seeded StdRng.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let (seed, rate) = (0x5EED_u64, 3.0_f64);
+    let weights = [0.6, 0.3, 0.1];
+    let total: f64 = weights.iter().sum();
+    let mut lifted = PoissonArrivals::new(seed, rate);
+    let mut legacy = StdRng::seed_from_u64(seed);
+    for _ in 0..256 {
+        let d = lifted.next_arrival(&weights);
+        let u: f64 = legacy.gen_range(f64::EPSILON..1.0);
+        assert_eq!(d.wait.to_bits(), (-u.ln() / rate).to_bits());
+        assert_eq!(d.draw.to_bits(), legacy.gen_range(0.0..total).to_bits());
+        assert_eq!(d.tenant, 0);
+        assert!(!d.in_burst, "plain Poisson never flags a burst");
+    }
+}
+
+#[test]
+fn poisson_run_reports_no_burst_windows() {
+    // Without burst-capable arrivals the burst columns are exactly
+    // their vacuous values — zero percentiles, attainment 1.0 — so
+    // downstream consumers can gate on them without epsilon checks.
+    let cfg = ServingConfig {
+        arrival_rate_hz: 4.0,
+        requests: 50,
+        seed: 9,
+        mix: mix_one(RequestShape::new(64, 32)),
+        workflows: vec![],
+        arrivals: ArrivalSpec::Poisson,
+    };
+    let r = ServingSim::new(cfg)
+        .replica(fixed("a", 100))
+        .run(&ModelConfig::gpt2_m());
+    assert_eq!(r.completed, 50);
+    assert_eq!(r.burst_inter_token, LatencyPercentiles::ZERO);
+    assert_eq!(r.burst_slo_attainment, 1.0);
+    assert_eq!(
+        r.tenant_fairness, 1.0,
+        "a single-tenant run is trivially fair"
+    );
+    assert_eq!(r.per_tenant.len(), 1);
+}
+
+#[test]
+fn zero_completion_tenant_is_zeroed_and_excluded_from_fairness() {
+    // A tenant whose share is vanishingly small never places an
+    // arrival inside the run window: its row must come back zeroed
+    // (empty-window percentiles, vacuous attainment, zero goodput) and
+    // the fairness ratio must skip it — one counted tenant means 1.0,
+    // never NaN or a division by zero.
+    let spec = ArrivalSpec::MultiTenant {
+        tenants: vec![
+            TenantSpec {
+                share: 1.0,
+                inner: ArrivalSpec::Poisson,
+                mix_weights: None,
+            },
+            TenantSpec {
+                share: 1e-12,
+                inner: ArrivalSpec::Poisson,
+                mix_weights: None,
+            },
+        ],
+    };
+    assert!(spec.validate().is_ok());
+    let cfg = ServingConfig {
+        arrival_rate_hz: 4.0,
+        requests: 40,
+        seed: 7,
+        mix: mix_one(RequestShape::new(64, 32)),
+        workflows: vec![],
+        arrivals: spec,
+    };
+    let r = ServingSim::new(cfg)
+        .replica(fixed("a", 100))
+        .run(&ModelConfig::gpt2_m());
+    assert_eq!(r.completed, 40);
+    assert_eq!(r.per_tenant.len(), 2);
+    assert_eq!(r.per_tenant[0].completed, 40);
+    let starved = &r.per_tenant[1];
+    assert_eq!(starved.completed, 0);
+    assert_eq!(starved.sojourn, LatencyPercentiles::ZERO);
+    assert_eq!(
+        starved.slo_attainment, 1.0,
+        "attainment over nothing is vacuous"
+    );
+    assert_eq!(starved.goodput_rps, 0.0);
+    assert!(
+        r.tenant_fairness.is_finite(),
+        "fairness must never be NaN/inf here"
+    );
+    assert_eq!(
+        r.tenant_fairness, 1.0,
+        "a single counted tenant leaves no ratio to take"
+    );
 }

@@ -59,6 +59,7 @@ fn scenario(requests: u64, ttft: Duration) -> ServingConfig {
         seed: 0x5EED,
         mix: vec![RequestClass::new(RequestShape::new(896, 128), 1.0).with_slo(slo)],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 

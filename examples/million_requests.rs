@@ -127,6 +127,7 @@ fn main() {
         seed: 0x1A45,
         mix: vec![RequestClass::new(shape, 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     })
     .cluster(replicas, |_| node)
     .scheduling(Scheduling::IterationLevel {

@@ -65,6 +65,7 @@ fn scenario(requests: u64) -> ServingConfig {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 

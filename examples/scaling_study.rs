@@ -67,6 +67,7 @@ fn main() {
                 seed: 0x5CA1E,
                 mix: vec![RequestClass::new(req, 1.0)],
                 workflows: vec![],
+                arrivals: Default::default(),
             })
             .cluster(replicas, |_| {
                 DeviceGroup::new(SystemConfig::ianus(), min_devices)

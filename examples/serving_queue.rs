@@ -168,6 +168,7 @@ fn main() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(IanusSystem::new(SystemConfig::ianus()))

@@ -168,6 +168,7 @@ const EVICTIONS: [&str; 4] = [
 const READMISSIONS: [&str; 2] = ["fifo", "deadline"];
 const MECHANISMS: [&str; 3] = ["swap", "recompute", "cheapest"];
 const MIGRATIONS: [&str; 2] = ["least-loaded", "freest-kv"];
+const ARRIVAL_KINDS: [&str; 4] = ["poisson", "diurnal", "mmpp", "multi-tenant"];
 const PREFILL_SYSTEMS: [&str; 5] = ["ianus", "npu-mem", "partitioned", "a100", "dfx"];
 
 /// Resolves a flag value against its name table (the single source of
@@ -274,6 +275,12 @@ struct ServeArgs {
     prefill_system: Option<&'static str>,
     /// `--migration`: decode-replica selection policy at handoff.
     migration: &'static str,
+    /// `--arrivals`: arrival-process shape (see [`ArrivalSpec`]).
+    arrivals: &'static str,
+    /// `--burst-factor`: burst-to-calm rate ratio for `diurnal`/`mmpp`.
+    burst_factor: f64,
+    /// `--tenants`: tenant count for `multi-tenant`.
+    tenants: u32,
 }
 
 struct Args {
@@ -304,6 +311,8 @@ fn usage() -> ! {
          \x20            [--host-kv-gb G] [--overlap-dma]\n\
          \x20            [--disaggregate P:D] [--prefill-system ianus|npu-mem|partitioned|a100|dfx]\n\
          \x20            [--migration least-loaded|freest-kv]\n\
+         \x20            [--arrivals poisson|diurnal|mmpp|multi-tenant]\n\
+         \x20            [--burst-factor F] [--tenants K]\n\
          \x20            [--slo-ttft-ms MS] [--slo-itl-ms MS]\n\
          \x20            [--compare] [--compare-policies]\n\
          models: {}",
@@ -346,6 +355,9 @@ fn parse() -> Args {
     let mut disaggregate: Option<(usize, usize)> = None;
     let mut prefill_system: Option<&'static str> = None;
     let mut migration = "least-loaded";
+    let mut arrivals = "poisson";
+    let mut burst_factor = 4.0f64;
+    let mut tenants = 2u32;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -386,6 +398,21 @@ fn parse() -> Args {
                 prefill_system = Some(intern("--prefill-system", value(), &PREFILL_SYSTEMS))
             }
             "--migration" => migration = intern("--migration", value(), &MIGRATIONS),
+            "--arrivals" => arrivals = intern("--arrivals", value(), &ARRIVAL_KINDS),
+            "--burst-factor" => {
+                burst_factor = value().parse().unwrap_or_else(|_| usage());
+                if burst_factor <= 1.0 {
+                    eprintln!("--burst-factor must be above 1");
+                    usage()
+                }
+            }
+            "--tenants" => {
+                tenants = value().parse().unwrap_or_else(|_| usage());
+                if tenants == 0 {
+                    eprintln!("--tenants must be at least 1");
+                    usage()
+                }
+            }
             "--slo-ttft-ms" => slo_ttft_ms = value().parse().unwrap_or_else(|_| usage()),
             "--slo-itl-ms" => slo_itl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--compare-policies" => compare_policies = true,
@@ -499,6 +526,9 @@ fn parse() -> Args {
             disaggregate,
             prefill_system,
             migration,
+            arrivals,
+            burst_factor,
+            tenants,
         }),
     }
 }
@@ -535,6 +565,7 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
                 RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
             ],
             workflows: vec![],
+            arrivals: Default::default(),
         },
     };
     if let Some(slo) = serve.slo {
@@ -544,7 +575,23 @@ fn serving_config(serve: &ServeArgs, shape: RequestShape) -> ServingConfig {
             }
         }
     }
-    cfg
+    cfg.arrivals(match serve.arrivals {
+        "poisson" => ArrivalSpec::Poisson,
+        "diurnal" => {
+            // Amplitude so the peak-to-trough rate ratio equals the
+            // burst factor: (1+a)/(1-a) = F. Period scales with the
+            // rate so a run of a few hundred requests sees whole
+            // cycles at any --rate.
+            let amplitude = (serve.burst_factor - 1.0) / (serve.burst_factor + 1.0);
+            ArrivalSpec::diurnal(amplitude, 200.0 / serve.rate)
+        }
+        // Symmetric phases, each ~30 mean interarrivals long: bursts
+        // are long enough to pile up a queue, short enough that a run
+        // alternates phases many times.
+        "mmpp" => ArrivalSpec::mmpp(serve.burst_factor, 30.0 / serve.rate, 30.0 / serve.rate),
+        "multi-tenant" => ArrivalSpec::multi_tenant(serve.tenants),
+        _ => unreachable!("interned arrivals name"),
+    })
 }
 
 /// One replica of the configured `--system`/`--devices`, carrying the
@@ -668,6 +715,35 @@ fn print_serving_report(label: &str, r: &ServingReport, slo: bool) {
                 p.migrations_in,
                 p.migrations_out,
                 p.utilization * 100.0,
+            );
+        }
+    }
+    if r.burst_inter_token != LatencyPercentiles::ZERO {
+        println!(
+            "{:<22} burst windows: ITL p50/p99 {:>6.2}/{:>6.2} ms (vs {:>6.2}/{:>6.2} steady) | SLO attain {:>5.1}%",
+            "",
+            r.burst_inter_token.p50.as_ms_f64(),
+            r.burst_inter_token.p99.as_ms_f64(),
+            r.inter_token.p50.as_ms_f64(),
+            r.inter_token.p99.as_ms_f64(),
+            r.burst_slo_attainment * 100.0,
+        );
+    }
+    if r.per_tenant.len() > 1 {
+        println!(
+            "{:<22} tenant fairness (max/min goodput) {:.3}",
+            "", r.tenant_fairness,
+        );
+        for t in &r.per_tenant {
+            println!(
+                "{:<22}   tenant {} completed {:>6} | sojourn p50/p99 {:>8.0}/{:>8.0} ms | goodput {:>6.2} req/s | SLO {:>5.1}%",
+                "",
+                t.tenant,
+                t.completed,
+                t.sojourn.p50.as_ms_f64(),
+                t.sojourn.p99.as_ms_f64(),
+                t.goodput_rps,
+                t.slo_attainment * 100.0,
             );
         }
     }
@@ -1041,6 +1117,9 @@ mod tests {
             disaggregate: None,
             prefill_system: None,
             migration: "least-loaded",
+            arrivals: "poisson",
+            burst_factor: 4.0,
+            tenants: 2,
         }
     }
 }

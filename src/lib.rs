@@ -131,10 +131,12 @@ pub mod prelude {
         PriorityAdmission, ShortestPromptAdmission, WidestSubtreeAdmission,
     };
     pub use ianus_core::serving::{
-        AdmissionPolicy, CoreMode, DisaggregationConfig, DispatchPolicy, EvictionMechanism,
-        EvictionPolicy, LatencyPercentiles, MigrationPolicy, Priority, ReadmissionPolicy,
-        ReplicaRole, RequestClass, SchedulerPolicy, Scheduling, ServingConfig, ServingReport,
-        ServingSim, Slo, WorkflowError, WorkflowNode, WorkflowTemplate,
+        AdmissionPolicy, ArrivalDraw, ArrivalProcess, ArrivalSpec, CoreMode, DisaggregationConfig,
+        DispatchPolicy, DiurnalArrivals, EvictionMechanism, EvictionPolicy, LatencyPercentiles,
+        MigrationPolicy, MmppArrivals, MultiTenantArrivals, PoissonArrivals, Priority,
+        ReadmissionPolicy, ReplicaRole, RequestClass, SchedulerPolicy, Scheduling, ServingConfig,
+        ServingReport, ServingSim, Slo, TenantReport, TenantSpec, WorkflowError, WorkflowNode,
+        WorkflowTemplate,
     };
     pub use ianus_core::{
         EnergyModel, IanusSystem, MemoryPolicy, OpClass, RunReport, StageReport, SystemConfig,

@@ -29,6 +29,7 @@ proptest! {
             seed,
             mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -72,6 +73,7 @@ proptest! {
             seed,
             mix: vec![RequestClass::new(shape, 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -107,6 +109,7 @@ proptest! {
             seed,
             mix: vec![RequestClass::new(RequestShape::new(128, 16), 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let run = |prefill_chunk| {
             ServingSim::new(cfg.clone())
@@ -176,6 +179,7 @@ fn preemption_runs_on_gpu_baseline_with_priorities() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     // GPT-2 XL KV on 80 GB HBM is roomy; shrink the pressure window by
     // packing many sequences (A100 fits ~250 of these at final length,

@@ -269,6 +269,7 @@ fn pinned_preemption_scenario_still_166() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let run = |mode| {
         ServingSim::new(cfg.clone())
@@ -382,6 +383,7 @@ proptest! {
             seed,
             mix: mixes()[mix_i].clone(),
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let model = ModelConfig::gpt2_xl();
         let event = build_disagg(&cfg, prefill, decode, chunk, preempt, overlap, kv_block,
@@ -441,6 +443,7 @@ fn migration_policies_preserve_liveness() {
         seed: 0xD15A,
         mix: vec![RequestClass::new(RequestShape::new(128, 64), 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     // Decode replica 1 has twice the KV of replica 2: under paged
     // accounting (Freest sees free *blocks*; in contiguous mode it

@@ -220,6 +220,7 @@ proptest! {
             seed,
             mix: mixes()[mix_i].clone(),
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let model = ModelConfig::gpt2_xl();
         let event = build(&cfg, replicas, max_batch, chunk, preempt, overlap, kv_block,
@@ -245,6 +246,7 @@ fn pinned_preemption_scenario_identical_on_both_cores() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let run = |mode| {
         ServingSim::new(cfg.clone())
@@ -299,6 +301,7 @@ fn sweep_cfg() -> ServingConfig {
             RequestClass::new(RequestShape::new(128, 64), 0.4),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 
@@ -384,6 +387,7 @@ fn divergence_guard_aborts_hopeless_overload() {
         seed: 7,
         mix: vec![RequestClass::new(RequestShape::new(128, 64), 1.0)],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let full = ServingSim::new(cfg.clone())
         .replica(MemNode::tight())
@@ -423,6 +427,7 @@ fn sustainable_rate_unchanged_by_divergence_guard() {
             seed: 0xBEEF,
             mix: vec![RequestClass::new(RequestShape::new(64, 32), 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         })
         .replica(MemNode::tight())
         .scheduling(Scheduling::IterationLevel {
@@ -442,4 +447,125 @@ fn sustainable_rate_unchanged_by_divergence_guard() {
         "the divergence guard must not change the bisection result"
     );
     assert!(exhaustive > 0.05);
+}
+
+// ---------------------------------------------------------------------
+// Arrival shapes: the pluggable processes obey the same core contract
+// ---------------------------------------------------------------------
+
+/// One representative of each [`ArrivalSpec`] variant, parameterized so
+/// the non-Poisson shapes actually modulate (visible bursts, several
+/// cycles inside a 40-request run).
+fn arrival_specs() -> Vec<ArrivalSpec> {
+    vec![
+        ArrivalSpec::Poisson,
+        ArrivalSpec::diurnal(0.6, 20.0),
+        ArrivalSpec::mmpp(6.0, 8.0, 8.0),
+        ArrivalSpec::multi_tenant(3),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The arrivals lift must not depend on the core: for every
+    /// traffic shape, seed, rate, and mix, the event-driven and
+    /// step-scan cores replay the identical merged arrival stream and
+    /// produce bit-identical reports — including the new burst and
+    /// per-tenant columns.
+    #[test]
+    fn arrival_shapes_bit_identical_on_both_cores(
+        seed in any::<u64>(),
+        rate in prop::sample::select(vec![2.0f64, 6.0]),
+        mix_i in 0usize..3,
+        spec_i in 0usize..4,
+        preempt in any::<bool>(),
+    ) {
+        let cfg = ServingConfig {
+            arrival_rate_hz: rate,
+            requests: 40,
+            seed,
+            mix: mixes()[mix_i].clone(),
+            workflows: vec![],
+            arrivals: arrival_specs()[spec_i].clone(),
+        };
+        let model = ModelConfig::gpt2_xl();
+        let event = build(&cfg, 2, 8, Some(32), preempt, true, 64,
+                          CoreMode::EventDriven).run(&model);
+        let scan = build(&cfg, 2, 8, Some(32), preempt, true, 64,
+                         CoreMode::StepScan).run(&model);
+        prop_assert_eq!(event, scan);
+    }
+}
+
+/// Workflow mode crossed with every arrival shape: DAG instances drawn
+/// off a diurnal/MMPP/multi-tenant stream (children inherit the root's
+/// tenant and burst attribution) still replay bit-identically on both
+/// cores.
+#[test]
+fn workflow_mix_bit_identical_on_both_cores_across_arrival_shapes() {
+    let model = ModelConfig::gpt2_xl();
+    let templates = vec![
+        WorkflowTemplate::agent_chain(),
+        WorkflowTemplate::tool_fanout(),
+        WorkflowTemplate::speculative(),
+    ];
+    for spec in arrival_specs() {
+        let cfg = ServingConfig::workflow_mix(3.0, 16, templates.clone()).arrivals(spec.clone());
+        let run = |mode: CoreMode| {
+            ServingSim::new(cfg.clone())
+                .cluster(2, |_| MemNode::tight())
+                .scheduling(Scheduling::IterationLevel {
+                    max_batch: 8,
+                    prefill_chunk: Some(32),
+                    preempt: true,
+                })
+                .kv_block(64)
+                .workflow_inheritance(true)
+                .core_mode(mode)
+                .run(&model)
+        };
+        assert_eq!(
+            run(CoreMode::EventDriven),
+            run(CoreMode::StepScan),
+            "workflow run diverged across cores under {spec:?}"
+        );
+    }
+}
+
+/// `sweep_rates` keeps its parallel ≡ serial contract when the trace
+/// is a multi-tenant merge: every probe rebuilds the merged per-tenant
+/// processes from (spec, seed, rate) alone, so cloned engines replay
+/// identical streams.
+#[test]
+fn sweep_rates_parallel_matches_serial_under_multi_tenant() {
+    let model = ModelConfig::gpt2_xl();
+    let rates = [0.5, 2.0, 6.0];
+    let spec = ArrivalSpec::multi_tenant(3);
+    let cfg = || sweep_cfg().arrivals(spec.clone());
+    let sched = || Scheduling::IterationLevel {
+        max_batch: 8,
+        prefill_chunk: Some(32),
+        preempt: true,
+    };
+    let mut sim = ServingSim::new(cfg())
+        .cluster(2, |_| MemNode::tight())
+        .scheduling(sched())
+        .kv_block(64);
+    assert!(sim.try_clone().is_some(), "MemNode clones");
+    let parallel = sim.sweep_rates(&model, &rates);
+    let serial: Vec<ServingReport> = rates
+        .iter()
+        .map(|&rate| {
+            ServingSim::new(cfg().with_rate(rate))
+                .cluster(2, |_| MemNode::tight())
+                .scheduling(sched())
+                .kv_block(64)
+                .run(&model)
+        })
+        .collect();
+    assert_eq!(parallel, serial);
+    for r in &parallel {
+        assert_eq!(r.per_tenant.len(), 3, "tenant rows survive the sweep");
+    }
 }

@@ -25,6 +25,7 @@ fn scenario(slo: Option<Slo>) -> ServingConfig {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 
@@ -245,6 +246,7 @@ proptest! {
                     .with_priority(Priority::Batch),
             ],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -301,6 +303,7 @@ proptest! {
             seed,
             mix: vec![RequestClass::new(RequestShape::new(512, 512), 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let run = || {
             ServingSim::new(cfg.clone())

@@ -23,6 +23,7 @@ fn pr3_scenario() -> ServingConfig {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 
@@ -224,6 +225,7 @@ fn deadline_policies_run_on_gpu_baseline() {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let r = ServingSim::new(cfg)
         .replica(GpuModel::a100())
@@ -281,6 +283,7 @@ proptest! {
                     .with_priority(Priority::Batch),
             ],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))
@@ -325,6 +328,7 @@ proptest! {
                     .with_priority(Priority::Batch),
             ],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let run = || {
             ServingSim::new(cfg.clone())

@@ -135,6 +135,7 @@ proptest! {
             seed,
             mix: vec![RequestClass::new(shape, 1.0)],
             workflows: vec![],
+            arrivals: Default::default(),
         };
         let r = ServingSim::new(cfg)
             .replica(IanusSystem::new(SystemConfig::ianus()))

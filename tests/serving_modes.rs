@@ -15,6 +15,7 @@ fn small_mix(rate: f64, requests: u64) -> ServingConfig {
             RequestClass::new(RequestShape::new(128, 16), 0.3),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 

@@ -94,6 +94,7 @@ fn swap_heavy() -> ServingConfig {
             RequestClass::new(shape, 0.5).with_priority(Priority::Batch),
         ],
         workflows: vec![],
+        arrivals: Default::default(),
     }
 }
 

@@ -187,6 +187,7 @@ fn single_node_workflows_match_flat_mix_on_both_cores() {
             .map(|&(s, w)| RequestClass::new(s, w))
             .collect(),
         workflows: vec![],
+        arrivals: Default::default(),
     };
     let wf_cfg = ServingConfig::workflow_mix(
         8.0,
